@@ -1,0 +1,69 @@
+"""Downstream precision: def-use pairs under each alias analysis.
+
+The paper's introduction motivates may-alias precision by its effect on
+"the precision of various compile-time interprocedural analyses
+[Ca188, CK89, PRL91]".  This benchmark quantifies that: the same
+alias-aware reaching-definitions client ([PRL91] direction) runs once
+with Landi/Ryder aliases and once with Weihl aliases; every extra
+def-use pair under Weihl is a spurious dependence an optimizer must
+respect.
+
+Output: ``benchmarks/out/defuse.txt``.
+"""
+
+import pytest
+
+from repro import analyze_program, parse_and_analyze
+from repro.baselines import weihl_aliases
+from repro.bench import format_table, write_report
+from repro.clients import ReachingDefinitions, WeihlBackedSolution
+from repro.icfg import build_icfg
+from repro.programs import ProgramSpec, generate_program
+from repro.programs.fixtures import ALL_FIXTURES
+
+PROGRAMS = dict(ALL_FIXTURES)
+PROGRAMS["synth_defuse"] = generate_program(
+    ProgramSpec.for_target_nodes("synth_defuse", 220)
+)
+
+_ROWS: dict[str, tuple[int, int, int]] = {}
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_defuse_program(benchmark, name):
+    source = PROGRAMS[name]
+
+    def run():
+        analyzed = parse_and_analyze(source)
+        icfg = build_icfg(analyzed)
+        lr = analyze_program(analyzed, icfg, k=2)
+        lr_pairs = sum(1 for _ in ReachingDefinitions(lr).def_use_pairs())
+        weihl = weihl_aliases(analyzed, icfg, k=2)
+        weihl_solution = WeihlBackedSolution(analyzed, icfg, weihl, k=2)
+        weihl_pairs = sum(
+            1 for _ in ReachingDefinitions(weihl_solution).def_use_pairs()
+        )
+        return len(icfg), lr_pairs, weihl_pairs
+
+    nodes, lr_pairs, weihl_pairs = benchmark.pedantic(run, rounds=1, iterations=1)
+    _ROWS[name] = (nodes, lr_pairs, weihl_pairs)
+    assert weihl_pairs >= lr_pairs, "coarser aliases cannot remove def-use pairs"
+
+
+def test_defuse_report(benchmark):
+    if not _ROWS:
+        pytest.skip("no rows collected (run with --benchmark-only)")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for name in sorted(_ROWS):
+        nodes, lr_pairs, weihl_pairs = _ROWS[name]
+        ratio = weihl_pairs / max(1, lr_pairs)
+        rows.append((name, nodes, lr_pairs, weihl_pairs, f"{ratio:.2f}x"))
+    table = format_table(
+        "Downstream precision — def-use pairs by alias provider",
+        ("program", "nodes", "LR def-use", "Weihl def-use", "blowup"),
+        rows,
+        note="spurious pairs are dependences an optimizer must respect",
+    )
+    path = write_report("defuse.txt", table)
+    print(f"\n{table}\nwritten to {path}")

@@ -1,0 +1,75 @@
+"""Figure 4: the ``all-or-none(n)`` worst-case construction.
+
+The paper's point: with no aliases on entry the precise solution has
+Theta(n) program-point aliases, but if the (possibly erroneous) alias
+``(*b, *d)`` holds before the loop, any safe approximate algorithm
+reports Theta(n^3) — and that is the worst case for the Landi/Ryder
+algorithm.  We reproduce the separation by analyzing the unseeded and
+seeded variants across n and fitting the growth exponents.
+
+Regenerate with::
+
+    pytest benchmarks/bench_figure4_allornone.py --benchmark-only -q
+
+Output: ``benchmarks/out/figure4.txt``.
+"""
+
+import math
+
+import pytest
+
+from repro.bench import analyze_counts, format_table, write_report
+from repro.programs import all_or_none
+
+SIZES = (2, 4, 8, 16)
+
+_ROWS: dict[tuple[int, bool], tuple[int, int]] = {}
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("seeded", (False, True), ids=("clean", "seeded"))
+def test_allornone(benchmark, n, seeded):
+    source = all_or_none(n, seed_alias=seeded)
+
+    def run():
+        return analyze_counts(source, k=3)
+
+    solution = benchmark.pedantic(run, rounds=1, iterations=1)
+    node_pairs = solution.stats().node_alias_count
+    _ROWS[(n, seeded)] = (solution.stats().icfg_nodes, node_pairs)
+
+
+def _growth_exponent(series):
+    """Log-log slope between first and last points."""
+    (n0, y0), (n1, y1) = series[0], series[-1]
+    return math.log(y1 / y0) / math.log(n1 / n0)
+
+
+def test_figure4_report(benchmark):
+    if not _ROWS:
+        pytest.skip("no rows collected (run with --benchmark-only)")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    clean_series = []
+    seeded_series = []
+    for n in SIZES:
+        nodes_c, pairs_c = _ROWS[(n, False)]
+        nodes_s, pairs_s = _ROWS[(n, True)]
+        clean_series.append((n, pairs_c))
+        seeded_series.append((n, pairs_s))
+        rows.append((n, nodes_c, pairs_c, pairs_s, f"{pairs_s / max(1, pairs_c):.1f}x"))
+    clean_exp = _growth_exponent(clean_series)
+    seeded_exp = _growth_exponent(seeded_series)
+    table = format_table(
+        "Figure 4 — all-or-none(n): Theta(n) vs Theta(n^3) blowup",
+        ("n", "ICFG nodes", "clean (node,alias)", "seeded (node,alias)", "blowup"),
+        rows,
+        note=(
+            f"growth exponents: clean ~ n^{clean_exp:.2f} (paper: n^1), "
+            f"seeded ~ n^{seeded_exp:.2f} (paper: n^3)"
+        ),
+    )
+    path = write_report("figure4.txt", table)
+    print(f"\n{table}\nwritten to {path}")
+    assert clean_exp < 1.6, "clean variant must stay near-linear"
+    assert seeded_exp > 2.0, "seeded variant must blow up superquadratically"

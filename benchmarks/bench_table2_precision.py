@@ -1,0 +1,90 @@
+"""Table 2: precision of the may-alias solution, %YES_k with k = 3.
+
+The paper reports, for 18 programs: ICFG node count, number of
+(node, alias) facts, %YES_3 and analysis time.  Expected shape:
+
+* most programs sit at or near %YES = 100 (few of the counted
+  approximation sources fire),
+* a minority of pointer-heavy programs drop well below (the paper saw
+  10%-88% on 5 of 18), and
+* alias counts grow superlinearly with program size.
+
+Regenerate with::
+
+    pytest benchmarks/bench_table2_precision.py --benchmark-only -q
+
+Output table: ``benchmarks/out/table2.txt``.
+"""
+
+import pytest
+
+from repro.bench import Measurement, format_table, measure, write_report
+from repro.programs import TABLE2_PAPER, table2_suite
+
+_RESULTS: dict[str, Measurement] = {}
+
+
+@pytest.fixture(scope="module")
+def programs(scale):
+    return {m.name: m for m in table2_suite(scale=scale)}
+
+
+@pytest.mark.parametrize("name", sorted(TABLE2_PAPER))
+def test_table2_program(benchmark, programs, name):
+    member = programs[name]
+
+    def run():
+        return measure(name, member.source, k=3, run_weihl=False)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _RESULTS[name] = result
+    assert 0.0 <= result.percent_yes <= 100.0
+
+
+def test_table2_report(benchmark):
+    if not _RESULTS:
+        pytest.skip("no rows collected (run with --benchmark-only)")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for name in sorted(_RESULTS, key=lambda n: _RESULTS[n].icfg_nodes):
+        m = _RESULTS[name]
+        paper_nodes, paper_aliases, paper_yes, paper_secs = TABLE2_PAPER[name]
+        rows.append(
+            (
+                name,
+                m.icfg_nodes,
+                m.lr_node_aliases,
+                f"{m.percent_yes:.0f}",
+                f"{m.lr_seconds:.2f}s",
+                paper_nodes,
+                paper_aliases,
+                paper_yes,
+                f"{paper_secs}s",
+            )
+        )
+    yes_values = [m.percent_yes for m in _RESULTS.values()]
+    at_or_near_100 = sum(1 for y in yes_values if y >= 90.0)
+    table = format_table(
+        "Table 2 — precision of the may-alias solution (k = 3)",
+        (
+            "program",
+            "nodes",
+            "aliases",
+            "%YES",
+            "time",
+            "paper nodes",
+            "paper aliases",
+            "paper %YES",
+            "paper time",
+        ),
+        rows,
+        note=(
+            f"{at_or_near_100}/{len(yes_values)} programs at %YES >= 90 "
+            "(paper: 13/18 at >= 88); scaled synthetic stand-ins, see "
+            "DESIGN.md"
+        ),
+    )
+    path = write_report("table2.txt", table)
+    print(f"\n{table}\nwritten to {path}")
+    # Shape: the suite must not be uniformly imprecise.
+    assert at_or_near_100 >= len(yes_values) // 2

@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Assemble benchmarks/out/*.txt into the EXPERIMENTS.md appendix.
+
+Run after ``pytest benchmarks/ --benchmark-only``::
+
+    python benchmarks/collect_results.py
+"""
+
+import pathlib
+
+MARKER = "## Appendix — measured tables (latest benchmark run)"
+
+
+def main() -> None:
+    root = pathlib.Path(__file__).resolve().parents[1]
+    out_dir = root / "benchmarks" / "out"
+    experiments = root / "EXPERIMENTS.md"
+    tables = []
+    for path in sorted(out_dir.glob("*.txt")):
+        tables.append(f"### {path.name}\n\n```\n{path.read_text().rstrip()}\n```\n")
+    if not tables:
+        raise SystemExit("no tables in benchmarks/out/; run the benchmarks first")
+    text = experiments.read_text()
+    if MARKER in text:
+        text = text[: text.index(MARKER)].rstrip() + "\n"
+    appendix = f"\n{MARKER}\n\n" + "\n".join(tables)
+    experiments.write_text(text + appendix)
+    print(f"embedded {len(tables)} tables into EXPERIMENTS.md")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Shared fixtures for the benchmark harness.
+
+Suite programs are generated at a scale factor (default 0.15 of the
+paper's reported ICFG node counts) so a full benchmark run finishes in
+minutes on CPython.  Set ``REPRO_BENCH_SCALE=1.0`` for paper-sized
+programs.  All comparisons in EXPERIMENTS.md are shape comparisons
+(who wins, by what factor), which the scale does not change.
+"""
+
+import pytest
+
+from repro.bench import bench_scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+def pytest_report_header(config):
+    return f"repro benchmark scale: {bench_scale()} (REPRO_BENCH_SCALE to change)"

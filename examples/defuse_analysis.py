@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Alias-aware def-use analysis — the [PRL91] direction the paper's
+conclusion points to.
+
+Computes reaching definitions and def-use pairs on a program where the
+interesting flows go through pointers, then shows how the same client
+degrades when fed Weihl's coarse aliases instead of Landi/Ryder's —
+the paper's "precision of aliases greatly affects the quality of
+compile-time analyses" made concrete.
+
+Run with::
+
+    python examples/defuse_analysis.py
+"""
+
+from repro import analyze_program, parse_and_analyze
+from repro.baselines import weihl_aliases
+from repro.clients import ReachingDefinitions, WeihlBackedSolution
+from repro.icfg import build_icfg
+
+SOURCE = """
+int data, spare, sink;
+int *cursor;
+
+void select_target(int which) {
+    if (which) { cursor = &data; } else { cursor = &spare; }
+}
+
+int main() {
+    data = 1;          /* def 1 */
+    spare = 2;         /* def 2 */
+    select_target(1);
+    *cursor = 3;       /* may-def of data and spare */
+    sink = data;       /* which defs reach this use? */
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    analyzed = parse_and_analyze(SOURCE)
+    icfg = build_icfg(analyzed)
+
+    lr_solution = analyze_program(analyzed, icfg, k=3)
+    lr_defuse = list(ReachingDefinitions(lr_solution).def_use_pairs())
+
+    weihl = weihl_aliases(analyzed, icfg, k=3)
+    weihl_solution = WeihlBackedSolution(analyzed, icfg, weihl, k=3)
+    weihl_defuse = list(ReachingDefinitions(weihl_solution).def_use_pairs())
+
+    print("def-use pairs with Landi/Ryder aliases:")
+    for pair in sorted(str(p) for p in lr_defuse):
+        print(f"  {pair}")
+    print(f"\n  total: {len(lr_defuse)}")
+
+    print(f"\ndef-use pairs with Weihl aliases: {len(weihl_defuse)} "
+          f"({len(weihl_defuse) / max(1, len(lr_defuse)):.1f}x as many)")
+    print("(every spurious pair is a dependence an optimizer must respect)")
+
+    dead = list(ReachingDefinitions(lr_solution).dead_definitions())
+    print(f"\ndead stores found with precise aliases: "
+          f"{[str(d) for d in dead] or 'none'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""The paper's Figure 1, reproduced end to end.
+
+Prints the ICFG (in the same shape as the figure), then the
+may-aliases at every node, highlighting the two aliases the paper uses
+to motivate the nonvisible machinery:
+
+* ``(**l1, g2)`` at the first return site — created by the callee even
+  though ``l1`` is not in the scope of ``p``;
+* ``(**l1, *l2)`` at the second return site — an alias between *two*
+  names that are invisible in ``p`` (the two-assumption exit case).
+
+Run with::
+
+    python examples/figure1_paper_example.py [--dot]
+"""
+
+import sys
+
+from repro import analyze_source
+from repro.icfg import to_dot
+from repro.names import AliasPair, ObjectName
+from repro.programs.fixtures import FIGURE1
+
+
+def main() -> None:
+    solution = analyze_source(FIGURE1, k=3)
+    icfg = solution.icfg
+
+    if "--dot" in sys.argv:
+        print(to_dot(icfg, "figure1"))
+        return
+
+    print("ICFG (compare with Figure 1 of the paper):")
+    for node in icfg.nodes:
+        succs = ", ".join(f"n{s.nid}" for s in node.succs)
+        print(f"  n{node.nid:<3} {node.proc:<5} {node.label():<22} -> [{succs}]")
+    print()
+
+    print("may-aliases per node:")
+    for node in icfg.nodes:
+        pairs = sorted(str(p) for p in solution.may_alias(node))
+        print(f"  n{node.nid:<3} {node.label():<22} {pairs}")
+    print()
+
+    l1 = ObjectName("main::l1").deref().deref()
+    l2 = ObjectName("main::l2").deref()
+    g2 = ObjectName("g2")
+    returns = sorted(
+        (n for n in icfg.nodes if n.kind.value == "return"), key=lambda n: n.nid
+    )
+    first, second = returns
+    print("paper's highlighted aliases:")
+    print(
+        f"  (**l1, g2) at n{first.nid}:  "
+        f"{AliasPair(l1, g2) in solution.may_alias(first)}"
+    )
+    print(
+        f"  (**l1, *l2) at n{second.nid}: "
+        f"{AliasPair(l1, l2) in solution.may_alias(second)}"
+    )
+    print(f"\n%YES_3 = {solution.percent_yes():.1f} "
+          "(the two-nonvisible derivation is counted as possibly imprecise)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""repro: a reproduction of Landi & Ryder (PLDI 1992),
+"A Safe Approximate Algorithm for Interprocedural Pointer Aliasing".
+
+The package provides:
+
+* a MiniC frontend (:mod:`repro.frontend`) for the reduced C dialect
+  the paper's prototype handled,
+* ICFG construction (:mod:`repro.icfg`),
+* object names, k-limiting and alias pairs (:mod:`repro.names`),
+* the conditional may-alias algorithm (:mod:`repro.core`),
+* the Weihl [Wei80] baseline and friends (:mod:`repro.baselines`),
+* a concrete interpreter used to validate soundness (:mod:`repro.interp`),
+* the paper's benchmark workloads (:mod:`repro.programs`), and
+* harness utilities regenerating the paper's tables (:mod:`repro.bench`).
+
+Quickstart::
+
+    from repro import analyze_source
+    solution = analyze_source(source_text, k=3)
+    print(solution.stats())
+"""
+
+from .core.analysis import DEFAULT_K, analyze_program, analyze_source
+from .core.solution import MayAliasSolution, SolutionStats
+from .frontend.semantics import parse_and_analyze
+from .icfg.builder import build_icfg
+from .names.alias_pairs import AliasPair
+from .names.object_names import ObjectName
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AliasPair",
+    "DEFAULT_K",
+    "MayAliasSolution",
+    "ObjectName",
+    "SolutionStats",
+    "__version__",
+    "analyze_program",
+    "analyze_source",
+    "build_icfg",
+    "parse_and_analyze",
+]

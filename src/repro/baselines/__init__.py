@@ -1,0 +1,18 @@
+"""Baseline alias analyses: Weihl [Wei80] (the paper's comparison) and
+an Andersen-style points-to analysis (a modern reference point)."""
+
+from .andersen import AndersenAnalysis, AndersenResult, andersen_aliases
+from .weihl import WeihlAnalysis, WeihlResult, weihl_aliases
+
+__all__ = [
+    "AndersenAnalysis",
+    "AndersenResult",
+    "WeihlAnalysis",
+    "WeihlResult",
+    "andersen_aliases",
+    "weihl_aliases",
+]
+
+from .typebased import TypeBasedAnalysis, TypeBasedResult, typebased_aliases  # noqa: E402
+
+__all__.extend(["TypeBasedAnalysis", "TypeBasedResult", "typebased_aliases"])

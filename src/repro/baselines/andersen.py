@@ -1,0 +1,203 @@
+"""Flow-insensitive inclusion-based points-to analysis (Andersen-style).
+
+Not part of the 1992 paper — included as a modern reference point for
+the ablation benchmarks.  Every variable and allocation site gets an
+abstract location; assignments generate inclusion constraints solved to
+a fixpoint; aliases are pairs of names whose location sets intersect.
+
+The abstraction is deliberately coarse compared with the paper's
+algorithm: one field-insensitive location per variable/allocation and
+no flow or context sensitivity, so it sits between Weihl and
+Landi/Ryder in precision on most programs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..frontend.semantics import AnalyzedProgram
+from ..icfg.graph import ICFG
+from ..icfg.ir import AddrOf, CallInfo, NameRef, NodeKind, Opaque, PtrAssign
+from ..names.alias_pairs import AliasPair
+from ..names.object_names import DEREF, ObjectName
+
+
+@dataclass(slots=True)
+class AndersenResult:
+    """Points-to sets plus derived variable-level aliases."""
+    points_to: dict[str, set[str]]
+    aliases: set[AliasPair]
+    total_seconds: float
+
+    def __len__(self) -> int:
+        return len(self.aliases)
+
+
+class AndersenAnalysis:
+    """Constraint-based points-to over variable-level locations.
+
+    Object names collapse to their base variable plus the number of
+    leading dereferences (field-insensitive), the classic Andersen
+    abstraction.
+    """
+
+    def __init__(self, analyzed: AnalyzedProgram, icfg: ICFG) -> None:
+        self.analyzed = analyzed
+        self.icfg = icfg
+        # points_to[v] = set of abstract locations v may point to.
+        self.points_to: dict[str, set[str]] = {}
+        # subset edges: copy constraints  src ⊆ dst.
+        self._copies: dict[str, set[str]] = {}
+        # complex constraints awaiting points-to facts.
+        self._loads: dict[str, set[str]] = {}  # dst = *src
+        self._stores: dict[str, set[str]] = {}  # *dst = src
+        self._alloc_count = 0
+
+    # -- constraint generation -----------------------------------------------------
+
+    def _gen(self) -> None:
+        for node in self.icfg.nodes:
+            if node.is_pointer_assignment:
+                assert isinstance(node.stmt, PtrAssign)
+                self._gen_assign(node.stmt)
+            elif node.kind is NodeKind.CALL and node.callee in self.icfg.procs:
+                assert isinstance(node.stmt, CallInfo)
+                info = self.analyzed.symbols.function(node.callee)
+                for formal, operand in zip(info.params, node.stmt.args):
+                    if isinstance(operand, (NameRef, AddrOf)):
+                        self._gen_copy_into(formal.uid, operand)
+
+    def _gen_assign(self, stmt: PtrAssign) -> None:
+        lhs_base, lhs_derefs = self._collapse(stmt.lhs)
+        if isinstance(stmt.rhs, Opaque):
+            if stmt.rhs.describe in ("malloc", "calloc", "realloc", "alloca"):
+                self._alloc_count += 1
+                loc = f"$heap{self._alloc_count}"
+                if lhs_derefs == 0:
+                    self.points_to.setdefault(lhs_base, set()).add(loc)
+                else:
+                    helper = f"$tmp_alloc{self._alloc_count}"
+                    self.points_to.setdefault(helper, set()).add(loc)
+                    self._stores.setdefault(lhs_base, set()).add(helper)
+            return
+        src_base, src_derefs, addr = self._operand(stmt.rhs)
+        # Normalize multi-level forms through helper variables.
+        src = self._chain_loads(src_base, src_derefs)
+        if addr:
+            helper = f"$addr_{src}"
+            self.points_to.setdefault(helper, set()).add(src)
+            src = helper
+        if lhs_derefs == 0:
+            self._copies.setdefault(src, set()).add(lhs_base)
+        else:
+            target = self._chain_loads(lhs_base, lhs_derefs - 1)
+            self._stores.setdefault(target, set()).add(src)
+
+    def _gen_copy_into(self, dst: str, operand) -> None:
+        if isinstance(operand, NameRef):
+            base, derefs = self._collapse(operand.name)
+            src = self._chain_loads(base, derefs)
+            self._copies.setdefault(src, set()).add(dst)
+        else:
+            base, derefs = self._collapse(operand.name)
+            loc = self._chain_loads(base, derefs)
+            helper = f"$addr_{loc}"
+            self.points_to.setdefault(helper, set()).add(loc)
+            self._copies.setdefault(helper, set()).add(dst)
+
+    def _chain_loads(self, base: str, derefs: int) -> str:
+        current = base
+        for _ in range(derefs):
+            helper = f"$load_{current}"
+            self._loads.setdefault(current, set()).add(helper)
+            current = helper
+        return current
+
+    @staticmethod
+    def _collapse(name: ObjectName) -> tuple[str, int]:
+        """Field-insensitive collapse: base variable + deref count."""
+        return name.base, name.selectors.count(DEREF)
+
+    def _operand(self, operand) -> tuple[str, int, bool]:
+        if isinstance(operand, NameRef):
+            base, derefs = self._collapse(operand.name)
+            return base, derefs, False
+        assert isinstance(operand, AddrOf)
+        base, derefs = self._collapse(operand.name)
+        return base, derefs, True
+
+    # -- solving ---------------------------------------------------------------------
+
+    def _solve(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for src, dsts in list(self._copies.items()):
+                src_pts = self.points_to.get(src, set())
+                for dst in dsts:
+                    dst_pts = self.points_to.setdefault(dst, set())
+                    before = len(dst_pts)
+                    dst_pts |= src_pts
+                    changed |= len(dst_pts) != before
+            for src, helpers in list(self._loads.items()):
+                for loc in self.points_to.get(src, set()):
+                    loc_pts = self.points_to.get(loc, set())
+                    for helper in helpers:
+                        helper_pts = self.points_to.setdefault(helper, set())
+                        before = len(helper_pts)
+                        helper_pts |= loc_pts
+                        changed |= len(helper_pts) != before
+            for dst, srcs in list(self._stores.items()):
+                for loc in self.points_to.get(dst, set()):
+                    loc_pts = self.points_to.setdefault(loc, set())
+                    for src in srcs:
+                        before = len(loc_pts)
+                        loc_pts |= self.points_to.get(src, set())
+                        changed |= len(loc_pts) != before
+
+    # -- alias extraction ----------------------------------------------------------------
+
+    def _aliases(self) -> set[AliasPair]:
+        out: set[AliasPair] = set()
+        variables = [
+            uid
+            for uid in self.points_to
+            if not uid.startswith(("$load_", "$addr_", "$tmp_alloc"))
+        ]
+        for i, v1 in enumerate(variables):
+            pts1 = self.points_to.get(v1, set())
+            if not pts1:
+                continue
+            for v2 in variables[i + 1:]:
+                if self.points_to.get(v2, set()) & pts1:
+                    out.add(
+                        AliasPair(
+                            ObjectName(v1).deref(), ObjectName(v2).deref()
+                        )
+                    )
+        return out
+
+    def run(self) -> AndersenResult:
+        """Generate constraints, solve to fixpoint, extract aliases."""
+        start = time.perf_counter()
+        self._gen()
+        self._solve()
+        aliases = self._aliases()
+        return AndersenResult(
+            points_to=self.points_to,
+            aliases=aliases,
+            total_seconds=time.perf_counter() - start,
+        )
+
+
+def andersen_aliases(
+    analyzed: AnalyzedProgram, icfg: Optional[ICFG] = None
+) -> AndersenResult:
+    """Convenience wrapper mirroring the other baselines."""
+    if icfg is None:
+        from ..icfg.builder import build_icfg
+
+        icfg = build_icfg(analyzed)
+    return AndersenAnalysis(analyzed, icfg).run()

@@ -1,0 +1,138 @@
+"""Type-based alias analysis — the coarsest sound baseline.
+
+In a cast-free language two names can only refer to the same storage
+if their types match, and a variable's storage can only be reached
+through *another* name if its address is taken (or it is heap
+storage).  This is the classic "type-based alias analysis" lower bar:
+no flow, no context, not even assignment structure — just types and
+address-exposure.  Useful as the floor in precision comparisons
+(everything should beat it, and anything it rules out is ruled out for
+free).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..frontend.semantics import AnalyzedProgram
+from ..frontend.types import PointerType, StructType, Type
+from ..icfg.graph import ICFG
+from ..icfg.ir import AddrOf, CallInfo, NodeKind, PtrAssign
+from ..names.alias_pairs import AliasPair
+from ..names.context import NameContext, collapse_arrays
+from ..names.object_names import DEREF, ObjectName, k_limit
+
+
+def _type_key(t: Optional[Type]) -> Optional[str]:
+    if t is None:
+        return None
+    t = collapse_arrays(t)
+    if isinstance(t, PointerType):
+        inner = _type_key(t.pointee)
+        return f"{inner}*"
+    if isinstance(t, StructType):
+        return f"struct {t.name}"
+    return str(t)
+
+
+@dataclass(slots=True)
+class TypeBasedResult:
+    """Alias relation plus the address-taken set."""
+    aliases: set[AliasPair]
+    address_taken: set[str]
+    total_seconds: float
+
+    def __len__(self) -> int:
+        return len(self.aliases)
+
+    def may_alias(self, a: ObjectName, b: ObjectName) -> bool:
+        """Is the pair in the relation?"""
+        return AliasPair(a, b) in self.aliases
+
+
+class TypeBasedAnalysis:
+    """Names alias iff same type and both reachable through pointers."""
+
+    def __init__(self, analyzed: AnalyzedProgram, icfg: ICFG, k: int = 3) -> None:
+        self.analyzed = analyzed
+        self.icfg = icfg
+        self.k = k
+        self.ctx = NameContext(analyzed.symbols, k)
+
+    def _address_taken(self) -> set[str]:
+        """Base variables whose address escapes anywhere."""
+        taken: set[str] = set()
+        for node in self.icfg.nodes:
+            stmt = node.stmt
+            if isinstance(stmt, PtrAssign) and isinstance(stmt.rhs, AddrOf):
+                taken.add(stmt.rhs.name.base)
+            elif node.kind is NodeKind.CALL and isinstance(stmt, CallInfo):
+                for operand in stmt.args:
+                    if isinstance(operand, AddrOf):
+                        taken.add(operand.name.base)
+        return taken
+
+    def _candidate_names(self, taken: set[str]) -> list[tuple[ObjectName, str]]:
+        """Names reachable through some pointer: dereference-bearing
+        names, plus address-taken variables (and their field paths)."""
+        out: list[tuple[ObjectName, str]] = []
+        seen: set[ObjectName] = set()
+
+        def add(name: ObjectName) -> None:
+            limited = k_limit(name, self.k)
+            if limited in seen:
+                return
+            seen.add(limited)
+            key = _type_key(self.ctx.name_type(limited))
+            if key is not None:
+                out.append((limited, key))
+
+        for sym in self.analyzed.symbols.all_symbols():
+            base = ObjectName(sym.uid)
+            base_type = self.ctx.name_type(base)
+            if base_type is None:
+                continue
+            if sym.uid in taken:
+                add(base)
+                for ext, _ in self.ctx.extensions(base_type, 0):
+                    if DEREF not in ext:
+                        add(base.extend(ext))
+            # Dereference-bearing names from pointer-typed roots.
+            for ext, _ in self.ctx.extensions(base_type, self.k + 1):
+                if DEREF in ext:
+                    add(base.extend(ext))
+        return out
+
+    def run(self) -> TypeBasedResult:
+        """Compute address-taken names, candidates and same-type pairs."""
+        start = time.perf_counter()
+        taken = self._address_taken()
+        candidates = self._candidate_names(taken)
+        by_type: dict[str, list[ObjectName]] = {}
+        for name, key in candidates:
+            by_type.setdefault(key, []).append(name)
+        aliases: set[AliasPair] = set()
+        for names in by_type.values():
+            for i, a in enumerate(names):
+                for b in names[i + 1:]:
+                    pair = AliasPair(a, b)
+                    if not pair.is_trivial:
+                        aliases.add(pair)
+        return TypeBasedResult(
+            aliases=aliases,
+            address_taken=taken,
+            total_seconds=time.perf_counter() - start,
+        )
+
+
+def typebased_aliases(
+    analyzed: AnalyzedProgram, icfg: Optional[ICFG] = None, k: int = 3
+) -> TypeBasedResult:
+    """Convenience wrapper mirroring the other baselines."""
+    if icfg is None:
+        from ..icfg.builder import build_icfg
+
+        icfg = build_icfg(analyzed)
+    return TypeBasedAnalysis(analyzed, icfg, k=k).run()

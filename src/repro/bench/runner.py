@@ -1,0 +1,91 @@
+"""Measurement helpers shared by the benchmark files."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..baselines.andersen import andersen_aliases
+from ..baselines.weihl import weihl_aliases
+from ..core.analysis import analyze_program
+from ..core.solution import MayAliasSolution
+from ..frontend.semantics import parse_and_analyze
+from ..icfg.builder import build_icfg
+
+
+@dataclass(slots=True)
+class Measurement:
+    """One program measured with the Landi/Ryder analysis and the
+    baselines, in the units the paper reports."""
+
+    name: str
+    source_lines: int
+    icfg_nodes: int
+    lr_program_aliases: int          # untruncated pairs (comparable)
+    lr_program_aliases_all: int      # including truncated representatives
+    lr_node_aliases: int
+    lr_seconds: float
+    percent_yes: float
+    weihl_aliases: Optional[int] = None          # untruncated pairs
+    weihl_aliases_all: Optional[int] = None      # incl. representatives
+    weihl_seconds: Optional[float] = None
+    andersen_aliases: Optional[int] = None       # variable-level pairs
+    andersen_seconds: Optional[float] = None
+
+    @property
+    def weihl_ratio(self) -> Optional[float]:
+        """Weihl count over LR count (None when Weihl was skipped)."""
+        if self.weihl_aliases is None:
+            return None
+        return self.weihl_aliases / max(1, self.lr_program_aliases)
+
+
+def measure(
+    name: str,
+    source: str,
+    k: int = 3,
+    run_weihl: bool = True,
+    run_andersen: bool = False,
+    max_facts: Optional[int] = 3_000_000,
+) -> Measurement:
+    """Analyze ``source`` with every requested analysis."""
+    analyzed = parse_and_analyze(source)
+    icfg = build_icfg(analyzed)
+    start = time.perf_counter()
+    solution = analyze_program(analyzed, icfg, k=k, max_facts=max_facts)
+    lr_seconds = time.perf_counter() - start
+    stats = solution.stats()
+    program_pairs = solution.program_aliases()
+    untruncated = sum(
+        1
+        for pair in program_pairs
+        if not pair.first.truncated and not pair.second.truncated
+    )
+    result = Measurement(
+        name=name,
+        source_lines=len(source.splitlines()),
+        icfg_nodes=stats.icfg_nodes,
+        lr_program_aliases=untruncated,
+        lr_program_aliases_all=stats.program_alias_count,
+        lr_node_aliases=stats.node_alias_count,
+        lr_seconds=lr_seconds,
+        percent_yes=stats.percent_yes,
+    )
+    if run_weihl:
+        weihl = weihl_aliases(analyzed, icfg, k=k, materialize=False)
+        result.weihl_aliases = weihl.alias_count_untruncated
+        result.weihl_aliases_all = weihl.alias_count
+        result.weihl_seconds = weihl.closure_seconds
+    if run_andersen:
+        andersen = andersen_aliases(analyzed, icfg)
+        result.andersen_aliases = len(andersen.aliases)
+        result.andersen_seconds = andersen.total_seconds
+    return result
+
+
+def analyze_counts(source: str, k: int = 3, max_facts: Optional[int] = 3_000_000) -> MayAliasSolution:
+    """Analysis only (used by the tighter timing loops)."""
+    analyzed = parse_and_analyze(source)
+    icfg = build_icfg(analyzed)
+    return analyze_program(analyzed, icfg, k=k, max_facts=max_facts)

@@ -1,0 +1,30 @@
+"""Client analyses built on the may-alias solution: the downstream
+consumers the paper's introduction motivates (optimizers, parallelizers,
+def-use analysis [PRL91], conflict detection [LH88])."""
+
+from .accesses import Access, access_map, node_access
+from .conflicts import Conflict, ConflictAnalysis
+from .reaching_defs import DefUse, Definition, ReachingDefinitions
+
+__all__ = [
+    "Access",
+    "Conflict",
+    "ConflictAnalysis",
+    "DefUse",
+    "Definition",
+    "ReachingDefinitions",
+    "access_map",
+    "node_access",
+]
+
+from .adapters import WeihlBackedSolution  # noqa: E402
+
+__all__.append("WeihlBackedSolution")
+
+from .modref import ModRefAnalysis, ProcEffects  # noqa: E402
+
+__all__.extend(["ModRefAnalysis", "ProcEffects"])
+
+from .liveness import LiveNames  # noqa: E402
+
+__all__.append("LiveNames")

@@ -1,0 +1,70 @@
+"""Memory-access extraction for client analyses.
+
+Maps each ICFG node to the object names it *writes* and *reads*:
+pointer assignments carry this structurally, scalar statements carry
+the names the lowerer recorded, call/return/predicate nodes access
+nothing directly (their effects happen inside the callee's own nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..icfg.graph import ICFG
+from ..icfg.ir import AddrOf, CallInfo, NameRef, Node, NodeKind, OtherStmt, PtrAssign
+from ..names.object_names import DEREF, ObjectName
+
+
+def deref_prefixes(name: ObjectName) -> tuple[ObjectName, ...]:
+    """Names *read* while resolving ``name``'s address: each prefix
+    that is dereferenced on the way (``*u`` reads ``u``; ``p->f->g``
+    reads ``p`` and ``p->f``)."""
+    out = []
+    for index, sel in enumerate(name.selectors):
+        if sel == DEREF:
+            out.append(ObjectName(name.base, name.selectors[:index]))
+    return tuple(out)
+
+
+@dataclass(frozen=True, slots=True)
+class Access:
+    """The names a node writes and reads."""
+
+    writes: tuple[ObjectName, ...] = ()
+    reads: tuple[ObjectName, ...] = ()
+
+    @property
+    def touches_memory(self) -> bool:
+        """Does the node read or write anything?"""
+        return bool(self.writes or self.reads)
+
+
+def node_access(node: Node) -> Access:
+    """Writes/reads of one ICFG node."""
+    if node.kind is NodeKind.ASSIGN and isinstance(node.stmt, PtrAssign):
+        stmt = node.stmt
+        reads: tuple[ObjectName, ...] = deref_prefixes(stmt.lhs)
+        if isinstance(stmt.rhs, NameRef):
+            reads = reads + (stmt.rhs.name,) + deref_prefixes(stmt.rhs.name)
+        elif isinstance(stmt.rhs, AddrOf):
+            reads = reads + deref_prefixes(stmt.rhs.name)
+        return Access(writes=(stmt.lhs,), reads=reads)
+    if isinstance(node.stmt, OtherStmt):
+        reads = node.stmt.reads
+        for written in node.stmt.writes:
+            reads = reads + deref_prefixes(written)
+        return Access(writes=node.stmt.writes, reads=reads)
+    if node.kind is NodeKind.CALL and isinstance(node.stmt, CallInfo):
+        reads = node.stmt.scalar_reads
+        for operand in node.stmt.args:
+            if isinstance(operand, NameRef):
+                reads = reads + (operand.name,) + deref_prefixes(operand.name)
+            elif isinstance(operand, AddrOf):
+                reads = reads + deref_prefixes(operand.name)
+        return Access(reads=reads)
+    return Access()
+
+
+def access_map(icfg: ICFG) -> dict[int, Access]:
+    """Access sets for every node, keyed by node id."""
+    return {node.nid: node_access(node) for node in icfg.nodes}

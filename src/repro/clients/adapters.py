@@ -1,0 +1,67 @@
+"""Alias-provider adapters for client analyses.
+
+Client analyses (:mod:`repro.clients.reaching_defs`,
+:mod:`repro.clients.conflicts`) consume the small query surface of
+:class:`MayAliasSolution`.  This module adapts the baselines to the
+same surface so downstream precision can be compared — the paper's
+motivation ("the precision of aliases greatly affects the quality of
+optimized code") made measurable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..baselines.weihl import WeihlResult
+from ..frontend.semantics import AnalyzedProgram
+from ..icfg.graph import ICFG
+from ..icfg.ir import Node
+from ..names.alias_pairs import AliasPair
+from ..names.context import NameContext
+from ..names.object_names import ObjectName
+
+
+class WeihlBackedSolution:
+    """Presents a Weihl program-alias relation through the
+    MayAliasSolution query surface (every node sees the same aliases —
+    that is exactly Weihl's flow-insensitivity)."""
+
+    def __init__(
+        self,
+        analyzed: AnalyzedProgram,
+        icfg: ICFG,
+        weihl: WeihlResult,
+        k: int = 3,
+    ) -> None:
+        self.icfg = icfg
+        self.ctx = NameContext(analyzed.symbols, k)
+        self.k = k
+        self._aliases = weihl.aliases
+        self._by_name: dict[ObjectName, set[ObjectName]] = {}
+        for pair in weihl.aliases:
+            self._by_name.setdefault(pair.first, set()).add(pair.second)
+            self._by_name.setdefault(pair.second, set()).add(pair.first)
+
+    def may_alias(self, node: Node | int) -> set[AliasPair]:
+        """The whole program relation (same at every node)."""
+        return set(self._aliases)
+
+    def may_alias_names(self, node: Node | int, name: ObjectName) -> set[ObjectName]:
+        """Names aliased to ``name`` program-wide."""
+        return set(self._by_name.get(name, ()))
+
+    def alias_query(self, node: Node | int, a: ObjectName, b: ObjectName) -> bool:
+        """Program-wide alias query with truncated-representative coverage."""
+        if AliasPair(a, b) in self._aliases:
+            return True
+        for stored in self._by_name.get(a, ()):
+            if stored == b:
+                return True
+        # Truncated representatives stand for their extensions.
+        for pair in self._aliases:
+            for x, y in ((pair.first, pair.second), (pair.second, pair.first)):
+                x_ok = x == a or (x.truncated and x.is_prefix(a))
+                y_ok = y == b or (y.truncated and y.is_prefix(b))
+                if x_ok and y_ok:
+                    return True
+        return False

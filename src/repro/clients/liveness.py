@@ -1,0 +1,107 @@
+"""Alias-aware live-name analysis (backward dataflow).
+
+A name is *live* at a point if some path from there reads it before
+any must-write to it.  With pointers, a read of ``*p`` may read any
+alias of ``*p``, and only unambiguous writes kill — both answered by
+the may-alias solution.  Together with
+:mod:`repro.clients.reaching_defs` this completes the classic
+optimizer dataflow pair the paper's introduction motivates (dead-store
+elimination needs liveness; code motion needs both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..core.solution import MayAliasSolution
+from ..icfg.graph import ICFG
+from ..icfg.ir import Node, NodeKind, PtrAssign
+from ..names.object_names import DEREF, ObjectName
+from .accesses import node_access
+
+
+def _is_unambiguous(name: ObjectName) -> bool:
+    return DEREF not in name.selectors and not name.truncated
+
+
+class LiveNames:
+    """Backward may-liveness over one ICFG, widened by aliases."""
+
+    def __init__(self, solution: MayAliasSolution) -> None:
+        self.solution = solution
+        self.icfg: ICFG = solution.icfg
+        self._use: dict[int, set[ObjectName]] = {}
+        self._kill: dict[int, set[ObjectName]] = {}
+        self._live_out: dict[int, set[ObjectName]] = {}
+        self._live_in: dict[int, set[ObjectName]] = {}
+        self._prepare()
+        self._solve()
+
+    def _prepare(self) -> None:
+        for node in self.icfg.nodes:
+            access = node_access(node)
+            uses: set[ObjectName] = set(access.reads)
+            # Reading a name may read any of its aliases.
+            for read in access.reads:
+                uses |= self.solution.may_alias_names(node.nid, read)
+            kills: set[ObjectName] = set()
+            weak = isinstance(node.stmt, PtrAssign) and node.stmt.weak
+            for written in access.writes:
+                if _is_unambiguous(written) and not weak:
+                    kills.add(written)
+            self._use[node.nid] = uses
+            self._kill[node.nid] = kills
+
+    def _transfer(self, nid: int, live_out: set[ObjectName]) -> set[ObjectName]:
+        return (live_out - self._kill[nid]) | self._use[nid]
+
+    def _solve(self) -> None:
+        for node in self.icfg.nodes:
+            self._live_out[node.nid] = set()
+            self._live_in[node.nid] = self._transfer(node.nid, set())
+        pending = list(self.icfg.nodes)
+        while pending:
+            node = pending.pop()
+            outgoing: set[ObjectName] = set()
+            for succ in node.succs:
+                outgoing |= self._live_in[succ.nid]
+            if outgoing == self._live_out[node.nid]:
+                continue
+            self._live_out[node.nid] = outgoing
+            new_in = self._transfer(node.nid, outgoing)
+            if new_in != self._live_in[node.nid]:
+                self._live_in[node.nid] = new_in
+                pending.extend(node.preds)
+
+    # -- queries -----------------------------------------------------------------
+
+    def live_in(self, node: Node | int) -> set[ObjectName]:
+        """Names live on entry to ``node``."""
+        nid = node if isinstance(node, int) else node.nid
+        return set(self._live_in[nid])
+
+    def live_out(self, node: Node | int) -> set[ObjectName]:
+        """Names live on exit from ``node``."""
+        nid = node if isinstance(node, int) else node.nid
+        return set(self._live_out[nid])
+
+    def dead_stores(self) -> Iterator[Node]:
+        """Assignment nodes whose (unambiguous) target is dead right
+        after the store — removable by dead-store elimination.
+
+        Conservative: a store is reported only when *no* name it may
+        define is live out (writes through pointers widen to aliases)."""
+        for node in self.icfg.nodes:
+            access = node_access(node)
+            if not access.writes:
+                continue
+            if node.kind is NodeKind.CALL:
+                continue
+            live = self._live_out[node.nid]
+            defined: set[ObjectName] = set()
+            for written in access.writes:
+                defined.add(written)
+                defined |= self.solution.may_alias_names(node.nid, written)
+            if not (defined & live):
+                yield node

@@ -1,0 +1,118 @@
+"""Interprocedural MOD/REF (side-effect) analysis.
+
+Banning's MOD/REF problem ([Ban79], cited in the paper's related work)
+asks, for every procedure and call site: which locations may the call
+*modify* and which may it *reference*?  Precise answers need aliasing —
+a store through ``*p`` modifies whatever ``*p`` may alias.  This
+client computes alias-aware MOD/REF sets over the ICFG:
+
+* direct effects come from each node's access sets, widened by the
+  may-alias solution at that node;
+* call effects propagate transitively over the call graph (to a
+  fixpoint — recursion is handled);
+* at a call site, callee-local effects are filtered to names the
+  caller can observe (globals and return slots).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..core.solution import MayAliasSolution
+from ..icfg.ir import Node, NodeKind
+from ..names.object_names import ObjectName
+from .accesses import node_access
+
+
+@dataclass(slots=True)
+class ProcEffects:
+    """Names a procedure may modify / reference (observable ones)."""
+
+    mod: set[ObjectName] = field(default_factory=set)
+    ref: set[ObjectName] = field(default_factory=set)
+
+
+class ModRefAnalysis:
+    """Alias-aware MOD/REF over a completed may-alias solution."""
+
+    def __init__(self, solution: MayAliasSolution, widen_with_aliases: bool = True) -> None:
+        self.solution = solution
+        self.icfg = solution.icfg
+        self.widen = widen_with_aliases
+        self._effects: dict[str, ProcEffects] = {}
+        self._solve()
+
+    # -- construction -----------------------------------------------------------
+
+    def _direct_effects(self, proc_name: str) -> ProcEffects:
+        effects = ProcEffects()
+        proc = self.icfg.procs[proc_name]
+        for node in proc.nodes:
+            access = node_access(node)
+            for written in access.writes:
+                effects.mod.add(written)
+                if self.widen:
+                    effects.mod |= self.solution.may_alias_names(node.nid, written)
+            for read in access.reads:
+                effects.ref.add(read)
+                if self.widen:
+                    effects.ref |= self.solution.may_alias_names(node.nid, read)
+        return effects
+
+    def _observable(self, names: set[ObjectName], proc_name: str) -> set[ObjectName]:
+        return {
+            name
+            for name in names
+            if self.solution.ctx.survives_return(name, proc_name)
+        }
+
+    def _solve(self) -> None:
+        direct = {name: self._direct_effects(name) for name in self.icfg.procs}
+        effects = {
+            name: ProcEffects(set(direct[name].mod), set(direct[name].ref))
+            for name in self.icfg.procs
+        }
+        changed = True
+        while changed:
+            changed = False
+            for name, proc in self.icfg.procs.items():
+                for node in proc.nodes:
+                    if node.kind is not NodeKind.CALL or node.callee not in effects:
+                        continue
+                    callee_fx = effects[node.callee]
+                    mod_in = self._observable(callee_fx.mod, node.callee)
+                    ref_in = self._observable(callee_fx.ref, node.callee)
+                    own = effects[name]
+                    before = (len(own.mod), len(own.ref))
+                    own.mod |= mod_in
+                    own.ref |= ref_in
+                    changed |= (len(own.mod), len(own.ref)) != before
+        self._effects = effects
+
+    # -- queries ---------------------------------------------------------------------
+
+    def proc_effects(self, name: str) -> ProcEffects:
+        """Raw (unfiltered) effect sets for ``name``."""
+        return self._effects[name]
+
+    def mod(self, name: str) -> set[ObjectName]:
+        """Observable names ``name`` may modify (for its callers)."""
+        return self._observable(self._effects[name].mod, name)
+
+    def ref(self, name: str) -> set[ObjectName]:
+        """Observable names ``name`` may reference (for its callers)."""
+        return self._observable(self._effects[name].ref, name)
+
+    def call_site_mod(self, call: Node) -> set[ObjectName]:
+        """Names a specific call may modify in the caller."""
+        if call.kind is not NodeKind.CALL or call.callee not in self._effects:
+            return set()
+        return self.mod(call.callee)
+
+    def pure_procedures(self) -> Iterator[str]:
+        """Procedures with no observable modifications (callers may
+        reorder or duplicate their calls)."""
+        for name in self.icfg.procs:
+            if not self.mod(name):
+                yield name

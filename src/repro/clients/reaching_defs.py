@@ -1,0 +1,182 @@
+"""Alias-aware reaching definitions and def-use pairs.
+
+The paper's conclusion notes that the Conditional May Alias idea "has
+been extended to the Interprocedural Reaching Definitions Problem in C
+[PRL91]".  This client implements the intraprocedural core of that
+direction on top of the may-alias solution:
+
+* a node *defines* every name it writes, plus (as a **may**-definition)
+  every name the written one may alias at that point;
+* a definition of ``d`` is killed only by a later **must** write — a
+  write whose target is exactly ``d`` through an unambiguous name (no
+  dereference) and not a weak/aggregate write;
+* a def reaches a use if some path carries it there without a kill.
+
+Calls are treated conservatively: a call kills nothing and generates a
+definition for every global the callee may write (computed from the
+callee's own nodes, transitively).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..core.solution import MayAliasSolution
+from ..icfg.graph import ICFG
+from ..icfg.ir import Node, NodeKind, PtrAssign
+from ..names.object_names import DEREF, ObjectName
+from .accesses import node_access
+
+
+@dataclass(frozen=True, slots=True)
+class Definition:
+    """One (node, name) definition event."""
+
+    node_id: int
+    name: ObjectName
+    may_only: bool = False  # via an alias: may, not must
+
+    def __str__(self) -> str:
+        star = "?" if self.may_only else ""
+        return f"def{star}({self.name} @ n{self.node_id})"
+
+
+@dataclass(frozen=True, slots=True)
+class DefUse:
+    """A def-use pair: the definition may reach the use."""
+
+    definition: Definition
+    use_node_id: int
+    use_name: ObjectName
+
+    def __str__(self) -> str:
+        return f"{self.definition} -> use({self.use_name} @ n{self.use_node_id})"
+
+
+def _is_unambiguous(name: ObjectName) -> bool:
+    """A write through a deref-free, untruncated name hits exactly one
+    location and therefore kills."""
+    return DEREF not in name.selectors and not name.truncated
+
+
+class ReachingDefinitions:
+    """Worklist reaching-definitions over one ICFG, alias-aware."""
+
+    def __init__(self, solution: MayAliasSolution) -> None:
+        self.solution = solution
+        self.icfg: ICFG = solution.icfg
+        self._gen: dict[int, set[Definition]] = {}
+        self._kill_names: dict[int, set[ObjectName]] = {}
+        self._in: dict[int, set[Definition]] = {}
+        self._out: dict[int, set[Definition]] = {}
+        self._callee_writes_cache: dict[str, frozenset[ObjectName]] = {}
+        self._prepare()
+        self._solve()
+
+    # -- transfer-function construction ----------------------------------------
+
+    def _prepare(self) -> None:
+        for node in self.icfg.nodes:
+            gen: set[Definition] = set()
+            kills: set[ObjectName] = set()
+            access = node_access(node)
+            for written in access.writes:
+                gen.add(Definition(node.nid, written))
+                weak = (
+                    isinstance(node.stmt, PtrAssign) and node.stmt.weak
+                )
+                if _is_unambiguous(written) and not weak:
+                    kills.add(written)
+                # May-definitions through aliases of the written name.
+                for alias in self.solution.may_alias_names(node.nid, written):
+                    gen.add(Definition(node.nid, alias, may_only=True))
+            if node.kind is NodeKind.CALL and node.callee in self.icfg.procs:
+                for name in self._callee_writes(node.callee):
+                    gen.add(Definition(node.nid, name, may_only=True))
+            self._gen[node.nid] = gen
+            self._kill_names[node.nid] = kills
+
+    def _callee_writes(self, callee: str, _stack: Optional[set[str]] = None) -> frozenset[ObjectName]:
+        """Global-based names a callee (transitively) may write."""
+        cached = self._callee_writes_cache.get(callee)
+        if cached is not None:
+            return cached
+        stack = _stack or set()
+        if callee in stack:
+            return frozenset()
+        stack.add(callee)
+        written: set[ObjectName] = set()
+        proc = self.icfg.procs.get(callee)
+        if proc is not None:
+            for node in proc.nodes:
+                for name in node_access(node).writes:
+                    if self.solution.ctx.survives_return(name, callee):
+                        written.add(name)
+                if node.kind is NodeKind.CALL and node.callee in self.icfg.procs:
+                    written |= self._callee_writes(node.callee, stack)
+        result = frozenset(written)
+        self._callee_writes_cache[callee] = result
+        return result
+
+    # -- fixpoint ---------------------------------------------------------------
+
+    def _transfer(self, nid: int, incoming: set[Definition]) -> set[Definition]:
+        kills = self._kill_names[nid]
+        survivors = {
+            d for d in incoming if d.name not in kills
+        }
+        return survivors | self._gen[nid]
+
+    def _solve(self) -> None:
+        work = list(self.icfg.nodes)
+        for node in work:
+            self._in[node.nid] = set()
+            self._out[node.nid] = self._transfer(node.nid, set())
+        pending = list(work)
+        while pending:
+            node = pending.pop()
+            incoming: set[Definition] = set()
+            for pred in node.preds:
+                incoming |= self._out[pred.nid]
+            if incoming == self._in[node.nid]:
+                continue
+            self._in[node.nid] = incoming
+            new_out = self._transfer(node.nid, incoming)
+            if new_out != self._out[node.nid]:
+                self._out[node.nid] = new_out
+                pending.extend(node.succs)
+
+    # -- queries -------------------------------------------------------------------
+
+    def reaching(self, node: Node | int) -> set[Definition]:
+        """Definitions that may reach the entry of ``node``."""
+        nid = node if isinstance(node, int) else node.nid
+        return set(self._in[nid])
+
+    def def_use_pairs(self) -> Iterator[DefUse]:
+        """Every (definition, use) pair where the def may reach the use
+        and the used name may denote the defined location."""
+        for node in self.icfg.nodes:
+            access = node_access(node)
+            if not access.reads:
+                continue
+            incoming = self._in[node.nid]
+            for used in access.reads:
+                for definition in incoming:
+                    if definition.name == used or self.solution.alias_query(
+                        node.nid, definition.name, used
+                    ):
+                        yield DefUse(definition, node.nid, used)
+
+    def dead_definitions(self) -> Iterator[Definition]:
+        """Must-definitions that no use may observe (dead stores)."""
+        live: set[tuple[int, ObjectName]] = set()
+        for pair in self.def_use_pairs():
+            live.add((pair.definition.node_id, pair.definition.name))
+        for gen in self._gen.values():
+            for definition in gen:
+                if definition.may_only:
+                    continue
+                if (definition.node_id, definition.name) not in live:
+                    yield definition

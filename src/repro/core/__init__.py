@@ -1,0 +1,26 @@
+"""The paper's contribution: conditional may-alias via may-hold facts."""
+
+from . import assumptions
+from .analysis import DEFAULT_K, analyze_program, analyze_source
+from .bind import BoundAlias, CallBinder
+from .solution import MayAliasSolution, SolutionStats
+from .store import CLEAN, TAINTED, MayHoldStore
+from .transfer import AssignTransfer, RhsView
+from .worklist import MayHoldAnalysis
+
+__all__ = [
+    "AssignTransfer",
+    "BoundAlias",
+    "CLEAN",
+    "CallBinder",
+    "DEFAULT_K",
+    "MayAliasSolution",
+    "MayHoldAnalysis",
+    "MayHoldStore",
+    "RhsView",
+    "SolutionStats",
+    "TAINTED",
+    "analyze_program",
+    "analyze_source",
+    "assumptions",
+]

@@ -1,0 +1,117 @@
+"""Assumed-alias sets for Conditional May Alias (paper §4).
+
+A ``may_hold`` fact is a triple ``[(node, AA), PA]``: alias pair ``PA``
+may hold at ``node`` assuming every alias in ``AA`` holds at the entry
+of ``node``'s procedure.  The paper shows it is safe to consider only
+``AA`` of cardinality ≤ 1, plus one special case: aliases created in a
+callee between *two* non-visible caller names need exit facts with two
+assumed aliases (paper §4.3, "More Complex Effects on Return Nodes").
+
+``Assumption`` is therefore a canonical tuple of 0, 1 or 2
+:class:`AliasPair` values.  Each assumed pair may mention one of the
+distinguishable nonvisible tokens ``$nv1``/``$nv2``; in a canonical
+assumption the first pair (in tuple order) owns ``$nv1`` and the second
+owns ``$nv2``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..names.alias_pairs import AliasPair
+from ..names.object_names import (
+    NONVISIBLE_BASES,
+    ObjectName,
+    renumber_nonvisible,
+)
+
+Assumption = tuple[AliasPair, ...]
+
+EMPTY: Assumption = ()
+
+
+def single(pair: AliasPair) -> Assumption:
+    """A one-element assumption set."""
+    return (pair,)
+
+
+def _pair_sort_key(pair: AliasPair) -> tuple:
+    a, b = pair.first, pair.second
+    return (a.base, a.selectors, b.base, b.selectors)
+
+
+def has_nonvisible(assumption: Assumption) -> bool:
+    """Does any assumed pair carry a nonvisible token?"""
+    return any(pair.has_nonvisible for pair in assumption)
+
+
+def _retag_pair(pair: AliasPair, index: int) -> AliasPair:
+    return pair.map(lambda n: renumber_nonvisible(n, index))
+
+
+def _retag_name(name: ObjectName, index: int) -> ObjectName:
+    return renumber_nonvisible(name, index)
+
+
+def combine(
+    aa1: Assumption,
+    aa2: Assumption,
+    names1: tuple[ObjectName, ...],
+    names2: tuple[ObjectName, ...],
+) -> Optional[tuple[Assumption, tuple[ObjectName, ...], tuple[ObjectName, ...]]]:
+    """Combine two single assumptions into one canonical two-assumption
+    set, renumbering nonvisible tokens consistently.
+
+    ``names1``/``names2`` are object names (derived under ``aa1`` and
+    ``aa2`` respectively) whose nonvisible bases must be renumbered
+    along with their owning assumption.  Returns ``None`` when the
+    combination is not representable (more than two assumed aliases).
+    """
+    if aa1 == aa2:
+        return aa1, names1, names2
+    if len(aa1) != 1 or len(aa2) != 1:
+        return None
+    # Order by a token-normalized key so the result is canonical no
+    # matter which derivation produced it first.
+    key1 = _pair_sort_key(_retag_pair(aa1[0], 1))
+    key2 = _pair_sort_key(_retag_pair(aa2[0], 1))
+    if key2 < key1:
+        aa1, aa2 = aa2, aa1
+        names1, names2 = names2, names1
+        swapped = True
+    else:
+        swapped = False
+    result = (
+        (_retag_pair(aa1[0], 1), _retag_pair(aa2[0], 2)),
+        tuple(_retag_name(n, 1) for n in names1),
+        tuple(_retag_name(n, 2) for n in names2),
+    )
+    if swapped:
+        assumption, n1, n2 = result
+        return assumption, n2, n1
+    return result
+
+
+def choose(aa1: Assumption, aa2: Assumption) -> Assumption:
+    """The paper's rule for a single assumption when two candidate
+    assumptions arise on the same derivation: "if one assumption
+    contains non-visible, then use that one (so that we remember how to
+    instantiate nonvisible); otherwise use either"."""
+    if has_nonvisible(aa1):
+        return aa1
+    if has_nonvisible(aa2):
+        return aa2
+    return aa1
+
+
+def canonical(pairs: tuple[AliasPair, ...]) -> Assumption:
+    """Sort an assumption tuple into canonical order (no retagging)."""
+    return tuple(sorted(pairs, key=_pair_sort_key))
+
+
+def normalize_tokens(pair: AliasPair) -> AliasPair:
+    """Rewrite any nonvisible token in ``pair`` to ``$nv1`` — the form
+    entry assumptions (and the back-bind registry) use.  Two-assumption
+    facts carry ``$nv2`` in their second assumed pair; joins must
+    normalize before registry lookups."""
+    return _retag_pair(pair, 1)

@@ -1,0 +1,251 @@
+"""Parameter-binding alias functions (paper §4).
+
+``bind_call(∅)`` — aliases at a callee's entry implied by the bindings
+alone: each formal copies its actual (``(*f, *a)`` and the implicit
+deeper chains), and overlapping actuals relate the formals
+(``P(a, *a)`` gives ``(**f1, *f2)``).
+
+``bind_call((x, y))`` — entry aliases implied by ``(x, y)`` holding at
+the call: every *representation* of ``x`` in the callee (the name
+itself if visible, or a formal-rewritten form when ``x`` reaches
+through an actual) is paired with every representation of ``y``; a side
+with no representation is compressed to the ``nonvisible`` name, and
+the bound alias remembers which caller name it stands for (this is what
+``back-bind`` recovers at returns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..frontend.symbols import FunctionInfo
+from ..icfg.ir import AddrOf, CallInfo, NameRef, Operand
+from ..names.alias_pairs import AliasPair
+from ..names.context import NameContext, collapse_arrays
+from ..names.object_names import DEREF, ObjectName, k_limit, nonvisible
+
+
+@dataclass(frozen=True, slots=True)
+class BoundAlias:
+    """One element of a bind set.
+
+    ``entry_pair`` is the alias at the callee's entry (it may mention
+    the ``$nv1`` token); ``represents`` is the caller-side object name
+    the token stands for (None when the pair is fully visible).
+    """
+
+    entry_pair: AliasPair
+    represents: Optional[ObjectName] = None
+
+    @property
+    def has_nonvisible(self) -> bool:
+        """Does the bound alias carry a nonvisible token?"""
+        return self.represents is not None
+
+
+class CallBinder:
+    """bind/back-bind computations for one call site (memoized)."""
+
+    def __init__(
+        self, ctx: NameContext, call: CallInfo, callee: FunctionInfo
+    ) -> None:
+        self.ctx = ctx
+        self.callee = callee
+        self.k = ctx.k
+        # (formal object name, operand) for alias-relevant operands.
+        self.bindings: list[tuple[ObjectName, Operand]] = []
+        for formal, operand in zip(callee.params, call.args):
+            if isinstance(operand, (NameRef, AddrOf)):
+                self.bindings.append((ObjectName(formal.uid), operand))
+        self._formal_types = {
+            ObjectName(p.uid): collapse_arrays(p.type).decayed() for p in callee.params
+        }
+        self._bind_pair_cache: dict[AliasPair, tuple[BoundAlias, ...]] = {}
+        self._bind_empty_cache: Optional[tuple[BoundAlias, ...]] = None
+
+    # -- representations of caller names in the callee -------------------------
+
+    def reps(self, name: ObjectName) -> list[ObjectName]:
+        """Callee-side names guaranteed to denote the same object as the
+        caller-side ``name`` at entry."""
+        found: list[ObjectName] = []
+        if self.ctx.visible_in_callee(name, self.callee.name):
+            found.append(name)
+        for formal, operand in self.bindings:
+            rep = self._rewrite_through(formal, operand, name)
+            if rep is not None and rep not in found:
+                found.append(rep)
+        return found
+
+    def _rewrite_through(
+        self, formal: ObjectName, operand: Operand, name: ObjectName
+    ) -> Optional[ObjectName]:
+        """Rewrite caller ``name`` into formal-based form, if the binding
+        supports it.
+
+        For ``f`` bound to actual ``a`` (by value), names ``a + sigma``
+        with at least one dereference in ``sigma`` coincide with
+        ``f + sigma``.  For ``f`` bound to ``&b``, names ``b + sigma``
+        coincide with ``f + '*' + sigma`` for any ``sigma``.
+        """
+        if isinstance(operand, NameRef):
+            actual = operand.name
+            if not actual.is_prefix(name):
+                return None
+            suffix = name.suffix_after(actual)
+            if DEREF not in suffix and not name.truncated:
+                return None
+            rep = formal.extend(suffix)
+            if name.truncated and DEREF not in suffix:
+                # Every represented match reaches through a deref.
+                rep = rep.deref()
+        else:
+            assert isinstance(operand, AddrOf)
+            target = operand.name
+            if not target.is_prefix(name):
+                return None
+            suffix = name.suffix_after(target)
+            rep = formal.deref().extend(suffix)
+        rep = k_limit(rep, self.k)
+        if name.truncated and not rep.truncated:
+            rep = ObjectName(rep.base, rep.selectors, truncated=True)
+        return rep
+
+    # -- bind(∅) -----------------------------------------------------------------
+
+    def bind_empty(self) -> tuple[BoundAlias, ...]:
+        """Aliases at entry implied by the parameter bindings alone."""
+        if self._bind_empty_cache is not None:
+            return self._bind_empty_cache
+        out: list[BoundAlias] = []
+        seen: set[tuple[AliasPair, Optional[ObjectName]]] = set()
+
+        def emit(entry: ObjectName, caller: ObjectName) -> None:
+            entry = k_limit(entry, self.k)
+            caller_limited = k_limit(caller, self.k)
+            if self.ctx.visible_in_callee(caller_limited, self.callee.name):
+                pair = AliasPair(entry, caller_limited)
+                if pair.is_trivial:
+                    return
+                key = (pair, None)
+                if key not in seen:
+                    seen.add(key)
+                    out.append(BoundAlias(pair))
+            else:
+                pair = AliasPair(entry, nonvisible(1))
+                key = (pair, caller_limited)
+                if key not in seen:
+                    seen.add(key)
+                    out.append(BoundAlias(pair, caller_limited))
+
+        # 1. Formal/actual value-copy pairs (with implicit chains).
+        for formal, operand in self.bindings:
+            ftype = self._formal_types[formal]
+            if isinstance(operand, NameRef):
+                budget = self.k + 1
+                for ext, _ in self.ctx.extensions(ftype, budget):
+                    if DEREF not in ext:
+                        continue
+                    emit(formal.extend(ext), operand.name.extend(ext))
+            else:
+                assert isinstance(operand, AddrOf)
+                target = operand.name
+                emit(formal.deref(), target)
+                ttype = self.ctx.name_type(target)
+                if ttype is not None:
+                    for ext, _ in self.ctx.extensions(ttype, self.k + 1):
+                        emit(formal.deref().extend(ext), target.extend(ext))
+
+        # 2. Overlapping actuals relate the formals.
+        for i, (fi, opi) in enumerate(self.bindings):
+            for fj, opj in self.bindings[i + 1:]:
+                self._emit_overlap(fi, opi, fj, opj, emit_pair=self._append_pair(out, seen))
+                self._emit_overlap(fj, opj, fi, opi, emit_pair=self._append_pair(out, seen))
+        self._bind_empty_cache = tuple(out)
+        return self._bind_empty_cache
+
+    def _append_pair(self, out: list[BoundAlias], seen: set) -> callable:
+        def add(a: ObjectName, b: ObjectName) -> None:
+            pair = AliasPair(k_limit(a, self.k), k_limit(b, self.k))
+            if pair.is_trivial:
+                return
+            key = (pair, None)
+            if key not in seen:
+                seen.add(key)
+                out.append(BoundAlias(pair))
+
+        return add
+
+    def _emit_overlap(self, fi, opi, fj, opj, emit_pair) -> None:
+        """If target(op_j) extends target(op_i) by ``sigma``, then
+        ``f_i* + sigma + tau`` aliases ``f_j* + tau`` for all ``tau``."""
+        target_i = self._operand_target(opi)
+        target_j = self._operand_target(opj)
+        if not target_i.is_prefix(target_j):
+            return
+        sigma = target_j.suffix_after(target_i)
+        base_i = fi.deref().extend(sigma)
+        base_j = fj.deref()
+        emit_pair(base_i, base_j)
+        jtype = self._formal_types[fj]
+        if isinstance(opj, NameRef):
+            # type of f_j* is the pointee of the formal's type.
+            from ..frontend.types import PointerType
+
+            if isinstance(jtype, PointerType):
+                pointee = collapse_arrays(jtype.pointee)
+                for ext, _ in self.ctx.extensions(pointee, self.k + 1):
+                    emit_pair(base_i.extend(ext), base_j.extend(ext))
+        else:
+            ttype = self.ctx.name_type(target_j)
+            if ttype is not None:
+                for ext, _ in self.ctx.extensions(ttype, self.k + 1):
+                    emit_pair(base_i.extend(ext), base_j.extend(ext))
+
+    @staticmethod
+    def _operand_target(operand: Operand) -> ObjectName:
+        """The caller-side name that ``*formal`` denotes at entry."""
+        if isinstance(operand, NameRef):
+            return operand.name.deref()
+        assert isinstance(operand, AddrOf)
+        return operand.name
+
+    # -- bind((x, y)) --------------------------------------------------------------
+
+    def bind_pair(self, pair: AliasPair) -> tuple[BoundAlias, ...]:
+        """Entry aliases implied by ``pair`` holding at the call site."""
+        cached = self._bind_pair_cache.get(pair)
+        if cached is not None:
+            return cached
+        x, y = pair.first, pair.second
+        rx = self.reps(x)
+        ry = self.reps(y)
+        vis_x = self.ctx.visible_in_callee(x, self.callee.name)
+        vis_y = self.ctx.visible_in_callee(y, self.callee.name)
+        out: list[BoundAlias] = []
+        for a in rx:
+            for b in ry:
+                bound = AliasPair(a, b)
+                if not bound.is_trivial:
+                    out.append(BoundAlias(bound))
+        # A non-visible side must *also* be tracked through the
+        # nonvisible token even when a formal rewrite exists: formal
+        # names may be reassigned inside the callee and always die at
+        # the return, so only the token can restore the caller's name.
+        if not vis_y:
+            for a in rx:
+                out.append(BoundAlias(AliasPair(a, nonvisible(1)), y))
+        if not vis_x:
+            for b in ry:
+                out.append(BoundAlias(AliasPair(nonvisible(1), b), x))
+        result = tuple(out)
+        self._bind_pair_cache[pair] = result
+        return result
+
+    def both_invisible(self, pair: AliasPair) -> bool:
+        """Rule 1 test at returns: the callee is not in the scope of
+        either member, so the invocation passes the alias through."""
+        return not self.ctx.visible_in_callee(
+            pair.first, self.callee.name
+        ) and not self.ctx.visible_in_callee(pair.second, self.callee.name)

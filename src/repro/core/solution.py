@@ -1,0 +1,162 @@
+"""Query layer over a completed may-hold computation.
+
+``may_alias(n) = { PA | exists AA with may_hold[(n, AA), PA] }`` — the
+paper notes this is computable in time linear in the may-hold solution,
+which is exactly what this module does, plus the derived quantities the
+evaluation section reports: *program aliases* (Table 1), per-node alias
+counts and the ``%YES_k`` precision measure (Table 2 / Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..icfg.graph import ICFG
+from ..icfg.ir import Node
+from ..names.alias_pairs import AliasPair
+from ..names.context import NameContext
+from ..names.object_names import ObjectName
+from .store import CLEAN, MayHoldStore
+
+
+@dataclass(slots=True)
+class SolutionStats:
+    """Aggregate numbers in the shape the paper reports."""
+
+    icfg_nodes: int
+    may_hold_facts: int
+    node_alias_count: int  # |{(node, PA)}| summed over nodes
+    program_alias_count: int
+    percent_yes: float
+    analysis_seconds: float = 0.0
+
+
+class MayAliasSolution:
+    """The result of running the Landi/Ryder analysis."""
+
+    def __init__(
+        self,
+        icfg: ICFG,
+        store: MayHoldStore,
+        ctx: NameContext,
+        k: int,
+        analysis_seconds: float = 0.0,
+    ) -> None:
+        self.icfg = icfg
+        self.store = store
+        self.ctx = ctx
+        self.k = k
+        self.analysis_seconds = analysis_seconds
+
+    # -- core queries -----------------------------------------------------------
+
+    def may_alias(self, node: Node | int) -> set[AliasPair]:
+        """All alias pairs that may hold immediately after ``node``."""
+        nid = node if isinstance(node, int) else node.nid
+        return self.store.pairs_at(nid)
+
+    def may_alias_names(self, node: Node | int, name: ObjectName) -> set[ObjectName]:
+        """Names possibly aliased to ``name`` at ``node``."""
+        nid = node if isinstance(node, int) else node.nid
+        return {
+            pair.other(name)
+            for _, pair in self.store.at_node_with_name(nid, name)
+        }
+
+    def alias_query(self, node: Node | int, a: ObjectName, b: ObjectName) -> bool:
+        """May ``a`` and ``b`` be aliases at ``node``?  Honors the
+        k-limited-representative convention: a truncated pair member
+        represents all of its extensions."""
+        nid = node if isinstance(node, int) else node.nid
+        target = AliasPair(a, b)
+        if target in self.may_alias(nid):
+            return True
+        for _, pair in self.store.at_node(nid):
+            if _represents(pair, target):
+                return True
+        return False
+
+    def program_aliases(self, include_nonvisible: bool = False) -> set[AliasPair]:
+        """Paper Table 1: ``{(a, b) | exists ICFG node n with
+        (a, b) in may_alias(n)}``."""
+        out: set[AliasPair] = set()
+        for (nid, _, pair), _clean in self.store.facts():
+            if include_nonvisible or not pair.has_nonvisible:
+                out.add(pair)
+        return out
+
+    def node_pairs(self) -> Iterator[tuple[int, AliasPair]]:
+        """Distinct (node, pair) combinations."""
+        seen: set[tuple[int, AliasPair]] = set()
+        for (nid, _, pair), _clean in self.store.facts():
+            key = (nid, pair)
+            if key not in seen:
+                seen.add(key)
+                yield key
+
+    # -- precision (Figure 5) -------------------------------------------------------
+
+    def percent_yes(self) -> float:
+        """``%YES_k``: the percentage of (node, PA) facts with at least
+        one derivation free of type-2/3/4 approximations.  The paper
+        proves %YES_k(P) <= 100 * (1 / precision_k(landi, P)), i.e. this
+        is a lower bound on true precision."""
+        yes: set[tuple[int, AliasPair]] = set()
+        all_facts: set[tuple[int, AliasPair]] = set()
+        for (nid, _, pair), clean in self.store.facts():
+            key = (nid, pair)
+            all_facts.add(key)
+            if clean is CLEAN:
+                yes.add(key)
+        if not all_facts:
+            return 100.0
+        return 100.0 * len(yes) / len(all_facts)
+
+    # -- reporting --------------------------------------------------------------------
+
+    def stats(self) -> SolutionStats:
+        """Aggregate numbers in the shape the paper reports."""
+        node_pairs = sum(1 for _ in self.node_pairs())
+        return SolutionStats(
+            icfg_nodes=len(self.icfg),
+            may_hold_facts=len(self.store),
+            node_alias_count=node_pairs,
+            program_alias_count=len(self.program_aliases()),
+            percent_yes=self.percent_yes(),
+            analysis_seconds=self.analysis_seconds,
+        )
+
+    def render_node_report(self, node: Node | int, limit: Optional[int] = None) -> str:
+        """Human-readable alias list for one node (debugging aid)."""
+        nid = node if isinstance(node, int) else node.nid
+        actual = self.icfg.node(nid)
+        pairs = sorted(str(p) for p in self.may_alias(nid))
+        if limit is not None:
+            pairs = pairs[:limit]
+        lines = [f"n{nid} [{actual.label()}]:"]
+        lines.extend(f"  {p}" for p in pairs)
+        return "\n".join(lines)
+
+
+def _represents(stored: AliasPair, query: AliasPair) -> bool:
+    """Does a stored (possibly truncated) pair represent the queried
+    pair?  Paper §3: ``(a, b~)`` represents every ``(a, b+sigma)``; with
+    two truncated members each side represents its own extensions."""
+    for s_first, s_second in (
+        (stored.first, stored.second),
+        (stored.second, stored.first),
+    ):
+        for q_first, q_second in (
+            (query.first, query.second),
+            (query.second, query.first),
+        ):
+            first_ok = s_first == q_first or (
+                s_first.truncated and s_first.is_prefix(q_first)
+            )
+            second_ok = s_second == q_second or (
+                s_second.truncated and s_second.is_prefix(q_second)
+            )
+            if first_ok and second_ok:
+                return True
+    return False

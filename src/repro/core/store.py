@@ -1,0 +1,150 @@
+"""The ``may-hold`` triple store and worklist (paper §4, Figure 2).
+
+The paper requires constant-time find/set of
+``may_hold[(node, AA), PA]`` (they use dynamic hashing); Python dicts
+give us the same.  On top of the raw mapping we maintain the indexes
+the propagation rules need:
+
+* all facts at a node (assignment-transfer pairing, call matching),
+* facts at a node whose pair contains a given object name (cases
+  2.iii/3.iii and the taint checks), and
+* facts at a node grouped by a member of their assumption (matching
+  exit facts against call facts — the paper's "additional data
+  structure" [Lan92]).
+
+Each fact carries a one-bit precision lattice (paper §5): ``TAINTED``
+facts are (directly or transitively) the result of one of the counted
+approximation types; ``CLEAN`` dominates, and an upgrade re-enters the
+worklist so downstream facts are upgraded too.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..names.alias_pairs import AliasPair
+from ..names.object_names import ObjectName
+from .assumptions import Assumption
+
+Fact = tuple[int, Assumption, AliasPair]  # (node id, AA, PA)
+
+TAINTED = False
+CLEAN = True
+
+
+@dataclass(slots=True)
+class StoreStats:
+    """Counters for benchmarks and the paper's tables."""
+
+    facts: int = 0
+    worklist_pushes: int = 0
+    upgrades: int = 0
+
+
+class MayHoldStore:
+    """Hash-backed may-hold relation with the analysis worklist."""
+
+    def __init__(self) -> None:
+        # (nid, AA, PA) -> CLEAN/TAINTED.  Absence means false.
+        self._facts: dict[Fact, bool] = {}
+        self._by_node: dict[int, set[tuple[Assumption, AliasPair]]] = {}
+        self._by_node_name: dict[tuple[int, ObjectName], set[tuple[Assumption, AliasPair]]] = {}
+        self._by_node_base: dict[tuple[int, str], set[tuple[Assumption, AliasPair]]] = {}
+        self._by_node_assumed: dict[tuple[int, AliasPair], set[tuple[Assumption, AliasPair]]] = {}
+        self._worklist: deque[Fact] = deque()
+        self.stats = StoreStats()
+
+    # -- queries ---------------------------------------------------------------
+
+    def holds(self, nid: int, assumption: Assumption, pair: AliasPair) -> bool:
+        """Is the triple true?"""
+        return (nid, assumption, pair) in self._facts
+
+    def is_clean(self, nid: int, assumption: Assumption, pair: AliasPair) -> bool:
+        """Is the triple true with a clean derivation?"""
+        return self._facts.get((nid, assumption, pair), TAINTED) is CLEAN
+
+    def taint_of(self, nid: int, assumption: Assumption, pair: AliasPair) -> bool:
+        """CLEAN/TAINTED for an existing fact (KeyError if absent)."""
+        return self._facts[(nid, assumption, pair)]
+
+    def at_node(self, nid: int) -> Iterator[tuple[Assumption, AliasPair]]:
+        """All (AA, PA) true at ``nid`` (snapshot: safe to mutate during
+        iteration)."""
+        return iter(tuple(self._by_node.get(nid, ())))
+
+    def at_node_with_name(
+        self, nid: int, name: ObjectName
+    ) -> Iterator[tuple[Assumption, AliasPair]]:
+        """Facts at ``nid`` whose pair has ``name`` as a member."""
+        return iter(tuple(self._by_node_name.get((nid, name), ())))
+
+    def at_node_with_base(
+        self, nid: int, base: str
+    ) -> Iterator[tuple[Assumption, AliasPair]]:
+        """Facts at ``nid`` with a member whose base variable is ``base``."""
+        return iter(tuple(self._by_node_base.get((nid, base), ())))
+
+    def at_node_assuming(
+        self, nid: int, assumed: AliasPair
+    ) -> Iterator[tuple[Assumption, AliasPair]]:
+        """Facts at ``nid`` whose assumption set contains ``assumed``."""
+        return iter(tuple(self._by_node_assumed.get((nid, assumed), ())))
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def facts(self) -> Iterator[tuple[Fact, bool]]:
+        """Every (triple, taint) item."""
+        return iter(self._facts.items())
+
+    def pairs_at(self, nid: int) -> set[AliasPair]:
+        """may_alias(nid): pairs true at the node under any assumption."""
+        return {pair for _, pair in self._by_node.get(nid, ())}
+
+    # -- updates ---------------------------------------------------------------
+
+    def make_true(
+        self, nid: int, assumption: Assumption, pair: AliasPair, clean: bool
+    ) -> bool:
+        """The paper's ``make_true`` macro extended with the precision
+        lattice.  Returns True when the fact was added or upgraded (and
+        therefore pushed onto the worklist)."""
+        key = (nid, assumption, pair)
+        existing = self._facts.get(key)
+        if existing is None:
+            self._facts[key] = clean
+            entry = (assumption, pair)
+            self._by_node.setdefault(nid, set()).add(entry)
+            self._by_node_name.setdefault((nid, pair.first), set()).add(entry)
+            if pair.second != pair.first:
+                self._by_node_name.setdefault((nid, pair.second), set()).add(entry)
+            self._by_node_base.setdefault((nid, pair.first.base), set()).add(entry)
+            if pair.second.base != pair.first.base:
+                self._by_node_base.setdefault((nid, pair.second.base), set()).add(entry)
+            for assumed in assumption:
+                self._by_node_assumed.setdefault((nid, assumed), set()).add(entry)
+            self._worklist.append(key)
+            self.stats.facts += 1
+            self.stats.worklist_pushes += 1
+            return True
+        if existing is TAINTED and clean is CLEAN:
+            self._facts[key] = CLEAN
+            self._worklist.append(key)
+            self.stats.upgrades += 1
+            self.stats.worklist_pushes += 1
+            return True
+        return False
+
+    def pop(self) -> Optional[Fact]:
+        """Next worklist item, or None when drained."""
+        if not self._worklist:
+            return None
+        return self._worklist.popleft()
+
+    @property
+    def pending(self) -> int:
+        """Worklist length."""
+        return len(self._worklist)

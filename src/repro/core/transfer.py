@@ -1,0 +1,465 @@
+"""Transfer of may-hold facts across pointer assignments (paper §4.5).
+
+For a successor node ``succ: p = q`` (``q`` an object name, ``&x``, or
+an opaque/killing RHS) and an incoming fact ``may_hold[(node, AA), PA]``
+the paper's case analysis applies *all* suitable cases:
+
+1. ``PA = (y, z)``, ``p`` a prefix of neither — the assignment
+   preserves the alias.
+2. ``PA = (y, z)`` with ``is_prefix_with_deref(q, y)`` — effects of an
+   alias of ``*q``: 2.i creates ``(apply_trans(q, y, p), z)`` unless
+   ``p`` is a prefix of ``z`` (2.ii), and 2.iii pairs with other known
+   aliases of ``p``.
+3. ``PA = (pp, w)`` with ``pp`` a prefix of ``p`` — effects of an alias
+   of (a prefix of) the LHS: 3.i re-creates the location alias and
+   pairs ``*w'`` with ``*q``; 3.ii re-creates the derived chains
+   ``(p+sigma, w'+sigma)``; 3.iii is the other half of 2.iii.
+
+Every creation also materializes the implicit typed extension chains
+(``(p->next, q->next)``, ...), matching the paper's non-NULL
+convention.
+
+Precision accounting (paper §5): results of the 2.iii/3.iii pairing of
+two *distinct* facts are tainted (approximation 2); a preserved alias
+is tainted when a known alias ``(p, u)`` could have rebound it
+(approximation 3); a 3.i creation is tainted when a second distinct
+alias of the LHS reaches through the RHS (approximation 4).  Taint also
+propagates from the facts a result depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..icfg.ir import AddrOf, NameRef, Opaque, Operand, PtrAssign
+from ..names.alias_pairs import AliasPair
+from ..names.context import NameContext
+from ..names.object_names import DEREF, ObjectName, k_limit
+from . import assumptions
+from .assumptions import Assumption
+from .store import CLEAN, MayHoldStore, TAINTED
+
+
+@dataclass(frozen=True, slots=True)
+class RhsView:
+    """Uniform view of an assignment RHS.
+
+    For ``p = q`` the *target* of the RHS is ``*q``; for ``p = &x`` it
+    is ``x`` itself (the paper's ``*&x == x`` convention).  ``None``
+    for opaque RHS (NULL/allocators), which only kill.
+    """
+
+    base: Optional[ObjectName]  # q or x; None for opaque
+    address_of: bool = False
+
+    @staticmethod
+    def of(rhs: Operand) -> "RhsView":
+        """Build the view for a normalized RHS operand."""
+        if isinstance(rhs, NameRef):
+            return RhsView(rhs.name, False)
+        if isinstance(rhs, AddrOf):
+            return RhsView(rhs.name, True)
+        assert isinstance(rhs, Opaque)
+        return RhsView(None)
+
+    @property
+    def is_opaque(self) -> bool:
+        """NULL/allocator RHS (kill-only)?"""
+        return self.base is None
+
+    def match(self, name: ObjectName) -> Optional[tuple[str, ...]]:
+        """If ``name`` extends the RHS target, the suffix to transplant
+        onto the LHS (including the leading deref for a plain RHS).
+
+        A truncated ``name`` matches conservatively (it represents all
+        of its extensions, some of which have the needed dereference);
+        the caller must mark the transplanted image truncated too —
+        :meth:`transplant` does this when given the matched name."""
+        if self.base is None:
+            return None
+        if not self.base.is_prefix(name):
+            return None
+        suffix = name.suffix_after(self.base)
+        if self.address_of:
+            return suffix  # x + suffix, any suffix (incl. empty)
+        if DEREF in suffix or name.truncated:
+            return suffix  # q + suffix with >=1 deref
+        return None
+
+    def transplant(
+        self, lhs: ObjectName, suffix: tuple[str, ...], matched: Optional[ObjectName] = None
+    ) -> ObjectName:
+        """The LHS-based name for a matched RHS-based name.  When the
+        matched name was a truncated representative, its image must be
+        truncated as well (it stands for the images of the extensions,
+        not for the exact LHS-based location); and when the match was
+        only possible *because* of truncation (the visible suffix lacks
+        the required dereference), every represented match extends
+        through a deref, so the image family's representative does too
+        (``*p~``, never the far coarser ``p~``)."""
+        if self.address_of:
+            result = lhs.deref().extend(suffix)
+        else:
+            result = lhs.extend(suffix)
+        if matched is not None and matched.truncated:
+            if not self.address_of and DEREF not in suffix:
+                result = result.deref()
+            if not result.truncated:
+                result = ObjectName(result.base, result.selectors, truncated=True)
+        return result
+
+    def intro_target(self, lhs: ObjectName) -> Optional[AliasPair]:
+        """The alias introduced by the assignment itself:
+        ``(*p, *q)`` or ``(*p, x)``; None for opaque RHS or when the
+        paper's ``p = p->next`` exclusion applies."""
+        if self.base is None:
+            return None
+        if lhs.is_prefix(self.base):
+            # p = p->next: p and p->next refer to different objects
+            # after the assignment but their relationship is unchanged.
+            return None
+        if self.address_of:
+            return AliasPair(lhs.deref(), self.base)
+        return AliasPair(lhs.deref(), self.base.deref())
+
+
+class AssignTransfer:
+    """Applies §4.5 to one assignment node, for facts arriving from one
+    predecessor node."""
+
+    def __init__(self, store: MayHoldStore, ctx: NameContext) -> None:
+        self.store = store
+        self.ctx = ctx
+        self.k = ctx.k
+
+    # -- introduction (Figure 2, alias_intro_by_assignment) ----------------------
+
+    def intro(self, succ_id: int, stmt: PtrAssign) -> None:
+        """Figure 2's alias introduction for one assignment node."""
+        lhs = k_limit(stmt.lhs, self.k)
+        rhs = RhsView.of(stmt.rhs)
+        pair = rhs.intro_target(lhs)
+        if pair is None:
+            return
+        self._emit(
+            succ_id,
+            assumptions.EMPTY,
+            k_limit(pair.first, self.k),
+            k_limit(pair.second, self.k),
+            CLEAN,
+        )
+
+    # -- propagation of one incoming fact ------------------------------------------
+
+    def apply(
+        self,
+        node_id: int,
+        succ_id: int,
+        stmt: PtrAssign,
+        assumption: Assumption,
+        pair: AliasPair,
+        clean: bool,
+    ) -> None:
+        """Propagate one incoming fact across the assignment (§4.5)."""
+        lhs = k_limit(stmt.lhs, self.k)
+        weak = stmt.weak or lhs.truncated
+        rhs = RhsView.of(stmt.rhs)
+        y, z = pair.first, pair.second
+
+        # Case 1: preservation.
+        if weak or not (lhs.is_prefix(y) or lhs.is_prefix(z)):
+            taint = clean
+            if taint is CLEAN and self._rebinding_alias_exists(node_id, lhs, y, z):
+                taint = TAINTED  # approximation 3
+            self.store.make_true(succ_id, assumption, pair, taint)
+
+        # Case 2: effects of an alias of *q (or of x for p = &x).
+        if not rhs.is_opaque:
+            suffix_y = rhs.match(y)
+            suffix_z = rhs.match(z)
+            if suffix_y is not None and not lhs.is_prefix(z):
+                ny = k_limit(rhs.transplant(lhs, suffix_y, y), self.k)
+                self._emit(succ_id, assumption, ny, z, clean)
+            if suffix_z is not None and not lhs.is_prefix(y):
+                nz = k_limit(rhs.transplant(lhs, suffix_z, z), self.k)
+                self._emit(succ_id, assumption, y, nz, clean)
+            if suffix_y is not None and suffix_z is not None:
+                ny = k_limit(rhs.transplant(lhs, suffix_y, y), self.k)
+                nz = k_limit(rhs.transplant(lhs, suffix_z, z), self.k)
+                self._emit(succ_id, assumption, ny, nz, clean)
+            # Case 2.iii: pair with known aliases of (prefixes of) p.
+            for member, other, suffix in (
+                (y, z, suffix_y),
+                (z, y, suffix_z),
+            ):
+                if suffix is None:
+                    continue
+                for aa2, pair2, w_limited in self._lhs_aliases(node_id, lhs):
+                    self._pairwise(
+                        succ_id,
+                        primary=(assumption, pair, clean),
+                        secondary=(aa2, pair2),
+                        node_id=node_id,
+                        new_first=k_limit(
+                            _transplant_onto(w_limited, suffix, rhs.address_of, member),
+                            self.k,
+                        ),
+                        new_second=other,
+                    )
+
+        # Case 3: effects of an alias of (a prefix of) the LHS.
+        for member, other in ((y, z), (z, y)):
+            if not member.is_prefix(lhs):
+                continue
+            w_prime = k_limit(
+                other.extend(lhs.suffix_after(member)), self.k
+            )
+            if member.truncated and not w_prime.truncated:
+                # A truncated member stands for a family of prefixes of
+                # the LHS; its image is the family's representative.
+                w_prime = ObjectName(
+                    w_prime.base, w_prime.selectors, truncated=True
+                )
+            # 3.ii: the derived chains (p, w') and extensions survive.
+            self._emit(succ_id, assumption, lhs, w_prime, clean)
+            # 3.i: *w' picks up the RHS target.
+            if not rhs.is_opaque:
+                base = rhs.base
+                assert base is not None
+                if not (w_prime.is_prefix(base) or lhs.is_prefix(base)):
+                    new_pair_first = k_limit(w_prime.deref(), self.k)
+                    new_pair_second = (
+                        k_limit(base, self.k)
+                        if rhs.address_of
+                        else k_limit(base.deref(), self.k)
+                    )
+                    taint = clean
+                    if taint is CLEAN and self._second_lhs_alias_exists(
+                        node_id, lhs, base, pair
+                    ):
+                        taint = TAINTED  # approximation 4
+                    self._emit(succ_id, assumption, new_pair_first, new_pair_second, taint)
+                # 3.iii: the other half of case 2.iii.
+                for aa2, pair2 in self._rhs_matching_aliases(node_id, rhs):
+                    if pair2 == pair and aa2 == assumption:
+                        continue  # the F1 == F2 pairing ran in case 2.iii
+                    seen_members: set[ObjectName] = set()
+                    for member2 in pair2:
+                        if member2 in seen_members:
+                            continue
+                        seen_members.add(member2)
+                        suffix2 = rhs.match(member2)
+                        if suffix2 is None:
+                            continue
+                        other2 = pair2.other(member2)
+                        new_first = k_limit(
+                            _transplant_onto(w_prime, suffix2, rhs.address_of, member2),
+                            self.k,
+                        )
+                        self._pairwise(
+                            succ_id,
+                            primary=(aa2, pair2, self.store.taint_of(node_id, aa2, pair2)),
+                            secondary=(assumption, pair),
+                            node_id=node_id,
+                            new_first=new_first,
+                            new_second=other2,
+                        )
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _emit(
+        self,
+        succ_id: int,
+        assumption: Assumption,
+        a: ObjectName,
+        b: ObjectName,
+        clean: bool,
+    ) -> None:
+        new_pair = AliasPair(a, b)
+        if new_pair.is_trivial:
+            return
+        changed = self.store.make_true(succ_id, assumption, new_pair, clean)
+        if not changed:
+            # The pair (at this taint level or better) was emitted here
+            # before, and its extension chains with it.
+            return
+        for ext_pair in self.ctx.extension_pairs(a, b):
+            self.store.make_true(succ_id, assumption, ext_pair, clean)
+        self._emit_cycle_closure(succ_id, assumption, a, b, clean)
+
+    def _emit_cycle_closure(
+        self,
+        succ_id: int,
+        assumption: Assumption,
+        a: ObjectName,
+        b: ObjectName,
+        clean: bool,
+    ) -> None:
+        """A pair whose members share a base, one a proper prefix of the
+        other, witnesses a *cycle*: ``(*(p->next), *p)`` means the
+        structure reaches itself, so every name around the loop aliases
+        every other (``p->next == p->next->next == ...``), not just
+        consecutive ones.  Materialize the pairwise closure of the
+        chain up to the k-limit (pairwise extension alone only yields
+        the consecutive pairs, which the dynamic soundness fuzzer
+        caught)."""
+        if a.base != b.base or a.truncated or b.truncated:
+            return
+        if b.is_prefix(a) and len(b.selectors) < len(a.selectors):
+            short, long = b, a
+        elif a.is_prefix(b) and len(a.selectors) < len(b.selectors):
+            short, long = a, b
+        else:
+            return
+        gamma = long.suffix_after(short)
+        if DEREF not in gamma:
+            return
+        chain: list[ObjectName] = []
+        current = short
+        # Walk b, b+gamma, b+gamma^2, ... until the k-limit absorbs it.
+        for _ in range(self.k + 2):
+            limited = k_limit(current, self.k)
+            chain.append(limited)
+            if limited.truncated:
+                break
+            current = current.extend(gamma)
+        for i, first in enumerate(chain):
+            for second in chain[i + 1:]:
+                pair = AliasPair(first, second)
+                if pair.is_trivial:
+                    continue
+                if self.store.make_true(succ_id, assumption, pair, clean):
+                    for ext_pair in self.ctx.extension_pairs(first, second):
+                        self.store.make_true(succ_id, assumption, ext_pair, clean)
+
+    def _lhs_aliases(
+        self, node_id: int, lhs: ObjectName
+    ) -> Iterator[tuple[Assumption, AliasPair, ObjectName]]:
+        """Facts ``(pp, w)`` at ``node_id`` with ``pp`` a prefix of the
+        LHS (including truncated representatives of such prefixes);
+        yields the fact and ``w' = apply_trans(pp, lhs, w)``."""
+        for prefix in _prefixes(lhs):
+            for exact in (
+                prefix,
+                ObjectName(prefix.base, prefix.selectors, truncated=True),
+            ):
+                for aa2, pair2 in self.store.at_node_with_name(node_id, exact):
+                    w = pair2.other(exact)
+                    w_prime = k_limit(w.extend(lhs.suffix_after(prefix)), self.k)
+                    if exact.truncated and not w_prime.truncated:
+                        w_prime = ObjectName(
+                            w_prime.base, w_prime.selectors, truncated=True
+                        )
+                    yield aa2, pair2, w_prime
+
+    def _rhs_matching_aliases(
+        self, node_id: int, rhs: RhsView
+    ) -> Iterator[tuple[Assumption, AliasPair]]:
+        """Facts at ``node_id`` with a member extending the RHS target."""
+        assert rhs.base is not None
+        for aa2, pair2 in self.store.at_node_with_base(node_id, rhs.base.base):
+            if rhs.match(pair2.first) is not None or rhs.match(pair2.second) is not None:
+                yield aa2, pair2
+
+    def _pairwise(
+        self,
+        succ_id: int,
+        primary: tuple[Assumption, AliasPair, bool],
+        secondary: tuple[Assumption, AliasPair],
+        node_id: int,
+        new_first: ObjectName,
+        new_second: ObjectName,
+    ) -> None:
+        """Cases 2.iii / 3.iii: combine two facts into a new alias.
+
+        ``primary`` is the RHS-side fact (providing the transplanted
+        name's suffix), ``secondary`` the LHS-side fact (providing the
+        alias of p).  The new pair's nonvisible tokens must follow their
+        owning assumptions; two distinct nv-bearing assumptions produce
+        a two-assumption fact (the exit special case).
+        """
+        aa1, pair1, clean1 = primary
+        aa2, pair2 = secondary
+        clean2 = self.store.taint_of(node_id, aa2, pair2)
+        same_fact = (aa1, pair1) == (aa2, pair2)
+        clean = clean1 and clean2 and same_fact  # approximation 2 unless same fact
+        new_pair = AliasPair(new_first, new_second)
+        if new_pair.is_trivial:
+            return
+        if aa1 == aa2:
+            self._emit(succ_id, aa1, new_first, new_second, clean)
+            return
+        # The two-assumption representation exists solely for aliases
+        # between two *nonvisible-rooted* names (paper §4.3, "More
+        # Complex Effects on Return Nodes"): only those need both
+        # tokens instantiated at the return.  Anything else follows the
+        # paper's single-assumption rule: "both assumptions are
+        # individually necessary and either can be safely chosen;
+        # prefer the one containing non-visible".
+        if (
+            new_first.is_nonvisible
+            and new_second.is_nonvisible
+            and assumptions.has_nonvisible(aa1)
+            and assumptions.has_nonvisible(aa2)
+        ):
+            # new_second derives from the primary fact (owns aa1's
+            # token); new_first from the secondary fact (aa2's token).
+            combined = assumptions.combine(aa1, aa2, (new_second,), (new_first,))
+            if combined is not None:
+                aa, (second_renamed,), (first_renamed,) = combined
+                renamed = AliasPair(first_renamed, second_renamed)
+                if not renamed.is_trivial:
+                    self.store.make_true(succ_id, aa, renamed, clean)
+                return
+        chosen = assumptions.choose(aa1, aa2)
+        self._emit(succ_id, chosen, new_first, new_second, clean)
+
+    def _rebinding_alias_exists(
+        self, node_id: int, lhs: ObjectName, y: ObjectName, z: ObjectName
+    ) -> bool:
+        """Approximation 3 detector: some alias ``(lhs, u)`` at the
+        predecessor means the assignment may rebind ``y``/``z`` through
+        ``u`` on every path, yet we preserve the alias."""
+        for _, pair2 in self.store.at_node_with_name(node_id, lhs):
+            u = pair2.other(lhs)
+            if u.is_prefix_with_deref(y) or u.is_prefix_with_deref(z):
+                return True
+        return False
+
+    def _second_lhs_alias_exists(
+        self, node_id: int, lhs: ObjectName, rhs_base: ObjectName, current: AliasPair
+    ) -> bool:
+        """Approximation 4 detector: a *different* alias of (a prefix
+        of) the LHS whose other member reaches through the RHS."""
+        for prefix in _prefixes(lhs):
+            for _, pair2 in self.store.at_node_with_name(node_id, prefix):
+                if pair2 == current:
+                    continue
+                u = pair2.other(prefix)
+                if u.is_prefix_with_deref(rhs_base):
+                    return True
+        return False
+
+
+def _transplant_onto(
+    target: ObjectName, suffix: tuple[str, ...], address_of: bool, matched: ObjectName
+) -> ObjectName:
+    """Pairwise-combination version of :meth:`RhsView.transplant`: put
+    the matched suffix onto an alias of the LHS, preserving the
+    truncated-representative marking of the matched name (and the
+    implied dereference when truncation supplied the match)."""
+    result = target.deref().extend(suffix) if address_of else target.extend(suffix)
+    if matched.truncated:
+        if not address_of and DEREF not in suffix:
+            result = result.deref()
+        if not result.truncated:
+            result = ObjectName(result.base, result.selectors, truncated=True)
+    return result
+
+
+def _prefixes(name: ObjectName) -> Iterator[ObjectName]:
+    """All prefixes of ``name`` (including itself, excluding truncation
+    artifacts)."""
+    for length in range(len(name.selectors) + 1):
+        yield ObjectName(name.base, name.selectors[:length])

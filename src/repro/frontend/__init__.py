@@ -1,0 +1,67 @@
+"""MiniC frontend: lexer, parser, types, symbols, semantic analysis."""
+
+from . import ast_nodes
+from .diagnostics import (
+    Diagnostic,
+    DiagnosticSink,
+    LexError,
+    MiniCError,
+    ParseError,
+    Position,
+    Span,
+    TypeError_,
+    UnsupportedFeatureError,
+)
+from .lexer import Lexer, Token, TokenKind, tokenize
+from .parser import Parser, parse
+from .printer import print_expr, print_program
+from .semantics import AnalyzedProgram, SemanticAnalyzer, analyze, parse_and_analyze
+from .symbols import FunctionInfo, Scope, Symbol, SymbolKind, SymbolTable
+from .types import (
+    ArrayType,
+    FunctionType,
+    PointerType,
+    ScalarType,
+    StructType,
+    Type,
+    TypeTable,
+    scalar,
+)
+
+__all__ = [
+    "ast_nodes",
+    "AnalyzedProgram",
+    "ArrayType",
+    "Diagnostic",
+    "DiagnosticSink",
+    "FunctionInfo",
+    "FunctionType",
+    "Lexer",
+    "LexError",
+    "MiniCError",
+    "ParseError",
+    "Parser",
+    "PointerType",
+    "Position",
+    "ScalarType",
+    "Scope",
+    "SemanticAnalyzer",
+    "Span",
+    "StructType",
+    "Symbol",
+    "SymbolKind",
+    "SymbolTable",
+    "Token",
+    "TokenKind",
+    "Type",
+    "TypeError_",
+    "TypeTable",
+    "UnsupportedFeatureError",
+    "analyze",
+    "parse",
+    "print_expr",
+    "print_program",
+    "parse_and_analyze",
+    "scalar",
+    "tokenize",
+]

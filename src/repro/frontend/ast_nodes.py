@@ -1,0 +1,353 @@
+"""Abstract syntax tree for MiniC.
+
+Nodes are plain dataclasses.  Every node carries a :class:`Span`; the
+semantic analyzer decorates expression nodes with their computed
+:class:`~repro.frontend.types.Type` via the ``ctype`` attribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from .diagnostics import DUMMY_SPAN, Span
+from .types import Type
+
+
+class Node:
+    """Base class for all AST nodes (kept minimal on purpose)."""
+
+    span: Span
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class Expr(Node):
+    """Base class for expressions (span + computed type)."""
+    span: Span = field(default=DUMMY_SPAN, kw_only=True)
+    ctype: Optional[Type] = field(default=None, kw_only=True)
+
+
+@dataclass(slots=True)
+class IntLit(Expr):
+    """Integer literal."""
+    value: int = 0
+
+
+@dataclass(slots=True)
+class FloatLit(Expr):
+    """Floating-point literal."""
+    value: float = 0.0
+
+
+@dataclass(slots=True)
+class CharLit(Expr):
+    """Character literal (decoded value)."""
+    value: str = "\0"
+
+
+@dataclass(slots=True)
+class StringLit(Expr):
+    """String literal (body stored verbatim, escapes intact)."""
+    value: str = ""
+
+
+@dataclass(slots=True)
+class NullLit(Expr):
+    """The ``NULL`` constant."""
+
+
+@dataclass(slots=True)
+class Ident(Expr):
+    """A variable reference; resolution fills in ``symbol``."""
+    name: str = ""
+    # Filled in by the semantic analyzer with the resolved Symbol.
+    symbol: Optional[object] = field(default=None, compare=False)
+
+
+@dataclass(slots=True)
+class Unary(Expr):
+    """Prefix unary operation: one of ``* & - + ! ~ ++ --``."""
+
+    op: str = ""
+    operand: Expr = field(default_factory=Expr)
+
+
+@dataclass(slots=True)
+class Postfix(Expr):
+    """Postfix ``++`` or ``--``."""
+
+    op: str = ""
+    operand: Expr = field(default_factory=Expr)
+
+
+@dataclass(slots=True)
+class Binary(Expr):
+    """Binary operation at C precedence (``a + b``, ``x < y``, ...)."""
+    op: str = ""
+    left: Expr = field(default_factory=Expr)
+    right: Expr = field(default_factory=Expr)
+
+
+@dataclass(slots=True)
+class Assign(Expr):
+    """Assignment; ``op`` is ``=`` or a compound form such as ``+=``."""
+
+    op: str = "="
+    target: Expr = field(default_factory=Expr)
+    value: Expr = field(default_factory=Expr)
+
+
+@dataclass(slots=True)
+class Conditional(Expr):
+    """Ternary ``cond ? then : otherwise``."""
+    cond: Expr = field(default_factory=Expr)
+    then: Expr = field(default_factory=Expr)
+    otherwise: Expr = field(default_factory=Expr)
+
+
+@dataclass(slots=True)
+class Call(Expr):
+    """Direct call; MiniC has no function pointers so callee is a name."""
+
+    callee: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class Index(Expr):
+    """Array/pointer subscript ``base[index]``."""
+    base: Expr = field(default_factory=Expr)
+    index: Expr = field(default_factory=Expr)
+
+
+@dataclass(slots=True)
+class Member(Expr):
+    """Field access: ``base.field`` or ``base->field`` (``arrow=True``)."""
+
+    base: Expr = field(default_factory=Expr)
+    field_name: str = ""
+    arrow: bool = False
+
+
+@dataclass(slots=True)
+class Comma(Expr):
+    """Comma expression: evaluate left, yield right."""
+    left: Expr = field(default_factory=Expr)
+    right: Expr = field(default_factory=Expr)
+
+
+@dataclass(slots=True)
+class SizeOf(Expr):
+    """``sizeof`` applied to a type name or an expression."""
+
+    type_name: Optional[Type] = None
+    operand: Optional[Expr] = None
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class Stmt(Node):
+    """Base class for statements."""
+    span: Span = field(default=DUMMY_SPAN, kw_only=True)
+
+
+@dataclass(slots=True)
+class Block(Stmt):
+    """A brace-enclosed statement list (may declare locals)."""
+    items: list[Union["Stmt", "VarDecl"]] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class ExprStmt(Stmt):
+    """An expression evaluated for effect."""
+    expr: Expr = field(default_factory=Expr)
+
+
+@dataclass(slots=True)
+class EmptyStmt(Stmt):
+    """A lone semicolon."""
+    pass
+
+
+@dataclass(slots=True)
+class If(Stmt):
+    """``if``/``else``."""
+    cond: Expr = field(default_factory=Expr)
+    then: Stmt = field(default_factory=EmptyStmt)
+    otherwise: Optional[Stmt] = None
+
+
+@dataclass(slots=True)
+class While(Stmt):
+    """``while`` loop."""
+    cond: Expr = field(default_factory=Expr)
+    body: Stmt = field(default_factory=EmptyStmt)
+
+
+@dataclass(slots=True)
+class DoWhile(Stmt):
+    """``do``/``while`` loop (body first)."""
+    body: Stmt = field(default_factory=EmptyStmt)
+    cond: Expr = field(default_factory=Expr)
+
+
+@dataclass(slots=True)
+class For(Stmt):
+    """``for`` loop; any clause may be absent."""
+    init: Optional[Expr] = None
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Stmt = field(default_factory=EmptyStmt)
+
+
+@dataclass(slots=True)
+class Return(Stmt):
+    """``return`` with optional value."""
+    value: Optional[Expr] = None
+
+
+@dataclass(slots=True)
+class Break(Stmt):
+    """``break``."""
+    pass
+
+
+@dataclass(slots=True)
+class Continue(Stmt):
+    """``continue``."""
+    pass
+
+
+@dataclass(slots=True)
+class Goto(Stmt):
+    """``goto label``."""
+    label: str = ""
+
+
+@dataclass(slots=True)
+class Label(Stmt):
+    """``label:`` prefixing a statement."""
+    name: str = ""
+    stmt: Stmt = field(default_factory=EmptyStmt)
+
+
+@dataclass(slots=True)
+class SwitchCase(Node):
+    """One ``case`` (or ``default`` when ``value is None``) arm."""
+
+    value: Optional[Expr]
+    body: list[Stmt]
+    span: Span = DUMMY_SPAN
+
+
+@dataclass(slots=True)
+class Switch(Stmt):
+    """``switch`` over case arms (with fallthrough)."""
+    cond: Expr = field(default_factory=Expr)
+    cases: list[SwitchCase] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class VarDecl(Node):
+    """A variable declaration (file scope or local)."""
+
+    var_type: Type
+    name: str
+    init: Optional[Expr] = None
+    span: Span = DUMMY_SPAN
+    is_static: bool = False
+    is_extern: bool = False
+
+
+@dataclass(slots=True)
+class Param(Node):
+    """A named, typed parameter or struct field."""
+    param_type: Type
+    name: str
+    span: Span = DUMMY_SPAN
+
+
+@dataclass(slots=True)
+class StructDef(Node):
+    """``struct name { fields };`` — definitions may not nest."""
+
+    name: str
+    fields: list[Param]
+    span: Span = DUMMY_SPAN
+
+
+@dataclass(slots=True)
+class FuncDef(Node):
+    """A function definition with body."""
+    return_type: Type
+    name: str
+    params: list[Param]
+    body: Block
+    span: Span = DUMMY_SPAN
+    is_static: bool = False
+
+
+@dataclass(slots=True)
+class FuncDecl(Node):
+    """A prototype without a body."""
+
+    return_type: Type
+    name: str
+    params: list[Param]
+    span: Span = DUMMY_SPAN
+
+
+@dataclass(slots=True)
+class Typedef(Node):
+    """``typedef <type> <name>;`` — resolved away by the parser."""
+
+    name: str
+    aliased: Type
+    span: Span = DUMMY_SPAN
+
+
+TopLevel = Union[VarDecl, StructDef, FuncDef, FuncDecl, Typedef]
+
+
+@dataclass(slots=True)
+class Program(Node):
+    """A full translation unit."""
+
+    decls: list[TopLevel] = field(default_factory=list)
+    span: Span = DUMMY_SPAN
+
+    @property
+    def functions(self) -> list[FuncDef]:
+        """All function definitions, in order."""
+        return [d for d in self.decls if isinstance(d, FuncDef)]
+
+    @property
+    def globals(self) -> list[VarDecl]:
+        """All file-scope variable declarations."""
+        return [d for d in self.decls if isinstance(d, VarDecl)]
+
+    @property
+    def structs(self) -> list[StructDef]:
+        """All struct definitions."""
+        return [d for d in self.decls if isinstance(d, StructDef)]
+
+    def function(self, name: str) -> FuncDef:
+        """The function named ``name`` (KeyError if absent)."""
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(f"no function named {name!r}")

@@ -1,0 +1,282 @@
+"""Tokenizer for MiniC, the reduced C dialect analyzed by the paper.
+
+MiniC covers the language the Landi/Ryder prototype handled: scalar
+types, multi-level pointers, structs (non-nested definitions), arrays
+(treated as aggregates by the analysis), functions with by-value
+parameters, and the usual statement forms.  It excludes unions, casts,
+function pointers, and the preprocessor.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from .diagnostics import LexError, Position, Span
+
+
+class TokenKind(enum.Enum):
+    """Lexical categories for MiniC tokens."""
+
+    IDENT = enum.auto()
+    INT_LIT = enum.auto()
+    CHAR_LIT = enum.auto()
+    FLOAT_LIT = enum.auto()
+    STRING_LIT = enum.auto()
+    KEYWORD = enum.auto()
+    PUNCT = enum.auto()
+    EOF = enum.auto()
+
+
+KEYWORDS = frozenset(
+    {
+        "int",
+        "char",
+        "float",
+        "double",
+        "void",
+        "long",
+        "short",
+        "unsigned",
+        "signed",
+        "struct",
+        "if",
+        "else",
+        "while",
+        "for",
+        "do",
+        "return",
+        "break",
+        "continue",
+        "goto",
+        "switch",
+        "case",
+        "default",
+        "sizeof",
+        "typedef",
+        "static",
+        "extern",
+        "const",
+        "NULL",
+    }
+)
+
+# Longest-match-first punctuation table.
+_PUNCTS = (
+    "...",
+    "<<=",
+    ">>=",
+    "->",
+    "++",
+    "--",
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "=",
+    "<",
+    ">",
+    "!",
+    "&",
+    "|",
+    "^",
+    "~",
+    "?",
+    ":",
+    ";",
+    ",",
+    ".",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+)
+
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_$"
+)
+_IDENT_CONT = _IDENT_START | frozenset("0123456789")
+_DIGITS = frozenset("0123456789")
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """A single lexical token with its source span."""
+
+    kind: TokenKind
+    text: str
+    span: Span
+
+    def is_keyword(self, word: str) -> bool:
+        """Is this the keyword ``word``?"""
+        return self.kind is TokenKind.KEYWORD and self.text == word
+
+    def is_punct(self, text: str) -> bool:
+        """Is this the punctuation ``text``?"""
+        return self.kind is TokenKind.PUNCT and self.text == text
+
+    def __str__(self) -> str:
+        return f"{self.kind.name}({self.text!r})"
+
+
+class Lexer:
+    """Converts MiniC source text into a token stream."""
+
+    def __init__(self, source: str, filename: str = "<input>") -> None:
+        self.source = source
+        self.filename = filename
+        self._pos = Position()
+
+    def _span_from(self, start: Position, text: str) -> Span:
+        end = start.advanced(text)
+        return Span(start, end, self.filename)
+
+    def _error(self, message: str, start: Position) -> LexError:
+        return LexError(message, Span(start, start, self.filename))
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield every token followed by a single EOF token."""
+        src = self.source
+        n = len(src)
+        pos = self._pos
+        i = pos.offset
+        while i < n:
+            ch = src[i]
+            # Whitespace.
+            if ch in " \t\r\n":
+                j = i
+                while j < n and src[j] in " \t\r\n":
+                    j += 1
+                pos = pos.advanced(src[i:j])
+                i = j
+                continue
+            # Line comments.
+            if src.startswith("//", i):
+                j = src.find("\n", i)
+                j = n if j < 0 else j
+                pos = pos.advanced(src[i:j])
+                i = j
+                continue
+            # Block comments.
+            if src.startswith("/*", i):
+                j = src.find("*/", i + 2)
+                if j < 0:
+                    raise self._error("unterminated block comment", pos)
+                j += 2
+                pos = pos.advanced(src[i:j])
+                i = j
+                continue
+            # Preprocessor-ish lines: we accept and skip `#...` lines so
+            # that paper-style pseudo-directives in fixtures do not trip
+            # the scanner.
+            if ch == "#":
+                j = src.find("\n", i)
+                j = n if j < 0 else j
+                pos = pos.advanced(src[i:j])
+                i = j
+                continue
+            # Identifiers and keywords.
+            if ch in _IDENT_START:
+                j = i + 1
+                while j < n and src[j] in _IDENT_CONT:
+                    j += 1
+                text = src[i:j]
+                kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+                yield Token(kind, text, self._span_from(pos, text))
+                pos = pos.advanced(text)
+                i = j
+                continue
+            # Numbers (integer and floating literals).
+            if ch in _DIGITS:
+                j = i
+                is_float = False
+                while j < n and src[j] in _DIGITS:
+                    j += 1
+                if j < n and src[j] == "." and j + 1 < n and src[j + 1] in _DIGITS:
+                    is_float = True
+                    j += 1
+                    while j < n and src[j] in _DIGITS:
+                        j += 1
+                if j < n and src[j] in "eE":
+                    k = j + 1
+                    if k < n and src[k] in "+-":
+                        k += 1
+                    if k < n and src[k] in _DIGITS:
+                        is_float = True
+                        j = k
+                        while j < n and src[j] in _DIGITS:
+                            j += 1
+                # Suffixes (L, U, f) are accepted and dropped.
+                while j < n and src[j] in "uUlLfF":
+                    j += 1
+                text = src[i:j]
+                kind = TokenKind.FLOAT_LIT if is_float else TokenKind.INT_LIT
+                yield Token(kind, text, self._span_from(pos, text))
+                pos = pos.advanced(text)
+                i = j
+                continue
+            # Character literals.
+            if ch == "'":
+                j = i + 1
+                while j < n and src[j] != "'":
+                    if src[j] == "\\":
+                        j += 1
+                    j += 1
+                if j >= n:
+                    raise self._error("unterminated character literal", pos)
+                j += 1
+                text = src[i:j]
+                yield Token(TokenKind.CHAR_LIT, text, self._span_from(pos, text))
+                pos = pos.advanced(text)
+                i = j
+                continue
+            # String literals.
+            if ch == '"':
+                j = i + 1
+                while j < n and src[j] != '"':
+                    if src[j] == "\\":
+                        j += 1
+                    j += 1
+                if j >= n:
+                    raise self._error("unterminated string literal", pos)
+                j += 1
+                text = src[i:j]
+                yield Token(TokenKind.STRING_LIT, text, self._span_from(pos, text))
+                pos = pos.advanced(text)
+                i = j
+                continue
+            # Punctuation, longest match first.
+            for punct in _PUNCTS:
+                if src.startswith(punct, i):
+                    yield Token(TokenKind.PUNCT, punct, self._span_from(pos, punct))
+                    pos = pos.advanced(punct)
+                    i += len(punct)
+                    break
+            else:
+                raise self._error(f"unexpected character {ch!r}", pos)
+        yield Token(TokenKind.EOF, "", Span(pos, pos, self.filename))
+
+
+def tokenize(source: str, filename: str = "<input>") -> list[Token]:
+    """Tokenize ``source`` eagerly, returning a list ending with EOF."""
+    return list(Lexer(source, filename).tokens())

@@ -1,0 +1,670 @@
+"""Recursive-descent parser for MiniC.
+
+Produces a :class:`~repro.frontend.ast_nodes.Program`.  The grammar is
+the reduced C of the paper: no unions, no casts, no function pointers,
+no nested struct definitions.  Those constructs raise
+:class:`UnsupportedFeatureError` with a source location rather than
+being silently accepted.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import ast_nodes as ast
+from .diagnostics import ParseError, Span, UnsupportedFeatureError
+from .lexer import Token, TokenKind, tokenize
+from .types import (
+    ArrayType,
+    PointerType,
+    Type,
+    TypeTable,
+    scalar,
+)
+
+_SCALAR_KEYWORDS = frozenset(
+    {"int", "char", "float", "double", "void", "long", "short", "unsigned", "signed"}
+)
+_QUALIFIERS = frozenset({"const", "static", "extern"})
+
+# Binary operator precedence (C's, comparison upward from ||).
+_BINOP_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    ">": 7,
+    "<=": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+_ASSIGN_OPS = frozenset({"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="})
+
+
+class Parser:
+    """One-token-lookahead recursive-descent parser."""
+
+    def __init__(self, source: str, filename: str = "<input>") -> None:
+        self.tokens = tokenize(source, filename)
+        self.index = 0
+        self.types = TypeTable()
+        self.filename = filename
+
+    # -- token plumbing ----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        """The lookahead token."""
+        return self.tokens[self.index]
+
+    def peek(self, ahead: int = 1) -> Token:
+        """The token ``ahead`` positions past the lookahead."""
+        i = min(self.index + ahead, len(self.tokens) - 1)
+        return self.tokens[i]
+
+    def advance(self) -> Token:
+        """Consume and return the current token."""
+        tok = self.current
+        if tok.kind is not TokenKind.EOF:
+            self.index += 1
+        return tok
+
+    def expect_punct(self, text: str) -> Token:
+        """Consume punctuation ``text`` or raise ParseError."""
+        if not self.current.is_punct(text):
+            raise ParseError(f"expected {text!r}, found {self.current}", self.current.span)
+        return self.advance()
+
+    def expect_keyword(self, word: str) -> Token:
+        """Consume keyword ``word`` or raise ParseError."""
+        if not self.current.is_keyword(word):
+            raise ParseError(f"expected {word!r}, found {self.current}", self.current.span)
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        """Consume an identifier or raise ParseError."""
+        if self.current.kind is not TokenKind.IDENT:
+            raise ParseError(f"expected identifier, found {self.current}", self.current.span)
+        return self.advance()
+
+    def accept_punct(self, text: str) -> bool:
+        """Consume punctuation ``text`` if present."""
+        if self.current.is_punct(text):
+            self.advance()
+            return True
+        return False
+
+    def accept_keyword(self, word: str) -> bool:
+        """Consume keyword ``word`` if present."""
+        if self.current.is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    # -- types -------------------------------------------------------------
+
+    def at_type_start(self) -> bool:
+        """Does a declaration start at the current token?"""
+        tok = self.current
+        if tok.kind is TokenKind.KEYWORD:
+            return tok.text in _SCALAR_KEYWORDS or tok.text in _QUALIFIERS or tok.text in (
+                "struct",
+                "typedef",
+            )
+        if tok.kind is TokenKind.IDENT:
+            return self.types.is_typedef(tok.text)
+        return False
+
+    def parse_type_specifier(self) -> tuple[Type, bool, bool]:
+        """Parse a base type; returns (type, is_static, is_extern)."""
+        is_static = False
+        is_extern = False
+        words: list[str] = []
+        base: Optional[Type] = None
+        while True:
+            tok = self.current
+            if tok.kind is TokenKind.KEYWORD and tok.text in _QUALIFIERS:
+                self.advance()
+                if tok.text == "static":
+                    is_static = True
+                elif tok.text == "extern":
+                    is_extern = True
+                continue
+            if tok.kind is TokenKind.KEYWORD and tok.text in _SCALAR_KEYWORDS:
+                self.advance()
+                words.append(tok.text)
+                continue
+            if tok.is_keyword("struct"):
+                if base is not None or words:
+                    raise ParseError("conflicting type specifiers", tok.span)
+                self.advance()
+                name_tok = self.expect_ident()
+                if self.current.is_punct("{"):
+                    raise UnsupportedFeatureError(
+                        "struct definitions may not appear inside another "
+                        "declaration in MiniC; define the struct at file scope",
+                        self.current.span,
+                    )
+                base = self.types.struct(name_tok.text)
+                continue
+            if (
+                tok.kind is TokenKind.IDENT
+                and base is None
+                and not words
+                and self.types.is_typedef(tok.text)
+            ):
+                self.advance()
+                base = self.types.typedef(tok.text)
+                continue
+            break
+        if base is None:
+            if not words:
+                raise ParseError(f"expected type, found {self.current}", self.current.span)
+            base = _scalar_from_words(words, self.current.span)
+        return base, is_static, is_extern
+
+    def parse_declarator(self, base: Type) -> tuple[Type, str, Span, Optional[list[ast.Param]]]:
+        """Parse ``'*'* name suffixes``.
+
+        Returns (type, name, span, params) where ``params`` is non-None
+        when a function parameter list followed the name.
+        """
+        t = base
+        start = self.current.span
+        while self.accept_punct("*"):
+            t = PointerType(t)
+            self.accept_keyword("const")
+        if self.current.is_punct("("):
+            raise UnsupportedFeatureError(
+                "parenthesized declarators (e.g. function pointers) are not "
+                "part of MiniC",
+                self.current.span,
+            )
+        name_tok = self.expect_ident()
+        name = name_tok.text
+        params: Optional[list[ast.Param]] = None
+        if self.current.is_punct("("):
+            params = self.parse_param_list()
+        # Array suffixes apply outside-in for our purposes.
+        sizes: list[Optional[int]] = []
+        while self.current.is_punct("["):
+            self.advance()
+            size: Optional[int] = None
+            if self.current.kind is TokenKind.INT_LIT:
+                size = int(self.advance().text.rstrip("uUlL"), 0)
+            self.expect_punct("]")
+            sizes.append(size)
+        for size in reversed(sizes):
+            t = ArrayType(t, size)
+        if params is not None and sizes:
+            raise UnsupportedFeatureError(
+                "functions returning arrays are not part of MiniC", name_tok.span
+            )
+        return t, name, Span.merge(start, name_tok.span), params
+
+    def parse_param_list(self) -> list[ast.Param]:
+        """Parse ``(type name, ...)`` or ``(void)``."""
+        self.expect_punct("(")
+        params: list[ast.Param] = []
+        if self.accept_punct(")"):
+            return params
+        if self.current.is_keyword("void") and self.peek().is_punct(")"):
+            self.advance()
+            self.expect_punct(")")
+            return params
+        while True:
+            base, _, _ = self.parse_type_specifier()
+            ptype, name, span, fn_params = self.parse_declarator(base)
+            if fn_params is not None:
+                raise UnsupportedFeatureError(
+                    "function-typed parameters are not part of MiniC", span
+                )
+            params.append(ast.Param(ptype.decayed(), name, span))
+            if not self.accept_punct(","):
+                break
+        self.expect_punct(")")
+        return params
+
+    # -- top level -----------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        """Parse a whole translation unit."""
+        decls: list[ast.TopLevel] = []
+        start = self.current.span
+        while self.current.kind is not TokenKind.EOF:
+            decls.extend(self.parse_top_level())
+        return ast.Program(decls, span=Span.merge(start, self.current.span))
+
+    def parse_top_level(self) -> list[ast.TopLevel]:
+        """Parse one top-level declaration (may yield several declarators)."""
+        if self.current.is_keyword("typedef"):
+            return [self.parse_typedef()]
+        if self.current.is_keyword("struct") and self.peek(2).is_punct("{"):
+            return [self.parse_struct_def()]
+        base, is_static, is_extern = self.parse_type_specifier()
+        # `struct X;` forward declaration.
+        if self.accept_punct(";"):
+            return []
+        results: list[ast.TopLevel] = []
+        while True:
+            dtype, name, span, params = self.parse_declarator(base)
+            if params is not None:
+                if self.current.is_punct("{"):
+                    body = self.parse_block()
+                    results.append(
+                        ast.FuncDef(dtype, name, params, body, span=span, is_static=is_static)
+                    )
+                    return results
+                self.expect_punct(";")
+                results.append(ast.FuncDecl(dtype, name, params, span=span))
+                return results
+            init: Optional[ast.Expr] = None
+            if self.accept_punct("="):
+                init = self.parse_initializer()
+            results.append(
+                ast.VarDecl(dtype, name, init, span=span, is_static=is_static, is_extern=is_extern)
+            )
+            if not self.accept_punct(","):
+                break
+        self.expect_punct(";")
+        return results
+
+    def parse_typedef(self) -> ast.Typedef:
+        """Parse and register a typedef."""
+        start = self.expect_keyword("typedef").span
+        base, _, _ = self.parse_type_specifier()
+        dtype, name, span, params = self.parse_declarator(base)
+        if params is not None:
+            raise UnsupportedFeatureError("typedef of function types is not part of MiniC", span)
+        self.expect_punct(";")
+        self.types.add_typedef(name, dtype)
+        return ast.Typedef(name, dtype, span=Span.merge(start, span))
+
+    def parse_struct_def(self) -> ast.StructDef:
+        """Parse ``struct name { fields };``."""
+        start = self.expect_keyword("struct").span
+        name_tok = self.expect_ident()
+        self.expect_punct("{")
+        fields: list[ast.Param] = []
+        while not self.current.is_punct("}"):
+            if self.current.is_keyword("struct") and self.peek(2).is_punct("{"):
+                raise UnsupportedFeatureError(
+                    "nested struct definitions are not part of MiniC",
+                    self.current.span,
+                )
+            base, _, _ = self.parse_type_specifier()
+            while True:
+                ftype, fname, fspan, params = self.parse_declarator(base)
+                if params is not None:
+                    raise UnsupportedFeatureError(
+                        "function members are not part of MiniC", fspan
+                    )
+                fields.append(ast.Param(ftype, fname, fspan))
+                if not self.accept_punct(","):
+                    break
+            self.expect_punct(";")
+        end = self.expect_punct("}").span
+        self.expect_punct(";")
+        self.types.define_struct(name_tok.text, [(f.name, f.param_type) for f in fields])
+        return ast.StructDef(name_tok.text, fields, span=Span.merge(start, end))
+
+    def parse_initializer(self) -> ast.Expr:
+        """Parse a scalar initializer (brace forms rejected)."""
+        if self.current.is_punct("{"):
+            raise UnsupportedFeatureError(
+                "brace initializers are not part of MiniC; assign fields "
+                "individually",
+                self.current.span,
+            )
+        return self.parse_assignment_expr()
+
+    # -- statements ----------------------------------------------------------
+
+    def parse_block(self) -> ast.Block:
+        """Parse ``{ ... }`` with local declarations."""
+        start = self.expect_punct("{").span
+        items: list[ast.Stmt | ast.VarDecl] = []
+        while not self.current.is_punct("}"):
+            if self.at_type_start():
+                items.extend(self.parse_local_decls())
+            else:
+                items.append(self.parse_statement())
+        end = self.expect_punct("}").span
+        return ast.Block(items, span=Span.merge(start, end))
+
+    def parse_local_decls(self) -> list[ast.VarDecl]:
+        """Parse one local declaration statement."""
+        base, is_static, is_extern = self.parse_type_specifier()
+        decls: list[ast.VarDecl] = []
+        while True:
+            dtype, name, span, params = self.parse_declarator(base)
+            if params is not None:
+                raise UnsupportedFeatureError(
+                    "local function declarations are not part of MiniC", span
+                )
+            init: Optional[ast.Expr] = None
+            if self.accept_punct("="):
+                init = self.parse_initializer()
+            decls.append(
+                ast.VarDecl(dtype, name, init, span=span, is_static=is_static, is_extern=is_extern)
+            )
+            if not self.accept_punct(","):
+                break
+        self.expect_punct(";")
+        return decls
+
+    def parse_statement(self) -> ast.Stmt:
+        """Parse any statement form."""
+        tok = self.current
+        if tok.is_punct("{"):
+            return self.parse_block()
+        if tok.is_punct(";"):
+            self.advance()
+            return ast.EmptyStmt(span=tok.span)
+        if tok.is_keyword("if"):
+            return self.parse_if()
+        if tok.is_keyword("while"):
+            return self.parse_while()
+        if tok.is_keyword("do"):
+            return self.parse_do_while()
+        if tok.is_keyword("for"):
+            return self.parse_for()
+        if tok.is_keyword("return"):
+            self.advance()
+            value = None if self.current.is_punct(";") else self.parse_expression()
+            end = self.expect_punct(";").span
+            return ast.Return(value, span=Span.merge(tok.span, end))
+        if tok.is_keyword("break"):
+            self.advance()
+            self.expect_punct(";")
+            return ast.Break(span=tok.span)
+        if tok.is_keyword("continue"):
+            self.advance()
+            self.expect_punct(";")
+            return ast.Continue(span=tok.span)
+        if tok.is_keyword("goto"):
+            self.advance()
+            label = self.expect_ident().text
+            self.expect_punct(";")
+            return ast.Goto(label, span=tok.span)
+        if tok.is_keyword("switch"):
+            return self.parse_switch()
+        if tok.kind is TokenKind.IDENT and self.peek().is_punct(":"):
+            name = self.advance().text
+            self.advance()  # ':'
+            stmt = self.parse_statement()
+            return ast.Label(name, stmt, span=tok.span)
+        expr = self.parse_expression()
+        end = self.expect_punct(";").span
+        return ast.ExprStmt(expr, span=Span.merge(tok.span, end))
+
+    def parse_if(self) -> ast.If:
+        """Parse ``if``/``else``."""
+        start = self.expect_keyword("if").span
+        self.expect_punct("(")
+        cond = self.parse_expression()
+        self.expect_punct(")")
+        then = self.parse_statement()
+        otherwise: Optional[ast.Stmt] = None
+        if self.accept_keyword("else"):
+            otherwise = self.parse_statement()
+        return ast.If(cond, then, otherwise, span=start)
+
+    def parse_while(self) -> ast.While:
+        """Parse a ``while`` loop."""
+        start = self.expect_keyword("while").span
+        self.expect_punct("(")
+        cond = self.parse_expression()
+        self.expect_punct(")")
+        body = self.parse_statement()
+        return ast.While(cond, body, span=start)
+
+    def parse_do_while(self) -> ast.DoWhile:
+        """Parse a ``do``/``while`` loop."""
+        start = self.expect_keyword("do").span
+        body = self.parse_statement()
+        self.expect_keyword("while")
+        self.expect_punct("(")
+        cond = self.parse_expression()
+        self.expect_punct(")")
+        self.expect_punct(";")
+        return ast.DoWhile(body, cond, span=start)
+
+    def parse_for(self) -> ast.For:
+        """Parse a ``for`` loop."""
+        start = self.expect_keyword("for").span
+        self.expect_punct("(")
+        if self.at_type_start():
+            raise UnsupportedFeatureError(
+                "declarations in for-init are not part of MiniC; declare the "
+                "variable before the loop",
+                self.current.span,
+            )
+        init = None if self.current.is_punct(";") else self.parse_expression()
+        self.expect_punct(";")
+        cond = None if self.current.is_punct(";") else self.parse_expression()
+        self.expect_punct(";")
+        step = None if self.current.is_punct(")") else self.parse_expression()
+        self.expect_punct(")")
+        body = self.parse_statement()
+        return ast.For(init, cond, step, body, span=start)
+
+    def parse_switch(self) -> ast.Switch:
+        """Parse a ``switch`` statement."""
+        start = self.expect_keyword("switch").span
+        self.expect_punct("(")
+        cond = self.parse_expression()
+        self.expect_punct(")")
+        self.expect_punct("{")
+        cases: list[ast.SwitchCase] = []
+        while not self.current.is_punct("}"):
+            case_span = self.current.span
+            value: Optional[ast.Expr] = None
+            if self.accept_keyword("case"):
+                value = self.parse_expression()
+            else:
+                self.expect_keyword("default")
+            self.expect_punct(":")
+            body: list[ast.Stmt] = []
+            while not (
+                self.current.is_punct("}")
+                or self.current.is_keyword("case")
+                or self.current.is_keyword("default")
+            ):
+                body.append(self.parse_statement())
+            cases.append(ast.SwitchCase(value, body, span=case_span))
+        self.expect_punct("}")
+        return ast.Switch(cond, cases, span=start)
+
+    # -- expressions ---------------------------------------------------------
+
+    def parse_expression(self) -> ast.Expr:
+        """Parse a full (comma) expression."""
+        expr = self.parse_assignment_expr()
+        while self.current.is_punct(","):
+            span = self.advance().span
+            right = self.parse_assignment_expr()
+            expr = ast.Comma(expr, right, span=span)
+        return expr
+
+    def parse_assignment_expr(self) -> ast.Expr:
+        """Parse an assignment-level expression."""
+        left = self.parse_conditional_expr()
+        tok = self.current
+        if tok.kind is TokenKind.PUNCT and tok.text in _ASSIGN_OPS:
+            self.advance()
+            value = self.parse_assignment_expr()
+            return ast.Assign(tok.text, left, value, span=tok.span)
+        return left
+
+    def parse_conditional_expr(self) -> ast.Expr:
+        """Parse a ternary-level expression."""
+        cond = self.parse_binary_expr(1)
+        if self.current.is_punct("?"):
+            span = self.advance().span
+            then = self.parse_expression()
+            self.expect_punct(":")
+            otherwise = self.parse_conditional_expr()
+            return ast.Conditional(cond, then, otherwise, span=span)
+        return cond
+
+    def parse_binary_expr(self, min_prec: int) -> ast.Expr:
+        """Precedence-climbing binary expression parser."""
+        left = self.parse_unary_expr()
+        while True:
+            tok = self.current
+            prec = (
+                _BINOP_PRECEDENCE.get(tok.text, 0)
+                if tok.kind is TokenKind.PUNCT
+                else 0
+            )
+            if prec < min_prec:
+                return left
+            self.advance()
+            right = self.parse_binary_expr(prec + 1)
+            left = ast.Binary(tok.text, left, right, span=tok.span)
+
+    def parse_unary_expr(self) -> ast.Expr:
+        """Parse prefix operators and ``sizeof``."""
+        tok = self.current
+        if tok.kind is TokenKind.PUNCT and tok.text in ("*", "&", "-", "+", "!", "~"):
+            self.advance()
+            operand = self.parse_unary_expr()
+            return ast.Unary(tok.text, operand, span=tok.span)
+        if tok.is_punct("++") or tok.is_punct("--"):
+            self.advance()
+            operand = self.parse_unary_expr()
+            return ast.Unary(tok.text, operand, span=tok.span)
+        if tok.is_keyword("sizeof"):
+            self.advance()
+            if self.current.is_punct("(") and self._paren_is_type():
+                self.advance()
+                base, _, _ = self.parse_type_specifier()
+                t: Type = base
+                while self.accept_punct("*"):
+                    t = PointerType(t)
+                self.expect_punct(")")
+                return ast.SizeOf(type_name=t, span=tok.span)
+            operand = self.parse_unary_expr()
+            return ast.SizeOf(operand=operand, span=tok.span)
+        return self.parse_postfix_expr()
+
+    def _paren_is_type(self) -> bool:
+        nxt = self.peek()
+        if nxt.kind is TokenKind.KEYWORD:
+            return nxt.text in _SCALAR_KEYWORDS or nxt.text == "struct"
+        if nxt.kind is TokenKind.IDENT:
+            return self.types.is_typedef(nxt.text)
+        return False
+
+    def parse_postfix_expr(self) -> ast.Expr:
+        """Parse calls, indexing, member access, postfix ops."""
+        expr = self.parse_primary_expr()
+        while True:
+            tok = self.current
+            if tok.is_punct("["):
+                self.advance()
+                index = self.parse_expression()
+                self.expect_punct("]")
+                expr = ast.Index(expr, index, span=tok.span)
+            elif tok.is_punct("."):
+                self.advance()
+                name = self.expect_ident().text
+                expr = ast.Member(expr, name, arrow=False, span=tok.span)
+            elif tok.is_punct("->"):
+                self.advance()
+                name = self.expect_ident().text
+                expr = ast.Member(expr, name, arrow=True, span=tok.span)
+            elif tok.is_punct("++") or tok.is_punct("--"):
+                self.advance()
+                expr = ast.Postfix(tok.text, expr, span=tok.span)
+            elif tok.is_punct("("):
+                if not isinstance(expr, ast.Ident):
+                    raise UnsupportedFeatureError(
+                        "calls through expressions (function pointers) are "
+                        "not part of MiniC",
+                        tok.span,
+                    )
+                self.advance()
+                args: list[ast.Expr] = []
+                if not self.current.is_punct(")"):
+                    while True:
+                        args.append(self.parse_assignment_expr())
+                        if not self.accept_punct(","):
+                            break
+                self.expect_punct(")")
+                expr = ast.Call(expr.name, args, span=tok.span)
+            else:
+                return expr
+
+    def parse_primary_expr(self) -> ast.Expr:
+        """Parse literals, identifiers and parenthesized expressions."""
+        tok = self.current
+        if tok.kind is TokenKind.INT_LIT:
+            self.advance()
+            return ast.IntLit(int(tok.text.rstrip("uUlLfF"), 0), span=tok.span)
+        if tok.kind is TokenKind.FLOAT_LIT:
+            self.advance()
+            return ast.FloatLit(float(tok.text.rstrip("uUlLfF")), span=tok.span)
+        if tok.kind is TokenKind.CHAR_LIT:
+            self.advance()
+            return ast.CharLit(_unescape_char(tok.text), span=tok.span)
+        if tok.kind is TokenKind.STRING_LIT:
+            self.advance()
+            return ast.StringLit(tok.text[1:-1], span=tok.span)
+        if tok.is_keyword("NULL"):
+            self.advance()
+            return ast.NullLit(span=tok.span)
+        if tok.kind is TokenKind.IDENT:
+            self.advance()
+            return ast.Ident(tok.text, span=tok.span)
+        if tok.is_punct("("):
+            self.advance()
+            if self.at_type_start():
+                raise UnsupportedFeatureError(
+                    "casts are not part of MiniC", self.current.span
+                )
+            expr = self.parse_expression()
+            self.expect_punct(")")
+            return expr
+        raise ParseError(f"expected expression, found {tok}", tok.span)
+
+
+def _scalar_from_words(words: list[str], span: Span) -> Type:
+    """Fold multi-word scalar specs (``unsigned long int``) to one type."""
+    core = [w for w in words if w in ("int", "char", "float", "double", "void")]
+    if len(core) > 1:
+        raise ParseError(f"conflicting type specifiers {words}", span)
+    if "void" in words:
+        return scalar("void")
+    if "char" in words:
+        return scalar("char")
+    if "float" in words:
+        return scalar("float")
+    if "double" in words:
+        return scalar("double")
+    return scalar("int")
+
+
+def _unescape_char(literal: str) -> str:
+    body = literal[1:-1]
+    if body.startswith("\\"):
+        escapes = {"n": "\n", "t": "\t", "0": "\0", "\\": "\\", "'": "'", "r": "\r"}
+        return escapes.get(body[1:], body[1:])
+    return body if body else "\0"
+
+
+def parse(source: str, filename: str = "<input>") -> ast.Program:
+    """Parse MiniC ``source`` into a :class:`Program` AST."""
+    return Parser(source, filename).parse_program()

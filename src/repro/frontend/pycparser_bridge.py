@@ -1,0 +1,357 @@
+"""Optional pycparser adapter.
+
+The built-in MiniC frontend is self-contained, but users with real C
+files (already preprocessed) can parse them with pycparser and convert
+the resulting AST into our representation.  Only the MiniC subset is
+convertible — unions, casts, function pointers and other excluded
+constructs raise :class:`UnsupportedFeatureError`, exactly like the
+native parser.
+
+Usage::
+
+    from repro.frontend.pycparser_bridge import parse_c
+    program = parse_c(source_text)          # -> repro AST
+    analyzed = analyze(program)
+
+pycparser is imported lazily so the rest of the library has no hard
+dependency on it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import ast_nodes as ast
+from .diagnostics import DUMMY_SPAN, Span, UnsupportedFeatureError
+from .types import ArrayType, PointerType, Type, TypeTable, scalar
+
+
+def _require_pycparser():
+    try:
+        import pycparser
+        from pycparser import c_ast
+    except ImportError as err:  # pragma: no cover - environment dependent
+        raise ImportError(
+            "pycparser is not installed; install repro[cparser] or use "
+            "repro.frontend.parse for the built-in MiniC parser"
+        ) from err
+    return pycparser, c_ast
+
+
+class PycparserConverter:
+    """Converts a pycparser translation unit to a repro Program."""
+
+    def __init__(self) -> None:
+        _, self.c_ast = _require_pycparser()
+        self.types = TypeTable()
+
+    # -- types -------------------------------------------------------------
+
+    def convert_type(self, node, span: Span = DUMMY_SPAN) -> Type:
+        """Convert a pycparser type node to a repro Type."""
+        c_ast = self.c_ast
+        if isinstance(node, c_ast.PtrDecl):
+            return PointerType(self.convert_type(node.type, span))
+        if isinstance(node, c_ast.ArrayDecl):
+            size = None
+            if isinstance(node.dim, c_ast.Constant):
+                try:
+                    size = int(node.dim.value, 0)
+                except ValueError:
+                    size = None
+            return ArrayType(self.convert_type(node.type, span), size)
+        if isinstance(node, c_ast.TypeDecl):
+            return self.convert_type(node.type, span)
+        if isinstance(node, c_ast.IdentifierType):
+            names = set(node.names)
+            for name in ("void", "char", "float", "double"):
+                if name in names:
+                    return scalar(name)
+            known_typedef = next(
+                (n for n in node.names if self.types.is_typedef(n)), None
+            )
+            if known_typedef is not None:
+                return self.types.typedef(known_typedef)
+            return scalar("int")
+        if isinstance(node, c_ast.Struct):
+            if node.decls is not None:
+                fields = []
+                for decl in node.decls:
+                    fields.append((decl.name, self.convert_type(decl.type, span)))
+                self.types.define_struct(node.name, fields)
+            return self.types.struct(node.name or "$anon")
+        if isinstance(node, c_ast.Union):
+            raise UnsupportedFeatureError("unions are not part of MiniC", span)
+        if isinstance(node, c_ast.FuncDecl):
+            raise UnsupportedFeatureError(
+                "function pointers are not part of MiniC", span
+            )
+        if isinstance(node, c_ast.Enum):
+            return scalar("int")
+        raise UnsupportedFeatureError(
+            f"unconvertible type {type(node).__name__}", span
+        )
+
+    # -- expressions -------------------------------------------------------
+
+    def convert_expr(self, node) -> ast.Expr:
+        """Convert a pycparser expression node."""
+        c_ast = self.c_ast
+        span = self._span(node)
+        if isinstance(node, c_ast.Constant):
+            if node.type in ("int", "long int", "unsigned int"):
+                return ast.IntLit(int(node.value.rstrip("uUlL"), 0), span=span)
+            if node.type in ("float", "double"):
+                return ast.FloatLit(float(node.value.rstrip("fFlL")), span=span)
+            if node.type == "char":
+                return ast.CharLit(node.value.strip("'"), span=span)
+            if node.type == "string":
+                return ast.StringLit(node.value.strip('"'), span=span)
+            return ast.IntLit(0, span=span)
+        if isinstance(node, c_ast.ID):
+            if node.name == "NULL":
+                return ast.NullLit(span=span)
+            return ast.Ident(node.name, span=span)
+        if isinstance(node, c_ast.UnaryOp):
+            if node.op in ("p++", "p--"):
+                return ast.Postfix(node.op[1:], self.convert_expr(node.expr), span=span)
+            if node.op == "sizeof":
+                return ast.SizeOf(operand=None, span=span)
+            return ast.Unary(node.op, self.convert_expr(node.expr), span=span)
+        if isinstance(node, c_ast.BinaryOp):
+            return ast.Binary(
+                node.op,
+                self.convert_expr(node.left),
+                self.convert_expr(node.right),
+                span=span,
+            )
+        if isinstance(node, c_ast.Assignment):
+            return ast.Assign(
+                node.op,
+                self.convert_expr(node.lvalue),
+                self.convert_expr(node.rvalue),
+                span=span,
+            )
+        if isinstance(node, c_ast.TernaryOp):
+            return ast.Conditional(
+                self.convert_expr(node.cond),
+                self.convert_expr(node.iftrue),
+                self.convert_expr(node.iffalse),
+                span=span,
+            )
+        if isinstance(node, c_ast.FuncCall):
+            if not isinstance(node.name, c_ast.ID):
+                raise UnsupportedFeatureError(
+                    "calls through expressions are not part of MiniC", span
+                )
+            args = []
+            if node.args is not None:
+                args = [self.convert_expr(a) for a in node.args.exprs]
+            return ast.Call(node.name.name, args, span=span)
+        if isinstance(node, c_ast.ArrayRef):
+            return ast.Index(
+                self.convert_expr(node.name),
+                self.convert_expr(node.subscript),
+                span=span,
+            )
+        if isinstance(node, c_ast.StructRef):
+            return ast.Member(
+                self.convert_expr(node.name),
+                node.field.name,
+                arrow=(node.type == "->"),
+                span=span,
+            )
+        if isinstance(node, c_ast.Cast):
+            raise UnsupportedFeatureError("casts are not part of MiniC", span)
+        if isinstance(node, c_ast.ExprList):
+            exprs = [self.convert_expr(e) for e in node.exprs]
+            result = exprs[0]
+            for nxt in exprs[1:]:
+                result = ast.Comma(result, nxt, span=span)
+            return result
+        raise UnsupportedFeatureError(
+            f"unconvertible expression {type(node).__name__}", span
+        )
+
+    # -- statements ----------------------------------------------------------
+
+    def convert_stmt(self, node) -> ast.Stmt:
+        """Convert a pycparser statement node."""
+        c_ast = self.c_ast
+        span = self._span(node)
+        if node is None:
+            return ast.EmptyStmt(span=span)
+        if isinstance(node, c_ast.Compound):
+            return self.convert_block(node)
+        if isinstance(node, c_ast.If):
+            return ast.If(
+                self.convert_expr(node.cond),
+                self.convert_stmt(node.iftrue),
+                self.convert_stmt(node.iffalse) if node.iffalse else None,
+                span=span,
+            )
+        if isinstance(node, c_ast.While):
+            return ast.While(
+                self.convert_expr(node.cond), self.convert_stmt(node.stmt), span=span
+            )
+        if isinstance(node, c_ast.DoWhile):
+            return ast.DoWhile(
+                self.convert_stmt(node.stmt), self.convert_expr(node.cond), span=span
+            )
+        if isinstance(node, c_ast.For):
+            if node.init is not None and isinstance(node.init, c_ast.DeclList):
+                raise UnsupportedFeatureError(
+                    "declarations in for-init are not part of MiniC", span
+                )
+            return ast.For(
+                self.convert_expr(node.init) if node.init else None,
+                self.convert_expr(node.cond) if node.cond else None,
+                self.convert_expr(node.next) if node.next else None,
+                self.convert_stmt(node.stmt),
+                span=span,
+            )
+        if isinstance(node, c_ast.Return):
+            value = self.convert_expr(node.expr) if node.expr else None
+            return ast.Return(value, span=span)
+        if isinstance(node, c_ast.Break):
+            return ast.Break(span=span)
+        if isinstance(node, c_ast.Continue):
+            return ast.Continue(span=span)
+        if isinstance(node, c_ast.Goto):
+            return ast.Goto(node.name, span=span)
+        if isinstance(node, c_ast.Label):
+            return ast.Label(node.name, self.convert_stmt(node.stmt), span=span)
+        if isinstance(node, c_ast.EmptyStatement):
+            return ast.EmptyStmt(span=span)
+        if isinstance(node, c_ast.Switch):
+            return self._convert_switch(node, span)
+        # Expression statement.
+        return ast.ExprStmt(self.convert_expr(node), span=span)
+
+    def _convert_switch(self, node, span: Span) -> ast.Switch:
+        c_ast = self.c_ast
+        cases: list[ast.SwitchCase] = []
+        body = node.stmt
+        items = body.block_items or [] if isinstance(body, c_ast.Compound) else [body]
+        for item in items:
+            if isinstance(item, c_ast.Case):
+                stmts = [self.convert_stmt(s) for s in (item.stmts or [])]
+                cases.append(
+                    ast.SwitchCase(self.convert_expr(item.expr), stmts, self._span(item))
+                )
+            elif isinstance(item, c_ast.Default):
+                stmts = [self.convert_stmt(s) for s in (item.stmts or [])]
+                cases.append(ast.SwitchCase(None, stmts, self._span(item)))
+            else:
+                if cases:
+                    cases[-1].body.append(self.convert_stmt(item))
+        return ast.Switch(self.convert_expr(node.cond), cases, span=span)
+
+    def convert_block(self, node) -> ast.Block:
+        """Convert a compound statement."""
+        c_ast = self.c_ast
+        items: list = []
+        for item in node.block_items or []:
+            if isinstance(item, c_ast.Decl):
+                items.append(self._convert_var_decl(item))
+            else:
+                items.append(self.convert_stmt(item))
+        return ast.Block(items, span=self._span(node))
+
+    def _convert_var_decl(self, decl) -> ast.VarDecl:
+        span = self._span(decl)
+        var_type = self.convert_type(decl.type, span)
+        init = self.convert_expr(decl.init) if decl.init is not None else None
+        storage = decl.storage or []
+        return ast.VarDecl(
+            var_type,
+            decl.name,
+            init,
+            span=span,
+            is_static="static" in storage,
+            is_extern="extern" in storage,
+        )
+
+    # -- top level ------------------------------------------------------------
+
+    def convert_translation_unit(self, tu) -> ast.Program:
+        """Convert a whole pycparser AST to a repro Program."""
+        c_ast = self.c_ast
+        decls: list[ast.TopLevel] = []
+        for ext in tu.ext:
+            span = self._span(ext)
+            if isinstance(ext, c_ast.FuncDef):
+                decls.append(self._convert_func_def(ext))
+            elif isinstance(ext, c_ast.Decl):
+                if isinstance(ext.type, c_ast.Struct) and ext.name is None:
+                    self.convert_type(ext.type, span)  # registers the struct
+                    struct = self.types.struct(ext.type.name)
+                    fields = [
+                        ast.Param(ftype, fname, span)
+                        for fname, ftype in struct.fields
+                    ]
+                    decls.append(ast.StructDef(ext.type.name, fields, span=span))
+                elif isinstance(ext.type, c_ast.FuncDecl):
+                    decls.append(self._convert_prototype(ext))
+                else:
+                    decls.append(self._convert_var_decl(ext))
+            elif isinstance(ext, c_ast.Typedef):
+                aliased = self.convert_type(ext.type, span)
+                self.types.add_typedef(ext.name, aliased)
+                decls.append(ast.Typedef(ext.name, aliased, span=span))
+            else:
+                raise UnsupportedFeatureError(
+                    f"unconvertible top-level {type(ext).__name__}", span
+                )
+        return ast.Program(decls)
+
+    def _convert_func_def(self, node) -> ast.FuncDef:
+        span = self._span(node)
+        decl = node.decl
+        func_type = decl.type
+        params = self._convert_params(func_type)
+        return_type = self.convert_type(func_type.type, span)
+        body = self.convert_block(node.body)
+        return ast.FuncDef(return_type, decl.name, params, body, span=span)
+
+    def _convert_prototype(self, decl) -> ast.FuncDecl:
+        span = self._span(decl)
+        params = self._convert_params(decl.type)
+        return_type = self.convert_type(decl.type.type, span)
+        return ast.FuncDecl(return_type, decl.name, params, span=span)
+
+    def _convert_params(self, func_type) -> list[ast.Param]:
+        c_ast = self.c_ast
+        params: list[ast.Param] = []
+        if func_type.args is None:
+            return params
+        for param in func_type.args.params:
+            if isinstance(param, c_ast.EllipsisParam):
+                raise UnsupportedFeatureError(
+                    "varargs are not part of MiniC", self._span(param)
+                )
+            if isinstance(param, c_ast.Typename) or param.name is None:
+                # (void) parameter list.
+                continue
+            ptype = self.convert_type(param.type, self._span(param)).decayed()
+            params.append(ast.Param(ptype, param.name, self._span(param)))
+        return params
+
+    @staticmethod
+    def _span(node) -> Span:
+        coord = getattr(node, "coord", None)
+        if coord is None:
+            return DUMMY_SPAN
+        from .diagnostics import Position
+
+        pos = Position(coord.line or 1, coord.column or 1, 0)
+        return Span(pos, pos, str(coord.file or "<pycparser>"))
+
+
+def parse_c(source: str, filename: str = "<pycparser>") -> ast.Program:
+    """Parse (already preprocessed) C source with pycparser and convert
+    it to the repro AST."""
+    pycparser, _ = _require_pycparser()
+    parser = pycparser.CParser()
+    tu = parser.parse(source, filename)
+    return PycparserConverter().convert_translation_unit(tu)

@@ -1,0 +1,486 @@
+"""Semantic analysis for MiniC: name resolution and type checking.
+
+Walks the AST, resolves every :class:`Ident` to a :class:`Symbol`,
+annotates every expression with its type (``expr.ctype``), and rejects
+programs outside the reduced language.  The checker is deliberately
+lenient about arithmetic conversions (the alias analysis only cares
+about pointer structure) but strict about pointer shape: dereferencing
+non-pointers, taking fields of non-structs, and calls through
+expressions are errors.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import ast_nodes as ast
+from .diagnostics import DiagnosticSink, Span, TypeError_, UnsupportedFeatureError
+from .symbols import FunctionInfo, Scope, Symbol, SymbolKind, SymbolTable
+from .types import (
+    INT,
+    ArrayType,
+    PointerType,
+    ScalarType,
+    StructType,
+    Type,
+    VOID,
+)
+
+# Functions we model as heap allocators: calls return a fresh object, so
+# `p = malloc(...)` kills p's aliases and introduces none.
+ALLOCATOR_NAMES = frozenset({"malloc", "calloc", "realloc", "alloca"})
+
+# Well-known external functions assumed to exist with an int-ish result
+# and no pointer side effects.  Calls to unknown external functions that take
+# or return pointers are *rejected* so the analysis cannot be unsound.
+PURE_EXTERNALS = frozenset(
+    {
+        "printf",
+        "fprintf",
+        "sprintf",
+        "scanf",
+        "puts",
+        "putchar",
+        "getchar",
+        "abs",
+        "exit",
+        "free",
+        "rand",
+        "srand",
+        "strlen",
+        "strcmp",
+        "atoi",
+    }
+)
+
+
+class AnalyzedProgram:
+    """A parsed, resolved and type-checked program."""
+
+    def __init__(
+        self,
+        program: ast.Program,
+        symbols: SymbolTable,
+        sink: DiagnosticSink,
+    ) -> None:
+        self.ast = program
+        self.symbols = symbols
+        self.diagnostics = sink
+
+    @property
+    def functions(self) -> list[ast.FuncDef]:
+        """The program's function definitions."""
+        return self.ast.functions
+
+    def function(self, name: str) -> ast.FuncDef:
+        """The function definition named ``name``."""
+        return self.ast.function(name)
+
+
+class SemanticAnalyzer:
+    """Single-pass resolver and checker."""
+
+    def __init__(self, program: ast.Program) -> None:
+        self.program = program
+        self.symbols = SymbolTable()
+        self.sink = DiagnosticSink()
+        self._current: Optional[FunctionInfo] = None
+        self._scope: Scope = Scope()
+        self._labels: set[str] = set()
+        self._gotos: list[tuple[str, Span]] = []
+
+    # -- driver --------------------------------------------------------------
+
+    def analyze(self) -> AnalyzedProgram:
+        """Run resolution and checking; returns the analyzed program."""
+        self._check_struct_completeness()
+        self._collect_globals_and_signatures()
+        self._check_global_initializers()
+        for fn in self.program.functions:
+            self._check_function(fn)
+        return AnalyzedProgram(self.program, self.symbols, self.sink)
+
+    def _check_global_initializers(self) -> None:
+        self._scope = Scope()
+        for sym in self.symbols.global_symbols():
+            self._scope.declare(sym)
+        for decl in self.program.globals:
+            if decl.init is None:
+                continue
+            init_type = self._check_expr(decl.init)
+            self._check_assignable(decl.var_type, init_type, decl.init, decl.span)
+
+    def _check_struct_completeness(self) -> None:
+        defined = {s.name for s in self.program.structs}
+        for struct in self.program.structs:
+            for fld in struct.fields:
+                t = fld.param_type
+                # A by-value field of an undefined struct is an error; a
+                # pointer to one is fine (it may be defined later).
+                if isinstance(t, StructType) and t.name not in defined:
+                    raise TypeError_(
+                        f"field {fld.name!r} has incomplete type struct "
+                        f"{t.name}",
+                        fld.span,
+                    )
+
+    def _collect_globals_and_signatures(self) -> None:
+        for decl in self.program.decls:
+            if isinstance(decl, ast.VarDecl):
+                self._require_object_type(decl.var_type, decl.span)
+                self.symbols.add_global(decl.name, decl.var_type, decl.span)
+            elif isinstance(decl, (ast.FuncDef, ast.FuncDecl)):
+                if decl.name in self.symbols.functions:
+                    if isinstance(decl, ast.FuncDecl):
+                        continue
+                    existing = self.symbols.functions[decl.name]
+                    if existing.locals or existing.params and isinstance(decl, ast.FuncDef):
+                        # Re-registration below replaces the prototype.
+                        pass
+                info = FunctionInfo(decl.name, decl.return_type, span=decl.span)
+                for param in decl.params:
+                    self._require_object_type(param.param_type, param.span)
+                    uid = self.symbols.fresh_uid(decl.name, param.name)
+                    info.params.append(
+                        Symbol(uid, param.name, param.param_type, SymbolKind.PARAM, decl.name, param.span)
+                    )
+                if decl.return_type.is_pointer() or decl.return_type.is_struct():
+                    slot_uid = f"{decl.name}$ret"
+                    info.return_slot = Symbol(
+                        slot_uid,
+                        slot_uid,
+                        decl.return_type,
+                        SymbolKind.RETURN_SLOT,
+                        None,
+                        decl.span,
+                    )
+                self.symbols.add_function(info)
+
+    def _require_object_type(self, t: Type, span: Span) -> None:
+        if t.is_void():
+            raise TypeError_("variables may not have type void", span)
+        if isinstance(t, StructType) and not t.complete:
+            # Pointers to incomplete structs are fine; by-value needs layout.
+            raise TypeError_(f"variable of incomplete type struct {t.name}", span)
+        if isinstance(t, ArrayType):
+            self._require_object_type(t.element, span)
+
+    # -- functions -----------------------------------------------------------
+
+    def _check_function(self, fn: ast.FuncDef) -> None:
+        info = self.symbols.function(fn.name)
+        self._current = info
+        self._labels = set()
+        self._gotos = []
+        self._scope = Scope()
+        for sym in self.symbols.global_symbols():
+            self._scope.declare(sym)
+        fn_scope = Scope(self._scope)
+        for sym in info.params:
+            fn_scope.declare(sym)
+        self._scope = fn_scope
+        self._collect_labels(fn.body)
+        self._check_block(fn.body)
+        for label, span in self._gotos:
+            if label not in self._labels:
+                raise TypeError_(f"goto to undefined label {label!r}", span)
+        self._current = None
+
+    def _collect_labels(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Label):
+            self._labels.add(stmt.name)
+            self._collect_labels(stmt.stmt)
+        elif isinstance(stmt, ast.Block):
+            for item in stmt.items:
+                if isinstance(item, ast.Stmt):
+                    self._collect_labels(item)
+        elif isinstance(stmt, ast.If):
+            self._collect_labels(stmt.then)
+            if stmt.otherwise is not None:
+                self._collect_labels(stmt.otherwise)
+        elif isinstance(stmt, (ast.While, ast.For)):
+            self._collect_labels(stmt.body)
+        elif isinstance(stmt, ast.DoWhile):
+            self._collect_labels(stmt.body)
+        elif isinstance(stmt, ast.Switch):
+            for case in stmt.cases:
+                for inner in case.body:
+                    self._collect_labels(inner)
+
+    def _check_block(self, block: ast.Block) -> None:
+        outer = self._scope
+        self._scope = Scope(outer)
+        for item in block.items:
+            if isinstance(item, ast.VarDecl):
+                self._declare_local(item)
+            else:
+                self._check_stmt(item)
+        self._scope = outer
+
+    def _declare_local(self, decl: ast.VarDecl) -> None:
+        assert self._current is not None
+        self._require_object_type(decl.var_type, decl.span)
+        if self._scope.lookup_here(decl.name) is not None:
+            raise TypeError_(f"redeclaration of {decl.name!r}", decl.span)
+        uid = self.symbols.fresh_uid(self._current.name, decl.name)
+        sym = Symbol(uid, decl.name, decl.var_type, SymbolKind.LOCAL, self._current.name, decl.span)
+        self._current.locals.append(sym)
+        self._scope.declare(sym)
+        if decl.init is not None:
+            init_type = self._check_expr(decl.init)
+            self._check_assignable(decl.var_type, init_type, decl.init, decl.span)
+
+    # -- statements ----------------------------------------------------------
+
+    def _check_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self._check_block(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._check_expr(stmt.expr)
+        elif isinstance(stmt, ast.EmptyStmt):
+            pass
+        elif isinstance(stmt, ast.If):
+            self._check_expr(stmt.cond)
+            self._check_stmt(stmt.then)
+            if stmt.otherwise is not None:
+                self._check_stmt(stmt.otherwise)
+        elif isinstance(stmt, ast.While):
+            self._check_expr(stmt.cond)
+            self._check_stmt(stmt.body)
+        elif isinstance(stmt, ast.DoWhile):
+            self._check_stmt(stmt.body)
+            self._check_expr(stmt.cond)
+        elif isinstance(stmt, ast.For):
+            if stmt.init is not None:
+                self._check_expr(stmt.init)
+            if stmt.cond is not None:
+                self._check_expr(stmt.cond)
+            if stmt.step is not None:
+                self._check_expr(stmt.step)
+            self._check_stmt(stmt.body)
+        elif isinstance(stmt, ast.Return):
+            assert self._current is not None
+            if stmt.value is not None:
+                value_type = self._check_expr(stmt.value)
+                if self._current.return_type.is_void():
+                    raise TypeError_(
+                        f"void function {self._current.name!r} returns a value",
+                        stmt.span,
+                    )
+                self._check_assignable(
+                    self._current.return_type, value_type, stmt.value, stmt.span
+                )
+            elif not self._current.return_type.is_void():
+                self.sink.warn(
+                    f"non-void function {self._current.name!r} returns without a value",
+                    stmt.span,
+                )
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            pass
+        elif isinstance(stmt, ast.Goto):
+            self._gotos.append((stmt.label, stmt.span))
+        elif isinstance(stmt, ast.Label):
+            self._check_stmt(stmt.stmt)
+        elif isinstance(stmt, ast.Switch):
+            self._check_expr(stmt.cond)
+            for case in stmt.cases:
+                if case.value is not None:
+                    self._check_expr(case.value)
+                for inner in case.body:
+                    self._check_stmt(inner)
+        else:
+            raise TypeError_(f"unknown statement {type(stmt).__name__}", stmt.span)
+
+    # -- expressions ---------------------------------------------------------
+
+    def _check_expr(self, expr: ast.Expr) -> Type:
+        t = self._compute_type(expr)
+        expr.ctype = t
+        return t
+
+    def _compute_type(self, expr: ast.Expr) -> Type:
+        if isinstance(expr, ast.IntLit):
+            return INT
+        if isinstance(expr, ast.FloatLit):
+            return ScalarType("double")
+        if isinstance(expr, ast.CharLit):
+            return ScalarType("char")
+        if isinstance(expr, ast.StringLit):
+            return PointerType(ScalarType("char"))
+        if isinstance(expr, ast.NullLit):
+            return PointerType(VOID)
+        if isinstance(expr, ast.Ident):
+            sym = self._scope.lookup(expr.name)
+            if sym is None:
+                raise TypeError_(f"use of undeclared identifier {expr.name!r}", expr.span)
+            expr.symbol = sym
+            return sym.type
+        if isinstance(expr, ast.Unary):
+            return self._check_unary(expr)
+        if isinstance(expr, ast.Postfix):
+            operand = self._check_expr(expr.operand)
+            self._require_lvalue(expr.operand)
+            return operand.decayed()
+        if isinstance(expr, ast.Binary):
+            return self._check_binary(expr)
+        if isinstance(expr, ast.Assign):
+            target_type = self._check_expr(expr.target)
+            self._require_lvalue(expr.target)
+            value_type = self._check_expr(expr.value)
+            if expr.op == "=":
+                self._check_assignable(target_type, value_type, expr.value, expr.span)
+            elif target_type.is_struct():
+                raise TypeError_("compound assignment to struct", expr.span)
+            return target_type
+        if isinstance(expr, ast.Conditional):
+            self._check_expr(expr.cond)
+            then_type = self._check_expr(expr.then)
+            self._check_expr(expr.otherwise)
+            return then_type
+        if isinstance(expr, ast.Call):
+            return self._check_call(expr)
+        if isinstance(expr, ast.Index):
+            base = self._check_expr(expr.base).decayed()
+            self._check_expr(expr.index)
+            if isinstance(base, PointerType):
+                return base.pointee
+            raise TypeError_(f"indexing non-array type {base}", expr.span)
+        if isinstance(expr, ast.Member):
+            return self._check_member(expr)
+        if isinstance(expr, ast.Comma):
+            self._check_expr(expr.left)
+            return self._check_expr(expr.right)
+        if isinstance(expr, ast.SizeOf):
+            if expr.operand is not None:
+                self._check_expr(expr.operand)
+            return INT
+        raise TypeError_(f"unknown expression {type(expr).__name__}", expr.span)
+
+    def _check_unary(self, expr: ast.Unary) -> Type:
+        if expr.op == "*":
+            operand = self._check_expr(expr.operand).decayed()
+            if not isinstance(operand, PointerType):
+                raise TypeError_(f"dereference of non-pointer type {operand}", expr.span)
+            if operand.pointee.is_void():
+                raise TypeError_("dereference of void*", expr.span)
+            return operand.pointee
+        if expr.op == "&":
+            operand = self._check_expr(expr.operand)
+            self._require_lvalue(expr.operand)
+            return PointerType(operand)
+        if expr.op in ("++", "--"):
+            operand = self._check_expr(expr.operand)
+            self._require_lvalue(expr.operand)
+            return operand.decayed()
+        operand = self._check_expr(expr.operand)
+        if operand.is_struct():
+            raise TypeError_(f"unary {expr.op!r} applied to struct", expr.span)
+        return INT if expr.op in ("!", "~") else operand.decayed()
+
+    def _check_binary(self, expr: ast.Binary) -> Type:
+        left = self._check_expr(expr.left).decayed()
+        right = self._check_expr(expr.right).decayed()
+        if left.is_struct() or right.is_struct():
+            raise TypeError_(f"binary {expr.op!r} applied to struct", expr.span)
+        if expr.op in ("==", "!=", "<", ">", "<=", ">=", "&&", "||"):
+            return INT
+        # Pointer arithmetic keeps the pointer type (treated as the same
+        # aggregate by the analysis).
+        if isinstance(left, PointerType) and expr.op in ("+", "-"):
+            if isinstance(right, PointerType):
+                return INT  # pointer difference
+            return left
+        if isinstance(right, PointerType) and expr.op == "+":
+            return right
+        if isinstance(left, PointerType) or isinstance(right, PointerType):
+            raise TypeError_(f"invalid pointer operands to {expr.op!r}", expr.span)
+        return left
+
+    def _check_member(self, expr: ast.Member) -> Type:
+        base = self._check_expr(expr.base)
+        if expr.arrow:
+            base = base.decayed()
+            if not isinstance(base, PointerType):
+                raise TypeError_(f"-> applied to non-pointer type {base}", expr.span)
+            base = base.pointee
+        if not isinstance(base, StructType):
+            raise TypeError_(f"field access on non-struct type {base}", expr.span)
+        if not base.complete:
+            raise TypeError_(f"field access on incomplete struct {base.name}", expr.span)
+        field_type = base.field_type(expr.field_name)
+        if field_type is None:
+            raise TypeError_(
+                f"struct {base.name} has no field {expr.field_name!r}", expr.span
+            )
+        return field_type
+
+    def _check_call(self, expr: ast.Call) -> Type:
+        arg_types = [self._check_expr(arg).decayed() for arg in expr.args]
+        if expr.callee in ALLOCATOR_NAMES:
+            # Allocators return a fresh pointer assignable to any pointer.
+            return PointerType(VOID)
+        if self.symbols.has_function(expr.callee):
+            info = self.symbols.function(expr.callee)
+            if len(arg_types) != len(info.params):
+                raise TypeError_(
+                    f"call to {expr.callee!r} with {len(arg_types)} args, "
+                    f"expected {len(info.params)}",
+                    expr.span,
+                )
+            for arg, param, arg_type in zip(expr.args, info.params, arg_types):
+                self._check_assignable(param.type.decayed(), arg_type, arg, expr.span)
+            return info.return_type
+        if expr.callee in PURE_EXTERNALS:
+            return INT
+        # Unknown externals taking or returning pointers would make the
+        # analysis unsound, so only pointer-free calls are tolerated.
+        if any(t.has_pointers() for t in arg_types):
+            raise UnsupportedFeatureError(
+                f"call to unknown external {expr.callee!r} with pointer "
+                "arguments; declare the function so its effects are analyzable",
+                expr.span,
+            )
+        self.sink.warn(f"assuming external {expr.callee!r} returns int", expr.span)
+        return INT
+
+    def _check_assignable(
+        self, target: Type, value: Type, value_expr: ast.Expr, span: Span
+    ) -> None:
+        target = target.decayed()
+        value = value.decayed()
+        if isinstance(target, PointerType):
+            if isinstance(value_expr, (ast.NullLit, ast.IntLit)):
+                return  # NULL / 0
+            if isinstance(value, PointerType):
+                if value.pointee.is_void() or target.pointee.is_void():
+                    return  # malloc results and void* sinks
+                return  # pointer shapes checked structurally elsewhere
+            raise TypeError_(f"assigning {value} to pointer {target}", span)
+        if isinstance(value, PointerType):
+            raise TypeError_(f"assigning pointer {value} to {target}", span)
+        if target.is_struct() or value.is_struct():
+            if target is not value:
+                raise TypeError_(f"assigning {value} to struct {target}", span)
+
+    def _require_lvalue(self, expr: ast.Expr) -> None:
+        if isinstance(expr, ast.Ident):
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            return
+        if isinstance(expr, (ast.Index, ast.Member)):
+            return
+        raise TypeError_(
+            f"{type(expr).__name__} is not an lvalue", getattr(expr, "span", None) or expr.span
+        )
+
+
+def analyze(program: ast.Program) -> AnalyzedProgram:
+    """Resolve and type check ``program``; raises on invalid MiniC."""
+    return SemanticAnalyzer(program).analyze()
+
+
+def parse_and_analyze(source: str, filename: str = "<input>") -> AnalyzedProgram:
+    """Convenience: parse then analyze MiniC source text."""
+    from .parser import parse
+
+    return analyze(parse(source, filename))

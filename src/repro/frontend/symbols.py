@@ -1,0 +1,146 @@
+"""Symbol tables for MiniC.
+
+Every variable in a program gets a :class:`Symbol` with a globally
+unique ``uid`` (``g`` for a global ``g``, ``main::p`` for a local,
+``main::p#2`` for a shadowing redeclaration).  The alias analysis keys
+object names by these uids, so distinct locals with the same source
+name never collide.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from .diagnostics import DUMMY_SPAN, Span
+from .types import Type
+
+
+class SymbolKind(enum.Enum):
+    """Storage category of a variable."""
+    GLOBAL = "global"
+    LOCAL = "local"
+    PARAM = "param"
+    RETURN_SLOT = "return"  # synthetic f$ret variable
+
+
+@dataclass(frozen=True, slots=True)
+class Symbol:
+    """A resolved variable."""
+
+    uid: str
+    name: str
+    type: Type
+    kind: SymbolKind
+    proc: Optional[str] = None  # owning procedure, None for globals
+    span: Span = DUMMY_SPAN
+
+    @property
+    def is_global(self) -> bool:
+        """Globals and synthetic return slots are program-wide."""
+        return self.kind is SymbolKind.GLOBAL or self.kind is SymbolKind.RETURN_SLOT
+
+    def __str__(self) -> str:
+        return self.uid
+
+
+@dataclass(slots=True)
+class FunctionInfo:
+    """Signature plus the symbols owned by one function."""
+
+    name: str
+    return_type: Type
+    params: list[Symbol] = field(default_factory=list)
+    locals: list[Symbol] = field(default_factory=list)
+    return_slot: Optional[Symbol] = None
+    span: Span = DUMMY_SPAN
+
+    @property
+    def all_variables(self) -> list[Symbol]:
+        """Params then locals."""
+        return [*self.params, *self.locals]
+
+
+class Scope:
+    """One lexical scope; chains to an enclosing scope."""
+
+    def __init__(self, parent: Optional["Scope"] = None) -> None:
+        self.parent = parent
+        self._bindings: dict[str, Symbol] = {}
+
+    def declare(self, symbol: Symbol) -> None:
+        """Bind ``symbol`` in this scope (shadowing outer bindings)."""
+        self._bindings[symbol.name] = symbol
+
+    def lookup(self, name: str) -> Optional[Symbol]:
+        """Resolve ``name`` through the scope chain."""
+        scope: Optional[Scope] = self
+        while scope is not None:
+            found = scope._bindings.get(name)
+            if found is not None:
+                return found
+            scope = scope.parent
+        return None
+
+    def lookup_here(self, name: str) -> Optional[Symbol]:
+        """Resolve ``name`` in this scope only."""
+        return self._bindings.get(name)
+
+
+class SymbolTable:
+    """Whole-program symbol information produced by semantic analysis."""
+
+    def __init__(self) -> None:
+        self.globals: dict[str, Symbol] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self._uid_counts: dict[str, int] = {}
+
+    # -- construction helpers (used by the semantic analyzer) ---------------
+
+    def fresh_uid(self, proc: Optional[str], name: str) -> str:
+        """A unique uid for ``name`` in ``proc`` (``main::x``, ``main::x#2``)."""
+        base = name if proc is None else f"{proc}::{name}"
+        count = self._uid_counts.get(base, 0) + 1
+        self._uid_counts[base] = count
+        return base if count == 1 else f"{base}#{count}"
+
+    def add_global(self, name: str, var_type: Type, span: Span = DUMMY_SPAN) -> Symbol:
+        """Register a file-scope variable."""
+        sym = Symbol(self.fresh_uid(None, name), name, var_type, SymbolKind.GLOBAL, None, span)
+        self.globals[name] = sym
+        return sym
+
+    def add_function(self, info: FunctionInfo) -> None:
+        """Register a function's signature info."""
+        self.functions[info.name] = info
+
+    # -- queries -------------------------------------------------------------
+
+    def function(self, name: str) -> FunctionInfo:
+        """Signature info for ``name`` (KeyError if absent)."""
+        return self.functions[name]
+
+    def has_function(self, name: str) -> bool:
+        """Is ``name`` a known function?"""
+        return name in self.functions
+
+    def global_symbols(self) -> Iterator[Symbol]:
+        """All file-scope symbols."""
+        return iter(self.globals.values())
+
+    def all_symbols(self) -> Iterator[Symbol]:
+        """Every symbol in the program (globals, params, locals, return slots)."""
+        yield from self.globals.values()
+        for info in self.functions.values():
+            yield from info.params
+            yield from info.locals
+            if info.return_slot is not None:
+                yield info.return_slot
+
+    def symbol_by_uid(self, uid: str) -> Symbol:
+        """Linear-scan lookup by uid (tests only; analyses use NameContext)."""
+        for sym in self.all_symbols():
+            if sym.uid == uid:
+                return sym
+        raise KeyError(uid)

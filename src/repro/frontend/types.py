@@ -1,0 +1,209 @@
+"""Type representations for MiniC.
+
+The alias analysis needs types for two things only:
+
+* deciding which expressions denote *pointers* (aliases are introduced
+  by pointer assignments), and
+* enumerating the type-valid *extensions* of an object name (the
+  paper's implicit ``(p->next, q->next)`` chains), which requires
+  knowing struct layouts and pointee types.
+
+Struct types are interned per :class:`TypeTable` so recursive types
+(``struct node { struct node *next; }``) tie the knot by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+
+class Type:
+    """Base class for MiniC types."""
+
+    def is_pointer(self) -> bool:
+        """Is this a pointer type?"""
+        return isinstance(self, PointerType)
+
+    def is_struct(self) -> bool:
+        """Is this a struct type?"""
+        return isinstance(self, StructType)
+
+    def is_array(self) -> bool:
+        """Is this an array type?"""
+        return isinstance(self, ArrayType)
+
+    def is_scalar(self) -> bool:
+        """Is this a scalar type?"""
+        return isinstance(self, ScalarType)
+
+    def is_void(self) -> bool:
+        """Is this ``void``?"""
+        return isinstance(self, ScalarType) and self.name == "void"
+
+    def has_pointers(self) -> bool:
+        """Does a value of this type (transitively) contain pointers?"""
+        return _has_pointers(self, set())
+
+    def decayed(self) -> "Type":
+        """Array-to-pointer decay (arrays used in value contexts)."""
+        if isinstance(self, ArrayType):
+            return PointerType(self.element)
+        return self
+
+
+def _has_pointers(t: Type, seen: set[str]) -> bool:
+    if isinstance(t, PointerType):
+        return True
+    if isinstance(t, ArrayType):
+        return _has_pointers(t.element, seen)
+    if isinstance(t, StructType):
+        if t.name in seen:
+            return False
+        seen.add(t.name)
+        return any(_has_pointers(ft, seen) for _, ft in t.fields)
+    return False
+
+
+@dataclass(frozen=True, slots=True)
+class ScalarType(Type):
+    """``int``, ``char``, ``float``, ``double``, ``void`` (plus width
+    modifiers folded into the name)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class PointerType(Type):
+    """``T*``."""
+    pointee: Type
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+
+@dataclass(frozen=True, slots=True)
+class ArrayType(Type):
+    """``T[n]`` (treated as an aggregate by the analysis)."""
+    element: Type
+    size: Optional[int] = None
+
+    def __str__(self) -> str:
+        size = "" if self.size is None else str(self.size)
+        return f"{self.element}[{size}]"
+
+
+@dataclass(eq=False, slots=True)
+class StructType(Type):
+    """A struct; ``fields`` is filled in when the definition is seen.
+
+    Identity is by name within one :class:`TypeTable`; two struct types
+    compare equal iff they are the same interned object.
+    """
+
+    name: str
+    fields: list[tuple[str, Type]] = field(default_factory=list)
+    complete: bool = False
+
+    def field_type(self, field_name: str) -> Optional[Type]:
+        """The type of field ``field_name``, or None."""
+        for name, ftype in self.fields:
+            if name == field_name:
+                return ftype
+        return None
+
+    def field_names(self) -> list[str]:
+        """Field names in declaration order."""
+        return [name for name, _ in self.fields]
+
+    def __str__(self) -> str:
+        return f"struct {self.name}"
+
+    def __hash__(self) -> int:  # identity hashing; interned per table
+        return id(self)
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionType(Type):
+    """A function signature (declarations only)."""
+    returns: Type
+    params: tuple[Type, ...]
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.params)
+        return f"{self.returns}({params})"
+
+
+INT = ScalarType("int")
+CHAR = ScalarType("char")
+FLOAT = ScalarType("float")
+DOUBLE = ScalarType("double")
+VOID = ScalarType("void")
+
+_SCALARS = {t.name: t for t in (INT, CHAR, FLOAT, DOUBLE, VOID)}
+
+
+def scalar(name: str) -> ScalarType:
+    """Interned scalar type for ``name`` (e.g. ``"int"``)."""
+    existing = _SCALARS.get(name)
+    return existing if existing is not None else ScalarType(name)
+
+
+class TypeTable:
+    """Per-translation-unit registry of struct types and typedefs."""
+
+    def __init__(self) -> None:
+        self._structs: dict[str, StructType] = {}
+        self._typedefs: dict[str, Type] = {}
+
+    def struct(self, name: str) -> StructType:
+        """Return the (possibly still-incomplete) struct type ``name``."""
+        existing = self._structs.get(name)
+        if existing is None:
+            existing = StructType(name)
+            self._structs[name] = existing
+        return existing
+
+    def define_struct(self, name: str, fields: list[tuple[str, Type]]) -> StructType:
+        """Complete a struct with its field list (once)."""
+        st = self.struct(name)
+        if st.complete:
+            raise ValueError(f"struct {name} redefined")
+        st.fields = list(fields)
+        st.complete = True
+        return st
+
+    def structs(self) -> Iterator[StructType]:
+        """All struct types seen so far."""
+        return iter(self._structs.values())
+
+    def add_typedef(self, name: str, aliased: Type) -> None:
+        """Register ``typedef aliased name``."""
+        self._typedefs[name] = aliased
+
+    def typedef(self, name: str) -> Optional[Type]:
+        """The aliased type for ``name``, or None."""
+        return self._typedefs.get(name)
+
+    def is_typedef(self, name: str) -> bool:
+        """Is ``name`` a registered typedef?"""
+        return name in self._typedefs
+
+
+def pointer_depth(t: Type) -> int:
+    """Number of leading pointer levels of ``t`` (``int**`` → 2)."""
+    depth = 0
+    while isinstance(t, PointerType):
+        depth += 1
+        t = t.pointee
+    return depth
+
+
+def strip_pointers(t: Type) -> Type:
+    """Remove all leading pointer levels."""
+    while isinstance(t, PointerType):
+        t = t.pointee
+    return t

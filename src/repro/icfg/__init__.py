@@ -1,0 +1,34 @@
+"""ICFG: normalized IR, per-procedure CFGs, interprocedural linkage."""
+
+from .builder import IcfgBuilder, build_icfg, pointer_field_paths
+from .dot import to_dot
+from .graph import ICFG, ProcGraph
+from .ir import (
+    AddrOf,
+    CallInfo,
+    NameRef,
+    Node,
+    NodeKind,
+    Opaque,
+    Operand,
+    OtherStmt,
+    PtrAssign,
+)
+
+__all__ = [
+    "AddrOf",
+    "CallInfo",
+    "ICFG",
+    "IcfgBuilder",
+    "NameRef",
+    "Node",
+    "NodeKind",
+    "Opaque",
+    "Operand",
+    "OtherStmt",
+    "ProcGraph",
+    "PtrAssign",
+    "build_icfg",
+    "pointer_field_paths",
+    "to_dot",
+]

@@ -1,0 +1,38 @@
+"""Graphviz DOT export for ICFGs (debugging and documentation)."""
+
+from __future__ import annotations
+
+from .graph import ICFG
+from .ir import NodeKind
+
+_SHAPES = {
+    NodeKind.ENTRY: "ellipse",
+    NodeKind.EXIT: "ellipse",
+    NodeKind.CALL: "hexagon",
+    NodeKind.RETURN: "hexagon",
+    NodeKind.ASSIGN: "box",
+    NodeKind.PREDICATE: "diamond",
+    NodeKind.OTHER: "box",
+}
+
+
+def to_dot(icfg: ICFG, title: str = "icfg") -> str:
+    """Render ``icfg`` as a DOT digraph, one cluster per procedure."""
+    lines = [f"digraph {title} {{", "  node [fontname=monospace];"]
+    for proc in icfg.procs.values():
+        lines.append(f"  subgraph cluster_{proc.name} {{")
+        lines.append(f'    label="{proc.name}";')
+        for node in proc.nodes:
+            label = node.label().replace('"', '\\"')
+            shape = _SHAPES[node.kind]
+            lines.append(f'    n{node.nid} [label="n{node.nid}: {label}", shape={shape}];')
+        lines.append("  }")
+    for node in icfg.nodes:
+        for succ in node.succs:
+            style = ""
+            if node.kind is NodeKind.CALL or succ.kind is NodeKind.RETURN:
+                if node.proc != succ.proc:
+                    style = " [style=dashed]"
+            lines.append(f"  n{node.nid} -> n{succ.nid}{style};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,168 @@
+"""Normalized statement forms attached to ICFG nodes.
+
+The alias algorithm only distinguishes four statement shapes:
+
+* pointer assignments ``p = q`` / ``p = &x`` / ``p = NULL|malloc(...)``,
+* calls (with normalized actual arguments),
+* returns of pointer values (lowered to ``f$ret = e`` assignments), and
+* everything else (pass-through for aliasing).
+
+The CFG builder lowers arbitrary MiniC statements/expressions into
+these shapes, introducing temporaries where needed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..frontend.diagnostics import DUMMY_SPAN, Span
+from ..names.object_names import ObjectName
+
+
+@dataclass(frozen=True, slots=True)
+class NameRef:
+    """An operand that reads the value of an object name (``q``)."""
+
+    name: ObjectName
+
+    def __str__(self) -> str:
+        return str(self.name)
+
+
+@dataclass(frozen=True, slots=True)
+class AddrOf:
+    """An operand that takes the address of an object name (``&x``)."""
+
+    name: ObjectName
+
+    def __str__(self) -> str:
+        return f"&{self.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class Opaque:
+    """A pointer-free or alias-free operand: ``NULL``, an allocator
+    call result, or an arbitrary scalar expression.
+
+    As an assignment RHS it kills the LHS's aliases and introduces
+    none (a fresh allocation or null has no other names)."""
+
+    describe: str = "opaque"
+
+    def __str__(self) -> str:
+        return self.describe
+
+
+Operand = Union[NameRef, AddrOf, Opaque]
+
+
+@dataclass(frozen=True, slots=True)
+class PtrAssign:
+    """A normalized pointer assignment ``lhs = rhs``.
+
+    ``weak`` marks assignments whose LHS goes through an array element
+    (the aggregate name stands for many locations, so old aliases must
+    survive)."""
+
+    lhs: ObjectName
+    rhs: Operand
+    weak: bool = False
+
+    def __str__(self) -> str:
+        star = " (weak)" if self.weak else ""
+        return f"{self.lhs} = {self.rhs}{star}"
+
+
+@dataclass(frozen=True, slots=True)
+class CallInfo:
+    """A normalized direct call ``callee(args...)``.
+
+    ``scalar_reads`` records object names read while evaluating
+    pointer-free arguments (irrelevant to aliasing, needed by client
+    analyses such as liveness)."""
+
+    callee: str
+    args: tuple[Operand, ...] = ()
+    scalar_reads: tuple[ObjectName, ...] = ()
+
+    def __str__(self) -> str:
+        args = ", ".join(str(a) for a in self.args)
+        return f"call {self.callee}({args})"
+
+
+@dataclass(frozen=True, slots=True)
+class OtherStmt:
+    """Any statement with no pointer-alias effect.
+
+    Scalar assignments still *access* memory — possibly through
+    pointers — so the lowerer records the object names written and
+    read; client analyses (conflict detection, reaching definitions)
+    consume these."""
+
+    describe: str = ""
+    writes: tuple[ObjectName, ...] = ()
+    reads: tuple[ObjectName, ...] = ()
+
+    def __str__(self) -> str:
+        return self.describe or "other"
+
+
+class NodeKind(enum.Enum):
+    """The seven ICFG node categories."""
+    ENTRY = "entry"
+    EXIT = "exit"
+    CALL = "call"
+    RETURN = "return"
+    ASSIGN = "assign"  # pointer assignment
+    PREDICATE = "predicate"
+    OTHER = "other"
+
+
+@dataclass(eq=False, slots=True)
+class Node:
+    """One ICFG node.  Identity (not value) equality; nodes live in
+    exactly one :class:`~repro.icfg.graph.ICFG`."""
+
+    nid: int
+    kind: NodeKind
+    proc: str
+    stmt: Optional[Union[PtrAssign, CallInfo, OtherStmt]] = None
+    span: Span = DUMMY_SPAN
+    succs: list["Node"] = field(default_factory=list)
+    preds: list["Node"] = field(default_factory=list)
+    # CALL nodes: the matching RETURN node and callee name.
+    paired_return: Optional["Node"] = None
+    callee: Optional[str] = None
+    # RETURN nodes: the matching CALL node.
+    paired_call: Optional["Node"] = None
+
+    def add_succ(self, other: "Node") -> None:
+        """Add a successor edge (and its back edge), idempotently."""
+        if other not in self.succs:
+            self.succs.append(other)
+            other.preds.append(self)
+
+    @property
+    def is_pointer_assignment(self) -> bool:
+        """Is this node a normalized pointer assignment?"""
+        return self.kind is NodeKind.ASSIGN and isinstance(self.stmt, PtrAssign)
+
+    def label(self) -> str:
+        """Human-readable node description (used in reports/DOT)."""
+        if self.kind in (NodeKind.ENTRY, NodeKind.EXIT):
+            return f"{self.kind.value}_{self.proc}"
+        if self.kind is NodeKind.CALL:
+            return f"call {self.callee}" if self.stmt is None else str(self.stmt)
+        if self.kind is NodeKind.RETURN:
+            return f"return-site {self.callee or ''}".strip()
+        if self.stmt is not None:
+            return str(self.stmt)
+        return self.kind.value
+
+    def __repr__(self) -> str:
+        return f"<n{self.nid} {self.proc}:{self.kind.value} {self.label()!r}>"
+
+    def __hash__(self) -> int:
+        return self.nid

@@ -1,0 +1,35 @@
+"""Concrete MiniC interpreter and dynamic soundness validation."""
+
+from .interpreter import (
+    InterpError,
+    InterpResult,
+    Interpreter,
+    InterpTrap,
+    OutOfFuel,
+)
+from .memory import Frame, Memory, Obj
+from .recorder import (
+    SoundnessChecker,
+    SoundnessReport,
+    SoundnessViolation,
+    enumerate_names,
+    observed_aliases,
+    validate_soundness,
+)
+
+__all__ = [
+    "Frame",
+    "InterpError",
+    "InterpResult",
+    "InterpTrap",
+    "Interpreter",
+    "Memory",
+    "Obj",
+    "OutOfFuel",
+    "SoundnessChecker",
+    "SoundnessReport",
+    "SoundnessViolation",
+    "enumerate_names",
+    "observed_aliases",
+    "validate_soundness",
+]

@@ -1,0 +1,558 @@
+"""A concrete tree-walking interpreter for MiniC.
+
+Executes the *analyzed* AST against the memory model of
+:mod:`repro.interp.memory` and, after every simple statement, invokes
+an observer with the ICFG node at which that statement's effect is
+complete (using the ``stmt_end_nodes`` map the lowerer recorded).  The
+property tests use this to assert dynamic soundness: every alias
+observed at run time must be in the static ``may_alias`` solution.
+
+Deliberate deviations from real C, matching the analysis abstraction:
+arrays are aggregates (one cell), pointer arithmetic stays within the
+aggregate, and reads of uninitialized scalars yield 0.  Dereferencing
+NULL or an uninitialized pointer raises :class:`InterpTrap`, ending the
+run (the path simply terminates early, which is sound to observe).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Union
+
+from ..frontend import ast_nodes as ast
+from ..frontend.semantics import ALLOCATOR_NAMES, AnalyzedProgram
+from ..frontend.symbols import Symbol
+from ..frontend.types import PointerType, Type
+from ..icfg.ir import Node
+from ..names.context import collapse_arrays
+from .memory import Frame, Memory, Obj
+
+Value = Union[int, float, Obj, None]
+
+
+class InterpError(Exception):
+    """Interpreter misuse or unsupported construct."""
+
+
+class InterpTrap(InterpError):
+    """A run-time trap (NULL dereference, missing function, ...)."""
+
+
+class OutOfFuel(InterpError):
+    """The step budget was exhausted (probably a long/infinite loop)."""
+
+
+class _Return(Exception):
+    def __init__(self, value: Value) -> None:
+        self.value = value
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+Observer = Callable[[Node, Memory], None]
+
+
+@dataclass(slots=True)
+class InterpResult:
+    """Outcome of one execution (exit value / trap / steps)."""
+    exit_value: Value
+    steps: int
+    trapped: bool = False
+    trap_message: str = ""
+
+
+class Interpreter:
+    """Executes one program from ``main``."""
+
+    def __init__(
+        self,
+        analyzed: AnalyzedProgram,
+        stmt_end_nodes: Optional[dict[int, Optional[Node]]] = None,
+        observer: Optional[Observer] = None,
+        fuel: int = 100_000,
+        extern_values: Optional[list[int]] = None,
+        string_uids: Optional[dict[str, str]] = None,
+        max_call_depth: int = 150,
+    ) -> None:
+        self.analyzed = analyzed
+        self.markers = stmt_end_nodes or {}
+        self.observer = observer
+        self.fuel = fuel
+        self.steps = 0
+        self.memory = Memory()
+        self.max_call_depth = max_call_depth
+        self._extern_values = list(extern_values or [])
+        self._extern_index = 0
+        self._string_uids = string_uids or {}
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _tick(self) -> None:
+        self.steps += 1
+        if self.steps > self.fuel:
+            raise OutOfFuel(f"exceeded fuel={self.fuel}")
+
+    def _extern_int(self) -> int:
+        if not self._extern_values:
+            return 0
+        value = self._extern_values[self._extern_index % len(self._extern_values)]
+        self._extern_index += 1
+        return value
+
+    def _observe(self, stmt: object) -> None:
+        if self.observer is None:
+            return
+        node = self.markers.get(id(stmt))
+        if node is not None:
+            self.observer(node, self.memory)
+
+    # -- program startup ----------------------------------------------------------
+
+    def run(self, entry: str = "main") -> InterpResult:
+        """Allocate globals, run initializers, call the entry function."""
+        symbols = self.analyzed.symbols
+        for name, sym in symbols.globals.items():
+            self.memory.globals[sym.uid] = Obj(sym.type, sym.uid)
+        for info in symbols.functions.values():
+            if info.return_slot is not None:
+                self.memory.globals[info.return_slot.uid] = Obj(
+                    info.return_type, info.return_slot.uid
+                )
+        try:
+            self._run_global_inits()
+            value = self._call(entry, [])
+            return InterpResult(value, self.steps)
+        except InterpTrap as trap:
+            return InterpResult(None, self.steps, trapped=True, trap_message=str(trap))
+
+    def _run_global_inits(self) -> None:
+        for decl in self.analyzed.ast.globals:
+            if decl.init is None:
+                continue
+            sym = self.analyzed.symbols.globals[decl.name]
+            target = self.memory.globals[sym.uid]
+            value = self._eval(decl.init, expected=collapse_arrays(sym.type))
+            self._store(target, value)
+
+    # -- calls ------------------------------------------------------------------------
+
+    def _call(self, name: str, args: list[Value]) -> Value:
+        self._tick()
+        if len(self.memory.stack) >= self.max_call_depth:
+            # Runaway recursion: trap (ends the run) rather than blowing
+            # the host interpreter's stack.
+            raise InterpTrap(f"call depth exceeded {self.max_call_depth}")
+        if name not in {fn.name for fn in self.analyzed.functions}:
+            raise InterpTrap(f"call to undefined function {name!r}")
+        fn = self.analyzed.function(name)
+        info = self.analyzed.symbols.function(name)
+        frame = Frame(name)
+        for param, arg in zip(info.params, args):
+            cell = Obj(param.type, param.uid)
+            self._store(cell, arg)
+            frame.bind(param.uid, cell)
+        self.memory.push(frame)
+        try:
+            self._exec_block(fn.body)
+            result: Value = None
+        except _Return as ret:
+            result = ret.value
+        finally:
+            self.memory.pop()
+        if info.return_slot is not None and result is not None:
+            self._store(self.memory.globals[info.return_slot.uid], result)
+        return result
+
+    # -- statements ----------------------------------------------------------------------
+
+    def _exec_block(self, block: ast.Block) -> None:
+        for item in block.items:
+            if isinstance(item, ast.VarDecl):
+                self._exec_decl(item)
+            else:
+                self._exec_stmt(item)
+
+    def _exec_decl(self, decl: ast.VarDecl) -> None:
+        self._tick()
+        sym = self._local_symbol(decl)
+        cell = Obj(sym.type, sym.uid)
+        self.memory.top.bind(sym.uid, cell)
+        if decl.init is not None:
+            value = self._eval(decl.init, expected=collapse_arrays(sym.type))
+            self._store(cell, value)
+        self._observe(decl)
+
+    def _local_symbol(self, decl: ast.VarDecl) -> Symbol:
+        info = self.analyzed.symbols.function(self.memory.top.proc)
+        for sym in info.locals:
+            if sym.span == decl.span and sym.name == decl.name:
+                return sym
+        raise InterpError(f"unresolved local {decl.name!r}")
+
+    def _exec_stmt(self, stmt: ast.Stmt) -> None:
+        self._tick()
+        if isinstance(stmt, ast.Block):
+            self._exec_block(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._eval(stmt.expr)
+            self._observe(stmt)
+        elif isinstance(stmt, ast.EmptyStmt):
+            pass
+        elif isinstance(stmt, ast.If):
+            if self._truthy(self._eval(stmt.cond)):
+                self._exec_stmt(stmt.then)
+            elif stmt.otherwise is not None:
+                self._exec_stmt(stmt.otherwise)
+        elif isinstance(stmt, ast.While):
+            while self._truthy(self._eval(stmt.cond)):
+                self._tick()
+                try:
+                    self._exec_stmt(stmt.body)
+                except _Break:
+                    break
+                except _Continue:
+                    continue
+        elif isinstance(stmt, ast.DoWhile):
+            while True:
+                self._tick()
+                try:
+                    self._exec_stmt(stmt.body)
+                except _Break:
+                    break
+                except _Continue:
+                    pass
+                if not self._truthy(self._eval(stmt.cond)):
+                    break
+        elif isinstance(stmt, ast.For):
+            if stmt.init is not None:
+                self._eval(stmt.init)
+            while stmt.cond is None or self._truthy(self._eval(stmt.cond)):
+                self._tick()
+                try:
+                    self._exec_stmt(stmt.body)
+                except _Break:
+                    break
+                except _Continue:
+                    pass
+                if stmt.step is not None:
+                    self._eval(stmt.step)
+        elif isinstance(stmt, ast.Return):
+            value: Value = None
+            if stmt.value is not None:
+                info = self.analyzed.symbols.function(self.memory.top.proc)
+                value = self._eval(
+                    stmt.value, expected=collapse_arrays(info.return_type)
+                )
+                if info.return_slot is not None:
+                    self._store(self.memory.globals[info.return_slot.uid], value)
+            self._observe(stmt)
+            raise _Return(value)
+        elif isinstance(stmt, ast.Break):
+            raise _Break()
+        elif isinstance(stmt, ast.Continue):
+            raise _Continue()
+        elif isinstance(stmt, ast.Label):
+            self._exec_stmt(stmt.stmt)
+        elif isinstance(stmt, ast.Goto):
+            raise InterpError("goto is not supported by the interpreter")
+        elif isinstance(stmt, ast.Switch):
+            self._exec_switch(stmt)
+        else:
+            raise InterpError(f"cannot execute {type(stmt).__name__}")
+
+    def _exec_switch(self, stmt: ast.Switch) -> None:
+        selector = self._eval(stmt.cond)
+        matched = False
+        try:
+            for case in stmt.cases:
+                if not matched:
+                    if case.value is None:
+                        matched = True
+                    else:
+                        if self._eval(case.value) == selector:
+                            matched = True
+                if matched:
+                    for inner in case.body:
+                        self._exec_stmt(inner)
+        except _Break:
+            pass
+
+    # -- expressions -----------------------------------------------------------------------
+
+    def _eval(self, expr: ast.Expr, expected: Optional[Type] = None) -> Value:
+        self._tick()
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.FloatLit):
+            return expr.value
+        if isinstance(expr, ast.CharLit):
+            return ord(expr.value) if expr.value else 0
+        if isinstance(expr, ast.NullLit):
+            return None
+        if isinstance(expr, ast.StringLit):
+            uid = self._string_uids.get(expr.value)
+            if uid is not None:
+                return self.memory.globals.get(uid)
+            return self.memory.allocate(_char_type(), "str")
+        if isinstance(expr, ast.Ident):
+            cell = self._lvalue(expr)
+            sym = expr.symbol
+            if sym is not None and getattr(sym, "type", None) is not None and sym.type.is_array():
+                return cell  # array-to-pointer decay: value is the cell
+            return self._load(cell)
+        if isinstance(expr, ast.Unary):
+            return self._eval_unary(expr, expected)
+        if isinstance(expr, ast.Postfix):
+            cell = self._lvalue(expr.operand)
+            old = self._load(cell)
+            self._apply_incr(cell, expr.op)
+            return old
+        if isinstance(expr, ast.Binary):
+            return self._eval_binary(expr)
+        if isinstance(expr, ast.Assign):
+            cell = self._lvalue(expr.target)
+            if expr.op == "=":
+                value = self._eval(
+                    expr.value, expected=collapse_arrays(cell.type)
+                )
+                self._store(cell, value)
+                return value
+            current = self._as_number(self._load(cell))
+            rhs = self._as_number(self._eval(expr.value))
+            value = _arith(expr.op.rstrip("="), current, rhs)
+            cell.value = value
+            return value
+        if isinstance(expr, ast.Conditional):
+            if self._truthy(self._eval(expr.cond)):
+                return self._eval(expr.then, expected)
+            return self._eval(expr.otherwise, expected)
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr, expected)
+        if isinstance(expr, (ast.Index, ast.Member)):
+            cell = self._lvalue(expr)
+            if expr.ctype is not None and expr.ctype.is_array():
+                return cell  # decay of an array element/member
+            return self._load(cell)
+        if isinstance(expr, ast.Comma):
+            self._eval(expr.left)
+            return self._eval(expr.right, expected)
+        if isinstance(expr, ast.SizeOf):
+            return 8
+        raise InterpError(f"cannot evaluate {type(expr).__name__}")
+
+    def _eval_unary(self, expr: ast.Unary, expected: Optional[Type]) -> Value:
+        if expr.op == "*":
+            return self._load(self._lvalue(expr))
+        if expr.op == "&":
+            return self._lvalue(expr.operand)
+        if expr.op in ("++", "--"):
+            cell = self._lvalue(expr.operand)
+            self._apply_incr(cell, expr.op)
+            return self._load(cell)
+        value = self._eval(expr.operand)
+        if expr.op == "-":
+            return -self._as_number(value)
+        if expr.op == "+":
+            return self._as_number(value)
+        if expr.op == "!":
+            return 0 if self._truthy(value) else 1
+        if expr.op == "~":
+            return ~int(self._as_number(value))
+        raise InterpError(f"unknown unary {expr.op!r}")
+
+    def _apply_incr(self, cell: Obj, op: str) -> None:
+        if isinstance(cell.value, Obj):
+            return  # pointer arithmetic stays inside the aggregate
+        delta = 1 if op == "++" else -1
+        cell.value = self._as_number(cell.value) + delta
+
+    def _eval_binary(self, expr: ast.Binary) -> Value:
+        if expr.op == "&&":
+            if not self._truthy(self._eval(expr.left)):
+                return 0
+            return 1 if self._truthy(self._eval(expr.right)) else 0
+        if expr.op == "||":
+            if self._truthy(self._eval(expr.left)):
+                return 1
+            return 1 if self._truthy(self._eval(expr.right)) else 0
+        left = self._eval(expr.left)
+        right = self._eval(expr.right)
+        if expr.op in ("==", "!="):
+            equal = self._values_equal(left, right)
+            return (1 if equal else 0) if expr.op == "==" else (0 if equal else 1)
+        if isinstance(left, Obj) or isinstance(right, Obj):
+            # Pointer comparison / arithmetic on the aggregate.
+            if expr.op in ("<", ">", "<=", ">="):
+                l_key = left.oid if isinstance(left, Obj) else 0
+                r_key = right.oid if isinstance(right, Obj) else 0
+                return 1 if _compare(expr.op, l_key, r_key) else 0
+            if expr.op in ("+", "-"):
+                pointer = left if isinstance(left, Obj) else right
+                if isinstance(left, Obj) and isinstance(right, Obj):
+                    return 0  # pointer difference within an aggregate
+                return pointer
+            raise InterpTrap(f"invalid pointer operation {expr.op!r}")
+        lnum = self._as_number(left)
+        rnum = self._as_number(right)
+        if expr.op in ("<", ">", "<=", ">="):
+            return 1 if _compare(expr.op, lnum, rnum) else 0
+        return _arith(expr.op, lnum, rnum)
+
+    def _eval_call(self, expr: ast.Call, expected: Optional[Type]) -> Value:
+        if expr.callee in ALLOCATOR_NAMES:
+            for arg in expr.args:
+                self._eval(arg)
+            if expected is not None and isinstance(expected, PointerType):
+                return self.memory.allocate(expected.pointee, f"heap<{expr.callee}>")
+            # Unknown pointee (e.g. passed straight to a call); allocate int.
+            return self.memory.allocate(_int_type(), f"heap<{expr.callee}>")
+        if self.analyzed.symbols.has_function(expr.callee) and expr.callee in {
+            fn.name for fn in self.analyzed.functions
+        }:
+            info = self.analyzed.symbols.function(expr.callee)
+            args = [
+                self._eval(arg, expected=collapse_arrays(param.type).decayed())
+                for arg, param in zip(expr.args, info.params)
+            ]
+            return self._call(expr.callee, args)
+        # External: evaluate args for effects, produce a scripted int.
+        for arg in expr.args:
+            self._eval(arg)
+        return self._extern_int()
+
+    # -- lvalues -----------------------------------------------------------------------------
+
+    def _lvalue(self, expr: ast.Expr) -> Obj:
+        self._tick()
+        if isinstance(expr, ast.Ident):
+            sym = expr.symbol
+            assert isinstance(sym, Symbol)
+            cell = self.memory.lookup(sym.uid)
+            if cell is None:
+                raise InterpTrap(f"no storage for {sym.uid}")
+            return cell
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            value = self._eval(expr.operand)
+            if not isinstance(value, Obj):
+                raise InterpTrap("dereference of NULL/uninitialized pointer")
+            return value
+        if isinstance(expr, ast.Member):
+            if expr.arrow:
+                base_value = self._eval(expr.base)
+                if not isinstance(base_value, Obj):
+                    raise InterpTrap("-> through NULL/uninitialized pointer")
+                return base_value.field(expr.field_name)
+            return self._lvalue(expr.base).field(expr.field_name)
+        if isinstance(expr, ast.Index):
+            self._eval(expr.index)
+            base_type = expr.base.ctype
+            if base_type is not None and base_type.is_array():
+                return self._lvalue(expr.base)  # the aggregate itself
+            value = self._eval(expr.base)
+            if not isinstance(value, Obj):
+                raise InterpTrap("index through NULL/uninitialized pointer")
+            return value
+        raise InterpError(f"{type(expr).__name__} is not an lvalue")
+
+    # -- loads/stores ---------------------------------------------------------------------------
+
+    def _load(self, cell: Obj) -> Value:
+        if cell.is_struct:
+            return cell  # struct value contexts copy via _store
+        if cell.value is None and not isinstance(
+            collapse_arrays(cell.type), PointerType
+        ):
+            return 0  # uninitialized scalars read as 0
+        return cell.value
+
+    def _store(self, cell: Obj, value: Value) -> None:
+        if cell.is_struct:
+            if isinstance(value, Obj) and value.is_struct:
+                cell.copy_from(value)
+                return
+            raise InterpTrap("storing non-struct into struct")
+        cell.value = value
+
+    # -- helpers ------------------------------------------------------------------------------------
+
+    @staticmethod
+    def _truthy(value: Value) -> bool:
+        if value is None:
+            return False
+        if isinstance(value, Obj):
+            return True
+        return bool(value)
+
+    @staticmethod
+    def _values_equal(left: Value, right: Value) -> bool:
+        if isinstance(left, Obj) or isinstance(right, Obj):
+            return left is right
+        if left is None or right is None:
+            return (left or 0) == (right or 0)
+        return left == right
+
+    @staticmethod
+    def _as_number(value: Value) -> Union[int, float]:
+        if value is None:
+            return 0
+        if isinstance(value, Obj):
+            return value.oid
+        return value
+
+
+def _arith(op: str, left, right):
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise InterpTrap("division by zero")
+        if isinstance(left, float) or isinstance(right, float):
+            return left / right
+        return int(left / right)
+    if op == "%":
+        if right == 0:
+            raise InterpTrap("modulo by zero")
+        return int(left) % int(right)
+    if op == "&":
+        return int(left) & int(right)
+    if op == "|":
+        return int(left) | int(right)
+    if op == "^":
+        return int(left) ^ int(right)
+    if op == "<<":
+        return int(left) << (int(right) & 63)
+    if op == ">>":
+        return int(left) >> (int(right) & 63)
+    raise InterpError(f"unknown operator {op!r}")
+
+
+def _compare(op: str, left, right) -> bool:
+    if op == "<":
+        return left < right
+    if op == ">":
+        return left > right
+    if op == "<=":
+        return left <= right
+    return left >= right
+
+
+def _int_type():
+    from ..frontend.types import scalar
+
+    return scalar("int")
+
+
+def _char_type():
+    from ..frontend.types import scalar
+
+    return scalar("char")

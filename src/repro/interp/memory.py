@@ -1,0 +1,143 @@
+"""Concrete memory model for the MiniC interpreter.
+
+Storage is a graph of :class:`Obj` cells.  To stay aligned with the
+analysis abstraction (and the paper's treatment), arrays are
+*aggregates*: an array allocates a single element object and every
+index denotes it.  Struct objects own one sub-object per field.
+
+A *location* is an :class:`Obj` identity; two object names alias at
+run time exactly when they resolve to the same ``Obj``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Union
+
+from ..frontend.types import PointerType, ScalarType, StructType, Type
+from ..names.context import collapse_arrays
+
+_ids = itertools.count(1)
+
+
+class Obj:
+    """One storage cell (scalar or pointer) or a struct of cells."""
+
+    __slots__ = ("oid", "type", "value", "fields", "label")
+
+    def __init__(self, obj_type: Type, label: str = "") -> None:
+        obj_type = collapse_arrays(obj_type)
+        self.oid = next(_ids)
+        self.type = obj_type
+        self.label = label
+        self.value: Union[int, float, "Obj", None] = None
+        self.fields: Optional[dict[str, "Obj"]] = None
+        if isinstance(obj_type, StructType):
+            self.fields = {
+                name: Obj(ftype, f"{label}.{name}")
+                for name, ftype in obj_type.fields
+            }
+
+    @property
+    def is_struct(self) -> bool:
+        """Does this cell own field sub-objects?"""
+        return self.fields is not None
+
+    def field(self, name: str) -> "Obj":
+        """The sub-object for ``name``."""
+        assert self.fields is not None, f"field access on non-struct {self.label}"
+        return self.fields[name]
+
+    def read_pointer(self) -> Optional["Obj"]:
+        """The object this cell points to (None for NULL/uninitialized)."""
+        if isinstance(self.value, Obj):
+            return self.value
+        return None
+
+    def copy_from(self, other: "Obj") -> None:
+        """Value copy (struct copies recurse into fields)."""
+        if self.is_struct and other.is_struct:
+            assert self.fields is not None and other.fields is not None
+            for name, cell in self.fields.items():
+                src = other.fields.get(name)
+                if src is not None:
+                    cell.copy_from(src)
+            return
+        self.value = other.value
+
+    def __repr__(self) -> str:
+        if self.is_struct:
+            return f"<obj{self.oid} struct {self.label}>"
+        if isinstance(self.value, Obj):
+            return f"<obj{self.oid} {self.label} -> obj{self.value.oid}>"
+        return f"<obj{self.oid} {self.label} = {self.value!r}>"
+
+
+class Frame:
+    """One procedure activation: uid → Obj for params and locals."""
+
+    __slots__ = ("proc", "slots")
+
+    def __init__(self, proc: str) -> None:
+        self.proc = proc
+        self.slots: dict[str, Obj] = {}
+
+    def bind(self, uid: str, obj: Obj) -> None:
+        """Bind a uid to a storage cell in this frame."""
+        self.slots[uid] = obj
+
+    def lookup(self, uid: str) -> Optional[Obj]:
+        """The cell bound to ``uid``, or None."""
+        return self.slots.get(uid)
+
+
+class Memory:
+    """Globals plus the activation stack plus the heap roots."""
+
+    def __init__(self) -> None:
+        self.globals: dict[str, Obj] = {}
+        self.stack: list[Frame] = []
+        self.heap: list[Obj] = []
+
+    def push(self, frame: Frame) -> None:
+        """Push an activation frame."""
+        self.stack.append(frame)
+
+    def pop(self) -> Frame:
+        """Pop the top activation frame."""
+        return self.stack.pop()
+
+    @property
+    def top(self) -> Frame:
+        """The current activation frame."""
+        return self.stack[-1]
+
+    def lookup(self, uid: str) -> Optional[Obj]:
+        """Resolve a variable uid in the current dynamic context."""
+        if self.stack:
+            found = self.stack[-1].lookup(uid)
+            if found is not None:
+                return found
+        return self.globals.get(uid)
+
+    def allocate(self, obj_type: Type, label: str = "heap") -> Obj:
+        """Allocate heap storage of ``obj_type``."""
+        obj = Obj(obj_type, label)
+        self.heap.append(obj)
+        return obj
+
+    def live_roots(self) -> dict[str, Obj]:
+        """uid → Obj for every variable with exactly one live instance
+        (globals plus locals of frames on the stack; uids instantiated
+        more than once — recursion — are excluded because a single
+        object name cannot distinguish the instances)."""
+        counts: dict[str, int] = {}
+        roots: dict[str, Obj] = {}
+        for uid, obj in self.globals.items():
+            counts[uid] = counts.get(uid, 0) + 1
+            roots[uid] = obj
+        for frame in self.stack:
+            for uid, obj in frame.slots.items():
+                counts[uid] = counts.get(uid, 0) + 1
+                roots[uid] = obj
+        return {uid: obj for uid, obj in roots.items() if counts[uid] == 1}

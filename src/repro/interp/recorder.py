@@ -1,0 +1,167 @@
+"""Run-time alias observation and soundness checking.
+
+After each observed statement the recorder enumerates every object
+name reachable from the live variable roots (up to a dereference
+budget), maps names to concrete storage cells, and derives the alias
+pairs that *actually hold* at that moment.  A sound static solution
+must contain every observed pair at the corresponding ICFG node —
+this is the dynamic validation used by the property test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ..core.solution import MayAliasSolution
+from ..icfg.ir import Node
+from ..names.alias_pairs import AliasPair
+from ..names.object_names import ObjectName
+from .memory import Memory, Obj
+
+
+def enumerate_names(
+    memory: Memory, max_derefs: int
+) -> Iterator[tuple[ObjectName, Obj]]:
+    """All (object name, cell) pairs reachable from the live roots with
+    at most ``max_derefs`` dereferences."""
+    for uid, root in memory.live_roots().items():
+        yield from _walk(ObjectName(uid), root, max_derefs)
+
+
+def _walk(
+    name: ObjectName, obj: Obj, budget: int
+) -> Iterator[tuple[ObjectName, Obj]]:
+    yield name, obj
+    if obj.is_struct:
+        assert obj.fields is not None
+        for fname, cell in obj.fields.items():
+            yield from _walk(name.field(fname), cell, budget)
+    elif isinstance(obj.value, Obj) and budget > 0:
+        yield from _walk(name.deref(), obj.value, budget - 1)
+
+
+def observed_aliases(memory: Memory, max_derefs: int) -> set[AliasPair]:
+    """Alias pairs that hold right now: distinct names, same cell."""
+    by_cell: dict[int, list[ObjectName]] = {}
+    for name, obj in enumerate_names(memory, max_derefs):
+        by_cell.setdefault(obj.oid, []).append(name)
+    pairs: set[AliasPair] = set()
+    for names in by_cell.values():
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                pair = AliasPair(a, b)
+                if not pair.is_trivial:
+                    pairs.add(pair)
+    return pairs
+
+
+@dataclass(slots=True)
+class SoundnessViolation:
+    """One observed alias missing from the static solution."""
+    node: Node
+    pair: AliasPair
+
+    def __str__(self) -> str:
+        return f"missing alias {self.pair} at n{self.node.nid} [{self.node.label()}]"
+
+
+@dataclass(slots=True)
+class SoundnessReport:
+    """Result of validating one execution against a static solution."""
+
+    checked_nodes: int = 0
+    checked_pairs: int = 0
+    violations: list[SoundnessViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """No violations recorded."""
+        return not self.violations
+
+
+class SoundnessChecker:
+    """Observer asserting observed aliases are statically predicted.
+
+    The static solution speaks the paper's language: at a node of
+    procedure ``P`` it tracks aliases among names *visible in P*
+    (globals plus P's own variables), with every non-visible name
+    compressed into the ``nonvisible`` token.  The checker therefore
+
+    * checks pairs of P-visible names directly,
+    * checks (visible, non-visible) pairs against the node's
+      nonvisible-bearing facts, and
+    * skips pairs of two non-visible names (they are validated at the
+      caller's own nodes, where both names are visible).
+    """
+
+    def __init__(self, solution: MayAliasSolution, max_derefs: Optional[int] = None) -> None:
+        self.solution = solution
+        self.max_derefs = max_derefs if max_derefs is not None else solution.k + 1
+        self.report = SoundnessReport()
+
+    def _visible_at(self, name: ObjectName, proc: str) -> bool:
+        sym = self.solution.ctx.base_symbol(name)
+        if sym is None:
+            return False
+        return sym.is_global or sym.proc == proc
+
+    def _nonvisible_covered(self, node: Node, visible: ObjectName) -> bool:
+        """Is ``visible`` paired with the nonvisible token at ``node``
+        (exactly or through a truncated representative)?"""
+        for _, pair in self.solution.store.at_node(node.nid):
+            nv = pair.nonvisible_member()
+            if nv is None:
+                continue
+            other = pair.other(nv)
+            if other == visible or (other.truncated and other.is_prefix(visible)):
+                return True
+        return False
+
+    def __call__(self, node: Node, memory: Memory) -> None:
+        self.report.checked_nodes += 1
+        for pair in observed_aliases(memory, self.max_derefs):
+            vis_first = self._visible_at(pair.first, node.proc)
+            vis_second = self._visible_at(pair.second, node.proc)
+            if not vis_first and not vis_second:
+                continue
+            self.report.checked_pairs += 1
+            if vis_first and vis_second:
+                ok = self.solution.alias_query(node, pair.first, pair.second)
+            else:
+                visible = pair.first if vis_first else pair.second
+                ok = self._nonvisible_covered(node, visible)
+            if not ok:
+                self.report.violations.append(SoundnessViolation(node, pair))
+
+
+def validate_soundness(
+    source: str,
+    k: int = 3,
+    fuel: int = 100_000,
+    extern_values: Optional[list[int]] = None,
+    max_facts: Optional[int] = 1_000_000,
+) -> SoundnessReport:
+    """End-to-end dynamic validation of the analysis on ``source``:
+    parse, analyze, execute, and check every observed alias.  Raises
+    RuntimeError when the static analysis exceeds ``max_facts``."""
+    from ..core.analysis import analyze_program
+    from ..frontend.semantics import parse_and_analyze
+    from ..icfg.builder import IcfgBuilder
+    from .interpreter import Interpreter
+
+    analyzed = parse_and_analyze(source)
+    builder = IcfgBuilder(analyzed)
+    icfg = builder.build()
+    solution = analyze_program(analyzed, icfg, k=k, max_facts=max_facts)
+    checker = SoundnessChecker(solution)
+    interp = Interpreter(
+        analyzed,
+        stmt_end_nodes=builder.stmt_end_nodes,
+        observer=checker,
+        fuel=fuel,
+        extern_values=extern_values,
+        string_uids=dict(builder._string_uids),
+    )
+    interp.run()
+    return checker.report

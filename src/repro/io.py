@@ -1,0 +1,157 @@
+"""Serialization of alias solutions.
+
+Real toolchains compute aliases once and feed many consumers; this
+module exports a :class:`MayAliasSolution` to a JSON-able document and
+loads it back into a lightweight, query-only form
+(:class:`LoadedSolution`) with the same query surface the client
+analyses use.
+
+The format is versioned and intentionally simple::
+
+    {
+      "format": "repro-alias-solution",
+      "version": 1,
+      "k": 3,
+      "nodes": [{"id": 0, "proc": "main", "kind": "entry", "label": ...}],
+      "facts": [
+        {"node": 7,
+         "assume": [["g1", ["*"], false], ...pairs...],
+         "pair": [[base, selectors, truncated], [base, selectors, truncated]],
+         "clean": true},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional, TextIO, Union
+
+from .core.solution import MayAliasSolution
+from .names.alias_pairs import AliasPair
+from .names.object_names import ObjectName
+
+FORMAT_NAME = "repro-alias-solution"
+FORMAT_VERSION = 1
+
+
+def _name_to_json(name: ObjectName) -> list:
+    return [name.base, list(name.selectors), name.truncated]
+
+
+def _name_from_json(data: list) -> ObjectName:
+    base, selectors, truncated = data
+    return ObjectName(base, tuple(selectors), bool(truncated))
+
+
+def _pair_to_json(pair: AliasPair) -> list:
+    return [_name_to_json(pair.first), _name_to_json(pair.second)]
+
+
+def _pair_from_json(data: list) -> AliasPair:
+    return AliasPair(_name_from_json(data[0]), _name_from_json(data[1]))
+
+
+def solution_to_dict(solution: MayAliasSolution) -> dict:
+    """Export every may-hold fact plus the node table."""
+    nodes = [
+        {
+            "id": node.nid,
+            "proc": node.proc,
+            "kind": node.kind.value,
+            "label": node.label(),
+        }
+        for node in solution.icfg.nodes
+    ]
+    facts = []
+    for (nid, assumption, pair), clean in solution.store.facts():
+        facts.append(
+            {
+                "node": nid,
+                "assume": [_pair_to_json(a) for a in assumption],
+                "pair": _pair_to_json(pair),
+                "clean": bool(clean),
+            }
+        )
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "k": solution.k,
+        "nodes": nodes,
+        "facts": facts,
+    }
+
+
+def dump_solution(solution: MayAliasSolution, fp: TextIO) -> None:
+    """Serialize ``solution`` as JSON to an open file."""
+    json.dump(solution_to_dict(solution), fp)
+
+
+def dumps_solution(solution: MayAliasSolution) -> str:
+    """Serialize ``solution`` to a JSON string."""
+    return json.dumps(solution_to_dict(solution))
+
+
+class LoadedSolution:
+    """Query-only view over a deserialized solution."""
+
+    def __init__(self, document: dict) -> None:
+        if document.get("format") != FORMAT_NAME:
+            raise ValueError(f"not a {FORMAT_NAME} document")
+        if document.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported version {document.get('version')!r} "
+                f"(expected {FORMAT_VERSION})"
+            )
+        self.k: int = document["k"]
+        self.nodes: dict[int, dict] = {n["id"]: n for n in document["nodes"]}
+        self._pairs_at: dict[int, set[AliasPair]] = {}
+        self._clean: dict[tuple[int, AliasPair], bool] = {}
+        for fact in document["facts"]:
+            nid = fact["node"]
+            pair = _pair_from_json(fact["pair"])
+            self._pairs_at.setdefault(nid, set()).add(pair)
+            key = (nid, pair)
+            self._clean[key] = self._clean.get(key, False) or fact["clean"]
+
+    def may_alias(self, node: Union[int, object]) -> set[AliasPair]:
+        """Alias pairs recorded at ``node``."""
+        nid = node if isinstance(node, int) else node.nid
+        return set(self._pairs_at.get(nid, ()))
+
+    def alias_query(self, node: Union[int, object], a: ObjectName, b: ObjectName) -> bool:
+        """May ``a`` and ``b`` alias at ``node``?  Honors truncated representatives."""
+        nid = node if isinstance(node, int) else node.nid
+        target = AliasPair(a, b)
+        pairs = self._pairs_at.get(nid, ())
+        if target in pairs:
+            return True
+        for stored in pairs:
+            for x, y in ((stored.first, stored.second), (stored.second, stored.first)):
+                x_ok = x == a or (x.truncated and x.is_prefix(a))
+                y_ok = y == b or (y.truncated and y.is_prefix(b))
+                if x_ok and y_ok:
+                    return True
+        return False
+
+    def percent_yes(self) -> float:
+        """%YES over the loaded (node, pair) facts."""
+        if not self._clean:
+            return 100.0
+        yes = sum(1 for clean in self._clean.values() if clean)
+        return 100.0 * yes / len(self._clean)
+
+    def node_pair_count(self) -> int:
+        """Number of distinct (node, pair) facts loaded."""
+        return len(self._clean)
+
+
+def load_solution(fp: TextIO) -> LoadedSolution:
+    """Load a serialized solution from an open file."""
+    return LoadedSolution(json.load(fp))
+
+
+def loads_solution(text: str) -> LoadedSolution:
+    """Load a serialized solution from a JSON string."""
+    return LoadedSolution(json.loads(text))

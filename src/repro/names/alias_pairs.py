@@ -1,0 +1,108 @@
+"""Unordered alias pairs (paper §3).
+
+Aliases are represented by unordered pairs of object names, e.g.
+``(v, *p)``.  The relation is symmetric, so pairs are canonicalized on
+construction; ``AliasPair(a, b) == AliasPair(b, a)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from .object_names import ObjectName, is_nonvisible_based, k_limit
+
+
+def _key(name: ObjectName) -> tuple:
+    return (name.base, name.selectors, name.truncated)
+
+
+@dataclass(frozen=True, slots=True, init=False, eq=False)
+class AliasPair:
+    """A canonical unordered pair of object names (hash cached: pairs
+    are dictionary keys throughout the analysis)."""
+
+    first: ObjectName
+    second: ObjectName
+    _hash: int
+
+    def __init__(self, a: ObjectName, b: ObjectName) -> None:
+        if _key(b) < _key(a):
+            a, b = b, a
+        object.__setattr__(self, "first", a)
+        object.__setattr__(self, "second", b)
+        object.__setattr__(self, "_hash", hash((a, b)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AliasPair):
+            return NotImplemented
+        return (
+            self._hash == other._hash
+            and self.first == other.first
+            and self.second == other.second
+        )
+
+    def __iter__(self) -> Iterator[ObjectName]:
+        yield self.first
+        yield self.second
+
+    def other(self, name: ObjectName) -> ObjectName:
+        """The member that is not ``name`` (``name`` must be a member)."""
+        if name == self.first:
+            return self.second
+        if name == self.second:
+            return self.first
+        raise ValueError(f"{name} is not a member of {self}")
+
+    def involves(self, name: ObjectName) -> bool:
+        """Is ``name`` one of the two members?"""
+        return name == self.first or name == self.second
+
+    def involves_base(self, base: str) -> bool:
+        """Does either member root at ``base``?"""
+        return self.first.base == base or self.second.base == base
+
+    @property
+    def is_trivial(self) -> bool:
+        """A name is trivially aliased to itself."""
+        return self.first == self.second
+
+    @property
+    def has_nonvisible(self) -> bool:
+        """Does either member root at a nonvisible token?"""
+        return is_nonvisible_based(self.first) or is_nonvisible_based(self.second)
+
+    def nonvisible_member(self) -> Optional[ObjectName]:
+        """The nonvisible-rooted member, if any."""
+        if is_nonvisible_based(self.first):
+            return self.first
+        if is_nonvisible_based(self.second):
+            return self.second
+        return None
+
+    def visible_member(self) -> Optional[ObjectName]:
+        """The member that is *not* nonvisible-based, if any."""
+        if not is_nonvisible_based(self.first):
+            return self.first
+        if not is_nonvisible_based(self.second):
+            return self.second
+        return None
+
+    def map(self, fn) -> "AliasPair":
+        """Apply ``fn`` to both members, re-canonicalizing."""
+        return AliasPair(fn(self.first), fn(self.second))
+
+    def k_limited(self, k: int) -> "AliasPair":
+        """Both members k-limited."""
+        return AliasPair(k_limit(self.first, k), k_limit(self.second, k))
+
+    def __str__(self) -> str:
+        return f"({self.first}, {self.second})"
+
+
+def make_pair(a: ObjectName, b: ObjectName, k: int) -> AliasPair:
+    """Build a k-limited alias pair."""
+    return AliasPair(k_limit(a, k), k_limit(b, k))

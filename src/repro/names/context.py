@@ -1,0 +1,207 @@
+"""Typed name context: the bridge between symbols/types and object names.
+
+The core algorithm needs, for any object name:
+
+* its type (to enumerate the paper's implicit ``(p->next, q->next)``
+  extension aliases),
+* its visibility in a given procedure (for ``bind``/``back-bind``), and
+* whether its base variable is owned by a given procedure (names based
+  on callee locals die at returns).
+
+Arrays are *aggregates* in the paper, so array types collapse to their
+element type for naming purposes: the object name ``a`` stands for
+every element of ``a``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..frontend.symbols import Symbol, SymbolKind, SymbolTable
+from ..frontend.types import ArrayType, PointerType, StructType, Type
+from .object_names import DEREF, ObjectName, k_limit
+from .alias_pairs import AliasPair
+
+
+_MISSING = object()
+
+
+def collapse_arrays(t: Type) -> Type:
+    """Array-of-T behaves as T for object naming (aggregate treatment)."""
+    while isinstance(t, ArrayType):
+        t = t.element
+    return t
+
+
+class NameContext:
+    """Per-program helper answering type/visibility queries on names."""
+
+    def __init__(self, symbols: SymbolTable, k: int) -> None:
+        self.symbols = symbols
+        self.k = k
+        self._by_uid: dict[str, Symbol] = {}
+        for sym in symbols.all_symbols():
+            self._by_uid[sym.uid] = sym
+        self._ext_cache: dict[tuple[ObjectName, ObjectName], tuple[AliasPair, ...]] = {}
+        self._type_cache: dict[ObjectName, object] = {}
+
+    # -- symbols ---------------------------------------------------------------
+
+    def symbol(self, uid: str) -> Optional[Symbol]:
+        """The Symbol with this uid, or None."""
+        return self._by_uid.get(uid)
+
+    def base_symbol(self, name: ObjectName) -> Optional[Symbol]:
+        """The Symbol of the name's base variable, or None."""
+        return self._by_uid.get(name.base)
+
+    # -- typing ---------------------------------------------------------------
+
+    def name_type(self, name: ObjectName) -> Optional[Type]:
+        """Type of ``name``, or None for nonvisible/unknown bases or
+        selector sequences that do not type-check (possible on truncated
+        representatives)."""
+        cached = self._type_cache.get(name, _MISSING)
+        if cached is not _MISSING:
+            return cached  # type: ignore[return-value]
+        result = self._name_type_uncached(name)
+        self._type_cache[name] = result
+        return result
+
+    def _name_type_uncached(self, name: ObjectName) -> Optional[Type]:
+        sym = self._by_uid.get(name.base)
+        if sym is None:
+            return None
+        t: Type = collapse_arrays(sym.type)
+        for sel in name.selectors:
+            if sel == DEREF:
+                if not isinstance(t, PointerType):
+                    return None
+                t = collapse_arrays(t.pointee)
+            else:
+                if not isinstance(t, StructType):
+                    return None
+                ftype = t.field_type(sel)
+                if ftype is None:
+                    return None
+                t = collapse_arrays(ftype)
+        return t
+
+    def is_pointer_name(self, name: ObjectName) -> bool:
+        """Does ``name`` have pointer type?"""
+        t = self.name_type(name)
+        return t is not None and isinstance(t, PointerType)
+
+    # -- visibility (paper §3, "visible") ---------------------------------------
+
+    def visible_in_callee(self, name: ObjectName, callee: str) -> bool:
+        """Is ``name`` (a caller-side name) visible in procedure
+        ``callee``?  True exactly for names rooted at globals (including
+        synthetic return slots), which denote the same object in caller
+        and callee.  Caller locals — even same-named ones across a
+        recursive call — are not visible."""
+        sym = self._by_uid.get(name.base)
+        if sym is None:
+            return False
+        return sym.is_global
+
+    def owned_by(self, name: ObjectName, proc: str) -> bool:
+        """Is the base of ``name`` a local/param of ``proc``?  Such names
+        die when ``proc`` returns."""
+        sym = self._by_uid.get(name.base)
+        return sym is not None and sym.proc == proc
+
+    def survives_return(self, name: ObjectName, callee: str) -> bool:
+        """Can ``name`` (a callee-side name) be meaningful in the caller
+        after the call returns?  Globals and return slots survive;
+        callee locals/formals and nonvisible placeholders do not
+        (nonvisibles are *instantiated*, not passed through)."""
+        if name.is_nonvisible:
+            return False
+        sym = self._by_uid.get(name.base)
+        return sym is not None and sym.is_global
+
+    # -- typed extensions (the implicit alias chains) ----------------------------
+
+    def extensions(
+        self, start: Type, max_derefs: int
+    ) -> Iterator[tuple[tuple[str, ...], Type]]:
+        """All nonempty type-valid selector extensions from ``start``
+        using at most ``max_derefs`` dereferences.
+
+        Deref steps require pointer type; field steps require complete
+        struct type.  Termination: every cycle through a recursive
+        struct consumes a deref, and field-only chains are finite.
+        """
+        stack: list[tuple[tuple[str, ...], Type, int]] = [((), start, max_derefs)]
+        while stack:
+            prefix, t, budget = stack.pop()
+            if isinstance(t, PointerType) and budget > 0:
+                ext = prefix + (DEREF,)
+                pointee = collapse_arrays(t.pointee)
+                yield ext, pointee
+                stack.append((ext, pointee, budget - 1))
+            elif isinstance(t, StructType) and t.complete:
+                for fname, ftype in t.fields:
+                    ext = prefix + (fname,)
+                    ftype = collapse_arrays(ftype)
+                    yield ext, ftype
+                    stack.append((ext, ftype, budget))
+
+    def extension_pairs(self, a: ObjectName, b: ObjectName) -> tuple[AliasPair, ...]:
+        """The paper's implicit aliases: given a new alias ``(a, b)``,
+        the pairs ``(a+sigma, b+sigma)`` for every type-valid extension
+        ``sigma``, k-limited.  Memoized — the same pair is re-emitted
+        many times during propagation.
+
+        Extensions are driven by the more precisely typed side (one side
+        may be ``void*`` from an allocator or a truncated name).
+        """
+        key = (a, b)
+        cached = self._ext_cache.get(key)
+        if cached is None:
+            cached = tuple(self._extension_pairs_uncached(a, b))
+            self._ext_cache[key] = cached
+        return cached
+
+    def _extension_pairs_uncached(self, a: ObjectName, b: ObjectName) -> Iterator[AliasPair]:
+        # Drive from the most informative side: an *untruncated* member
+        # with a concrete type.  A truncated member's reported type is
+        # the type at its truncation point — not the type of the deeper
+        # names it represents — so driving from it under-enumerates
+        # (caught by the dynamic soundness fuzzer on binary trees at
+        # k=1).
+        def usable(t):
+            return t is not None and not (
+                isinstance(t, PointerType) and t.pointee.is_void()
+            )
+
+        ta, tb = self.name_type(a), self.name_type(b)
+        if a.truncated and not b.truncated and usable(tb):
+            t, a, b = tb, b, a
+        elif usable(ta):
+            t = ta
+        elif usable(tb):
+            t, a, b = tb, b, a
+        else:
+            t = ta if ta is not None else tb
+            if t is None:
+                return
+            if self.name_type(a) is None:
+                a, b = b, a
+        budget = self.k + 1 - min(a.num_derefs, b.num_derefs)
+        if budget <= 0:
+            return
+        # Skip extensions that are type-invalid on the other side (its
+        # type may be unknown — nonvisible or void* — in which case we
+        # keep them conservatively).
+        other_known = self.name_type(b) is not None and not b.truncated
+        seen: set[AliasPair] = set()
+        for ext, _ in self.extensions(t, budget):
+            other = b.extend(ext)
+            if other_known and not other.truncated and self.name_type(other) is None:
+                continue
+            pair = AliasPair(k_limit(a.extend(ext), self.k), k_limit(other, self.k))
+            if pair not in seen and not pair.is_trivial:
+                seen.add(pair)
+                yield pair

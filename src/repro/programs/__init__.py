@@ -1,0 +1,32 @@
+"""Workload programs: Figure 4's all-or-none, the synthetic suite and
+hand-written fixtures."""
+
+from .allornone import all_or_none, expected_shape
+from .fixtures import ALL_FIXTURES, STRESS_FIXTURES
+from .generator import ProgramSpec, SyntheticProgram, generate_program
+from .suite import (
+    TABLE1_AVERAGE_RATIO,
+    TABLE1_PAPER,
+    TABLE2_PAPER,
+    SuiteMember,
+    suite_member,
+    table1_suite,
+    table2_suite,
+)
+
+__all__ = [
+    "ALL_FIXTURES",
+    "ProgramSpec",
+    "STRESS_FIXTURES",
+    "SuiteMember",
+    "SyntheticProgram",
+    "TABLE1_AVERAGE_RATIO",
+    "TABLE1_PAPER",
+    "TABLE2_PAPER",
+    "all_or_none",
+    "expected_shape",
+    "generate_program",
+    "suite_member",
+    "table1_suite",
+    "table2_suite",
+]

@@ -1,0 +1,56 @@
+"""The paper's worst-case construction ``all-or-none(n)`` (Figure 4).
+
+::
+
+    while (-) {
+        #for all k, 1 <= k <= n:
+        if (-) { vk = b; b = NULL; }
+        #end for all
+        if (-) { b = d; d = NULL; }
+    }
+
+If no aliases hold before the loop, the precise solution has Θ(n)
+program-point aliases.  But if the (possibly erroneous) alias
+``(*b, *d)`` holds before the loop, then every ``*vi`` may alias every
+``*vj`` at every program point — Θ(n³) (node, pair) facts.  The paper
+proves this is the worst case for their algorithm under
+``precision_k``; the Figure 4 benchmark reproduces the Θ(n) vs Θ(n³)
+separation by analyzing both the unseeded and the seeded variant.
+"""
+
+from __future__ import annotations
+
+
+def all_or_none(n: int, seed_alias: bool = False) -> str:
+    """MiniC source for ``all-or-none(n)``.
+
+    ``seed_alias=True`` prepends a conditional ``b = d`` so the alias
+    ``(*b, *d)`` may hold before the loop — the paper's trigger for the
+    cubic blowup (for *any* safe approximate algorithm, the blowup is
+    triggered by an erroneous ``(*b, *d)``; feeding a genuine may-alias
+    exercises exactly the same propagation paths).
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    decls = ", ".join(f"*v{k}" for k in range(1, n + 1))
+    lines = [
+        f"int {decls};",
+        "int *b, *d;",
+        "int unknown;",
+        "int main() {",
+    ]
+    if seed_alias:
+        lines.append("    if (unknown) { b = d; }")
+    lines.append("    while (unknown) {")
+    for k in range(1, n + 1):
+        lines.append(f"        if (unknown) {{ v{k} = b; b = NULL; }}")
+    lines.append("        if (unknown) { b = d; d = NULL; }")
+    lines.append("    }")
+    lines.append("    return 0;")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def expected_shape(n: int, seeded: bool) -> str:
+    """The asymptotic count of (node, pair) facts the paper predicts."""
+    return "Theta(n^3)" if seeded else "Theta(n)"

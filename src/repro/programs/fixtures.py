@@ -1,0 +1,317 @@
+"""Hand-written MiniC fixture programs.
+
+Small but realistic programs in the style of the paper's motivating
+workloads: a linked-list library, a string-intern table (arrays as
+aggregates), and an expression-tree evaluator (recursive structures
+and multi-level pointers).  Used by integration tests, examples and
+the documentation.
+"""
+
+from __future__ import annotations
+
+FIGURE1 = """\
+/* The paper's Figure 1 program. */
+int *g1, g2;
+
+void p(void) {
+    g1 = &g2;
+}
+
+int main() {
+    int **l1, *l2;
+    l2 = &g2;
+    g1 = &g2;
+    l1 = &g1;
+    p();
+    l2 = &g2;
+    p();
+    return 0;
+}
+"""
+
+LINKED_LIST = """\
+/* A linked-list library: push, find, last. */
+struct node { int value; struct node *next; };
+
+struct node *push(struct node *head, int v) {
+    struct node *n;
+    n = malloc(16);
+    n->value = v;
+    n->next = head;
+    return n;
+}
+
+struct node *find(struct node *head, int v) {
+    struct node *cur;
+    cur = head;
+    while (cur != NULL) {
+        if (cur->value == v) { return cur; }
+        cur = cur->next;
+    }
+    return NULL;
+}
+
+struct node *last(struct node *head) {
+    struct node *cur;
+    if (head == NULL) { return NULL; }
+    cur = head;
+    while (cur->next != NULL) { cur = cur->next; }
+    return cur;
+}
+
+int main() {
+    struct node *list, *hit, *tail;
+    int i;
+    list = NULL;
+    for (i = 0; i < 6; i = i + 1) {
+        list = push(list, i);
+    }
+    hit = find(list, 3);
+    if (hit != NULL) { hit->value = 33; }
+    tail = last(list);
+    return 0;
+}
+"""
+
+LIST_RECYCLER = """\
+/* Stress fixture: an in-place reverse plus a freelist recycler.  The
+   freelist cycle makes nearly every node name may-alias every other,
+   which saturates the k-limited pair universe — the analysis's
+   genuine worst case (compare the paper's `assembler` row: 1.26M
+   aliases, %YES = 10).  Used only by slow/stress tests. */
+struct node { int value; struct node *next; };
+
+struct node *freelist;
+
+struct node *alloc_node(int v) {
+    struct node *n;
+    if (freelist != NULL) {
+        n = freelist;
+        freelist = freelist->next;
+    } else {
+        n = malloc(16);
+    }
+    n->value = v;
+    n->next = NULL;
+    return n;
+}
+
+struct node *reverse(struct node *head) {
+    struct node *prev, *cur, *next;
+    prev = NULL;
+    cur = head;
+    while (cur != NULL) {
+        next = cur->next;
+        cur->next = prev;
+        prev = cur;
+        cur = next;
+    }
+    return prev;
+}
+
+void release(struct node *head) {
+    struct node *cur, *next;
+    cur = head;
+    while (cur != NULL) {
+        next = cur->next;
+        cur->next = freelist;
+        freelist = cur;
+        cur = next;
+    }
+}
+
+int main() {
+    struct node *list, *n;
+    int i;
+    list = NULL;
+    for (i = 0; i < 4; i = i + 1) {
+        n = alloc_node(i);
+        n->next = list;
+        list = n;
+    }
+    list = reverse(list);
+    release(list);
+    return 0;
+}
+"""
+
+STRING_TABLE = """\
+/* A string-intern table: arrays as aggregates, pointer returns. */
+struct entry { char *text; int count; struct entry *next; };
+
+struct entry *buckets[8];
+char *last_interned;
+
+int hash_text(char *s) {
+    int h;
+    h = 0;
+    while (*s != 0) {
+        h = h * 31 + *s;
+        s = s + 1;
+    }
+    if (h < 0) { h = -h; }
+    return h % 8;
+}
+
+struct entry *intern(char *s) {
+    struct entry *e;
+    int h;
+    h = hash_text(s);
+    e = buckets[h];
+    while (e != NULL) {
+        if (strcmp(e->text, s) == 0) {
+            e->count = e->count + 1;
+            return e;
+        }
+        e = e->next;
+    }
+    e = malloc(24);
+    e->text = s;
+    e->count = 1;
+    e->next = buckets[h];
+    buckets[h] = e;
+    last_interned = e->text;
+    return e;
+}
+
+int main() {
+    struct entry *a, *b;
+    a = intern("alpha");
+    b = intern("beta");
+    a = intern("alpha");
+    if (a != NULL) { last_interned = a->text; }
+    return 0;
+}
+"""
+
+EXPR_TREE = """\
+/* An expression-tree evaluator: recursion over a pointer structure. */
+struct expr {
+    int op;          /* 0 = leaf, 1 = add, 2 = mul */
+    int value;
+    struct expr *lhs;
+    struct expr *rhs;
+};
+
+struct expr *leaf(int v) {
+    struct expr *e;
+    e = malloc(32);
+    e->op = 0;
+    e->value = v;
+    e->lhs = NULL;
+    e->rhs = NULL;
+    return e;
+}
+
+struct expr *binop(int op, struct expr *l, struct expr *r) {
+    struct expr *e;
+    e = malloc(32);
+    e->op = op;
+    e->value = 0;
+    e->lhs = l;
+    e->rhs = r;
+    return e;
+}
+
+int eval(struct expr *e) {
+    int l, r;
+    if (e == NULL) { return 0; }
+    if (e->op == 0) { return e->value; }
+    l = eval(e->lhs);
+    r = eval(e->rhs);
+    if (e->op == 1) { return l + r; }
+    return l * r;
+}
+
+int result;
+
+int main() {
+    struct expr *tree;
+    tree = binop(1, binop(2, leaf(0), leaf(5)), leaf(7));
+    result = eval(tree);
+    return 0;
+}
+"""
+
+EXPR_SIMPLIFY = """\
+/* Stress fixture: a rewriting pass over a binary expression tree.
+   Two recursive pointer fields make the k-limited name space grow
+   exponentially in k, and the rewrite (which returns interior nodes)
+   aliases whole subtree families — the paper's `assembler`-style
+   worst case. */
+struct expr { int op; int value; struct expr *lhs; struct expr *rhs; };
+
+struct expr *leaf(int v) {
+    struct expr *e;
+    e = malloc(32);
+    e->op = 0;
+    e->value = v;
+    e->lhs = NULL;
+    e->rhs = NULL;
+    return e;
+}
+
+struct expr *binop(int op, struct expr *l, struct expr *r) {
+    struct expr *e;
+    e = malloc(32);
+    e->op = op;
+    e->value = 0;
+    e->lhs = l;
+    e->rhs = r;
+    return e;
+}
+
+struct expr *simplify(struct expr *e) {
+    if (e == NULL) { return NULL; }
+    if (e->op == 0) { return e; }
+    e->lhs = simplify(e->lhs);
+    e->rhs = simplify(e->rhs);
+    if (e->op == 2 && e->lhs != NULL && e->lhs->op == 0 && e->lhs->value == 0) {
+        return e->lhs;
+    }
+    return e;
+}
+
+int main() {
+    struct expr *tree;
+    tree = binop(1, binop(2, leaf(0), leaf(5)), leaf(7));
+    tree = simplify(tree);
+    return 0;
+}
+"""
+
+MATRIX_SWAP = """\
+/* Multi-level pointers: row swapping through double indirection. */
+int r0[4], r1[4], r2[4];
+int *rows[3];
+
+void swap_rows(int **a, int **b) {
+    int *t;
+    t = *a;
+    *a = *b;
+    *b = t;
+}
+
+int main() {
+    rows[0] = r0;
+    rows[1] = r1;
+    rows[2] = r2;
+    swap_rows(&rows[0], &rows[2]);
+    return 0;
+}
+"""
+
+# The default fixture set used by fast tests and examples.
+ALL_FIXTURES = {
+    "figure1": FIGURE1,
+    "linked_list": LINKED_LIST,
+    "string_table": STRING_TABLE,
+    "expr_tree": EXPR_TREE,
+    "matrix_swap": MATRIX_SWAP,
+}
+
+# Pointer-dense stress fixtures (slow; saturate the pair universe).
+STRESS_FIXTURES = {
+    "list_recycler": LIST_RECYCLER,
+    "expr_simplify": EXPR_SIMPLIFY,
+}

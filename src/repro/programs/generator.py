@@ -1,0 +1,439 @@
+"""Deterministic synthetic MiniC program generator.
+
+Stands in for the paper's 1992 benchmark suite (see DESIGN.md §2): the
+original programs (``ul``, ``pokerd``, ``compress``, ...) are not
+available, so we generate programs with a comparable statement count,
+call-graph shape and pointer-usage mix — single- and multi-level
+pointer assignments, address-taking, linked-list manipulation through
+structs, globals/locals/parameters, bounded loops and branches.
+
+Generation is seeded (per program name) and purely deterministic, so
+benchmark rows are reproducible.  Generated programs are always valid
+MiniC, and their loops are bounded so the concrete interpreter can run
+them (useful for fuzzing the analysis for soundness).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+_KINDS = ("int", "intp", "intpp", "nodep")
+
+_DECL = {
+    "int": "int {}",
+    "intp": "int *{}",
+    "intpp": "int **{}",
+    "nodep": "struct node *{}",
+}
+
+
+@dataclass(slots=True)
+class ProgramSpec:
+    """Knobs controlling one synthetic program."""
+
+    name: str
+    seed: int
+    n_functions: int = 6
+    n_globals: int = 8
+    stmts_per_function: int = 14
+    max_params: int = 3
+    branch_prob: float = 0.22
+    loop_prob: float = 0.12
+    call_prob: float = 0.18
+    recursion: bool = True
+
+    @staticmethod
+    def for_target_nodes(name: str, target_nodes: int, seed: Optional[int] = None) -> "ProgramSpec":
+        """Heuristic sizing: one generated statement costs roughly 4
+        ICFG nodes (assignments, predicates, call/return pairs,
+        pointer-initialization preambles and loop/join bookkeeping
+        nodes; measured on generated output)."""
+        total_stmts = max(12, int(target_nodes / 4.0))
+        n_functions = max(3, min(40, total_stmts // 28))
+        per_function = max(6, total_stmts // n_functions)
+        return ProgramSpec(
+            name=name,
+            seed=seed if seed is not None else _stable_seed(name),
+            n_functions=n_functions,
+            n_globals=max(6, min(30, n_functions * 2)),
+            stmts_per_function=per_function,
+        )
+
+
+def _stable_seed(name: str) -> int:
+    """Deterministic seed from a program name (no hash randomization)."""
+    value = 0
+    for ch in name:
+        value = (value * 131 + ord(ch)) % (2**31 - 1)
+    return value or 1
+
+
+@dataclass(slots=True)
+class _Var:
+    name: str
+    kind: str
+
+
+class _Scope:
+    """Pool of variables available to the statement generator."""
+
+    def __init__(self) -> None:
+        self.vars: dict[str, list[_Var]] = {kind: [] for kind in _KINDS}
+
+    def add(self, var: _Var) -> None:
+        """Register a variable in the pool."""
+        self.vars[var.kind].append(var)
+
+    def pick(self, rng: random.Random, kind: str) -> Optional[_Var]:
+        """A uniformly random variable of ``kind``, or None."""
+        pool = self.vars[kind]
+        if not pool:
+            return None
+        return rng.choice(pool)
+
+    def merged(self, other: "_Scope") -> "_Scope":
+        """Union of two scopes (locals + globals)."""
+        result = _Scope()
+        for kind in _KINDS:
+            result.vars[kind] = self.vars[kind] + other.vars[kind]
+        return result
+
+
+@dataclass(slots=True)
+class _Function:
+    name: str
+    params: list[_Var]
+    returns: str  # "void" | "intp" | "nodep" | "int"
+    recursive: bool = False
+
+
+class SyntheticProgram:
+    """Generates one program from a spec."""
+
+    def __init__(self, spec: ProgramSpec) -> None:
+        self.spec = spec
+        self.rng = random.Random(spec.seed)
+        self.globals = _Scope()
+        self.functions: list[_Function] = []
+        self._lines: list[str] = []
+        self._indent = 1
+        self._counter = 0
+
+    # -- source emission -------------------------------------------------------
+
+    def _emit(self, text: str) -> None:
+        self._lines.append("    " * self._indent + text)
+
+    def _fresh(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    # -- top level --------------------------------------------------------------
+
+    def generate(self) -> str:
+        """Produce the program's full source text."""
+        rng = self.rng
+        out: list[str] = [
+            f"/* synthetic program {self.spec.name!r} (seed {self.spec.seed}) */",
+            "struct node { int val; struct node *next; };",
+        ]
+        # Globals.  Real C programs are mostly scalars; pointer-typed
+        # globals are the expensive case for the analysis (they alias
+        # program-wide), so keep their share realistic.
+        decls: list[str] = []
+        for i in range(self.spec.n_globals):
+            kind = rng.choice(
+                ("int", "int", "int", "int", "intp", "intp", "intpp", "nodep")
+            )
+            var = _Var(f"g{i}", kind)
+            self.globals.add(var)
+            decls.append(f"{_DECL[kind].format(var.name)};")
+        out.extend(decls)
+        out.append("int steps;")
+        # Function signatures (call DAG: fi may call fj for j < i).
+        for i in range(self.spec.n_functions):
+            params: list[_Var] = []
+            for j in range(rng.randrange(self.spec.max_params + 1)):
+                kind = rng.choice(("int", "int", "intp", "intp", "intpp", "nodep"))
+                params.append(_Var(f"a{j}", kind))
+            returns = rng.choice(("void", "intp", "nodep", "int"))
+            recursive = self.spec.recursion and rng.random() < 0.25
+            if recursive and not any(p.kind == "int" for p in params):
+                params.append(_Var(f"a{len(params)}", "int"))
+            self.functions.append(
+                _Function(f"f{i}", params, returns, recursive)
+            )
+        # Bodies.
+        for index, fn in enumerate(self.functions):
+            out.append("")
+            out.extend(self._function_body(index, fn))
+        out.append("")
+        out.extend(self._main_body())
+        return "\n".join(out) + "\n"
+
+    # -- functions ----------------------------------------------------------------
+
+    def _signature(self, fn: _Function) -> str:
+        ret = {"void": "void", "intp": "int *", "nodep": "struct node *", "int": "int"}[
+            fn.returns
+        ]
+        params = ", ".join(_DECL[p.kind].format(p.name) for p in fn.params)
+        return f"{ret}{'' if ret.endswith('*') else ' '}{fn.name}({params or 'void'})"
+
+    def _function_body(self, index: int, fn: _Function) -> list[str]:
+        self._lines = []
+        self._indent = 1
+        rng = self.rng
+        scope = _Scope()
+        for param in fn.params:
+            scope.add(param)
+        # Locals.
+        for i in range(rng.randrange(2, 5)):
+            kind = rng.choice(("int", "intp", "intp", "intpp", "nodep"))
+            var = _Var(f"l{i}", kind)
+            scope.add(var)
+            self._emit(f"{_DECL[kind].format(var.name)};")
+        env = scope.merged(self.globals)
+        self._init_pointers(env, scope)
+        if fn.recursive:
+            depth = next(p for p in fn.params if p.kind == "int")
+            self._emit(f"if ({depth.name} <= 0) {{ {self._return_stmt(fn, env)} }}")
+        for _ in range(self.spec.stmts_per_function):
+            self._statement(env, index, fn)
+        self._emit(self._return_stmt(fn, env))
+        body = self._lines
+        return [self._signature(fn) + " {"] + body + ["}"]
+
+    def _main_body(self) -> list[str]:
+        self._lines = []
+        self._indent = 1
+        rng = self.rng
+        scope = _Scope()
+        for i in range(4):
+            kind = rng.choice(("int", "intp", "intpp", "nodep"))
+            var = _Var(f"m{i}", kind)
+            scope.add(var)
+            self._emit(f"{_DECL[kind].format(var.name)};")
+        env = scope.merged(self.globals)
+        self._init_pointers(env, scope)
+        for _ in range(self.spec.stmts_per_function):
+            self._statement(env, len(self.functions), None)
+        # Exercise every function at least once.
+        for idx, fn in enumerate(self.functions):
+            self._call(env, fn)
+        self._emit("return 0;")
+        return ["int main() {"] + self._lines + ["}"]
+
+    def _return_stmt(self, fn: _Function, env: _Scope) -> str:
+        if fn.returns == "void":
+            return "return;"
+        if fn.returns == "int":
+            var = env.pick(self.rng, "int")
+            return f"return {var.name if var else '0'};"
+        kind = "intp" if fn.returns == "intp" else "nodep"
+        var = env.pick(self.rng, kind)
+        if var is None:
+            return "return NULL;"
+        return f"return {var.name};"
+
+    # -- statements ------------------------------------------------------------------
+
+    def _init_pointers(self, env: _Scope, scope: _Scope) -> None:
+        """Give locals initial values so generated programs mostly run
+        without trapping."""
+        rng = self.rng
+        for var in scope.vars["intp"]:
+            target = env.pick(rng, "int")
+            self._emit(f"{var.name} = {'&' + target.name if target else 'NULL'};")
+        for var in scope.vars["intpp"]:
+            target = env.pick(rng, "intp")
+            self._emit(f"{var.name} = {'&' + target.name if target else 'NULL'};")
+        for var in scope.vars["nodep"]:
+            if rng.random() < 0.6:
+                self._emit(f"{var.name} = malloc(24);")
+                self._emit(f"{var.name}->next = NULL;")
+            else:
+                self._emit(f"{var.name} = NULL;")
+
+    def _statement(self, env: _Scope, index: int, fn: Optional[_Function]) -> None:
+        rng = self.rng
+        roll = rng.random()
+        if roll < self.spec.branch_prob:
+            self._branch(env, index, fn)
+        elif roll < self.spec.branch_prob + self.spec.loop_prob:
+            self._loop(env, index, fn)
+        elif roll < self.spec.branch_prob + self.spec.loop_prob + self.spec.call_prob:
+            self._call_statement(env, index, fn)
+        else:
+            self._assignment(env)
+
+    def _branch(self, env: _Scope, index: int, fn: Optional[_Function]) -> None:
+        cond = self._condition(env)
+        self._emit(f"if ({cond}) {{")
+        self._indent += 1
+        for _ in range(self.rng.randrange(1, 3)):
+            self._assignment(env)
+        self._indent -= 1
+        if self.rng.random() < 0.5:
+            self._emit("} else {")
+            self._indent += 1
+            self._assignment(env)
+            self._indent -= 1
+        self._emit("}")
+
+    def _loop(self, env: _Scope, index: int, fn: Optional[_Function]) -> None:
+        counter = self._fresh("it")
+        bound = self.rng.randrange(2, 5)
+        self._emit(f"{{ int {counter};")
+        self._indent += 1
+        self._emit(f"for ({counter} = 0; {counter} < {bound}; {counter} = {counter} + 1) {{")
+        self._indent += 1
+        for _ in range(self.rng.randrange(1, 3)):
+            self._assignment(env)
+        self._indent -= 1
+        self._emit("}")
+        self._indent -= 1
+        self._emit("}")
+
+    def _call_statement(self, env: _Scope, index: int, fn: Optional[_Function]) -> None:
+        rng = self.rng
+        callable_fns = self.functions[:index]
+        if fn is not None and fn.recursive:
+            callable_fns = callable_fns + [fn]
+        if not callable_fns:
+            self._assignment(env)
+            return
+        self._call(env, rng.choice(callable_fns), caller=fn)
+
+    def _call(self, env: _Scope, callee: _Function, caller: Optional[_Function] = None) -> None:
+        rng = self.rng
+        args: list[str] = []
+        for param in callee.params:
+            if param.kind == "int":
+                if callee is caller and param is next(
+                    (p for p in callee.params if p.kind == "int"), None
+                ):
+                    args.append(f"{param.name} - 1")  # shrink recursion depth
+                else:
+                    args.append(str(rng.randrange(0, 4)))
+            elif param.kind == "intp":
+                var = env.pick(rng, "intp")
+                if var is not None and rng.random() < 0.7:
+                    args.append(var.name)
+                else:
+                    target = env.pick(rng, "int")
+                    args.append("&" + target.name if target else "NULL")
+            elif param.kind == "intpp":
+                var = env.pick(rng, "intpp")
+                if var is not None and rng.random() < 0.6:
+                    args.append(var.name)
+                else:
+                    target = env.pick(rng, "intp")
+                    args.append("&" + target.name if target else "NULL")
+            else:  # nodep
+                var = env.pick(rng, "nodep")
+                args.append(var.name if var else "NULL")
+        call = f"{callee.name}({', '.join(args)})"
+        if callee.returns in ("intp", "nodep") and rng.random() < 0.7:
+            kind = "intp" if callee.returns == "intp" else "nodep"
+            dest = env.pick(rng, kind)
+            if dest is not None:
+                self._emit(f"{dest.name} = {call};")
+                return
+        self._emit(f"{call};")
+
+    def _condition(self, env: _Scope) -> str:
+        rng = self.rng
+        var = env.pick(rng, "int")
+        choices = []
+        if var is not None:
+            choices.append(f"{var.name} % {rng.randrange(2, 5)}")
+            choices.append(f"{var.name} < {rng.randrange(1, 10)}")
+        ptr = env.pick(rng, "nodep")
+        if ptr is not None:
+            choices.append(f"{ptr.name} != NULL")
+        choices.append(f"steps % {rng.randrange(2, 6)}")
+        return rng.choice(choices)
+
+    def _assignment(self, env: _Scope) -> None:
+        rng = self.rng
+        kind = rng.choice(
+            ("int", "int", "int", "int", "int", "intp", "intp", "nodep", "intpp", "deref")
+        )
+        if kind == "int":
+            var = env.pick(rng, "int")
+            if var is None:
+                return
+            self._emit(f"{var.name} = {var.name} + {rng.randrange(1, 4)};")
+            return
+        if kind == "intp":
+            dest = env.pick(rng, "intp")
+            if dest is None:
+                return
+            roll = rng.random()
+            if roll < 0.35:
+                target = env.pick(rng, "int")
+                self._emit(f"{dest.name} = {'&' + target.name if target else 'NULL'};")
+            elif roll < 0.6:
+                src = env.pick(rng, "intp")
+                if src is not None:
+                    self._emit(f"{dest.name} = {src.name};")
+            elif roll < 0.8:
+                src = env.pick(rng, "intpp")
+                if src is not None:
+                    self._emit(f"{dest.name} = *{src.name};")
+                else:
+                    self._emit(f"{dest.name} = NULL;")
+            else:
+                self._emit(f"{dest.name} = NULL;")
+            return
+        if kind == "intpp":
+            dest = env.pick(rng, "intpp")
+            if dest is None:
+                return
+            if rng.random() < 0.6:
+                target = env.pick(rng, "intp")
+                self._emit(f"{dest.name} = {'&' + target.name if target else 'NULL'};")
+            else:
+                src = env.pick(rng, "intpp")
+                if src is not None:
+                    self._emit(f"{dest.name} = {src.name};")
+            return
+        if kind == "deref":
+            pp = env.pick(rng, "intpp")
+            src = env.pick(rng, "intp")
+            if pp is not None and src is not None:
+                self._emit(f"if ({pp.name} != NULL) {{ *{pp.name} = {src.name}; }}")
+            return
+        # nodep
+        dest = env.pick(rng, "nodep")
+        if dest is None:
+            return
+        roll = rng.random()
+        src = env.pick(rng, "nodep")
+        if roll < 0.25:
+            self._emit(f"{dest.name} = malloc(24);")
+            self._emit(f"{dest.name}->next = NULL;")
+        elif roll < 0.5 and src is not None:
+            self._emit(f"{dest.name} = {src.name};")
+        elif roll < 0.7 and src is not None:
+            self._emit(
+                f"if ({src.name} != NULL) {{ {dest.name} = {src.name}->next; }}"
+            )
+        elif roll < 0.9 and src is not None:
+            self._emit(
+                f"if ({dest.name} != NULL) {{ {dest.name}->next = {src.name}; }}"
+            )
+        else:
+            intvar = env.pick(rng, "int")
+            if intvar is not None:
+                self._emit(
+                    f"if ({dest.name} != NULL) {{ {dest.name}->val = {intvar.name}; }}"
+                )
+
+
+def generate_program(spec: ProgramSpec) -> str:
+    """Generate the MiniC source for ``spec``."""
+    return SyntheticProgram(spec).generate()

@@ -1,0 +1,95 @@
+"""The benchmark suite standing in for the paper's 18 C programs.
+
+The paper evaluated on programs collected for [RP88]; those 1992
+sources are not available, so each suite member is a deterministic
+synthetic program (see :mod:`repro.programs.generator`) sized to the
+ICFG node count the paper reports in Table 2 (and, for the Table 1
+subset, to the reported line counts).  ``scale`` shrinks every target
+proportionally so the full harness stays fast on small machines; the
+paper-shape comparisons (who wins, by what factor) are scale-invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from .generator import ProgramSpec, generate_program
+
+# Table 2 of the paper: program -> (ICFG nodes, reported may aliases,
+# reported %YES_3, reported seconds).
+TABLE2_PAPER = {
+    "allroots": (407, 257, 100, 1),
+    "fixoutput": (615, 1937, 100, 1),
+    "diffh": (647, 8046, 100, 1),
+    "poker": (896, 3330, 100, 2),
+    "lex315": (1204, 5163, 100, 2),
+    "loader": (1596, 119259, 78, 24),
+    "ul": (1625, 101273, 100, 26),
+    "td": (1710, 96098, 100, 9),
+    "compress": (1914, 8656, 67, 2),
+    "pokerd": (1936, 54819, 45, 7),
+    "learn": (2781, 179844, 98, 27),
+    "ed": (3299, 127502, 100, 41),
+    "assembler": (3631, 1260582, 10, 396),
+    "cliff": (3926, 89056, 88, 40),
+    "simulator": (5305, 241621, 98, 31),
+    "football": (5910, 232913, 100, 23),
+    "tbl": (5960, 400464, 100, 80),
+    "lex": (6792, 420268, 96, 44),
+}
+
+# Table 1 of the paper: program -> (lines, Weihl count, Weihl seconds,
+# LR count, LR seconds, ratio).
+TABLE1_PAPER = {
+    "ul": (523, 4851, 3, 349, 26, 13.8),
+    "pokerd": (1354, 62225, 84, 352, 4, 176.7),
+    "compress": (1488, 6316, 4, 341, 2, 18.5),
+    "loader": (1522, 39059, 36, 496, 7, 78.7),
+    "learn": (1642, 61845, 46, 883, 27, 70.0),
+    "ed": (1772, 1796, 6, 1455, 42, 1.2),
+    "cliff": (1793, 44366, 58, 1444, 43, 30.4),
+    "tbl": (2545, 4401, 10, 1065, 85, 4.1),
+    "lex": (3315, 9490, 18, 1240, 50, 7.6),
+}
+
+TABLE1_AVERAGE_RATIO = 30.7  # "On average Weihl reported 30.7x as many aliases"
+
+
+@dataclass(frozen=True, slots=True)
+class SuiteMember:
+    """One generated suite program plus its sizing provenance."""
+    name: str
+    source: str
+    target_nodes: int
+    paper_nodes: int
+
+
+def suite_member(name: str, scale: float = 1.0) -> SuiteMember:
+    """Generate one suite program scaled from its Table 2 node count."""
+    if name not in TABLE2_PAPER:
+        raise KeyError(f"unknown suite program {name!r}")
+    paper_nodes = TABLE2_PAPER[name][0]
+    target = max(60, int(paper_nodes * scale))
+    spec = ProgramSpec.for_target_nodes(name, target)
+    return SuiteMember(name, generate_program(spec), target, paper_nodes)
+
+
+def table2_suite(scale: float = 1.0, names: Optional[list[str]] = None) -> Iterator[SuiteMember]:
+    """Generate the (scaled) 18-program Table 2 suite."""
+    for name in names or list(TABLE2_PAPER):
+        yield suite_member(name, scale)
+
+
+def table1_suite(scale: float = 1.0, names: Optional[list[str]] = None) -> Iterator[SuiteMember]:
+    """Generate the (scaled) 9-program Table 1 suite."""
+    for name in names or list(TABLE1_PAPER):
+        # Size Table 1 members from their Table 2 entry when available,
+        # falling back to a lines-based estimate (~1.9 nodes per line).
+        if name in TABLE2_PAPER:
+            yield suite_member(name, scale)
+        else:
+            lines = TABLE1_PAPER[name][0]
+            target = max(60, int(lines * 1.9 * scale))
+            spec = ProgramSpec.for_target_nodes(name, target)
+            yield SuiteMember(name, generate_program(spec), target, target)

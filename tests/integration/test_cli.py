@@ -1,0 +1,91 @@
+"""Integration tests for the repro-aliases CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.programs.fixtures import FIGURE1
+
+
+@pytest.fixture()
+def figure1_file(tmp_path):
+    path = tmp_path / "figure1.c"
+    path.write_text(FIGURE1)
+    return str(path)
+
+
+class TestCli:
+    def test_summary(self, figure1_file, capsys):
+        assert main([figure1_file]) == 0
+        out = capsys.readouterr().out
+        assert "ICFG nodes:" in out
+        assert "%YES_3" in out
+
+    def test_program_aliases_listing(self, figure1_file, capsys):
+        assert main([figure1_file, "--program-aliases"]) == 0
+        out = capsys.readouterr().out
+        assert "(*g1, g2)" in out
+
+    def test_per_node_listing(self, figure1_file, capsys):
+        assert main([figure1_file, "--per-node"]) == 0
+        out = capsys.readouterr().out
+        assert "per-node may-aliases:" in out
+
+    def test_weihl_flag(self, figure1_file, capsys):
+        assert main([figure1_file, "--weihl"]) == 0
+        out = capsys.readouterr().out
+        assert "Weihl aliases:" in out
+
+    def test_dot_output(self, figure1_file, capsys):
+        assert main([figure1_file, "--dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+
+    def test_k_flag(self, figure1_file, capsys):
+        assert main([figure1_file, "-k", "1"]) == 0
+        assert "%YES_1" in capsys.readouterr().out
+
+    def test_stdin_input(self, monkeypatch, capsys):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("int main() { return 0; }"))
+        assert main(["-"]) == 0
+        assert "ICFG nodes:" in capsys.readouterr().out
+
+    def test_max_facts_exceeded_reports_error(self, tmp_path, capsys):
+        dense = tmp_path / "dense.c"
+        dense.write_text(
+            """
+            struct node { int v; struct node *next; };
+            struct node *p, *q;
+            int main() { p = q; return 0; }
+            """
+        )
+        assert main([str(dense), "--max-facts", "2"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["/does/not/exist.c"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_json_export(self, figure1_file, tmp_path, capsys):
+        out = tmp_path / "sol.json"
+        assert main([figure1_file, "--json", str(out)]) == 0
+        from repro.io import load_solution
+
+        with open(out) as fp:
+            loaded = load_solution(fp)
+        assert loaded.k == 3
+        assert loaded.node_pair_count() > 0
+
+    def test_parse_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.c"
+        bad.write_text("int main( {")
+        assert main([str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_unsupported_feature_reported(self, tmp_path, capsys):
+        bad = tmp_path / "fp.c"
+        bad.write_text("int (*fp)(int); int main() { return 0; }")
+        assert main([str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "function pointer" in err or "declarator" in err

@@ -1,0 +1,114 @@
+"""Integration test: the paper's Figure 1 program, end to end.
+
+The paper uses this program to illustrate both the ICFG structure and
+the two hard cases of interprocedural aliasing:
+
+* the first call of ``p`` creates ``(**l1, g2)`` in ``main`` even
+  though ``l1`` is not in the scope of ``p`` (one non-visible name);
+* the second call creates ``(**l1, *l2)`` even though *neither* name
+  is visible in ``p`` (the two-assumption exit case).
+"""
+
+import pytest
+
+from repro import analyze_source
+from repro.icfg import NodeKind
+from repro.names import AliasPair, ObjectName
+from repro.programs.fixtures import FIGURE1
+
+
+@pytest.fixture(scope="module")
+def solution():
+    return analyze_source(FIGURE1, k=3)
+
+
+def name(text):
+    """Parse 'l1:**' style shorthand: base plus leading stars."""
+    stars = 0
+    while text.startswith("*"):
+        stars += 1
+        text = text[1:]
+    result = ObjectName(text)
+    for _ in range(stars):
+        result = result.deref()
+    return result
+
+
+G1 = name("g1")
+G2 = name("g2")
+STAR_G1 = name("*g1")
+L1 = name("main::l1")
+L2 = name("main::l2")
+
+
+def nodes_of_kind(solution, kind, proc=None):
+    return [
+        n
+        for n in solution.icfg.nodes
+        if n.kind is kind and (proc is None or n.proc == proc)
+    ]
+
+
+class TestIcfgShape:
+    def test_icfg_matches_figure(self, solution):
+        icfg = solution.icfg
+        assert set(icfg.procs) == {"p", "main"}
+        assert len(nodes_of_kind(solution, NodeKind.CALL)) == 2
+        assert len(nodes_of_kind(solution, NodeKind.RETURN)) == 2
+
+    def test_exit_p_flows_to_both_returns(self, solution):
+        exit_p = solution.icfg.exit_of("p")
+        assert len(exit_p.succs) == 2
+        assert all(s.kind is NodeKind.RETURN for s in exit_p.succs)
+
+    def test_calls_flow_to_entry_p(self, solution):
+        entry_p = solution.icfg.entry_of("p")
+        for call in nodes_of_kind(solution, NodeKind.CALL):
+            assert entry_p in call.succs
+
+
+class TestAliases:
+    def _return_sites(self, solution):
+        rets = nodes_of_kind(solution, NodeKind.RETURN, "main")
+        return sorted(rets, key=lambda n: n.nid)
+
+    def test_first_call_creates_one_nonvisible_alias(self, solution):
+        first_return = self._return_sites(solution)[0]
+        pairs = solution.may_alias(first_return)
+        assert AliasPair(L1.deref().deref(), G2) in pairs, sorted(map(str, pairs))
+
+    def test_second_call_creates_two_nonvisible_alias(self, solution):
+        second_return = self._return_sites(solution)[1]
+        pairs = solution.may_alias(second_return)
+        assert AliasPair(L1.deref().deref(), L2.deref()) in pairs
+
+    def test_before_any_call_no_nonvisible_aliases(self, solution):
+        # Right after l2 = &g2 (first statement) only (g2, *l2) holds.
+        assigns = [
+            n
+            for n in solution.icfg.nodes
+            if n.proc == "main" and n.is_pointer_assignment
+        ]
+        first = min(assigns, key=lambda n: n.nid)
+        assert solution.may_alias(first) == {AliasPair(G2, L2.deref())}
+
+    def test_g1_g2_alias_inside_p(self, solution):
+        node = next(
+            n for n in solution.icfg.nodes if n.proc == "p" and n.is_pointer_assignment
+        )
+        assert AliasPair(STAR_G1, G2) in solution.may_alias(node)
+
+    def test_alias_query_api(self, solution):
+        exit_main = solution.icfg.exit_of("main")
+        assert solution.alias_query(exit_main, L1.deref().deref(), L2.deref())
+        assert not solution.alias_query(exit_main, G1, G2)
+
+    def test_program_alias_count_small(self, solution):
+        # The precise solution for this program is small; guard against
+        # blowups from future changes.
+        assert len(solution.program_aliases()) <= 10
+
+    def test_percent_yes_reflects_two_nv_taint(self, solution):
+        # The two-assumption derivation is counted possibly-imprecise,
+        # so %YES is below 100 but still high.
+        assert 80.0 < solution.percent_yes() < 100.0

@@ -1,0 +1,113 @@
+"""Exact alias expectations on the hand-written fixtures.
+
+Beyond "analyzable and sound", these pin down *specific* facts a
+maintainer would want to hold — the analysis's contract on realistic
+code shapes.
+"""
+
+import pytest
+
+from repro import analyze_source
+from repro.names import AliasPair, ObjectName
+from repro.programs.fixtures import EXPR_TREE, LINKED_LIST, MATRIX_SWAP, STRING_TABLE
+
+
+def n(text):
+    stars = 0
+    while text.startswith("*"):
+        stars += 1
+        text = text[1:]
+    parts = text.split("->")
+    name = ObjectName(parts[0])
+    for part in parts[1:]:
+        name = name.deref().field(part)
+    for _ in range(stars):
+        name = name.deref()
+    return name
+
+
+class TestLinkedList:
+    @pytest.fixture(scope="class")
+    def solution(self):
+        return analyze_source(LINKED_LIST, k=2)
+
+    def test_push_result_aliases_input(self, solution):
+        # push returns a node whose ->next is the old head.
+        exit_push = solution.icfg.exit_of("push")
+        assert solution.alias_query(
+            exit_push,
+            n("push$ret->next").deref(),
+            n("push::head").deref(),
+        )
+
+    def test_find_result_may_be_any_node(self, solution):
+        exit_find = solution.icfg.exit_of("find")
+        assert solution.alias_query(
+            exit_find, n("*find$ret"), n("*find::cur")
+        )
+
+    def test_list_head_aliases_through_main(self, solution):
+        exit_main = solution.icfg.exit_of("main")
+        assert solution.alias_query(
+            exit_main, n("*main::list"), n("*main::hit")
+        )
+
+    def test_unrelated_ints_never_alias(self, solution):
+        exit_main = solution.icfg.exit_of("main")
+        assert not solution.alias_query(
+            exit_main, ObjectName("main::i"), n("*main::list")
+        )
+
+
+class TestStringTable:
+    @pytest.fixture(scope="class")
+    def solution(self):
+        return analyze_source(STRING_TABLE, k=2)
+
+    def test_interned_entry_reachable_from_bucket(self, solution):
+        exit_intern = solution.icfg.exit_of("intern")
+        assert solution.alias_query(
+            exit_intern, n("*intern$ret"), n("*buckets")
+        )
+
+    def test_last_interned_aliases_entry_text(self, solution):
+        exit_main = solution.icfg.exit_of("main")
+        assert solution.alias_query(
+            exit_main, n("*last_interned"), n("*main::a->text")
+        )
+
+
+class TestExprTree:
+    @pytest.fixture(scope="class")
+    def solution(self):
+        return analyze_source(EXPR_TREE, k=2)
+
+    def test_tree_children_alias_constructor_args(self, solution):
+        exit_binop = solution.icfg.exit_of("binop")
+        assert solution.alias_query(
+            exit_binop, n("binop$ret->lhs").deref(), n("*binop::l")
+        )
+
+    def test_leaf_nodes_fresh(self, solution):
+        # Two leaf() results come from distinct mallocs, but through the
+        # shared return slot they *may* alias — the conservative answer.
+        exit_main = solution.icfg.exit_of("main")
+        assert solution.alias_query(exit_main, n("*main::tree"), n("*binop$ret"))
+
+
+class TestMatrixSwap:
+    @pytest.fixture(scope="class")
+    def solution(self):
+        return analyze_source(MATRIX_SWAP, k=2)
+
+    def test_rows_may_point_to_any_row_after_swap(self, solution):
+        exit_main = solution.icfg.exit_of("main")
+        star_rows = n("*rows")
+        for row in ("r0", "r2"):
+            assert solution.alias_query(exit_main, star_rows, ObjectName(row)), row
+
+    def test_swap_exchanges_through_double_pointers(self, solution):
+        exit_swap = solution.icfg.exit_of("swap_rows")
+        assert solution.alias_query(
+            exit_swap, n("**swap_rows::a"), n("*swap_rows::t")
+        )

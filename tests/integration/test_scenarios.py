@@ -1,0 +1,255 @@
+"""Whole-program integration scenarios with exact alias expectations."""
+
+import pytest
+
+from repro import analyze_source
+from repro.names import AliasPair, ObjectName
+
+
+def n(text):
+    stars = 0
+    while text.startswith("*"):
+        stars += 1
+        text = text[1:]
+    parts = text.split("->")
+    name = ObjectName(parts[0])
+    for part in parts[1:]:
+        name = name.deref().field(part)
+    for _ in range(stars):
+        name = name.deref()
+    return name
+
+
+def pair(a, b):
+    return AliasPair(n(a), n(b))
+
+
+class TestBranchMerging:
+    def test_aliases_union_over_paths(self):
+        sol = analyze_source(
+            """
+            int *p, a, b, c;
+            int main() {
+                if (c) { p = &a; } else { p = &b; }
+                return 0;
+            }
+            """
+        )
+        exit_main = sol.icfg.exit_of("main")
+        pairs = sol.may_alias(exit_main)
+        assert pair("*p", "a") in pairs
+        assert pair("*p", "b") in pairs
+        assert pair("a", "b") not in pairs  # no invented transitivity
+
+    def test_loop_fixpoint(self):
+        sol = analyze_source(
+            """
+            int *p, *q, a, b;
+            int main() {
+                int i;
+                p = &a;
+                for (i = 0; i < 3; i = i + 1) {
+                    q = p;
+                    p = &b;
+                }
+                return 0;
+            }
+            """
+        )
+        exit_main = sol.icfg.exit_of("main")
+        pairs = sol.may_alias(exit_main)
+        # q copied p when p was &a (first iteration) or &b (later).
+        assert pair("*q", "a") in pairs
+        assert pair("*q", "b") in pairs
+        assert pair("*p", "b") in pairs
+
+
+class TestFlowSensitivity:
+    def test_kill_separates_program_points(self):
+        sol = analyze_source(
+            """
+            int *p, a, b;
+            int main() {
+                p = &a;
+                p = &b;
+                return 0;
+            }
+            """
+        )
+        assigns = sorted(
+            (node for node in sol.icfg.nodes if node.is_pointer_assignment),
+            key=lambda node: node.nid,
+        )
+        first, second = assigns
+        assert pair("*p", "a") in sol.may_alias(first)
+        assert pair("*p", "a") not in sol.may_alias(second)
+        assert pair("*p", "b") in sol.may_alias(second)
+
+    def test_interprocedural_kill(self):
+        # The callee redirects the global; the old alias must not
+        # survive the call on the only path.
+        sol = analyze_source(
+            """
+            int *g, a, b;
+            void redirect(void) { g = &b; }
+            int main() { g = &a; redirect(); return 0; }
+            """
+        )
+        exit_main = sol.icfg.exit_of("main")
+        pairs = sol.may_alias(exit_main)
+        assert pair("*g", "b") in pairs
+        assert pair("*g", "a") not in pairs
+
+
+class TestStructsAndHeap:
+    def test_shared_subobject(self):
+        sol = analyze_source(
+            """
+            struct pair { int *fst; int *snd; };
+            struct pair s;
+            int a;
+            int main() {
+                s.fst = &a;
+                s.snd = s.fst;
+                return 0;
+            }
+            """
+        )
+        exit_main = sol.icfg.exit_of("main")
+        pairs = sol.may_alias(exit_main)
+        assert pair("*s->", "x") not in pairs  # sanity: no garbage names
+        assert AliasPair(
+            ObjectName("s").field("fst").deref(),
+            ObjectName("s").field("snd").deref(),
+        ) in pairs
+
+    def test_malloc_sites_not_conflated(self):
+        sol = analyze_source(
+            """
+            int *p, *q;
+            int main() { p = malloc(4); q = malloc(4); return 0; }
+            """
+        )
+        exit_main = sol.icfg.exit_of("main")
+        assert pair("*p", "*q") not in sol.may_alias(exit_main)
+
+    def test_list_append_aliases_tail(self):
+        sol = analyze_source(
+            """
+            struct node { int v; struct node *next; };
+            struct node *head;
+            int main() {
+                struct node *tail;
+                head = malloc(8);
+                head->next = malloc(8);
+                tail = head->next;
+                return 0;
+            }
+            """,
+            k=2,
+        )
+        exit_main = sol.icfg.exit_of("main")
+        assert pair("*head->next", "*main::tail") in sol.may_alias(exit_main)
+
+
+class TestAggregates:
+    def test_array_elements_conflated(self):
+        sol = analyze_source(
+            """
+            int *slots[4];
+            int a, b;
+            int main() {
+                slots[0] = &a;
+                slots[3] = &b;
+                return 0;
+            }
+            """
+        )
+        exit_main = sol.icfg.exit_of("main")
+        pairs = sol.may_alias(exit_main)
+        # Both element writes land on the aggregate; neither kills.
+        assert pair("*slots", "a") in pairs
+        assert pair("*slots", "b") in pairs
+
+    def test_pointer_arithmetic_stays_in_aggregate(self):
+        sol = analyze_source(
+            """
+            int buf[8];
+            int *p, *q;
+            int main() {
+                p = buf;
+                q = p + 3;
+                return 0;
+            }
+            """
+        )
+        exit_main = sol.icfg.exit_of("main")
+        assert pair("*p", "*q") in sol.may_alias(exit_main)
+
+
+class TestConditionalExpressions:
+    def test_ternary_pointer_selection(self):
+        sol = analyze_source(
+            """
+            int *p, a, b, c;
+            int main() { p = c ? &a : &b; return 0; }
+            """
+        )
+        exit_main = sol.icfg.exit_of("main")
+        pairs = sol.may_alias(exit_main)
+        assert pair("*p", "a") in pairs
+        assert pair("*p", "b") in pairs
+
+    def test_chained_assignment_aliases_all(self):
+        sol = analyze_source(
+            """
+            int *p, *q, v;
+            int main() { p = q = &v; return 0; }
+            """
+        )
+        exit_main = sol.icfg.exit_of("main")
+        pairs = sol.may_alias(exit_main)
+        assert pair("*p", "v") in pairs
+        assert pair("*q", "v") in pairs
+        assert pair("*p", "*q") in pairs
+
+
+class TestGotoAndSwitch:
+    def test_goto_loop_converges(self):
+        sol = analyze_source(
+            """
+            int *p, a, b;
+            int main() {
+                int i;
+                i = 0;
+                again:
+                p = (i % 2) ? &a : &b;
+                i = i + 1;
+                if (i < 4) { goto again; }
+                return 0;
+            }
+            """
+        )
+        exit_main = sol.icfg.exit_of("main")
+        pairs = sol.may_alias(exit_main)
+        assert pair("*p", "a") in pairs
+        assert pair("*p", "b") in pairs
+
+    def test_switch_merges_cases(self):
+        sol = analyze_source(
+            """
+            int *p, a, b, c, s;
+            int main() {
+                switch (s) {
+                    case 1: p = &a; break;
+                    case 2: p = &b; break;
+                    default: p = &c;
+                }
+                return 0;
+            }
+            """
+        )
+        exit_main = sol.icfg.exit_of("main")
+        pairs = sol.may_alias(exit_main)
+        for target in ("a", "b", "c"):
+            assert pair("*p", target) in pairs

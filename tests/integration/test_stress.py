@@ -1,0 +1,26 @@
+"""Stress-fixture tests (slow; run with ``pytest -m slow``).
+
+These exercise the analysis's genuine worst case: pointer-dense
+programs whose k-limited pair universe saturates (compare the paper's
+`assembler` row — 1.26M aliases, 396 seconds, %YES = 10).
+"""
+
+import pytest
+
+from repro import analyze_source
+from repro.interp import validate_soundness
+from repro.programs.fixtures import STRESS_FIXTURES
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.mark.parametrize("name", sorted(STRESS_FIXTURES))
+def test_stress_fixture_converges_k1(name):
+    solution = analyze_source(STRESS_FIXTURES[name], k=1, max_facts=2_000_000)
+    assert solution.stats().may_hold_facts > 0
+
+
+@pytest.mark.parametrize("name", sorted(STRESS_FIXTURES))
+def test_stress_fixture_sound_k1(name):
+    report = validate_soundness(STRESS_FIXTURES[name], k=1, fuel=200_000)
+    assert report.ok, [str(v) for v in report.violations[:5]]

@@ -1,0 +1,105 @@
+"""Struct-valued parameters and returns (by-value aggregate copies)."""
+
+import pytest
+
+from repro import analyze_source
+from repro.names import AliasPair, ObjectName
+
+
+def field_deref(base, field):
+    return ObjectName(base).field(field).deref()
+
+
+class TestStructReturns:
+    def test_returned_struct_copies_pointer_fields(self):
+        sol = analyze_source(
+            """
+            struct handle { int *target; int tag; };
+            int v;
+            struct handle make(void) {
+                struct handle h;
+                h.target = &v;
+                h.tag = 1;
+                return h;
+            }
+            int main() {
+                struct handle mine;
+                mine = make();
+                return 0;
+            }
+            """
+        )
+        exit_main = sol.icfg.exit_of("main")
+        assert sol.alias_query(
+            exit_main, field_deref("main::mine", "target"), ObjectName("v")
+        )
+
+    def test_struct_parameter_copies_pointer_fields(self):
+        sol = analyze_source(
+            """
+            struct handle { int *target; };
+            int *g;
+            void capture(struct handle h) { g = h.target; }
+            int v;
+            int main() {
+                struct handle mine;
+                mine.target = &v;
+                capture(mine);
+                return 0;
+            }
+            """
+        )
+        exit_main = sol.icfg.exit_of("main")
+        assert sol.alias_query(exit_main, ObjectName("g").deref(), ObjectName("v"))
+
+    def test_nested_struct_copy(self):
+        sol = analyze_source(
+            """
+            struct inner { int *p; };
+            struct outer { struct inner one; struct inner two; };
+            struct outer a, b;
+            int v;
+            int main() {
+                a.one.p = &v;
+                b = a;
+                return 0;
+            }
+            """
+        )
+        exit_main = sol.icfg.exit_of("main")
+        b_one_p = ObjectName("b").field("one").field("p").deref()
+        assert sol.alias_query(exit_main, b_one_p, ObjectName("v"))
+
+    def test_struct_without_pointers_no_aliases(self):
+        sol = analyze_source(
+            """
+            struct plain { int a; int b; };
+            struct plain x, y;
+            int main() { x = y; return 0; }
+            """
+        )
+        exit_main = sol.icfg.exit_of("main")
+        assert sol.may_alias(exit_main) == set()
+
+    def test_struct_return_through_temp_chain(self):
+        sol = analyze_source(
+            """
+            struct handle { int *target; };
+            int v;
+            struct handle make(void) {
+                struct handle h;
+                h.target = &v;
+                return h;
+            }
+            struct handle pass(void) { return make(); }
+            int main() {
+                struct handle mine;
+                mine = pass();
+                return 0;
+            }
+            """
+        )
+        exit_main = sol.icfg.exit_of("main")
+        assert sol.alias_query(
+            exit_main, field_deref("main::mine", "target"), ObjectName("v")
+        )

@@ -1,0 +1,99 @@
+"""The two-assumption exit mechanism, isolated (paper §4.3/§4.4).
+
+Unlike Figure 1 (where a later caller-side assignment re-derives the
+alias), these programs make the two-assumption join the *only* way to
+discover the alias — a regression guard for the token-normalized
+back-bind lookup.
+"""
+
+import pytest
+
+from repro import analyze_source
+from repro.interp import validate_soundness
+from repro.names import AliasPair, ObjectName
+
+
+def n(text):
+    stars = 0
+    while text.startswith("*"):
+        stars += 1
+        text = text[1:]
+    name = ObjectName(text)
+    for _ in range(stars):
+        name = name.deref()
+    return name
+
+
+SRC = """
+int *g0, g1;
+void link(void) { g0 = &g1; }
+int main() {
+    int **m0, *m2;
+    m0 = &g0;       /* *m0 == g0 */
+    m2 = &g1;       /* *m2 == g1 */
+    link();         /* callee creates **m0 == *m2, invisible to it */
+    return 0;
+}
+"""
+
+
+class TestTwoNonvisibleJoin:
+    def test_alias_created_between_two_caller_locals(self):
+        sol = analyze_source(SRC, k=2)
+        ret = next(
+            node for node in sol.icfg.nodes if node.kind.value == "return"
+        )
+        assert sol.alias_query(ret, n("**main::m0"), n("*main::m2")), sorted(
+            str(p) for p in sol.may_alias(ret)
+        )
+
+    def test_counted_possibly_imprecise(self):
+        sol = analyze_source(SRC, k=2)
+        assert sol.percent_yes() < 100.0
+
+    def test_dynamic_soundness(self):
+        report = validate_soundness(SRC, k=2)
+        assert report.ok, [str(v) for v in report.violations[:3]]
+
+    def test_also_at_k1_via_truncation(self):
+        sol = analyze_source(SRC, k=1)
+        ret = next(
+            node for node in sol.icfg.nodes if node.kind.value == "return"
+        )
+        assert sol.alias_query(ret, n("**main::m0"), n("*main::m2"))
+
+    def test_nested_call_chain(self):
+        # The tokens must survive an extra call layer.
+        nested = """
+        int *g0, g1;
+        void deep(void) { g0 = &g1; }
+        void shallow(void) { deep(); }
+        int main() {
+            int **m0, *m2;
+            m0 = &g0;
+            m2 = &g1;
+            shallow();
+            return 0;
+        }
+        """
+        sol = analyze_source(nested, k=2)
+        exit_main = sol.icfg.exit_of("main")
+        assert sol.alias_query(exit_main, n("**main::m0"), n("*main::m2"))
+        report = validate_soundness(nested, k=2)
+        assert report.ok
+
+    def test_no_spurious_pair_without_callee_link(self):
+        clean = """
+        int *g0, g1;
+        void nop(void) { }
+        int main() {
+            int **m0, *m2;
+            m0 = &g0;
+            m2 = &g1;
+            nop();
+            return 0;
+        }
+        """
+        sol = analyze_source(clean, k=2)
+        exit_main = sol.icfg.exit_of("main")
+        assert not sol.alias_query(exit_main, n("**main::m0"), n("*main::m2"))

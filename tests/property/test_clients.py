@@ -1,0 +1,69 @@
+"""Property tests for the client analyses."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import analyze_source
+from repro.clients import ConflictAnalysis, ModRefAnalysis, ReachingDefinitions
+from repro.clients.accesses import node_access
+from repro.programs import ProgramSpec, generate_program
+
+
+def solution_for(seed):
+    spec = ProgramSpec(
+        name=f"cli{seed}",
+        seed=seed,
+        n_functions=3,
+        n_globals=4,
+        stmts_per_function=6,
+    )
+    return analyze_source(generate_program(spec), k=2, max_facts=300_000)
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=1, max_value=3_000))
+def test_conflict_symmetric(seed):
+    solution = solution_for(seed)
+    analysis = ConflictAnalysis(solution)
+    nodes = [n for n in solution.icfg.nodes if node_access(n).touches_memory][:8]
+    for i, a in enumerate(nodes):
+        for b in nodes[i + 1:]:
+            assert analysis.reorderable(a, b) == analysis.reorderable(b, a)
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=1, max_value=3_000))
+def test_reaching_defs_monotone_at_joins(seed):
+    """IN of a node includes OUT of each predecessor's definitions that
+    the node itself does not kill — spot-checked via def-use pairs
+    being a subset of (defs x uses)."""
+    solution = solution_for(seed)
+    rd = ReachingDefinitions(solution)
+    for pair in rd.def_use_pairs():
+        assert pair.definition in rd.reaching(pair.use_node_id)
+
+
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=1, max_value=3_000))
+def test_modref_transitivity(seed):
+    """A caller's MOD includes every callee's observable MOD."""
+    solution = solution_for(seed)
+    analysis = ModRefAnalysis(solution)
+    from repro.icfg import NodeKind
+
+    for node in solution.icfg.nodes:
+        if node.kind is NodeKind.CALL and node.callee in solution.icfg.procs:
+            callee_mod = analysis.mod(node.callee)
+            caller_effects = analysis.proc_effects(node.proc)
+            assert callee_mod <= caller_effects.mod
+
+
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=1, max_value=3_000))
+def test_widened_modref_superset_of_unwidened(seed):
+    solution = solution_for(seed)
+    widened = ModRefAnalysis(solution, widen_with_aliases=True)
+    plain = ModRefAnalysis(solution, widen_with_aliases=False)
+    for proc in solution.icfg.procs:
+        assert plain.mod(proc) <= widened.mod(proc)
+        assert plain.ref(proc) <= widened.ref(proc)

@@ -1,0 +1,63 @@
+"""Frontend robustness: arbitrary input produces structured errors,
+never unstructured crashes."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import MiniCError, parse, parse_and_analyze, tokenize
+from repro.frontend.diagnostics import LexError
+
+
+printable = st.text(
+    alphabet=st.characters(min_codepoint=9, max_codepoint=126), max_size=200
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(source=printable)
+def test_lexer_total(source):
+    try:
+        tokens = tokenize(source)
+    except LexError:
+        return
+    assert tokens[-1].kind.name == "EOF"
+
+
+@settings(max_examples=200, deadline=None)
+@given(source=printable)
+def test_parser_structured_errors_only(source):
+    try:
+        parse(source)
+    except MiniCError:
+        pass  # lex/parse/unsupported errors are the contract
+
+
+@settings(max_examples=100, deadline=None)
+@given(source=printable)
+def test_full_frontend_structured_errors_only(source):
+    try:
+        parse_and_analyze(source)
+    except MiniCError:
+        pass
+
+
+# C-shaped fragments stress the parser deeper than raw text.
+fragments = st.lists(
+    st.sampled_from(
+        [
+            "int", "x", "*", ";", "{", "}", "(", ")", "=", "&",
+            "if", "else", "while", "return", "struct", "->", ",",
+            "1", "f", "[", "]", "++", "NULL", "+",
+        ]
+    ),
+    max_size=40,
+).map(" ".join)
+
+
+@settings(max_examples=200, deadline=None)
+@given(source=fragments)
+def test_token_soup_structured_errors_only(source):
+    try:
+        parse_and_analyze(source)
+    except MiniCError:
+        pass

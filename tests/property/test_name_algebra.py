@@ -1,0 +1,86 @@
+"""Property-based tests for the object-name algebra (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.names import DEREF, AliasPair, ObjectName, apply_trans, k_limit
+
+bases = st.sampled_from(["p", "q", "r", "head", "g1", "main::l1"])
+selectors = st.lists(
+    st.sampled_from([DEREF, "next", "f", "val"]), min_size=0, max_size=8
+).map(tuple)
+names = st.builds(lambda b, s: ObjectName(b, s), bases, selectors)
+ks = st.integers(min_value=1, max_value=4)
+
+
+@given(names, ks)
+def test_k_limit_idempotent(name, k):
+    once = k_limit(name, k)
+    assert k_limit(once, k) == once
+
+
+@given(names, ks)
+def test_k_limit_bounds_derefs(name, k):
+    assert k_limit(name, k).num_derefs <= k
+
+
+@given(names, ks)
+def test_k_limit_is_prefix_of_original(name, k):
+    limited = k_limit(name, k)
+    assert ObjectName(limited.base, limited.selectors).is_prefix(name)
+
+
+@given(names, ks)
+def test_k_limit_truncates_exactly_when_over(name, k):
+    limited = k_limit(name, k)
+    assert limited.truncated == (name.num_derefs > k)
+
+
+@given(names, selectors)
+def test_extend_then_suffix_roundtrip(name, ext):
+    if name.truncated:
+        return
+    extended = name.extend(ext)
+    assert extended.suffix_after(name) == ext
+
+
+@given(names, selectors, names)
+def test_apply_trans_transplants_suffix(base, ext, target):
+    if base.truncated or target.truncated:
+        return
+    extended = base.extend(ext)
+    result = apply_trans(base, extended, target)
+    assert result.base == target.base
+    assert result.selectors == target.selectors + ext
+
+
+@given(names, names)
+def test_alias_pair_symmetric(a, b):
+    assert AliasPair(a, b) == AliasPair(b, a)
+    assert hash(AliasPair(a, b)) == hash(AliasPair(b, a))
+
+
+@given(names, names)
+def test_alias_pair_other_inverts(a, b):
+    pair = AliasPair(a, b)
+    assert pair.other(pair.first) == pair.second
+    assert pair.other(pair.second) == pair.first
+
+
+@given(names, names, ks)
+def test_alias_pair_k_limited_members_bounded(a, b, k):
+    pair = AliasPair(a, b).k_limited(k)
+    assert pair.first.num_derefs <= k
+    assert pair.second.num_derefs <= k
+
+
+@given(names, names)
+def test_prefix_antisymmetry(a, b):
+    if a.is_prefix(b) and b.is_prefix(a):
+        assert a == b or a.truncated != b.truncated
+
+
+@given(names, names, names)
+def test_prefix_transitive(a, b, c):
+    if a.is_prefix(b) and b.is_prefix(c):
+        assert a.is_prefix(c)

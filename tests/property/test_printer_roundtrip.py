@@ -1,0 +1,84 @@
+"""Pretty-printer round trip: parse(print(parse(src))) == parse(src).
+
+AST equality is checked structurally via a span-insensitive digest.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import parse
+from repro.frontend import ast_nodes as ast
+from repro.frontend.printer import print_program
+from repro.programs import ProgramSpec, generate_program
+from repro.programs.fixtures import ALL_FIXTURES
+
+import pytest
+
+
+def digest(node, out=None):
+    """Structural digest ignoring spans/ctype/symbol annotations."""
+    if out is None:
+        out = []
+    if isinstance(node, ast.Program):
+        for decl in node.decls:
+            digest(decl, out)
+        return tuple(out)
+    out.append(type(node).__name__)
+    for field_name in getattr(node, "__dataclass_fields__", {}):
+        if field_name in ("span", "ctype", "symbol"):
+            continue
+        value = getattr(node, field_name)
+        if isinstance(value, (ast.Expr, ast.Stmt, ast.Node)) or (
+            hasattr(value, "__dataclass_fields__")
+        ):
+            digest(value, out)
+        elif isinstance(value, list):
+            out.append(f"[{len(value)}")
+            for item in value:
+                if hasattr(item, "__dataclass_fields__"):
+                    digest(item, out)
+                else:
+                    out.append(repr(item))
+            out.append("]")
+        elif value is None or isinstance(value, (str, int, float, bool)):
+            out.append(repr(value))
+        else:
+            out.append(str(value))
+    return tuple(out)
+
+
+def roundtrips(source):
+    first = parse(source)
+    printed = print_program(first)
+    second = parse(printed)
+    assert digest(first) == digest(second), printed
+    return printed
+
+
+@pytest.mark.parametrize("name", sorted(ALL_FIXTURES))
+def test_fixture_roundtrip(name):
+    roundtrips(ALL_FIXTURES[name])
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=1, max_value=10_000))
+def test_generated_roundtrip(seed):
+    spec = ProgramSpec(
+        name=f"pp{seed}", seed=seed, n_functions=3, n_globals=5, stmts_per_function=6
+    )
+    roundtrips(generate_program(spec))
+
+
+def test_precedence_preserved():
+    printed = roundtrips("int main() { x = (a + b) * c; return 0; }")
+    assert "(a + b) * c" in printed
+
+
+def test_ternary_nesting():
+    roundtrips("int main() { x = a ? b : c ? d : e; return 0; }")
+
+
+def test_pointer_declarations():
+    printed = roundtrips("int **pp; int *arr[4]; int main() { return 0; }")
+    assert "int **pp;" in printed
+    assert "int *arr[4];" in printed

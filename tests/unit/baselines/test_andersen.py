@@ -1,0 +1,79 @@
+"""Unit tests for the Andersen-style points-to baseline."""
+
+from repro.baselines import andersen_aliases
+from repro.frontend import parse_and_analyze
+from repro.icfg import build_icfg
+from repro.names import ObjectName, AliasPair
+
+
+def run(source):
+    analyzed = parse_and_analyze(source)
+    return andersen_aliases(analyzed, build_icfg(analyzed))
+
+
+def aliased(result, a, b):
+    return AliasPair(ObjectName(a).deref(), ObjectName(b).deref()) in result.aliases
+
+
+class TestBasics:
+    def test_copy_aliases_pointers(self):
+        result = run("int *p, *q, v; int main() { q = &v; p = q; return 0; }")
+        assert aliased(result, "p", "q")
+
+    def test_distinct_targets_not_aliased(self):
+        result = run(
+            "int *p, *q, a, b; int main() { p = &a; q = &b; return 0; }"
+        )
+        assert not aliased(result, "p", "q")
+
+    def test_flow_insensitive_merges(self):
+        result = run("int *p, a, b; int main() { p = &a; p = &b; return 0; }")
+        pts = result.points_to.get("p", set())
+        assert len(pts) == 2
+
+    def test_malloc_sites_distinct(self):
+        result = run(
+            "int *p, *q; int main() { p = malloc(4); q = malloc(4); return 0; }"
+        )
+        assert not aliased(result, "p", "q")
+
+    def test_store_through_pointer(self):
+        result = run(
+            """
+            int **pp, *p, *q, v;
+            int main() { q = &v; pp = &p; *pp = q; return 0; }
+            """
+        )
+        assert aliased(result, "p", "q")
+
+    def test_load_through_pointer(self):
+        result = run(
+            """
+            int **pp, *p, *q, v;
+            int main() { p = &v; pp = &p; q = *pp; return 0; }
+            """
+        )
+        assert aliased(result, "p", "q")
+
+    def test_parameter_flow(self):
+        result = run(
+            """
+            int *g;
+            void f(int *a) { g = a; }
+            int v;
+            int main() { f(&v); return 0; }
+            """
+        )
+        pts = result.points_to.get("g", set())
+        assert "v" in pts
+
+    def test_context_insensitive_merging(self):
+        result = run(
+            """
+            int *x, *y, a, b;
+            int *id(int *p) { return p; }
+            int main() { x = id(&a); y = id(&b); return 0; }
+            """
+        )
+        # Unlike Landi/Ryder, Andersen merges the two calls.
+        assert aliased(result, "x", "y")

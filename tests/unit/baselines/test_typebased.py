@@ -1,0 +1,71 @@
+"""Unit tests for the type-based baseline."""
+
+from repro.baselines.typebased import typebased_aliases
+from repro.frontend import parse_and_analyze
+from repro.icfg import build_icfg
+from repro.names import AliasPair, ObjectName
+
+
+def run(source, k=2):
+    analyzed = parse_and_analyze(source)
+    return typebased_aliases(analyzed, build_icfg(analyzed), k=k)
+
+
+class TestAddressTaken:
+    def test_address_of_in_assignment(self):
+        result = run("int *p, v; int main() { p = &v; return 0; }")
+        assert "v" in result.address_taken
+
+    def test_address_of_in_call(self):
+        result = run(
+            "void f(int *a) { } int main() { int x; f(&x); return 0; }"
+        )
+        assert "main::x" in result.address_taken
+
+    def test_untaken_variable_not_exposed(self):
+        result = run("int *p, v, w; int main() { p = &v; w = 1; return 0; }")
+        assert "w" not in result.address_taken
+
+
+class TestAliasing:
+    def test_same_type_derefs_alias(self):
+        result = run("int *p, *q, v; int main() { p = &v; q = p; return 0; }")
+        assert result.may_alias(ObjectName("p").deref(), ObjectName("q").deref())
+
+    def test_different_pointee_types_do_not_alias(self):
+        result = run(
+            """
+            struct node { int v; struct node *next; };
+            int *p; struct node *q; int x;
+            int main() { p = &x; q = NULL; return 0; }
+            """
+        )
+        assert not result.may_alias(ObjectName("p").deref(), ObjectName("q").deref())
+
+    def test_address_taken_var_aliases_deref(self):
+        result = run("int *p, v; int main() { p = &v; return 0; }")
+        assert result.may_alias(ObjectName("p").deref(), ObjectName("v"))
+
+    def test_coarser_than_everything(self):
+        # Even never-connected pointers of the same type alias here —
+        # this is the floor, not a precise analysis.
+        result = run(
+            "int *p, *q, a, b; int main() { p = &a; q = &b; return 0; }"
+        )
+        assert result.may_alias(ObjectName("p").deref(), ObjectName("q").deref())
+
+    def test_superset_of_landi_ryder(self):
+        from repro.core import analyze_program
+
+        source = """
+        int *p, *q, a, b;
+        int main() { p = &a; q = p; b = *q; return 0; }
+        """
+        analyzed = parse_and_analyze(source)
+        icfg = build_icfg(analyzed)
+        lr = analyze_program(analyzed, icfg, k=2)
+        tb = typebased_aliases(analyzed, icfg, k=2)
+        for pair in lr.program_aliases():
+            if pair.first.truncated or pair.second.truncated:
+                continue
+            assert pair in tb.aliases, str(pair)

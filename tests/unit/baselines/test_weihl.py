@@ -1,0 +1,102 @@
+"""Unit tests for the Weihl [Wei80] baseline."""
+
+import pytest
+
+from repro.baselines import WeihlAnalysis, weihl_aliases
+from repro.frontend import parse_and_analyze
+from repro.icfg import build_icfg
+from repro.names import AliasPair, ObjectName
+
+
+def run(source, k=3):
+    analyzed = parse_and_analyze(source)
+    icfg = build_icfg(analyzed)
+    return weihl_aliases(analyzed, icfg, k=k)
+
+
+class TestSeeding:
+    def test_assignment_seeds_star_pair(self):
+        result = run("int *p, *q, v; int main() { q = &v; p = q; return 0; }")
+        assert result.may_alias(ObjectName("p").deref(), ObjectName("q").deref())
+
+    def test_address_of_seeds_direct(self):
+        result = run("int *p, v; int main() { p = &v; return 0; }")
+        assert result.may_alias(ObjectName("p").deref(), ObjectName("v"))
+
+    def test_parameter_binding_seeds(self):
+        result = run(
+            """
+            int *g;
+            void f(int *a) { }
+            int main() { f(g); return 0; }
+            """
+        )
+        assert result.may_alias(ObjectName("f::a").deref(), ObjectName("g").deref())
+
+
+class TestFlowInsensitivity:
+    def test_killed_alias_still_reported(self):
+        # Weihl ignores control flow: both targets are merged even
+        # though the first assignment is dead.
+        result = run(
+            "int *p, a, b; int main() { p = &a; p = &b; return 0; }"
+        )
+        star_p = ObjectName("p").deref()
+        assert result.may_alias(star_p, ObjectName("a"))
+        assert result.may_alias(star_p, ObjectName("b"))
+        # ...and transitivity invents (a, b).
+        assert result.may_alias(ObjectName("a"), ObjectName("b"))
+
+    def test_context_insensitive_merging(self):
+        # The realizable-path test: Weihl merges both call sites.
+        result = run(
+            """
+            int *x, *y, a, b;
+            int *id(int *p) { return p; }
+            int main() { x = id(&a); y = id(&b); return 0; }
+            """
+        )
+        assert result.may_alias(ObjectName("x").deref(), ObjectName("b"))
+        assert result.may_alias(ObjectName("y").deref(), ObjectName("a"))
+
+
+class TestClosureProperties:
+    def test_alias_count_matches_pairs(self):
+        result = run("int *p, *q, v; int main() { q = &v; p = q; return 0; }")
+        assert result.alias_count == len(result.aliases)
+
+    def test_congruence_extends_chains(self):
+        result = run(
+            """
+            struct node { int v; struct node *next; };
+            struct node *p, *q;
+            int main() { p = q; return 0; }
+            """,
+            k=2,
+        )
+        a = ObjectName("p").deref().field("next")
+        b = ObjectName("q").deref().field("next")
+        assert result.may_alias(a, b)
+
+    def test_empty_program_has_no_aliases(self):
+        result = run("int main() { return 0; }")
+        assert result.alias_count == 0
+
+    def test_seed_count_reported(self):
+        result = run("int *p, v; int main() { p = &v; return 0; }")
+        assert result.seed_count >= 1
+
+    def test_materialize_false_skips_pairs(self):
+        analyzed = parse_and_analyze("int *p, v; int main() { p = &v; return 0; }")
+        icfg = build_icfg(analyzed)
+        result = weihl_aliases(analyzed, icfg, materialize=False)
+        assert result.aliases == set()
+        assert result.alias_count > 0
+
+    def test_unification_budget_enforced(self):
+        analyzed = parse_and_analyze(
+            "int *p, *q, v; int main() { q = &v; p = q; return 0; }"
+        )
+        icfg = build_icfg(analyzed)
+        with pytest.raises(RuntimeError):
+            WeihlAnalysis(analyzed, icfg, max_pairs=1).run()

@@ -1,0 +1,56 @@
+"""Unit tests for the bench reporting/measurement helpers."""
+
+import os
+
+from repro.bench import Measurement, bench_scale, format_table, measure
+from repro.programs.fixtures import FIGURE1
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        table = format_table(
+            "My Table", ("a", "bb"), [(1, 22), (333, 4)], note="n"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "My Table"
+        assert lines[2].endswith("bb")
+        assert "---" in lines[3]
+        assert lines[-1] == "n"
+
+    def test_floats_formatted(self):
+        table = format_table("t", ("x",), [(1.23456,)])
+        assert "1.23" in table
+
+    def test_empty_rows(self):
+        table = format_table("t", ("x", "y"), [])
+        assert "x" in table and "y" in table
+
+
+class TestBenchScale:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale(0.25) == 0.25
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.5")
+        assert bench_scale() == 0.5
+
+    def test_invalid_env_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "lots")
+        assert bench_scale(0.1) == 0.1
+
+
+class TestMeasure:
+    def test_figure1_measurement(self):
+        m = measure("figure1", FIGURE1, k=3, run_weihl=True, run_andersen=True)
+        assert m.icfg_nodes == 13
+        assert m.lr_program_aliases > 0
+        assert m.weihl_aliases is not None and m.weihl_aliases >= m.lr_program_aliases
+        assert m.andersen_aliases is not None
+        assert m.weihl_ratio >= 1.0
+        assert 0 <= m.percent_yes <= 100
+
+    def test_weihl_optional(self):
+        m = measure("figure1", FIGURE1, k=2, run_weihl=False)
+        assert m.weihl_aliases is None
+        assert m.weihl_ratio is None

@@ -1,0 +1,135 @@
+"""Unit tests for conflict detection ([LH88] via may-alias)."""
+
+import pytest
+
+from repro import analyze_source
+from repro.clients import ConflictAnalysis, node_access
+from repro.icfg import NodeKind
+
+
+def scalar_assign_nodes(solution):
+    return [
+        node
+        for node in solution.icfg.nodes
+        if node.kind is NodeKind.OTHER
+        and node.stmt is not None
+        and getattr(node.stmt, "writes", ())
+    ]
+
+
+class TestAccessExtraction:
+    def test_pointer_assign_access(self):
+        sol = analyze_source("int *p, v; int main() { p = &v; return 0; }")
+        node = next(n for n in sol.icfg.nodes if n.is_pointer_assignment)
+        access = node_access(node)
+        assert [str(w) for w in access.writes] == ["p"]
+        assert access.reads == ()  # &v reads nothing
+
+    def test_copy_reads_rhs(self):
+        sol = analyze_source("int *p, *q, v; int main() { q = &v; p = q; return 0; }")
+        node = next(
+            n
+            for n in sol.icfg.nodes
+            if n.is_pointer_assignment and str(n.stmt.lhs) == "p"
+        )
+        access = node_access(node)
+        assert [str(r) for r in access.reads] == ["q"]
+
+    def test_scalar_store_through_pointer_recorded(self):
+        sol = analyze_source("int *p, v; int main() { p = &v; *p = 3; return 0; }")
+        stores = scalar_assign_nodes(sol)
+        assert stores, "scalar store node missing"
+        access = node_access(stores[0])
+        assert [str(w) for w in access.writes] == ["*p"]
+
+    def test_scalar_read_names_recorded(self):
+        sol = analyze_source(
+            "int *p, v, w; int main() { p = &v; w = *p + v; return 0; }"
+        )
+        stores = scalar_assign_nodes(sol)
+        reads = {str(r) for r in node_access(stores[-1]).reads}
+        assert "*p" in reads
+        assert "v" in reads
+
+
+class TestConflicts:
+    def _stores(self, source, k=2):
+        sol = analyze_source(source, k=k)
+        return ConflictAnalysis(sol), scalar_assign_nodes(sol)
+
+    def test_disjoint_targets_no_conflict(self):
+        analysis, stores = self._stores(
+            """
+            int *p, *q, a, b;
+            int main() { p = &a; q = &b; *p = 1; *q = 2; return 0; }
+            """
+        )
+        s1, s2 = stores
+        assert analysis.reorderable(s1, s2)
+
+    def test_may_aliased_targets_conflict(self):
+        analysis, stores = self._stores(
+            """
+            int *p, *q, a, b;
+            int main() {
+                p = &a;
+                q = p;
+                *p = 1;
+                *q = 2;
+                return 0;
+            }
+            """
+        )
+        s1, s2 = stores
+        conflict = analysis.conflict(s1, s2)
+        assert conflict is not None
+        assert conflict.kind == "write-write"
+
+    def test_write_read_conflict(self):
+        analysis, stores = self._stores(
+            """
+            int *p, a, b;
+            int main() { p = &a; *p = 1; b = a; return 0; }
+            """
+        )
+        writer, reader = stores
+        conflict = analysis.conflict(writer, reader)
+        assert conflict is not None
+        assert conflict.kind == "write-read"
+
+    def test_same_name_always_conflicts(self):
+        analysis, stores = self._stores(
+            "int x; int main() { x = 1; x = 2; return 0; }"
+        )
+        s1, s2 = stores
+        assert not analysis.reorderable(s1, s2)
+
+    def test_prefix_write_conflicts_with_field_access(self):
+        analysis_sol = analyze_source(
+            """
+            struct pair { int a; int b; };
+            struct pair s, t;
+            int main() { s = t; s.a = 1; return 0; }
+            """
+        )
+        analysis = ConflictAnalysis(analysis_sol)
+        stores = scalar_assign_nodes(analysis_sol)
+        # struct copy has no pointer fields -> lowered as struct-assign
+        # OTHER node without writes; only s.a = 1 records.  Check the
+        # overlap predicate directly instead.
+        from repro.names import ObjectName
+
+        node = stores[-1]
+        assert analysis.names_may_overlap(
+            ObjectName("s"), ObjectName("s").field("a"), node
+        )
+
+    def test_conflicts_in_enumerates(self):
+        analysis, stores = self._stores(
+            """
+            int *p, a, b;
+            int main() { p = &a; *p = 1; a = 2; b = 3; return 0; }
+            """
+        )
+        conflicts = list(analysis.conflicts_in(stores))
+        assert len(conflicts) >= 1

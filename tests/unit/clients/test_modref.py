@@ -1,0 +1,104 @@
+"""Unit tests for MOD/REF side-effect analysis ([Ban79] via aliases)."""
+
+import pytest
+
+from repro import analyze_source
+from repro.clients.modref import ModRefAnalysis
+from repro.names import ObjectName
+
+
+def modref(source, k=2):
+    solution = analyze_source(source, k=k)
+    return ModRefAnalysis(solution), solution
+
+
+class TestDirectEffects:
+    def test_global_write_in_mod(self):
+        analysis, _ = modref(
+            "int g; void set(void) { g = 1; } int main() { set(); return 0; }"
+        )
+        assert ObjectName("g") in analysis.mod("set")
+
+    def test_global_read_in_ref(self):
+        analysis, _ = modref(
+            "int g, h; void get(void) { h = g; } int main() { get(); return 0; }"
+        )
+        assert ObjectName("g") in analysis.ref("get")
+
+    def test_local_effects_not_observable(self):
+        analysis, _ = modref(
+            "void f(void) { int x; x = 1; } int main() { f(); return 0; }"
+        )
+        assert analysis.mod("f") == set()
+
+    def test_pointer_store_widened_by_aliases(self):
+        analysis, _ = modref(
+            """
+            int g;
+            int *p;
+            void store(void) { *p = 5; }
+            int main() { p = &g; store(); return 0; }
+            """
+        )
+        assert ObjectName("g") in analysis.mod("store")
+
+
+class TestTransitiveEffects:
+    def test_effects_propagate_up_call_graph(self):
+        analysis, _ = modref(
+            """
+            int g;
+            void inner(void) { g = 1; }
+            void outer(void) { inner(); }
+            int main() { outer(); return 0; }
+            """
+        )
+        assert ObjectName("g") in analysis.mod("outer")
+        assert ObjectName("g") in analysis.mod("main")
+
+    def test_recursive_procedures_converge(self):
+        analysis, _ = modref(
+            """
+            int g;
+            void rec(int d) { if (d > 0) { g = d; rec(d - 1); } }
+            int main() { rec(3); return 0; }
+            """
+        )
+        assert ObjectName("g") in analysis.mod("rec")
+
+    def test_call_site_mod(self):
+        analysis, sol = modref(
+            """
+            int g;
+            void set(void) { g = 1; }
+            int main() { set(); return 0; }
+            """
+        )
+        call = next(iter(sol.icfg.call_sites("set")))
+        assert ObjectName("g") in analysis.call_site_mod(call)
+
+
+class TestPurity:
+    def test_pure_procedure_detected(self):
+        analysis, _ = modref(
+            """
+            int g;
+            int read_only(void) { return g; }
+            void writer(void) { g = 2; }
+            int main() { writer(); return read_only(); }
+            """
+        )
+        pure = set(analysis.pure_procedures())
+        assert "read_only" in pure
+        assert "writer" not in pure
+
+    def test_pointer_returning_not_pure(self):
+        # Writing the return slot counts as an observable effect.
+        analysis, _ = modref(
+            """
+            int g;
+            int *giver(void) { return &g; }
+            int main() { giver(); return 0; }
+            """
+        )
+        assert "giver" not in set(analysis.pure_procedures())

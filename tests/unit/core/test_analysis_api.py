@@ -1,0 +1,62 @@
+"""Unit tests for the public analysis entry points."""
+
+import pytest
+
+from repro import analyze_program, analyze_source, build_icfg, parse_and_analyze
+
+
+class TestAnalyzeSource:
+    def test_basic(self):
+        solution = analyze_source("int main() { return 0; }")
+        assert solution.k == 3  # the paper's default
+        assert solution.stats().icfg_nodes > 0
+
+    def test_k_parameter(self):
+        solution = analyze_source("int main() { return 0; }", k=1)
+        assert solution.k == 1
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_source("int main() { return 0; }", k=0)
+
+    def test_max_facts_budget(self):
+        src = """
+        struct node { int v; struct node *next; };
+        struct node *p, *q;
+        int main() { p = q; return 0; }
+        """
+        with pytest.raises(RuntimeError):
+            analyze_source(src, k=3, max_facts=2)
+
+    def test_timing_recorded(self):
+        solution = analyze_source("int *p, v; int main() { p = &v; return 0; }")
+        assert solution.analysis_seconds >= 0.0
+        assert solution.stats().analysis_seconds == solution.analysis_seconds
+
+    def test_custom_entry_proc(self):
+        source = """
+        int *g, v;
+        int start(void) { g = &v; return 0; }
+        int main() { return 0; }
+        """
+        solution = analyze_source(source, entry_proc="start")
+        exit_start = solution.icfg.exit_of("start")
+        assert solution.may_alias(exit_start)
+
+
+class TestAnalyzeProgram:
+    def test_reuses_prebuilt_icfg(self):
+        analyzed = parse_and_analyze("int *p, v; int main() { p = &v; return 0; }")
+        icfg = build_icfg(analyzed)
+        solution = analyze_program(analyzed, icfg)
+        assert solution.icfg is icfg
+
+    def test_builds_icfg_when_missing(self):
+        analyzed = parse_and_analyze("int main() { return 0; }")
+        solution = analyze_program(analyzed)
+        assert solution.icfg is not None
+
+    def test_version_exported(self):
+        import repro
+
+        assert repro.__version__

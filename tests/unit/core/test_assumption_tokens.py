@@ -1,0 +1,55 @@
+"""Token bookkeeping details in assumptions (regression guards for the
+two-nonvisible join bugs the fuzzer found)."""
+
+from repro.core import assumptions
+from repro.names import AliasPair, ObjectName, nonvisible
+
+
+G0 = ObjectName("g0")
+G1 = ObjectName("g1")
+
+
+def nv_pair(base, idx=1):
+    return AliasPair(base, nonvisible(idx))
+
+
+class TestNormalizeTokens:
+    def test_nv2_rewritten_to_nv1(self):
+        pair = nv_pair(G0, idx=2)
+        normalized = assumptions.normalize_tokens(pair)
+        assert normalized == nv_pair(G0, idx=1)
+
+    def test_nv1_unchanged(self):
+        pair = nv_pair(G0, idx=1)
+        assert assumptions.normalize_tokens(pair) == pair
+
+    def test_plain_pair_unchanged(self):
+        pair = AliasPair(G0, G1)
+        assert assumptions.normalize_tokens(pair) == pair
+
+    def test_selectors_preserved(self):
+        pair = AliasPair(G0.deref(), nonvisible(2).deref())
+        normalized = assumptions.normalize_tokens(pair)
+        member = normalized.nonvisible_member()
+        assert member is not None and member.num_derefs == 1
+
+
+class TestCombineTokenOwnership:
+    def test_combined_assumption_registry_keys_recoverable(self):
+        """Each pair of a combined assumption must normalize back to
+        the $nv1 form used by the back-bind registry."""
+        aa1 = assumptions.single(nv_pair(G0))
+        aa2 = assumptions.single(nv_pair(G1))
+        combined, _, _ = assumptions.combine(aa1, aa2, (), ())
+        assert len(combined) == 2
+        normalized = {assumptions.normalize_tokens(p) for p in combined}
+        assert normalized == {nv_pair(G0), nv_pair(G1)}
+
+    def test_first_tuple_slot_owns_nv1(self):
+        aa1 = assumptions.single(nv_pair(G1))
+        aa2 = assumptions.single(nv_pair(G0))
+        combined, _, _ = assumptions.combine(aa1, aa2, (), ())
+        first_member = combined[0].nonvisible_member()
+        second_member = combined[1].nonvisible_member()
+        assert first_member.base == nonvisible(1).base
+        assert second_member.base == nonvisible(2).base

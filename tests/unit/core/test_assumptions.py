@@ -1,0 +1,88 @@
+"""Unit tests for assumed-alias sets (paper §4)."""
+
+from repro.core import assumptions
+from repro.names import AliasPair, ObjectName, nonvisible
+
+
+def pair(a, b):
+    return AliasPair(a, b)
+
+
+G1 = ObjectName("g1")
+G2 = ObjectName("g2")
+STAR_G1 = G1.deref()
+
+
+class TestBasics:
+    def test_empty(self):
+        assert assumptions.EMPTY == ()
+
+    def test_single(self):
+        pa = pair(STAR_G1, G2)
+        assert assumptions.single(pa) == (pa,)
+
+    def test_has_nonvisible(self):
+        clean = assumptions.single(pair(STAR_G1, G2))
+        dirty = assumptions.single(pair(G1, nonvisible(1)))
+        assert not assumptions.has_nonvisible(clean)
+        assert assumptions.has_nonvisible(dirty)
+        assert not assumptions.has_nonvisible(assumptions.EMPTY)
+
+
+class TestChoose:
+    def test_prefers_nonvisible(self):
+        plain = assumptions.single(pair(STAR_G1, G2))
+        nv = assumptions.single(pair(G1, nonvisible(1)))
+        assert assumptions.choose(plain, nv) == nv
+        assert assumptions.choose(nv, plain) == nv
+
+    def test_falls_back_to_first(self):
+        a = assumptions.single(pair(STAR_G1, G2))
+        b = assumptions.single(pair(G1, G2))
+        assert assumptions.choose(a, b) == a
+
+
+class TestCombine:
+    def test_same_assumption_passes_through(self):
+        aa = assumptions.single(pair(G1, nonvisible(1)))
+        names = (nonvisible(1).deref(),)
+        result = assumptions.combine(aa, aa, names, names)
+        assert result is not None
+        combined, n1, n2 = result
+        assert combined == aa
+        assert n1 == names and n2 == names
+
+    def test_two_nv_assumptions_renumber(self):
+        aa1 = assumptions.single(pair(G1, nonvisible(1)))
+        aa2 = assumptions.single(pair(G2, nonvisible(1)))
+        names1 = (nonvisible(1).deref(),)
+        names2 = (nonvisible(1),)
+        result = assumptions.combine(aa1, aa2, names1, names2)
+        assert result is not None
+        combined, out1, out2 = result
+        assert len(combined) == 2
+        # Tokens must be distinct across the two assumptions.
+        tokens = set()
+        for assumed in combined:
+            member = assumed.nonvisible_member()
+            assert member is not None
+            tokens.add(member.base)
+        assert len(tokens) == 2
+        # The derived names follow their owning assumption's token.
+        (d1,), (d2,) = out1, out2
+        assert d1.base != d2.base
+
+    def test_combination_is_canonical_regardless_of_order(self):
+        aa1 = assumptions.single(pair(G1, nonvisible(1)))
+        aa2 = assumptions.single(pair(G2, nonvisible(1)))
+        r12 = assumptions.combine(aa1, aa2, (), ())
+        r21 = assumptions.combine(aa2, aa1, (), ())
+        assert r12 is not None and r21 is not None
+        assert r12[0] == r21[0]
+
+    def test_double_assumption_inputs_rejected(self):
+        aa1 = assumptions.single(pair(G1, nonvisible(1)))
+        aa2 = assumptions.combine(
+            aa1, assumptions.single(pair(G2, nonvisible(1))), (), ()
+        )[0]
+        assert assumptions.combine(aa2, aa1, (), ()) is None

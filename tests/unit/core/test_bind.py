@@ -1,0 +1,206 @@
+"""Unit tests for bind/back-bind (paper §4, Modeling Parameter Bindings)."""
+
+import pytest
+
+from repro.core.bind import CallBinder
+from repro.frontend import parse_and_analyze
+from repro.icfg import CallInfo, NodeKind, build_icfg
+from repro.names import AliasPair, NameContext, ObjectName, nonvisible
+
+
+def binder_for(source, callee, k=3):
+    analyzed = parse_and_analyze(source)
+    icfg = build_icfg(analyzed)
+    ctx = NameContext(analyzed.symbols, k)
+    for node in icfg.nodes:
+        if node.kind is NodeKind.CALL and node.callee == callee:
+            assert isinstance(node.stmt, CallInfo)
+            return CallBinder(ctx, node.stmt, analyzed.symbols.function(callee))
+    raise AssertionError(f"no call to {callee}")
+
+
+class TestBindEmpty:
+    def test_simple_formal_actual(self):
+        # P(a): (*f, *a) in bind(empty)  [paper's first case]
+        binder = binder_for(
+            """
+            int *g;
+            void p(int *f) { }
+            int main() { p(g); return 0; }
+            """,
+            "p",
+        )
+        pairs = {str(b.entry_pair) for b in binder.bind_empty()}
+        assert "(*g, *p::f)" in pairs
+
+    def test_nonvisible_actual(self):
+        # P(a) with caller-local a: (*f, nonvisible) representing *a.
+        binder = binder_for(
+            """
+            void p(int *f) { }
+            int main() { int *a, v; a = &v; p(a); return 0; }
+            """,
+            "p",
+        )
+        bound = [b for b in binder.bind_empty() if b.represents is not None]
+        assert bound, "expected a nonvisible binding"
+        rep = bound[0]
+        assert rep.entry_pair.has_nonvisible
+        assert str(rep.represents) == "*main::a"
+
+    def test_address_of_actual(self):
+        # P(&g): (*f, g) in bind(empty).
+        binder = binder_for(
+            """
+            int g;
+            void p(int *f) { }
+            int main() { p(&g); return 0; }
+            """,
+            "p",
+        )
+        pairs = {str(b.entry_pair) for b in binder.bind_empty()}
+        assert "(g, *p::f)" in pairs
+
+    def test_overlapping_actuals_paper_example(self):
+        # P(a, *a) with formals f1 (int**), f2 (int*): (**f1, *f2).
+        binder = binder_for(
+            """
+            int **g;
+            void p(int **f1, int *f2) { }
+            int main() { p(g, *g); return 0; }
+            """,
+            "p",
+        )
+        pairs = {str(b.entry_pair) for b in binder.bind_empty()}
+        assert "(**p::f1, *p::f2)" in pairs
+
+    def test_identical_actuals(self):
+        binder = binder_for(
+            """
+            int *g;
+            void p(int *f1, int *f2) { }
+            int main() { p(g, g); return 0; }
+            """,
+            "p",
+        )
+        pairs = {str(b.entry_pair) for b in binder.bind_empty()}
+        assert "(*p::f1, *p::f2)" in pairs
+
+    def test_struct_pointer_chains(self):
+        # Value copy materializes the implicit ->next chains.
+        binder = binder_for(
+            """
+            struct node { int v; struct node *next; };
+            struct node *g;
+            void p(struct node *f) { }
+            int main() { p(g); return 0; }
+            """,
+            "p",
+            k=2,
+        )
+        pairs = {str(b.entry_pair) for b in binder.bind_empty()}
+        assert "(*g, *p::f)" in pairs
+        assert "(g->next, p::f->next)" in pairs
+
+
+class TestReps:
+    def test_global_visible(self):
+        binder = binder_for(
+            """
+            int *g;
+            void p(int *f) { }
+            int main() { p(g); return 0; }
+            """,
+            "p",
+        )
+        g = ObjectName("g")
+        star_g = g.deref()
+        reps = binder.reps(star_g)
+        # *g itself (global) and *f (through the binding).
+        rendered = {str(r) for r in reps}
+        assert rendered == {"*g", "*p::f"}
+
+    def test_caller_local_not_represented(self):
+        binder = binder_for(
+            """
+            void p(int v) { }
+            int main() { int *a, x; a = &x; p(0); return 0; }
+            """,
+            "p",
+        )
+        assert binder.reps(ObjectName("main::a").deref()) == []
+
+    def test_actual_without_deref_not_represented(self):
+        # The actual itself (name `a`, no deref) lives in the caller
+        # only; the callee's copy is a different location.
+        binder = binder_for(
+            """
+            void p(int *f) { }
+            int main() { int *a, x; a = &x; p(a); return 0; }
+            """,
+            "p",
+        )
+        assert binder.reps(ObjectName("main::a")) == []
+
+
+class TestBindPair:
+    def test_paper_bind_pair_example(self):
+        # q global, r caller-local: bind((*q, *r)) =
+        # {((*q, nv), *r), ((*f, nv), *r)}.
+        binder = binder_for(
+            """
+            int *q;
+            void p(int *f) { }
+            int main() { int *r, x; r = &x; q = &x; p(q); return 0; }
+            """,
+            "p",
+        )
+        star_q = ObjectName("q").deref()
+        star_r = ObjectName("main::r").deref()
+        bound = binder.bind_pair(AliasPair(star_q, star_r))
+        rendered = {(str(b.entry_pair), str(b.represents)) for b in bound}
+        assert rendered == {
+            ("($nv1, *q)", "*main::r"),
+            ("($nv1, *p::f)", "*main::r"),
+        }
+
+    def test_both_visible(self):
+        binder = binder_for(
+            """
+            int *q, g;
+            void p(void) { }
+            int main() { q = &g; p(); return 0; }
+            """,
+            "p",
+        )
+        pair = AliasPair(ObjectName("q").deref(), ObjectName("g"))
+        bound = binder.bind_pair(pair)
+        assert len(bound) == 1
+        assert bound[0].entry_pair == pair
+        assert bound[0].represents is None
+
+    def test_both_invisible_empty(self):
+        binder = binder_for(
+            """
+            void p(void) { }
+            int main() { int *a, *b, x; a = &x; b = a; p(); return 0; }
+            """,
+            "p",
+        )
+        pair = AliasPair(
+            ObjectName("main::a").deref(), ObjectName("main::b").deref()
+        )
+        assert binder.bind_pair(pair) == ()
+        assert binder.both_invisible(pair)
+
+    def test_memoized(self):
+        binder = binder_for(
+            """
+            int *q, g;
+            void p(void) { }
+            int main() { q = &g; p(); return 0; }
+            """,
+            "p",
+        )
+        pair = AliasPair(ObjectName("q").deref(), ObjectName("g"))
+        assert binder.bind_pair(pair) is binder.bind_pair(pair)

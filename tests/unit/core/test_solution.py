@@ -1,0 +1,79 @@
+"""Unit tests for the MayAliasSolution query layer."""
+
+import pytest
+
+from repro import analyze_source
+from repro.names import AliasPair, ObjectName
+
+
+@pytest.fixture(scope="module")
+def solution():
+    return analyze_source(
+        """
+        struct node { int v; struct node *next; };
+        struct node *a, *b;
+        int *p, x;
+        int main() {
+            p = &x;
+            a = malloc(8);
+            b = a;
+            return 0;
+        }
+        """,
+        k=2,
+    )
+
+
+class TestQueries:
+    def test_may_alias_accepts_node_or_id(self, solution):
+        exit_main = solution.icfg.exit_of("main")
+        assert solution.may_alias(exit_main) == solution.may_alias(exit_main.nid)
+
+    def test_alias_query_positive(self, solution):
+        exit_main = solution.icfg.exit_of("main")
+        assert solution.alias_query(exit_main, ObjectName("p").deref(), ObjectName("x"))
+        assert solution.alias_query(
+            exit_main, ObjectName("a").deref(), ObjectName("b").deref()
+        )
+
+    def test_alias_query_negative(self, solution):
+        exit_main = solution.icfg.exit_of("main")
+        assert not solution.alias_query(
+            exit_main, ObjectName("p").deref(), ObjectName("a").deref()
+        )
+
+    def test_alias_query_honors_truncated_representatives(self, solution):
+        # (a->next->next...) beyond k=2 is represented by a truncated
+        # name; queries at depth must still answer True.
+        exit_main = solution.icfg.exit_of("main")
+        deep_a = ObjectName("a").extend(("*", "next", "*", "next", "*"))
+        deep_b = ObjectName("b").extend(("*", "next", "*", "next", "*"))
+        assert solution.alias_query(exit_main, deep_a, deep_b)
+
+    def test_may_alias_names(self, solution):
+        exit_main = solution.icfg.exit_of("main")
+        names = solution.may_alias_names(exit_main, ObjectName("p").deref())
+        assert ObjectName("x") in names
+
+    def test_program_aliases_excludes_nonvisible_by_default(self, solution):
+        for pair in solution.program_aliases():
+            assert not pair.has_nonvisible
+
+    def test_node_pairs_unique(self, solution):
+        pairs = list(solution.node_pairs())
+        assert len(pairs) == len(set(pairs))
+
+    def test_stats_consistent(self, solution):
+        stats = solution.stats()
+        assert stats.icfg_nodes == len(solution.icfg)
+        assert stats.node_alias_count == len(list(solution.node_pairs()))
+        assert stats.may_hold_facts >= stats.node_alias_count
+
+    def test_render_node_report(self, solution):
+        exit_main = solution.icfg.exit_of("main")
+        report = solution.render_node_report(exit_main, limit=3)
+        assert f"n{exit_main.nid}" in report
+
+    def test_entry_of_main_is_alias_free(self, solution):
+        entry = solution.icfg.entry_of("main")
+        assert solution.may_alias(entry) == set()

@@ -1,0 +1,216 @@
+"""Unit tests for the assignment transfer function (paper §4.5).
+
+Each test drives the case analysis through a tiny whole program and
+checks the aliases at the node *after* the assignment of interest.
+"""
+
+import pytest
+
+from repro import analyze_source
+from repro.names import DEREF, AliasPair, ObjectName
+
+
+def n(text):
+    stars = 0
+    while text.startswith("*"):
+        stars += 1
+        text = text[1:]
+    parts = text.split("->")
+    name = ObjectName(parts[0])
+    for part in parts[1:]:
+        name = name.deref().field(part)
+    for _ in range(stars):
+        name = name.deref()
+    return name
+
+
+def pair(a, b):
+    return AliasPair(n(a), n(b))
+
+
+def aliases_after(source, marker, k=3):
+    """may_alias at the assignment node whose label contains marker."""
+    sol = analyze_source(source, k=k)
+    for node in sol.icfg.nodes:
+        if node.is_pointer_assignment and marker in node.label():
+            return sol.may_alias(node), sol
+    raise AssertionError(f"no assignment matching {marker!r}")
+
+
+class TestIntroduction:
+    def test_assign_introduces_star_pair(self):
+        pairs, _ = aliases_after(
+            "int *p, *q, v; int main() { q = &v; p = q; return 0; }", "p = q"
+        )
+        assert pair("*p", "*q") in pairs
+
+    def test_address_of_introduces_direct_alias(self):
+        pairs, _ = aliases_after(
+            "int *p, v; int main() { p = &v; return 0; }", "p = &v"
+        )
+        assert pair("*p", "v") in pairs
+
+    def test_self_extension_excluded(self):
+        # p = p->next must NOT create (*p, *(p->next)).
+        src = """
+        struct node { int v; struct node *next; };
+        struct node *p;
+        int main() { p = p->next; return 0; }
+        """
+        pairs, _ = aliases_after(src, "p = p->next")
+        assert pair("*p", "*p->next") not in pairs
+
+    def test_null_introduces_nothing(self):
+        pairs, _ = aliases_after(
+            "int *p, v; int main() { p = NULL; return 0; }", "p = NULL"
+        )
+        assert not pairs
+
+    def test_malloc_introduces_nothing(self):
+        pairs, _ = aliases_after(
+            "int *p; int main() { p = malloc(4); return 0; }", "p = malloc"
+        )
+        assert not pairs
+
+    def test_implicit_chain_extensions(self):
+        src = """
+        struct node { int v; struct node *next; };
+        struct node *p, *q;
+        int main() { p = q; return 0; }
+        """
+        pairs, _ = aliases_after(src, "p = q", k=2)
+        assert pair("*p", "*q") in pairs
+        assert pair("p->next", "q->next") in pairs
+        assert pair("p->v", "q->v") in pairs
+
+
+class TestKill:
+    def test_strong_update_kills_old_alias(self):
+        src = """
+        int *p, a, b;
+        int main() { p = &a; p = &b; return 0; }
+        """
+        pairs, _ = aliases_after(src, "p = &b")
+        assert pair("*p", "b") in pairs
+        assert pair("*p", "a") not in pairs
+
+    def test_null_kills(self):
+        src = "int *p, a; int main() { p = &a; p = NULL; return 0; }"
+        pairs, _ = aliases_after(src, "p = NULL")
+        assert pair("*p", "a") not in pairs
+
+    def test_unrelated_alias_preserved(self):
+        src = """
+        int *p, *q, a, b;
+        int main() { q = &a; p = &b; return 0; }
+        """
+        pairs, _ = aliases_after(src, "p = &b")
+        assert pair("*q", "a") in pairs
+
+    def test_weak_update_through_array_preserves(self):
+        src = """
+        int *arr[4];
+        int a, b;
+        int main() { arr[0] = &a; arr[1] = &b; return 0; }
+        """
+        pairs, _ = aliases_after(src, "= &b")
+        # The aggregate assignment may not kill the element alias.
+        assert pair("*arr", "a") in pairs
+        assert pair("*arr", "b") in pairs
+
+    def test_location_alias_of_lhs_survives(self):
+        # Case 3.i: (p, *u) is a location alias, unaffected by p = q.
+        src = """
+        int *p, **u, *q, a;
+        int main() { u = &p; q = &a; p = q; return 0; }
+        """
+        pairs, _ = aliases_after(src, "p = q")
+        assert pair("p", "*u") in pairs
+
+
+class TestCase2:
+    def test_alias_of_star_q_transfers(self):
+        # Case 2.i: (*q, z) at node gives (*p, z) after p = q.
+        src = """
+        int *p, *q, v;
+        int main() { q = &v; p = q; return 0; }
+        """
+        pairs, _ = aliases_after(src, "p = q")
+        assert pair("*q", "v") in pairs  # preserved (case 1)
+        assert pair("*p", "v") in pairs  # transferred (case 2.i)
+
+    def test_deep_alias_transfers(self):
+        # (**q, z) gives (**p, z) after p = q.
+        src = """
+        int **p, **q, *r, v;
+        int main() { r = &v; q = &r; p = q; return 0; }
+        """
+        pairs, _ = aliases_after(src, "p = q")
+        assert pair("**p", "v") in pairs
+        assert pair("**p", "*r") in pairs
+
+    def test_case_2ii_no_self_info(self):
+        # p = p->next with (*(p->next), z): z's side rooted at p is
+        # rebound, so nothing useful should be concluded about it.
+        src = """
+        struct node { int v; struct node *next; };
+        struct node *p, *z;
+        int main() { z = p->next; p = p->next; return 0; }
+        """
+        pairs, _ = aliases_after(src, "p = p->next")
+        # (*z, *p) survives as the new p equals old p->next ≡ z.
+        assert pair("*z", "*p") in pairs
+
+
+class TestCase3:
+    def test_alias_of_lhs_gives_rhs_alias(self):
+        # Case 3.i: (p, *u) then p = &a gives (*(*u), a) i.e. (**u, a).
+        src = """
+        int *p, **u, a;
+        int main() { u = &p; p = &a; return 0; }
+        """
+        pairs, _ = aliases_after(src, "p = &a")
+        assert pair("**u", "a") in pairs
+
+    def test_case_3ii_derived_chain_survives(self):
+        # (p, *u) also means (*p, **u) holds after p = q.
+        src = """
+        int *p, **u, *q, a;
+        int main() { u = &p; q = &a; p = q; return 0; }
+        """
+        pairs, _ = aliases_after(src, "p = q")
+        assert pair("*p", "**u") in pairs
+
+    def test_assignment_through_pointer(self):
+        # *u = q where (p, *u): assigning through u writes p.
+        src = """
+        int *p, **u, *q, a;
+        int main() { u = &p; q = &a; *u = q; return 0; }
+        """
+        pairs, _ = aliases_after(src, "*u = q")
+        assert pair("**u", "a") in pairs
+        assert pair("*p", "a") in pairs  # via the location alias of *u
+
+
+class TestTaintAccounting:
+    def test_clean_program_is_100_percent(self):
+        src = """
+        int *p, *q, v;
+        int main() { q = &v; p = q; return 0; }
+        """
+        _, sol = aliases_after(src, "p = q")
+        assert sol.percent_yes() == 100.0
+
+    def test_pairwise_combination_taints(self):
+        # Approximation 2: (z, *q) and (*u, p) combine at p = q.
+        src = """
+        int *p, **u, *q, *z, a;
+        int main() {
+            if (a) { u = &p; }
+            if (a) { z = q; }
+            p = q;
+            return 0;
+        }
+        """
+        _, sol = aliases_after(src, "p = q")
+        assert sol.percent_yes() < 100.0

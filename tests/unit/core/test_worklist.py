@@ -1,0 +1,221 @@
+"""Unit tests for the interprocedural rules (paper Figures 2 and 3)."""
+
+import pytest
+
+from repro import analyze_source
+from repro.icfg import NodeKind
+from repro.names import AliasPair, ObjectName
+
+
+def n(text):
+    stars = 0
+    while text.startswith("*"):
+        stars += 1
+        text = text[1:]
+    name = ObjectName(text)
+    for _ in range(stars):
+        name = name.deref()
+    return name
+
+
+def pair(a, b):
+    return AliasPair(n(a), n(b))
+
+
+def returns_of(sol, callee, proc="main"):
+    rets = [
+        node
+        for node in sol.icfg.nodes
+        if node.kind is NodeKind.RETURN and node.callee == callee and node.proc == proc
+    ]
+    return sorted(rets, key=lambda node: node.nid)
+
+
+class TestRule1PassThrough:
+    def test_invisible_alias_survives_call(self):
+        # (a, *p) with both caller-local: the callee cannot touch it.
+        sol = analyze_source(
+            """
+            void nop(void) { }
+            int main() { int a, *p; p = &a; nop(); return 0; }
+            """
+        )
+        (ret,) = returns_of(sol, "nop")
+        assert pair("main::a", "*main::p") in sol.may_alias(ret)
+
+    def test_visible_alias_not_blindly_passed(self):
+        # (g, *p) with g global: must be recovered through the callee's
+        # exit facts — and is, because the callee leaves it intact.
+        sol = analyze_source(
+            """
+            int g;
+            void nop(void) { }
+            int main() { int *p; p = &g; nop(); return 0; }
+            """
+        )
+        (ret,) = returns_of(sol, "nop")
+        assert pair("g", "*main::p") in sol.may_alias(ret)
+
+
+class TestRule2BothVisible:
+    def test_global_alias_roundtrip(self):
+        sol = analyze_source(
+            """
+            int *g, v;
+            void touch(void) { g = g; }
+            int main() { g = &v; touch(); return 0; }
+            """
+        )
+        (ret,) = returns_of(sol, "touch")
+        assert pair("*g", "v") in sol.may_alias(ret)
+
+    def test_callee_kill_reflected(self):
+        # The callee nulls g; the conditional facts still include the
+        # entry assumption path, so may-alias keeps (safe) — but the
+        # alias created *inside* is visible at its own nodes.
+        sol = analyze_source(
+            """
+            int *g, v, w;
+            void retarget(void) { g = &w; }
+            int main() { g = &v; retarget(); return 0; }
+            """
+        )
+        (ret,) = returns_of(sol, "retarget")
+        assert pair("*g", "w") in sol.may_alias(ret)
+
+    def test_callee_created_global_alias_returns(self):
+        sol = analyze_source(
+            """
+            int *g1, g2;
+            void make(void) { g1 = &g2; }
+            int main() { make(); return 0; }
+            """
+        )
+        (ret,) = returns_of(sol, "make")
+        assert pair("*g1", "g2") in sol.may_alias(ret)
+
+
+class TestRule3OneNonvisible:
+    def test_callee_aliases_global_to_local_target(self):
+        # p points at caller-local a; callee sets g = p-value via formal.
+        sol = analyze_source(
+            """
+            int *g;
+            void capture(int *f) { g = f; }
+            int main() { int a; capture(&a); return 0; }
+            """
+        )
+        (ret,) = returns_of(sol, "capture")
+        assert pair("*g", "main::a") in sol.may_alias(ret)
+
+    def test_formal_based_names_die_at_return(self):
+        sol = analyze_source(
+            """
+            int *g;
+            void capture(int *f) { g = f; }
+            int main() { int a; capture(&a); return 0; }
+            """
+        )
+        (ret,) = returns_of(sol, "capture")
+        for alias in sol.may_alias(ret):
+            assert "capture::f" not in str(alias)
+
+
+class TestRealizablePaths:
+    SRC = """
+    int *x, *y, a, b;
+    int *id(int *p) { return p; }
+    int main() {
+        x = id(&a);
+        y = id(&b);
+        return 0;
+    }
+    """
+
+    def test_first_call_sees_only_first_actual(self):
+        sol = analyze_source(self.SRC)
+        first, second = returns_of(sol, "id")
+        first_pairs = sol.may_alias(first)
+        assert pair("a", "*id$ret") in first_pairs
+        assert pair("b", "*id$ret") not in first_pairs
+
+    def test_no_cross_call_contamination(self):
+        sol = analyze_source(self.SRC)
+        exit_main = sol.icfg.exit_of("main")
+        pairs = sol.may_alias(exit_main)
+        assert pair("a", "*x") in pairs
+        assert pair("b", "*y") in pairs
+        assert pair("b", "*x") not in pairs
+        assert pair("a", "*y") not in pairs
+
+
+class TestRecursion:
+    def test_recursive_identity_converges(self):
+        sol = analyze_source(
+            """
+            int *rec(int *p, int d) {
+                if (d <= 0) { return p; }
+                return rec(p, d - 1);
+            }
+            int *r; int v;
+            int main() { r = rec(&v, 3); return 0; }
+            """
+        )
+        exit_main = sol.icfg.exit_of("main")
+        assert pair("v", "*r") in sol.may_alias(exit_main)
+
+    def test_mutual_recursion(self):
+        sol = analyze_source(
+            """
+            int *g, v;
+            void even(int d);
+            void odd(int d) { g = &v; even(d - 1); }
+            void even(int d) { if (d > 0) { odd(d); } }
+            int main() { even(4); return 0; }
+            """
+        )
+        (ret,) = returns_of(sol, "even", proc="main")
+        assert pair("*g", "v") in sol.may_alias(ret)
+
+
+class TestReturnValues:
+    def test_returned_pointer_aliases_caller_var(self):
+        sol = analyze_source(
+            """
+            struct node { int v; struct node *next; };
+            struct node *mk(void) { struct node *n; n = malloc(8); return n; }
+            struct node *head;
+            int main() { head = mk(); return 0; }
+            """
+        )
+        exit_main = sol.icfg.exit_of("main")
+        # head and mk$ret both point at the same heap node; aliasing of
+        # their targets is reflected through the return slot.
+        assert pair("*head", "*mk$ret") in sol.may_alias(exit_main)
+
+    def test_chained_calls(self):
+        sol = analyze_source(
+            """
+            int *id(int *p) { return p; }
+            int *twice(int *p) { return id(id(p)); }
+            int *r; int v;
+            int main() { r = twice(&v); return 0; }
+            """
+        )
+        exit_main = sol.icfg.exit_of("main")
+        assert pair("v", "*r") in sol.may_alias(exit_main)
+
+
+class TestNestedNonvisible:
+    def test_nonvisible_through_two_levels(self):
+        # main's local leaks through two nested calls via a global.
+        sol = analyze_source(
+            """
+            int *g;
+            void inner(int *f) { g = f; }
+            void outer(int *f) { inner(f); }
+            int main() { int a; outer(&a); return 0; }
+            """
+        )
+        exit_main = sol.icfg.exit_of("main")
+        assert pair("*g", "main::a") in sol.may_alias(exit_main)

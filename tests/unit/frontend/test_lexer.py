@@ -1,0 +1,144 @@
+"""Unit tests for the MiniC lexer."""
+
+import pytest
+
+from repro.frontend import LexError, TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source) if t.kind is not TokenKind.EOF]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifier(self):
+        tokens = tokenize("hello")
+        assert tokens[0].kind is TokenKind.IDENT
+        assert tokens[0].text == "hello"
+
+    def test_identifier_with_underscore_and_digits(self):
+        assert texts("_foo42 bar_baz") == ["_foo42", "bar_baz"]
+
+    def test_keywords_distinguished_from_identifiers(self):
+        tokens = tokenize("int intx")
+        assert tokens[0].kind is TokenKind.KEYWORD
+        assert tokens[1].kind is TokenKind.IDENT
+
+    def test_all_control_keywords(self):
+        for word in ("if", "else", "while", "for", "return", "break", "continue",
+                     "goto", "switch", "case", "default", "do", "struct"):
+            assert tokenize(word)[0].kind is TokenKind.KEYWORD, word
+
+    def test_null_is_keyword(self):
+        assert tokenize("NULL")[0].kind is TokenKind.KEYWORD
+
+
+class TestNumbers:
+    def test_integer_literal(self):
+        tok = tokenize("42")[0]
+        assert tok.kind is TokenKind.INT_LIT
+        assert tok.text == "42"
+
+    def test_integer_with_suffix(self):
+        assert tokenize("42L")[0].kind is TokenKind.INT_LIT
+        assert tokenize("7u")[0].kind is TokenKind.INT_LIT
+
+    def test_float_literal(self):
+        assert tokenize("3.25")[0].kind is TokenKind.FLOAT_LIT
+
+    def test_float_with_exponent(self):
+        assert tokenize("1e9")[0].kind is TokenKind.FLOAT_LIT
+        assert tokenize("2.5e-3")[0].kind is TokenKind.FLOAT_LIT
+
+    def test_member_access_is_not_float(self):
+        # `x.f` must lex as IDENT PUNCT IDENT.
+        toks = tokenize("x.f")
+        assert [t.kind for t in toks[:3]] == [
+            TokenKind.IDENT,
+            TokenKind.PUNCT,
+            TokenKind.IDENT,
+        ]
+
+
+class TestStringsAndChars:
+    def test_string_literal(self):
+        tok = tokenize('"hello world"')[0]
+        assert tok.kind is TokenKind.STRING_LIT
+
+    def test_string_with_escape(self):
+        tok = tokenize(r'"a\"b"')[0]
+        assert tok.kind is TokenKind.STRING_LIT
+        assert tok.text == r'"a\"b"'
+
+    def test_char_literal(self):
+        assert tokenize("'a'")[0].kind is TokenKind.CHAR_LIT
+
+    def test_escaped_char_literal(self):
+        assert tokenize(r"'\n'")[0].kind is TokenKind.CHAR_LIT
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_unterminated_char_raises(self):
+        with pytest.raises(LexError):
+            tokenize("'x")
+
+
+class TestPunctuation:
+    def test_arrow_lexes_as_one_token(self):
+        assert texts("p->next") == ["p", "->", "next"]
+
+    def test_longest_match_shift_assign(self):
+        assert texts("a <<= b") == ["a", "<<=", "b"]
+
+    def test_increment_vs_plus(self):
+        assert texts("a++ + b") == ["a", "++", "+", "b"]
+
+    def test_comparison_operators(self):
+        assert texts("a <= b >= c == d != e") == [
+            "a", "<=", "b", ">=", "c", "==", "d", "!=", "e",
+        ]
+
+    def test_logical_operators(self):
+        assert texts("a && b || c") == ["a", "&&", "b", "||", "c"]
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a ` b")
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment_skipped(self):
+        assert texts("a // comment\n b") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+    def test_preprocessor_line_skipped(self):
+        assert texts("#include <stdio.h>\nint x;") == ["int", "x", ";"]
+
+
+class TestSpans:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].span.start.line == 1
+        assert tokens[1].span.start.line == 2
+        assert tokens[1].span.start.column == 3
+
+    def test_offsets_monotonic(self):
+        tokens = tokenize("int x = 1;")
+        offsets = [t.span.start.offset for t in tokens]
+        assert offsets == sorted(offsets)

@@ -1,0 +1,242 @@
+"""Unit tests for the MiniC parser."""
+
+import pytest
+
+from repro.frontend import (
+    ParseError,
+    PointerType,
+    StructType,
+    UnsupportedFeatureError,
+    parse,
+)
+from repro.frontend import ast_nodes as ast
+
+
+class TestDeclarations:
+    def test_global_variable(self):
+        prog = parse("int x;")
+        assert len(prog.globals) == 1
+        assert prog.globals[0].name == "x"
+
+    def test_multiple_declarators(self):
+        prog = parse("int a, *b, **c;")
+        names = [d.name for d in prog.globals]
+        assert names == ["a", "b", "c"]
+        assert isinstance(prog.globals[1].var_type, PointerType)
+        assert isinstance(prog.globals[2].var_type.pointee, PointerType)
+
+    def test_array_declarator(self):
+        prog = parse("int a[10];")
+        assert prog.globals[0].var_type.is_array()
+        assert prog.globals[0].var_type.size == 10
+
+    def test_two_dimensional_array(self):
+        prog = parse("int grid[3][4];")
+        t = prog.globals[0].var_type
+        assert t.is_array() and t.element.is_array()
+
+    def test_global_initializer(self):
+        prog = parse("int x = 5;")
+        assert isinstance(prog.globals[0].init, ast.IntLit)
+
+    def test_struct_definition(self):
+        prog = parse("struct node { int v; struct node *next; };")
+        assert prog.structs[0].name == "node"
+        assert [f.name for f in prog.structs[0].fields] == ["v", "next"]
+
+    def test_typedef_resolves(self):
+        prog = parse("typedef int *intptr; intptr p;")
+        assert isinstance(prog.globals[0].var_type, PointerType)
+
+    def test_function_definition(self):
+        prog = parse("int f(int a, int *b) { return a; }")
+        fn = prog.functions[0]
+        assert fn.name == "f"
+        assert [p.name for p in fn.params] == ["a", "b"]
+
+    def test_void_parameter_list(self):
+        prog = parse("int f(void) { return 0; }")
+        assert prog.functions[0].params == []
+
+    def test_prototype(self):
+        prog = parse("int f(int x);")
+        assert any(isinstance(d, ast.FuncDecl) for d in prog.decls)
+
+    def test_unsigned_long_folds_to_int(self):
+        prog = parse("unsigned long x;")
+        assert str(prog.globals[0].var_type) == "int"
+
+
+class TestUnsupportedFeatures:
+    def test_function_pointer_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse("int (*fp)(int);")
+
+    def test_cast_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse("int main() { int x; x = (int) 3.5; return x; }")
+
+    def test_nested_struct_definition_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse("struct a { struct b { int x; } inner; };")
+
+    def test_brace_initializer_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse("int a[2] = {1, 2};")
+
+    def test_call_through_expression_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse("int main() { fns[0](); return 0; }")
+
+    def test_parenthesized_direct_call_allowed(self):
+        # (f)() is still a direct call to f.
+        prog = parse("int f(void) { return 0; } int main() { (f)(); return 0; }")
+        assert prog.functions[1].name == "main"
+
+    def test_for_loop_declaration_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse("int main() { for (int i = 0; i < 3; i = i + 1) { } return 0; }")
+
+
+class TestStatements:
+    def body(self, text):
+        return parse("int main() { " + text + " return 0; }").functions[0].body.items
+
+    def test_if_else(self):
+        items = self.body("if (1) { } else { }")
+        assert isinstance(items[0], ast.If)
+        assert items[0].otherwise is not None
+
+    def test_dangling_else_binds_to_inner_if(self):
+        items = self.body("if (1) if (2) ; else ;")
+        outer = items[0]
+        assert outer.otherwise is None
+        assert outer.then.otherwise is not None
+
+    def test_while(self):
+        items = self.body("while (1) { }")
+        assert isinstance(items[0], ast.While)
+
+    def test_do_while(self):
+        items = self.body("do { } while (0);")
+        assert isinstance(items[0], ast.DoWhile)
+
+    def test_for_with_all_clauses(self):
+        items = self.body("for (i = 0; i < 3; i = i + 1) { }")
+        stmt = items[0]
+        assert stmt.init is not None and stmt.cond is not None and stmt.step is not None
+
+    def test_for_with_empty_clauses(self):
+        items = self.body("for (;;) { break; }")
+        stmt = items[0]
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_switch_with_cases_and_default(self):
+        items = self.body("switch (x) { case 1: break; case 2: break; default: break; }")
+        stmt = items[0]
+        assert len(stmt.cases) == 3
+        assert stmt.cases[2].value is None
+
+    def test_goto_and_label(self):
+        items = self.body("goto done; done: ;")
+        assert isinstance(items[0], ast.Goto)
+        assert isinstance(items[1], ast.Label)
+
+    def test_local_declarations(self):
+        items = self.body("int x; int *p;")
+        assert all(isinstance(i, ast.VarDecl) for i in items[:2])
+
+
+class TestExpressions:
+    def expr(self, text):
+        prog = parse("int main() { x = " + text + "; return 0; }")
+        stmt = prog.functions[0].body.items[0]
+        return stmt.expr.value
+
+    def test_precedence_mul_over_add(self):
+        e = self.expr("a + b * c")
+        assert e.op == "+"
+        assert e.right.op == "*"
+
+    def test_unary_deref_chain(self):
+        e = self.expr("**pp")
+        assert e.op == "*" and e.operand.op == "*"
+
+    def test_address_of(self):
+        e = self.expr("&v")
+        assert e.op == "&"
+
+    def test_arrow_chain(self):
+        e = self.expr("p->next->next")
+        assert isinstance(e, ast.Member) and e.arrow
+        assert isinstance(e.base, ast.Member) and e.base.arrow
+
+    def test_member_dot(self):
+        e = self.expr("s.field")
+        assert isinstance(e, ast.Member) and not e.arrow
+
+    def test_index(self):
+        e = self.expr("a[i]")
+        assert isinstance(e, ast.Index)
+
+    def test_call_with_args(self):
+        e = self.expr("f(1, &v, p)")
+        assert isinstance(e, ast.Call)
+        assert len(e.args) == 3
+
+    def test_conditional(self):
+        e = self.expr("c ? a : b")
+        assert isinstance(e, ast.Conditional)
+
+    def test_chained_assignment_right_associative(self):
+        prog = parse("int main() { a = b = c; return 0; }")
+        outer = prog.functions[0].body.items[0].expr
+        assert isinstance(outer.value, ast.Assign)
+
+    def test_compound_assignment(self):
+        prog = parse("int main() { a += 2; return 0; }")
+        stmt = prog.functions[0].body.items[0]
+        assert stmt.expr.op == "+="
+
+    def test_null_literal(self):
+        e = self.expr("NULL")
+        assert isinstance(e, ast.NullLit)
+
+    def test_parenthesized_grouping(self):
+        e = self.expr("(a + b) * c")
+        assert e.op == "*"
+        assert e.left.op == "+"
+
+    def test_comparison_chain(self):
+        e = self.expr("a < b == c")
+        assert e.op == "=="
+
+    def test_logical_or_lowest(self):
+        e = self.expr("a && b || c")
+        assert e.op == "||"
+
+    def test_sizeof_type(self):
+        e = self.expr("sizeof(int)")
+        assert isinstance(e, ast.SizeOf) and e.type_name is not None
+
+    def test_sizeof_expr(self):
+        e = self.expr("sizeof x")
+        assert isinstance(e, ast.SizeOf) and e.operand is not None
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("int x")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(ParseError):
+            parse("int main() { x = (1; return 0; }")
+
+    def test_garbage_after_expression(self):
+        with pytest.raises(ParseError):
+            parse("int main() { x = ; return 0; }")
+
+    def test_struct_redefinition_rejected(self):
+        with pytest.raises(ValueError):
+            parse("struct s { int a; }; struct s { int b; };")

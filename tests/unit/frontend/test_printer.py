@@ -1,0 +1,101 @@
+"""Unit tests for the MiniC pretty-printer."""
+
+from repro.frontend import parse, print_program
+from repro.frontend.printer import declare, print_expr
+from repro.frontend.types import ArrayType, PointerType, scalar
+
+
+def body_line(source, needle):
+    printed = print_program(parse(source))
+    matching = [line.strip() for line in printed.splitlines() if needle in line]
+    assert matching, printed
+    return matching[0]
+
+
+class TestDeclarations:
+    def test_scalar(self):
+        assert declare(scalar("int"), "x") == "int x"
+
+    def test_pointer(self):
+        assert declare(PointerType(scalar("int")), "p") == "int *p"
+
+    def test_double_pointer(self):
+        assert declare(PointerType(PointerType(scalar("char"))), "p") == "char **p"
+
+    def test_array(self):
+        assert declare(ArrayType(scalar("int"), 8), "a") == "int a[8]"
+
+    def test_array_of_pointers(self):
+        assert declare(ArrayType(PointerType(scalar("int")), 3), "a") == "int *a[3]"
+
+    def test_struct_def_printed(self):
+        printed = print_program(
+            parse("struct node { int v; struct node *next; }; int main() { return 0; }")
+        )
+        assert "struct node {" in printed
+        assert "struct node *next;" in printed
+
+
+class TestExpressions:
+    def test_arrow_chain(self):
+        line = body_line(
+            "struct n { struct n *next; }; struct n *p; "
+            "int main() { p = p->next->next; return 0; }",
+            "p =",
+        )
+        assert line == "p = p->next->next;"
+
+    def test_parens_only_when_needed(self):
+        line = body_line("int main() { x = a + b * c; return 0; }", "x =")
+        assert line == "x = a + b * c;"
+
+    def test_parens_preserved_for_grouping(self):
+        line = body_line("int main() { x = (a + b) * c; return 0; }", "x =")
+        assert line == "x = (a + b) * c;"
+
+    def test_unary_and_address(self):
+        line = body_line("int *p, v; int main() { *p = -v; return 0; }", "*p =")
+        assert line == "*p = -v;"
+
+    def test_call(self):
+        line = body_line(
+            "int f(int a, int *b); int main() { f(1, NULL); return 0; }", "f(1"
+        )
+        assert line == "f(1, NULL);"
+
+    def test_string_literal_verbatim(self):
+        source = 'char *s; int main() { s = "a\\"b"; return 0; }'
+        printed = print_program(parse(source))
+        assert '"a\\"b"' in printed
+        # And the printed form reparses to the same literal.
+        again = print_program(parse(printed))
+        assert '"a\\"b"' in again
+
+
+class TestStatements:
+    def test_if_else(self):
+        printed = print_program(
+            parse("int main() { if (1) { } else { } return 0; }")
+        )
+        assert "if (1)" in printed and "else" in printed
+
+    def test_for_loop(self):
+        printed = print_program(
+            parse("int main() { int i; for (i = 0; i < 3; i = i + 1) { } return 0; }")
+        )
+        assert "for (i = 0; i < 3; i = i + 1)" in printed
+
+    def test_switch(self):
+        printed = print_program(
+            parse(
+                "int main() { int x; switch (x) { case 1: break; default: break; } return 0; }"
+            )
+        )
+        assert "switch (x) {" in printed
+        assert "case 1:" in printed and "default:" in printed
+
+    def test_goto_label(self):
+        printed = print_program(
+            parse("int main() { goto done; done: return 0; }")
+        )
+        assert "goto done;" in printed and "done:" in printed

@@ -1,0 +1,154 @@
+"""Unit tests for semantic analysis (name resolution + type checking)."""
+
+import pytest
+
+from repro.frontend import (
+    PointerType,
+    StructType,
+    SymbolKind,
+    TypeError_,
+    UnsupportedFeatureError,
+    parse_and_analyze,
+)
+
+
+class TestResolution:
+    def test_globals_resolved(self):
+        ap = parse_and_analyze("int g; int main() { g = 1; return g; }")
+        assert "g" in ap.symbols.globals
+
+    def test_locals_get_qualified_uids(self):
+        ap = parse_and_analyze("int main() { int x; x = 1; return x; }")
+        info = ap.symbols.function("main")
+        assert info.locals[0].uid == "main::x"
+
+    def test_params_resolved(self):
+        ap = parse_and_analyze("int f(int *p) { return *p; } int main() { return 0; }")
+        info = ap.symbols.function("f")
+        assert info.params[0].uid == "f::p"
+        assert info.params[0].kind is SymbolKind.PARAM
+
+    def test_shadowing_gets_distinct_uids(self):
+        ap = parse_and_analyze(
+            "int main() { int x; { int x; x = 2; } x = 1; return x; }"
+        )
+        uids = [s.uid for s in ap.symbols.function("main").locals]
+        assert len(uids) == len(set(uids)) == 2
+
+    def test_local_shadows_global(self):
+        ap = parse_and_analyze("int x; int main() { int x; x = 1; return x; }")
+        fn = ap.function("main")
+        stmt = fn.body.items[1]
+        target = stmt.expr.target
+        assert target.symbol.uid == "main::x"
+
+    def test_undeclared_identifier_rejected(self):
+        with pytest.raises(TypeError_):
+            parse_and_analyze("int main() { y = 1; return 0; }")
+
+    def test_redeclaration_in_same_scope_rejected(self):
+        with pytest.raises(TypeError_):
+            parse_and_analyze("int main() { int x; int x; return 0; }")
+
+    def test_pointer_return_slot_created(self):
+        ap = parse_and_analyze("int *f(void) { return NULL; } int main() { return 0; }")
+        assert ap.symbols.function("f").return_slot is not None
+        assert ap.symbols.function("f").return_slot.uid == "f$ret"
+
+    def test_scalar_return_has_no_slot(self):
+        ap = parse_and_analyze("int f(void) { return 1; } int main() { return 0; }")
+        assert ap.symbols.function("f").return_slot is None
+
+
+class TestTypeChecking:
+    def test_deref_non_pointer_rejected(self):
+        with pytest.raises(TypeError_):
+            parse_and_analyze("int main() { int x; return *x; }")
+
+    def test_deref_void_pointer_rejected(self):
+        with pytest.raises(TypeError_):
+            parse_and_analyze("void *v; int main() { return *v; }")
+
+    def test_arrow_on_non_pointer_rejected(self):
+        with pytest.raises(TypeError_):
+            parse_and_analyze(
+                "struct s { int f; }; struct s v; int main() { return v->f; }"
+            )
+
+    def test_dot_on_pointer_rejected(self):
+        with pytest.raises(TypeError_):
+            parse_and_analyze(
+                "struct s { int f; }; struct s *p; int main() { return p.f; }"
+            )
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(TypeError_):
+            parse_and_analyze(
+                "struct s { int f; }; struct s v; int main() { return v.g; }"
+            )
+
+    def test_address_of_rvalue_rejected(self):
+        with pytest.raises(TypeError_):
+            parse_and_analyze("int main() { int *p; p = &3; return 0; }")
+
+    def test_pointer_from_int_rejected(self):
+        with pytest.raises(TypeError_):
+            parse_and_analyze("int main() { int *p; int x; x = 5; p = x; return 0; }")
+
+    def test_null_assignable_to_pointer(self):
+        parse_and_analyze("int main() { int *p; p = NULL; return 0; }")
+
+    def test_malloc_assignable_to_any_pointer(self):
+        parse_and_analyze(
+            "struct s { int f; }; int main() { struct s *p; p = malloc(4); return 0; }"
+        )
+
+    def test_call_arity_checked(self):
+        with pytest.raises(TypeError_):
+            parse_and_analyze(
+                "int f(int a) { return a; } int main() { return f(1, 2); }"
+            )
+
+    def test_void_function_returning_value_rejected(self):
+        with pytest.raises(TypeError_):
+            parse_and_analyze("void f(void) { return 3; } int main() { return 0; }")
+
+    def test_known_externals_allowed(self):
+        parse_and_analyze('int main() { printf("x"); return 0; }')
+
+    def test_unknown_external_with_pointer_args_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse_and_analyze("int main() { int x; mystery(&x); return 0; }")
+
+    def test_unknown_external_scalar_warns(self):
+        ap = parse_and_analyze("int main() { return mystery(1); }")
+        assert any("mystery" in d.message for d in ap.diagnostics.warnings)
+
+    def test_variable_of_void_rejected(self):
+        with pytest.raises(TypeError_):
+            parse_and_analyze("void v; int main() { return 0; }")
+
+    def test_incomplete_struct_by_value_rejected(self):
+        with pytest.raises(TypeError_):
+            parse_and_analyze("struct s; struct s v; int main() { return 0; }")
+
+    def test_pointer_to_incomplete_struct_allowed(self):
+        parse_and_analyze("struct s *p; struct s { int f; }; int main() { return 0; }")
+
+    def test_goto_undefined_label_rejected(self):
+        with pytest.raises(TypeError_):
+            parse_and_analyze("int main() { goto nowhere; return 0; }")
+
+    def test_expression_types_annotated(self):
+        ap = parse_and_analyze("int *p, v; int main() { p = &v; return 0; }")
+        assign = ap.function("main").body.items[0].expr
+        assert isinstance(assign.target.ctype, PointerType)
+        assert isinstance(assign.value.ctype, PointerType)
+
+    def test_recursive_struct_allowed(self):
+        ap = parse_and_analyze(
+            "struct n { int v; struct n *next; }; int main() { return 0; }"
+        )
+        struct = next(iter(ap.symbols.globals.values()), None)
+        # No globals; just confirm the struct resolved.
+        assert ap.ast.structs[0].name == "n"

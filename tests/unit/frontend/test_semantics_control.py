@@ -1,0 +1,118 @@
+"""Semantic checks around labels, switch bodies and scoping corners."""
+
+import pytest
+
+from repro.frontend import TypeError_, parse_and_analyze
+
+
+class TestLabels:
+    def test_label_inside_switch_found(self):
+        parse_and_analyze(
+            """
+            int main() {
+                int x;
+                switch (x) {
+                    case 1:
+                        goto done;
+                    default:
+                        x = 2;
+                }
+                done: return x;
+            }
+            """
+        )
+
+    def test_label_inside_loop_found(self):
+        parse_and_analyze(
+            """
+            int main() {
+                int i;
+                for (i = 0; i < 3; i = i + 1) {
+                    inner: i = i + 1;
+                    if (i < 2) { goto inner; }
+                }
+                return 0;
+            }
+            """
+        )
+
+    def test_labels_are_per_function(self):
+        with pytest.raises(TypeError_):
+            parse_and_analyze(
+                """
+                void f(void) { spot: return; }
+                int main() { goto spot; return 0; }
+                """
+            )
+
+
+class TestScopingCorners:
+    def test_block_scope_ends(self):
+        with pytest.raises(TypeError_):
+            parse_and_analyze(
+                "int main() { { int x; x = 1; } x = 2; return 0; }"
+            )
+
+    def test_param_visible_in_body(self):
+        parse_and_analyze("int f(int a) { return a + 1; } int main() { return 0; }")
+
+    def test_param_shadowed_by_local_block(self):
+        ap = parse_and_analyze(
+            """
+            int f(int a) {
+                { int a; a = 2; }
+                return a;
+            }
+            int main() { return 0; }
+            """
+        )
+        info = ap.symbols.function("f")
+        assert len(info.locals) == 1
+        assert info.locals[0].uid != info.params[0].uid
+
+    def test_global_initializers_checked_after_collection(self):
+        # Globals are collected before initializers are checked, so a
+        # forward reference at file scope is accepted (deliberately more
+        # lenient than strict C; the lowering order is by declaration).
+        parse_and_analyze("int *p = &later; int later; int main() { return 0; }")
+
+    def test_global_initializer_cannot_see_locals(self):
+        with pytest.raises(TypeError_):
+            parse_and_analyze(
+                "int *p = &oops; int main() { int oops; return 0; }"
+            )
+
+    def test_global_initializer_forward_use_after_decl(self):
+        parse_and_analyze("int v; int *p = &v; int main() { return 0; }")
+
+
+class TestCallChecking:
+    def test_prototype_then_definition(self):
+        parse_and_analyze(
+            """
+            int twice(int x);
+            int main() { return twice(2); }
+            int twice(int x) { return x + x; }
+            """
+        )
+
+    def test_recursive_through_prototype(self):
+        parse_and_analyze(
+            """
+            void pong(int d);
+            void ping(int d) { if (d > 0) { pong(d - 1); } }
+            void pong(int d) { if (d > 0) { ping(d - 1); } }
+            int main() { ping(4); return 0; }
+            """
+        )
+
+    def test_struct_argument_type_mismatch(self):
+        with pytest.raises(TypeError_):
+            parse_and_analyze(
+                """
+                struct a { int x; };
+                struct b { int y; };
+                void f(struct a v) { }
+                int main() { struct b w; f(w); return 0; }
+                """
+            )

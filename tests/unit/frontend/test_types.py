@@ -1,0 +1,99 @@
+"""Unit tests for the type representations."""
+
+from repro.frontend import ArrayType, PointerType, ScalarType, TypeTable, scalar
+from repro.frontend.types import pointer_depth, strip_pointers
+
+
+class TestScalars:
+    def test_interned(self):
+        assert scalar("int") is scalar("int")
+
+    def test_void_detection(self):
+        assert scalar("void").is_void()
+        assert not scalar("int").is_void()
+
+    def test_str(self):
+        assert str(scalar("char")) == "char"
+
+
+class TestPointers:
+    def test_pointer_depth(self):
+        t = PointerType(PointerType(scalar("int")))
+        assert pointer_depth(t) == 2
+        assert pointer_depth(scalar("int")) == 0
+
+    def test_strip_pointers(self):
+        t = PointerType(PointerType(scalar("int")))
+        assert strip_pointers(t) == scalar("int")
+
+    def test_has_pointers(self):
+        assert PointerType(scalar("int")).has_pointers()
+        assert not scalar("int").has_pointers()
+
+    def test_str(self):
+        assert str(PointerType(scalar("int"))) == "int*"
+
+
+class TestArrays:
+    def test_decay(self):
+        arr = ArrayType(scalar("int"), 10)
+        assert arr.decayed() == PointerType(scalar("int"))
+
+    def test_scalar_decay_identity(self):
+        assert scalar("int").decayed() == scalar("int")
+
+    def test_array_of_pointers_has_pointers(self):
+        assert ArrayType(PointerType(scalar("int")), 4).has_pointers()
+
+    def test_str(self):
+        assert str(ArrayType(scalar("int"), 3)) == "int[3]"
+
+
+class TestStructs:
+    def test_interned_by_name(self):
+        table = TypeTable()
+        assert table.struct("node") is table.struct("node")
+
+    def test_definition_completes(self):
+        table = TypeTable()
+        st = table.struct("node")
+        assert not st.complete
+        table.define_struct("node", [("v", scalar("int"))])
+        assert st.complete
+        assert st.field_type("v") == scalar("int")
+
+    def test_redefinition_rejected(self):
+        table = TypeTable()
+        table.define_struct("s", [])
+        try:
+            table.define_struct("s", [])
+        except ValueError:
+            return
+        raise AssertionError("expected ValueError")
+
+    def test_recursive_struct_has_pointers(self):
+        table = TypeTable()
+        st = table.struct("node")
+        table.define_struct(
+            "node", [("v", scalar("int")), ("next", PointerType(st))]
+        )
+        assert st.has_pointers()
+
+    def test_recursive_struct_without_pointers_terminates(self):
+        # has_pointers must not loop on self-referential field types.
+        table = TypeTable()
+        st = table.struct("odd")
+        table.define_struct("odd", [("v", scalar("int"))])
+        assert not st.has_pointers()
+
+    def test_unknown_field_is_none(self):
+        table = TypeTable()
+        table.define_struct("s", [("a", scalar("int"))])
+        assert table.struct("s").field_type("b") is None
+
+    def test_typedefs(self):
+        table = TypeTable()
+        table.add_typedef("intp", PointerType(scalar("int")))
+        assert table.is_typedef("intp")
+        assert table.typedef("intp") == PointerType(scalar("int"))
+        assert not table.is_typedef("other")

@@ -1,0 +1,241 @@
+"""Unit tests for AST → ICFG lowering."""
+
+import pytest
+
+from repro.frontend import UnsupportedFeatureError, parse_and_analyze
+from repro.icfg import (
+    AddrOf,
+    IcfgBuilder,
+    NameRef,
+    NodeKind,
+    Opaque,
+    PtrAssign,
+    build_icfg,
+    to_dot,
+)
+
+
+def icfg_of(source):
+    return build_icfg(parse_and_analyze(source))
+
+
+def assigns(icfg, proc=None):
+    return [
+        n.stmt
+        for n in icfg.nodes
+        if n.is_pointer_assignment and (proc is None or n.proc == proc)
+    ]
+
+
+class TestStructure:
+    def test_entry_exit_per_proc(self):
+        icfg = icfg_of("void f(void) { } int main() { f(); return 0; }")
+        for proc in icfg.procs.values():
+            assert proc.entry.kind is NodeKind.ENTRY
+            assert proc.exit.kind is NodeKind.EXIT
+
+    def test_no_direct_call_to_return_edge(self):
+        icfg = icfg_of("void f(void) { } int main() { f(); return 0; }")
+        for node in icfg.nodes:
+            if node.kind is NodeKind.CALL:
+                assert node.paired_return not in node.succs
+
+    def test_call_linked_to_entry_and_exit_to_return(self):
+        icfg = icfg_of("void f(void) { } int main() { f(); return 0; }")
+        call = next(n for n in icfg.nodes if n.kind is NodeKind.CALL)
+        assert icfg.entry_of("f") in call.succs
+        assert call.paired_return in icfg.exit_of("f").succs
+
+    def test_if_has_two_successor_paths(self):
+        icfg = icfg_of(
+            "int *p, a, b; int main() { if (a) { p = &a; } else { p = &b; } return 0; }"
+        )
+        pred = next(n for n in icfg.nodes if n.kind is NodeKind.PREDICATE)
+        assert len(pred.succs) == 2
+
+    def test_while_loops_back(self):
+        icfg = icfg_of("int main() { int i; while (i < 3) { i = i + 1; } return 0; }")
+        header = next(
+            n for n in icfg.nodes if n.kind is NodeKind.OTHER and "loop" in n.label()
+        )
+        # Some node downstream of the header returns to it.
+        assert any(header in n.succs for n in icfg.nodes if n is not header)
+
+    def test_validate_passes(self):
+        icfg = icfg_of("int main() { return 0; }")
+        icfg.validate()
+
+    def test_reachable_procs(self):
+        icfg = icfg_of(
+            """
+            void a(void) { }
+            void b(void) { a(); }
+            void unused(void) { }
+            int main() { b(); return 0; }
+            """
+        )
+        assert icfg.reachable_procs() == {"main", "b", "a"}
+
+    def test_dot_export_mentions_every_node(self):
+        icfg = icfg_of("int main() { return 0; }")
+        dot = to_dot(icfg)
+        for node in icfg.nodes:
+            assert f"n{node.nid}" in dot
+
+
+class TestNormalization:
+    def test_simple_pointer_assign(self):
+        icfg = icfg_of("int *p, v; int main() { p = &v; return 0; }")
+        stmts = assigns(icfg)
+        assert len(stmts) == 1
+        assert isinstance(stmts[0].rhs, AddrOf)
+
+    def test_scalar_assign_is_other(self):
+        icfg = icfg_of("int x; int main() { x = 3; return 0; }")
+        assert assigns(icfg) == []
+
+    def test_malloc_is_opaque(self):
+        icfg = icfg_of("int *p; int main() { p = malloc(4); return 0; }")
+        (stmt,) = assigns(icfg)
+        assert isinstance(stmt.rhs, Opaque)
+
+    def test_call_result_copied_through_ret_slot(self):
+        icfg = icfg_of(
+            """
+            int *f(void) { return NULL; }
+            int *p;
+            int main() { p = f(); return 0; }
+            """
+        )
+        stmts = assigns(icfg, "main")
+        # $t = f$ret, then p = $t.
+        rhs_names = [str(s.rhs) for s in stmts]
+        assert any("f$ret" in r for r in rhs_names)
+        lhs_names = [str(s.lhs) for s in stmts]
+        assert "p" in lhs_names
+
+    def test_return_lowered_to_ret_slot_assign(self):
+        icfg = icfg_of("int *f(int *q) { return q; } int main() { return 0; }")
+        stmts = assigns(icfg, "f")
+        assert any(str(s.lhs) == "f$ret" for s in stmts)
+
+    def test_struct_assign_expands_pointer_fields(self):
+        icfg = icfg_of(
+            """
+            struct pair { int *a; int *b; int n; };
+            struct pair p1, p2;
+            int main() { p1 = p2; return 0; }
+            """
+        )
+        stmts = assigns(icfg)
+        lhs = {str(s.lhs) for s in stmts}
+        assert lhs == {"p1.a", "p1.b"}
+
+    def test_array_index_assignment_is_weak(self):
+        icfg = icfg_of("int *a[3], v; int main() { a[0] = &v; return 0; }")
+        (stmt,) = assigns(icfg)
+        assert stmt.weak
+        assert str(stmt.lhs) == "a"
+
+    def test_pointer_index_is_weak_deref(self):
+        icfg = icfg_of("int **pp, *v; int main() { pp[2] = v; return 0; }")
+        (stmt,) = assigns(icfg)
+        assert stmt.weak
+        assert str(stmt.lhs) == "*pp"
+
+    def test_conditional_rhs_lowered_to_diamond(self):
+        icfg = icfg_of(
+            "int *p, a, b, c; int main() { p = c ? &a : &b; return 0; }"
+        )
+        stmts = assigns(icfg)
+        # Two temp assignments plus the final copy.
+        assert len(stmts) == 3
+
+    def test_chained_assignment(self):
+        icfg = icfg_of("int *p, *q, v; int main() { p = q = &v; return 0; }")
+        stmts = assigns(icfg)
+        lhs = [str(s.lhs) for s in stmts]
+        assert lhs == ["q", "p"]
+
+    def test_global_initializer_lowered_into_main(self):
+        icfg = icfg_of("int v; int *p = &v; int main() { return 0; }")
+        stmts = assigns(icfg, "main")
+        assert any(str(s.lhs) == "p" for s in stmts)
+
+    def test_string_literal_gets_synthetic_global(self):
+        analyzed = parse_and_analyze(
+            'char *s; int main() { s = "hi"; return 0; }'
+        )
+        builder = IcfgBuilder(analyzed)
+        icfg = builder.build()
+        (stmt,) = assigns(icfg)
+        assert isinstance(stmt.rhs, AddrOf)
+        assert stmt.rhs.name.base.startswith("$str")
+
+    def test_pointer_arith_keeps_aggregate(self):
+        icfg = icfg_of("int *p, *q; int main() { p = q + 1; return 0; }")
+        (stmt,) = assigns(icfg)
+        assert isinstance(stmt.rhs, NameRef)
+        assert str(stmt.rhs.name) == "q"
+
+    def test_undefined_pointer_function_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            icfg_of("int *f(int *p); int main() { f(NULL); return 0; }")
+
+    def test_stmt_end_markers_recorded(self):
+        analyzed = parse_and_analyze("int *p, v; int main() { p = &v; return 0; }")
+        builder = IcfgBuilder(analyzed)
+        builder.build()
+        markers = [n for n in builder.stmt_end_nodes.values() if n is not None]
+        assert any(
+            n.is_pointer_assignment and str(n.stmt.lhs) == "p" for n in markers
+        )
+
+
+class TestControlFlowLowering:
+    def kinds(self, source, proc="main"):
+        icfg = icfg_of(source)
+        return [n.kind for n in icfg.procs[proc].nodes]
+
+    def test_break_exits_loop(self):
+        icfg = icfg_of(
+            "int main() { int i; while (1) { if (i) { break; } } return 0; }"
+        )
+        icfg.validate()  # structure is consistent
+
+    def test_continue_returns_to_header(self):
+        icfg = icfg_of(
+            "int main() { int i; for (i = 0; i < 3; i = i + 1) { continue; } return 0; }"
+        )
+        icfg.validate()
+
+    def test_goto_label(self):
+        icfg = icfg_of(
+            "int main() { int i; again: i = i + 1; if (i < 3) { goto again; } return 0; }"
+        )
+        icfg.validate()
+        label = next(
+            n for n in icfg.nodes if n.kind is NodeKind.OTHER and "label" in n.label()
+        )
+        assert len(label.preds) >= 2  # fallthrough + goto
+
+    def test_switch_cases_branch_from_predicate(self):
+        icfg = icfg_of(
+            """
+            int main() {
+                int x;
+                switch (x) { case 1: x = 2; break; default: x = 3; }
+                return 0;
+            }
+            """
+        )
+        pred = next(n for n in icfg.nodes if n.kind is NodeKind.PREDICATE)
+        assert len(pred.succs) == 2
+
+    def test_do_while_executes_body_first(self):
+        icfg = icfg_of("int main() { int i; do { i = 1; } while (0); return 0; }")
+        icfg.validate()
+
+    def test_dead_code_after_return_allowed(self):
+        icfg = icfg_of("int *p, v; int main() { return 0; p = &v; }")
+        icfg.validate()

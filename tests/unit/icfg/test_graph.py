@@ -1,0 +1,96 @@
+"""Unit tests for the ICFG graph structure and utilities."""
+
+import pytest
+
+from repro.frontend import parse_and_analyze
+from repro.icfg import ICFG, NodeKind, build_icfg, to_dot
+from repro.icfg.graph import ProcGraph
+
+
+def icfg_of(source):
+    return build_icfg(parse_and_analyze(source))
+
+
+class TestGraphBasics:
+    def test_node_ids_dense_and_ordered(self):
+        icfg = icfg_of("int main() { return 0; }")
+        assert [n.nid for n in icfg.nodes] == list(range(len(icfg)))
+
+    def test_node_lookup(self):
+        icfg = icfg_of("int main() { return 0; }")
+        for node in icfg.nodes:
+            assert icfg.node(node.nid) is node
+
+    def test_add_succ_idempotent(self):
+        icfg = ICFG()
+        a = icfg.new_node(NodeKind.OTHER, "p")
+        b = icfg.new_node(NodeKind.OTHER, "p")
+        a.add_succ(b)
+        a.add_succ(b)
+        assert a.succs == [b]
+        assert b.preds == [a]
+
+    def test_entry_exit_accessors(self):
+        icfg = icfg_of("void f(void) { } int main() { f(); return 0; }")
+        assert icfg.entry_of("f").kind is NodeKind.ENTRY
+        assert icfg.exit_of("f").kind is NodeKind.EXIT
+        assert icfg.main.name == "main"
+
+    def test_call_sites_iterates(self):
+        icfg = icfg_of(
+            "void f(void) { } int main() { f(); f(); return 0; }"
+        )
+        assert len(list(icfg.call_sites("f"))) == 2
+        assert list(icfg.call_sites("missing")) == []
+
+    def test_pointer_assignments_iterates(self):
+        icfg = icfg_of("int *p, v; int main() { p = &v; v = 2; return 0; }")
+        assert len(list(icfg.pointer_assignments())) == 1
+
+    def test_proc_nodes_partition(self):
+        icfg = icfg_of("void f(void) { } int main() { f(); return 0; }")
+        all_ids = {n.nid for n in icfg.nodes}
+        partitioned = set()
+        for proc in icfg.procs.values():
+            ids = {n.nid for n in proc.nodes}
+            assert not (ids & partitioned)
+            partitioned |= ids
+        assert partitioned == all_ids
+
+    def test_labels_are_strings(self):
+        icfg = icfg_of(
+            "int *p, v; void f(void) { } int main() { p = &v; f(); return 0; }"
+        )
+        for node in icfg.nodes:
+            assert isinstance(node.label(), str) and node.label()
+
+    def test_repr_mentions_id(self):
+        icfg = icfg_of("int main() { return 0; }")
+        assert f"n{icfg.nodes[0].nid}" in repr(icfg.nodes[0])
+
+
+class TestDot:
+    def test_clusters_per_proc(self):
+        icfg = icfg_of("void f(void) { } int main() { f(); return 0; }")
+        dot = to_dot(icfg)
+        assert "cluster_f" in dot and "cluster_main" in dot
+
+    def test_interprocedural_edges_dashed(self):
+        icfg = icfg_of("void f(void) { } int main() { f(); return 0; }")
+        dot = to_dot(icfg)
+        assert "style=dashed" in dot
+
+    def test_quotes_escaped(self):
+        icfg = icfg_of('char *s; int main() { s = "x"; return 0; }')
+        to_dot(icfg)  # must not raise
+
+
+class TestValidation:
+    def test_broken_edge_detected(self):
+        icfg = icfg_of("int main() { return 0; }")
+        a, b = icfg.nodes[0], icfg.nodes[1]
+        a.succs.append(b)  # bypass add_succ: no back edge
+        if a in b.preds:
+            b.preds.remove(a)
+        with pytest.raises(AssertionError):
+            icfg.validate()

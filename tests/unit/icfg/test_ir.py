@@ -1,0 +1,65 @@
+"""Unit tests for the normalized IR value types."""
+
+from repro.icfg import AddrOf, CallInfo, NameRef, NodeKind, Opaque, OtherStmt, PtrAssign
+from repro.icfg.ir import Node
+from repro.names import ObjectName
+
+
+P = ObjectName("p")
+Q = ObjectName("q")
+
+
+class TestOperands:
+    def test_name_ref_str(self):
+        assert str(NameRef(P.deref())) == "*p"
+
+    def test_addr_of_str(self):
+        assert str(AddrOf(Q)) == "&q"
+
+    def test_opaque_str(self):
+        assert str(Opaque("malloc")) == "malloc"
+
+    def test_operands_hashable(self):
+        assert NameRef(P) == NameRef(P)
+        assert AddrOf(P) != NameRef(P)
+        {NameRef(P), AddrOf(P), Opaque()}
+
+
+class TestStatements:
+    def test_ptr_assign_str(self):
+        stmt = PtrAssign(P, NameRef(Q))
+        assert str(stmt) == "p = q"
+
+    def test_weak_marker(self):
+        stmt = PtrAssign(P, NameRef(Q), weak=True)
+        assert "(weak)" in str(stmt)
+
+    def test_call_info_str(self):
+        call = CallInfo("f", (NameRef(P), Opaque("scalar")))
+        assert str(call) == "call f(p, scalar)"
+
+    def test_other_access_sets(self):
+        stmt = OtherStmt("scalar-assign", writes=(P,), reads=(Q,))
+        assert stmt.writes == (P,)
+        assert stmt.reads == (Q,)
+
+
+class TestNode:
+    def test_identity_semantics(self):
+        a = Node(0, NodeKind.OTHER, "main")
+        b = Node(0, NodeKind.OTHER, "main")
+        assert a != b  # identity, not value
+        assert hash(a) == 0
+
+    def test_labels(self):
+        entry = Node(1, NodeKind.ENTRY, "f")
+        assert entry.label() == "entry_f"
+        assign = Node(2, NodeKind.ASSIGN, "f", PtrAssign(P, AddrOf(Q)))
+        assert assign.label() == "p = &q"
+        assert assign.is_pointer_assignment
+
+    def test_add_succ_links_both_directions(self):
+        a = Node(0, NodeKind.OTHER, "main")
+        b = Node(1, NodeKind.OTHER, "main")
+        a.add_succ(b)
+        assert b in a.succs and a in b.preds

@@ -1,0 +1,106 @@
+"""Additional interpreter edge cases."""
+
+import pytest
+
+from repro.frontend import parse_and_analyze
+from repro.interp import Interpreter, InterpError, InterpTrap
+
+
+def run(source, **kwargs):
+    analyzed = parse_and_analyze(source)
+    interp = Interpreter(analyzed, **kwargs)
+    return interp.run(), interp
+
+
+class TestCallDepth:
+    def test_runaway_recursion_traps(self):
+        result, _ = run(
+            """
+            int spin(int d) { return spin(d + 1); }
+            int main() { return spin(0); }
+            """,
+            fuel=1_000_000,
+            max_call_depth=50,
+        )
+        assert result.trapped
+        assert "call depth" in result.trap_message
+
+    def test_bounded_recursion_ok(self):
+        result, _ = run(
+            """
+            int down(int d) { if (d <= 0) { return 0; } return down(d - 1); }
+            int main() { return down(40); }
+            """,
+            max_call_depth=50,
+        )
+        assert not result.trapped
+
+
+class TestPointerEdges:
+    def test_pointer_compare_with_null(self):
+        result, _ = run(
+            """
+            int *p;
+            int main() {
+                if (p == NULL) { return 1; }
+                return 0;
+            }
+            """
+        )
+        assert result.exit_value == 1
+
+    def test_pointer_ordering_is_consistent(self):
+        result, _ = run(
+            """
+            int a, b;
+            int main() {
+                int *p, *q;
+                p = &a; q = &b;
+                if (p < q) { return (q < p) ? 2 : 1; }
+                return (q < p) ? 1 : 2;
+            }
+            """
+        )
+        assert result.exit_value == 1  # strict order is antisymmetric
+
+    def test_logical_operators_short_circuit(self):
+        # (p != NULL && *p) must not trap when p is NULL.
+        result, _ = run(
+            """
+            int *p;
+            int main() {
+                if (p != NULL && *p) { return 2; }
+                return 1;
+            }
+            """
+        )
+        assert result.exit_value == 1
+
+    def test_string_literals_share_storage(self):
+        from repro.icfg import IcfgBuilder
+
+        analyzed = parse_and_analyze(
+            """
+            char *a, *b;
+            int main() {
+                a = "same";
+                b = "same";
+                return a == b;
+            }
+            """
+        )
+        builder = IcfgBuilder(analyzed)
+        builder.build()
+        interp = Interpreter(analyzed, string_uids=dict(builder._string_uids))
+        result = interp.run()
+        assert result.exit_value == 1
+
+    def test_negative_modulo_is_pythonic_but_total(self):
+        result, _ = run("int main() { return -7 % 3; }")
+        assert result.exit_value in (2, -1)  # defined, no trap
+
+
+class TestGotoUnsupported:
+    def test_goto_raises_interp_error(self):
+        with pytest.raises(InterpError):
+            run("int main() { goto out; out: return 0; }")

@@ -1,0 +1,93 @@
+"""Unit tests for the interpreter's memory model."""
+
+from repro.frontend.types import ArrayType, PointerType, StructType, scalar
+from repro.interp import Frame, Memory, Obj
+
+
+class TestObj:
+    def test_scalar_cell(self):
+        cell = Obj(scalar("int"), "x")
+        assert not cell.is_struct
+        assert cell.value is None
+
+    def test_struct_allocates_fields(self):
+        st = StructType("pair")
+        st.fields = [("a", scalar("int")), ("b", PointerType(scalar("int")))]
+        st.complete = True
+        cell = Obj(st, "s")
+        assert cell.is_struct
+        assert cell.field("a") is not cell.field("b")
+
+    def test_array_collapses_to_element(self):
+        cell = Obj(ArrayType(scalar("int"), 8), "arr")
+        assert not cell.is_struct
+        assert str(cell.type) == "int"
+
+    def test_copy_from_scalar(self):
+        a = Obj(scalar("int"), "a")
+        b = Obj(scalar("int"), "b")
+        a.value = 7
+        b.copy_from(a)
+        assert b.value == 7
+
+    def test_copy_from_struct_recurses(self):
+        st = StructType("pair")
+        st.fields = [("a", scalar("int"))]
+        st.complete = True
+        src = Obj(st, "src")
+        dst = Obj(st, "dst")
+        src.field("a").value = 42
+        dst.copy_from(src)
+        assert dst.field("a").value == 42
+        assert dst.field("a") is not src.field("a")
+
+    def test_read_pointer(self):
+        target = Obj(scalar("int"), "t")
+        p = Obj(PointerType(scalar("int")), "p")
+        assert p.read_pointer() is None
+        p.value = target
+        assert p.read_pointer() is target
+
+    def test_unique_oids(self):
+        a = Obj(scalar("int"))
+        b = Obj(scalar("int"))
+        assert a.oid != b.oid
+
+
+class TestMemory:
+    def test_frame_shadowing(self):
+        memory = Memory()
+        g = Obj(scalar("int"), "g")
+        memory.globals["x"] = g
+        frame = Frame("f")
+        local = Obj(scalar("int"), "local")
+        frame.bind("x", local)
+        memory.push(frame)
+        assert memory.lookup("x") is local
+        memory.pop()
+        assert memory.lookup("x") is g
+
+    def test_lookup_missing(self):
+        assert Memory().lookup("nope") is None
+
+    def test_allocate_tracks_heap(self):
+        memory = Memory()
+        obj = memory.allocate(scalar("int"))
+        assert obj in memory.heap
+
+    def test_live_roots_globals_and_top_frames(self):
+        memory = Memory()
+        memory.globals["g"] = Obj(scalar("int"), "g")
+        frame = Frame("f")
+        frame.bind("f::x", Obj(scalar("int"), "x"))
+        memory.push(frame)
+        roots = memory.live_roots()
+        assert set(roots) == {"g", "f::x"}
+
+    def test_live_roots_excludes_recursion_duplicates(self):
+        memory = Memory()
+        for _ in range(2):
+            frame = Frame("f")
+            frame.bind("f::x", Obj(scalar("int")))
+            memory.push(frame)
+        assert "f::x" not in memory.live_roots()

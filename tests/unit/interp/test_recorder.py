@@ -1,0 +1,103 @@
+"""Unit tests for run-time alias observation."""
+
+from repro.frontend import parse_and_analyze
+from repro.frontend.types import PointerType, scalar
+from repro.interp import Interpreter, Memory, Obj, observed_aliases
+from repro.interp.recorder import enumerate_names
+from repro.names import AliasPair, ObjectName
+
+
+def make_memory():
+    memory = Memory()
+    v = Obj(scalar("int"), "v")
+    p = Obj(PointerType(scalar("int")), "p")
+    q = Obj(PointerType(scalar("int")), "q")
+    p.value = v
+    q.value = v
+    memory.globals = {"v": v, "p": p, "q": q}
+    return memory
+
+
+class TestEnumeration:
+    def test_roots_enumerated(self):
+        memory = make_memory()
+        names = {str(n) for n, _ in enumerate_names(memory, 2)}
+        assert {"v", "p", "q", "*p", "*q"} <= names
+
+    def test_deref_budget_respected(self):
+        memory = Memory()
+        a = Obj(PointerType(PointerType(scalar("int"))), "a")
+        b = Obj(PointerType(scalar("int")), "b")
+        c = Obj(scalar("int"), "c")
+        a.value = b
+        b.value = c
+        memory.globals = {"a": a}
+        names = {str(n) for n, _ in enumerate_names(memory, 1)}
+        assert "*a" in names
+        assert "**a" not in names
+
+    def test_null_pointers_stop_walk(self):
+        memory = Memory()
+        p = Obj(PointerType(scalar("int")), "p")
+        memory.globals = {"p": p}
+        names = {str(n) for n, _ in enumerate_names(memory, 3)}
+        assert names == {"p"}
+
+
+class TestObservedAliases:
+    def test_shared_target_observed(self):
+        memory = make_memory()
+        pairs = observed_aliases(memory, 2)
+        star_p = ObjectName("p").deref()
+        star_q = ObjectName("q").deref()
+        assert AliasPair(star_p, star_q) in pairs
+        assert AliasPair(star_p, ObjectName("v")) in pairs
+
+    def test_no_false_aliases(self):
+        memory = Memory()
+        a = Obj(scalar("int"), "a")
+        b = Obj(scalar("int"), "b")
+        memory.globals = {"a": a, "b": b}
+        assert observed_aliases(memory, 2) == set()
+
+    def test_recursion_excludes_duplicated_uids(self):
+        from repro.interp.memory import Frame
+
+        memory = Memory()
+        f1 = Frame("f")
+        f2 = Frame("f")
+        f1.bind("f::x", Obj(scalar("int"), "x1"))
+        f2.bind("f::x", Obj(scalar("int"), "x2"))
+        memory.push(f1)
+        memory.push(f2)
+        assert "f::x" not in memory.live_roots()
+
+    def test_struct_fields_enumerated(self):
+        from repro.frontend.types import StructType
+
+        st = StructType("pair")
+        st.fields = [("a", scalar("int")), ("b", scalar("int"))]
+        st.complete = True
+        memory = Memory()
+        memory.globals = {"s": Obj(st, "s")}
+        names = {str(n) for n, _ in enumerate_names(memory, 1)}
+        assert {"s", "s.a", "s.b"} <= names
+
+
+class TestObserverWiring:
+    def test_observer_called_per_marked_statement(self):
+        source = "int *p, v; int main() { p = &v; v = 3; return 0; }"
+        from repro.icfg import IcfgBuilder
+
+        analyzed = parse_and_analyze(source)
+        builder = IcfgBuilder(analyzed)
+        builder.build()
+        seen = []
+        interp = Interpreter(
+            analyzed,
+            stmt_end_nodes=builder.stmt_end_nodes,
+            observer=lambda node, memory: seen.append(node.nid),
+        )
+        result = interp.run()
+        assert not result.trapped
+        assert len(seen) >= 2

@@ -1,0 +1,85 @@
+"""Unit tests for AliasPair beyond the hypothesis laws."""
+
+import pytest
+
+from repro.names import AliasPair, ObjectName, make_pair, nonvisible
+
+
+A = ObjectName("a")
+B = ObjectName("b")
+STAR_A = A.deref()
+
+
+class TestCanonicalization:
+    def test_order_invariant(self):
+        assert AliasPair(A, B) == AliasPair(B, A)
+        assert AliasPair(A, B).first == AliasPair(B, A).first
+
+    def test_str_stable(self):
+        assert str(AliasPair(B, A)) == str(AliasPair(A, B))
+
+    def test_trivial_detection(self):
+        assert AliasPair(A, A).is_trivial
+        assert not AliasPair(A, B).is_trivial
+
+
+class TestMembership:
+    def test_other(self):
+        pair = AliasPair(A, B)
+        assert pair.other(A) == B
+        assert pair.other(B) == A
+
+    def test_other_non_member_raises(self):
+        with pytest.raises(ValueError):
+            AliasPair(A, B).other(STAR_A)
+
+    def test_involves(self):
+        pair = AliasPair(A, B)
+        assert pair.involves(A) and pair.involves(B)
+        assert not pair.involves(STAR_A)
+
+    def test_involves_base(self):
+        pair = AliasPair(STAR_A, B)
+        assert pair.involves_base("a")
+        assert pair.involves_base("b")
+        assert not pair.involves_base("c")
+
+    def test_iteration(self):
+        assert set(AliasPair(A, B)) == {A, B}
+
+
+class TestNonvisible:
+    def test_detection(self):
+        pair = AliasPair(A, nonvisible(1))
+        assert pair.has_nonvisible
+        assert pair.nonvisible_member() == nonvisible(1)
+        assert pair.visible_member() == A
+
+    def test_plain_pair(self):
+        pair = AliasPair(A, B)
+        assert not pair.has_nonvisible
+        assert pair.nonvisible_member() is None
+
+    def test_both_nonvisible(self):
+        pair = AliasPair(nonvisible(1), nonvisible(2))
+        assert pair.has_nonvisible
+        assert pair.visible_member() is None
+
+
+class TestTransforms:
+    def test_map(self):
+        pair = AliasPair(A, B)
+        mapped = pair.map(lambda n: n.deref())
+        assert mapped == AliasPair(A.deref(), B.deref())
+
+    def test_k_limited(self):
+        deep = A.extend(("*",) * 5)
+        pair = AliasPair(deep, B)
+        limited = pair.k_limited(2)
+        assert limited.first.num_derefs <= 2 or limited.second.num_derefs <= 2
+
+    def test_make_pair_limits(self):
+        deep = A.extend(("*",) * 5)
+        pair = make_pair(deep, B, 2)
+        for member in pair:
+            assert member.num_derefs <= 2

@@ -1,0 +1,44 @@
+"""Regression: extension enumeration must drive from the untruncated
+side (binary-tree k=1 soundness gap found by the fuzzer)."""
+
+import pytest
+
+from repro.frontend import parse_and_analyze
+from repro.names import NameContext, ObjectName
+
+SRC = """
+struct expr { int op; struct expr *lhs; struct expr *rhs; };
+struct expr *e, *l;
+int main() { e->lhs = l; return 0; }
+"""
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return NameContext(parse_and_analyze(SRC).symbols, k=1)
+
+
+def test_truncated_member_pairs_with_field_extensions(ctx):
+    # (e->lhs~, *l): the truncated side's point-type is expr*, but the
+    # pair's extensions must follow *l's struct type.
+    truncated = ObjectName("e", ("*", "lhs"), truncated=True)
+    star_l = ObjectName("l").deref()
+    pairs = {str(p) for p in ctx.extension_pairs(truncated, star_l)}
+    assert "(e->lhs~, l->lhs)" in pairs
+    assert "(e->lhs~, l->rhs)" in pairs
+    assert "(e->lhs~, l->op)" in pairs
+
+
+def test_order_insensitive(ctx):
+    truncated = ObjectName("e", ("*", "lhs"), truncated=True)
+    star_l = ObjectName("l").deref()
+    forward = set(ctx.extension_pairs(truncated, star_l))
+    backward = set(ctx.extension_pairs(star_l, truncated))
+    assert forward == backward
+
+
+def test_both_untruncated_unchanged(ctx):
+    star_e = ObjectName("e").deref()
+    star_l = ObjectName("l").deref()
+    pairs = {str(p) for p in ctx.extension_pairs(star_e, star_l)}
+    assert "(e->lhs, l->lhs)" in pairs

@@ -1,0 +1,161 @@
+"""Unit tests for object names and k-limiting (paper §3)."""
+
+import pytest
+
+from repro.names import (
+    DEREF,
+    ObjectName,
+    apply_trans,
+    k_limit,
+    nonvisible,
+    renumber_nonvisible,
+)
+
+
+class TestConstruction:
+    def test_variable(self):
+        p = ObjectName("p")
+        assert p.base == "p"
+        assert p.is_variable
+        assert p.num_derefs == 0
+
+    def test_deref(self):
+        p = ObjectName("p").deref()
+        assert p.selectors == (DEREF,)
+        assert p.num_derefs == 1
+
+    def test_field(self):
+        name = ObjectName("s").field("f")
+        assert name.selectors == ("f",)
+        assert name.num_derefs == 0
+
+    def test_arrow_is_deref_then_field(self):
+        name = ObjectName("p").deref().field("next")
+        assert name.selectors == (DEREF, "next")
+
+    def test_extend(self):
+        name = ObjectName("p").extend((DEREF, "next", DEREF))
+        assert name.num_derefs == 2
+
+    def test_extending_truncated_name_is_identity(self):
+        name = ObjectName("p", (DEREF,), truncated=True)
+        assert name.deref() is name
+        assert name.field("f") is name
+
+
+class TestRendering:
+    def test_simple_variable(self):
+        assert str(ObjectName("v")) == "v"
+
+    def test_deref_renders_star(self):
+        assert str(ObjectName("q").deref().deref()) == "**q"
+
+    def test_arrow_renders(self):
+        assert str(ObjectName("p").deref().field("next")) == "p->next"
+
+    def test_dot_renders(self):
+        assert str(ObjectName("s").field("f")) == "s.f"
+
+    def test_truncation_marker(self):
+        assert str(ObjectName("p", (DEREF,), truncated=True)).endswith("~")
+
+
+class TestPrefix:
+    def test_is_prefix_reflexive(self):
+        name = ObjectName("p").deref()
+        assert name.is_prefix(name)
+
+    def test_is_prefix_positive(self):
+        p = ObjectName("p")
+        assert p.is_prefix(p.deref().field("n"))
+
+    def test_is_prefix_different_base(self):
+        assert not ObjectName("p").is_prefix(ObjectName("q").deref())
+
+    def test_is_prefix_not_symmetric(self):
+        p = ObjectName("p")
+        pn = p.deref().field("n")
+        assert not pn.is_prefix(p)
+
+    def test_is_prefix_with_deref_requires_deref(self):
+        s = ObjectName("s")
+        assert not s.is_prefix(ObjectName("s")) or not s.is_prefix_with_deref(s)
+        assert not s.is_prefix_with_deref(s.field("f"))
+        assert s.is_prefix_with_deref(s.field("f").deref())
+        assert s.is_prefix_with_deref(s.deref())
+
+    def test_suffix_after(self):
+        p = ObjectName("p")
+        pnd = p.deref().field("n").deref()
+        assert pnd.suffix_after(p) == (DEREF, "n", DEREF)
+
+    def test_suffix_after_non_prefix_raises(self):
+        with pytest.raises(ValueError):
+            ObjectName("p").suffix_after(ObjectName("q"))
+
+
+class TestApplyTrans:
+    def test_paper_example(self):
+        # apply_trans(p->n, p->n->d, r) returns r->d.
+        p = ObjectName("p")
+        pn = p.deref().field("n")
+        pnd = pn.deref().field("d")
+        r = ObjectName("r")
+        assert str(apply_trans(pn, pnd, r)) == "r->d"
+
+    def test_identity_when_equal(self):
+        name = ObjectName("p").deref()
+        assert apply_trans(name, name, ObjectName("z")) == ObjectName("z")
+
+
+class TestKLimit:
+    def test_under_limit_unchanged(self):
+        name = ObjectName("p").deref().field("f")
+        assert k_limit(name, 1) == name
+        assert not k_limit(name, 1).truncated
+
+    def test_paper_example_k1(self):
+        # For k = 1, p->f1->f2 is represented by p->f1 (not *p).
+        name = ObjectName("p").extend((DEREF, "f1", DEREF, "f2"))
+        limited = k_limit(name, 1)
+        assert limited.selectors == (DEREF, "f1")
+        assert limited.truncated
+
+    def test_exact_limit_not_truncated(self):
+        name = ObjectName("p").extend((DEREF, "f1"))
+        assert not k_limit(name, 1).truncated
+
+    def test_truncation_drops_trailing_fields(self):
+        name = ObjectName("p").extend((DEREF, DEREF, "f"))
+        limited = k_limit(name, 1)
+        assert limited.selectors == (DEREF,)
+
+    def test_idempotent(self):
+        name = ObjectName("p").extend((DEREF,) * 5)
+        once = k_limit(name, 2)
+        assert k_limit(once, 2) == once
+
+    def test_k_zero_rejected_names_with_derefs(self):
+        name = ObjectName("p").deref()
+        limited = k_limit(name, 0)
+        assert limited.selectors == ()
+        assert limited.truncated
+
+
+class TestNonvisible:
+    def test_tokens_distinct(self):
+        assert nonvisible(1) != nonvisible(2)
+
+    def test_is_nonvisible(self):
+        assert nonvisible(1).is_nonvisible
+        assert not ObjectName("x").is_nonvisible
+
+    def test_renumber(self):
+        name = nonvisible(1).deref()
+        renamed = renumber_nonvisible(name, 2)
+        assert renamed.base == nonvisible(2).base
+        assert renamed.selectors == name.selectors
+
+    def test_renumber_leaves_ordinary_names(self):
+        name = ObjectName("x").deref()
+        assert renumber_nonvisible(name, 2) == name

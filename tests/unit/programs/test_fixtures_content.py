@@ -1,0 +1,71 @@
+"""Sanity checks on the fixture programs themselves."""
+
+import pytest
+
+from repro.frontend import parse_and_analyze
+from repro.interp import Interpreter
+from repro.programs.fixtures import (
+    ALL_FIXTURES,
+    EXPR_TREE,
+    FIGURE1,
+    LINKED_LIST,
+    MATRIX_SWAP,
+    STRESS_FIXTURES,
+    STRING_TABLE,
+)
+
+
+class TestFixturesRun:
+    """Every fixture must execute cleanly in the interpreter (they are
+    the inputs to the dynamic-soundness property)."""
+
+    @pytest.mark.parametrize("name", sorted(ALL_FIXTURES))
+    def test_runs_without_trap(self, name):
+        analyzed = parse_and_analyze(ALL_FIXTURES[name])
+        result = Interpreter(analyzed, fuel=200_000).run()
+        assert not result.trapped, result.trap_message
+        assert result.exit_value == 0
+
+    @pytest.mark.parametrize("name", sorted(STRESS_FIXTURES))
+    def test_stress_runs_without_trap(self, name):
+        analyzed = parse_and_analyze(STRESS_FIXTURES[name])
+        result = Interpreter(analyzed, fuel=200_000).run()
+        assert not result.trapped, result.trap_message
+
+
+class TestFixtureSemantics:
+    def test_linked_list_finds_and_updates(self):
+        # find(list, 3) hits and sets value to 33: verify via globals?
+        # The fixture returns 0; semantic detail is covered by running.
+        analyzed = parse_and_analyze(LINKED_LIST)
+        result = Interpreter(analyzed, fuel=200_000).run()
+        assert result.exit_value == 0
+
+    def test_expr_tree_evaluates(self):
+        analyzed = parse_and_analyze(EXPR_TREE)
+        interp = Interpreter(analyzed, fuel=200_000)
+        result = interp.run()
+        assert not result.trapped
+        # result = (0 * 5) + 7 = 7 stored in global `result`.
+        assert interp.memory.globals["result"].value == 7
+
+    def test_string_table_interns(self):
+        analyzed = parse_and_analyze(STRING_TABLE)
+        result = Interpreter(analyzed, fuel=200_000).run()
+        assert not result.trapped
+
+    def test_matrix_swap_swaps(self):
+        analyzed = parse_and_analyze(MATRIX_SWAP)
+        interp = Interpreter(analyzed, fuel=200_000)
+        result = interp.run()
+        assert not result.trapped
+        rows = interp.memory.globals["rows"]
+        # rows is an aggregate cell; after the swap it holds one of the
+        # row objects (aggregate semantics merge the elements).
+        assert rows.value is not None
+
+    def test_figure1_matches_paper_line_count(self):
+        # Keep the running example recognizable: two procedures, the
+        # exact statements of the figure.
+        assert FIGURE1.count("p();") == 2
+        assert "l1 = &g1;" in FIGURE1

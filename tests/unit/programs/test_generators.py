@@ -1,0 +1,116 @@
+"""Unit tests for the workload generators."""
+
+import pytest
+
+from repro.frontend import parse_and_analyze
+from repro.icfg import build_icfg
+from repro.programs import (
+    ProgramSpec,
+    TABLE1_PAPER,
+    TABLE2_PAPER,
+    all_or_none,
+    generate_program,
+    suite_member,
+    table1_suite,
+    table2_suite,
+)
+from repro.programs.fixtures import ALL_FIXTURES, STRESS_FIXTURES
+
+
+class TestAllOrNone:
+    def test_matches_figure_shape(self):
+        src = all_or_none(3)
+        assert "int *v1, *v2, *v3;" in src
+        assert src.count("v1 = b") == 1
+        assert "b = d" in src
+
+    def test_seed_variant_adds_prelude(self):
+        assert "if (unknown) { b = d; }" in all_or_none(2, seed_alias=True)
+        assert "if (unknown) { b = d; }" not in all_or_none(2)
+
+    def test_parses_and_lowers(self):
+        for n in (1, 5):
+            for seeded in (False, True):
+                icfg = build_icfg(parse_and_analyze(all_or_none(n, seeded)))
+                icfg.validate()
+
+    def test_n_zero_rejected(self):
+        with pytest.raises(ValueError):
+            all_or_none(0)
+
+    def test_node_count_linear_in_n(self):
+        sizes = []
+        for n in (4, 8):
+            icfg = build_icfg(parse_and_analyze(all_or_none(n)))
+            sizes.append(len(icfg))
+        # Doubling n roughly doubles the node count.
+        assert 1.5 < sizes[1] / sizes[0] < 2.5
+
+
+class TestSyntheticGenerator:
+    def test_deterministic(self):
+        spec = ProgramSpec("x", seed=42)
+        assert generate_program(spec) == generate_program(spec)
+
+    def test_different_seeds_differ(self):
+        a = generate_program(ProgramSpec("x", seed=1))
+        b = generate_program(ProgramSpec("x", seed=2))
+        assert a != b
+
+    def test_always_valid_minic(self):
+        for seed in range(1, 15):
+            spec = ProgramSpec(f"v{seed}", seed=seed, n_functions=3, stmts_per_function=6)
+            icfg = build_icfg(parse_and_analyze(generate_program(spec)))
+            icfg.validate()
+
+    def test_target_sizing_roughly_holds(self):
+        spec = ProgramSpec.for_target_nodes("sized", 400)
+        icfg = build_icfg(parse_and_analyze(generate_program(spec)))
+        assert 150 <= len(icfg) <= 900
+
+    def test_stable_seed_from_name(self):
+        assert ProgramSpec.for_target_nodes("lex", 100).seed == ProgramSpec.for_target_nodes("lex", 100).seed
+        assert (
+            ProgramSpec.for_target_nodes("lex", 100).seed
+            != ProgramSpec.for_target_nodes("tbl", 100).seed
+        )
+
+
+class TestSuite:
+    def test_table2_names_complete(self):
+        assert len(TABLE2_PAPER) == 18  # the paper's Table 2 rows
+
+    def test_table1_names_complete(self):
+        assert len(TABLE1_PAPER) == 9  # the paper's Table 1 rows
+
+    def test_member_generation(self):
+        member = suite_member("allroots", scale=0.2)
+        assert member.paper_nodes == 407
+        parse_and_analyze(member.source)
+
+    def test_unknown_member_rejected(self):
+        with pytest.raises(KeyError):
+            suite_member("nonexistent")
+
+    def test_scaling_changes_size(self):
+        small = suite_member("tbl", scale=0.05)
+        large = suite_member("tbl", scale=0.2)
+        assert len(large.source) > len(small.source)
+
+    def test_suites_iterate(self):
+        names = [m.name for m in table2_suite(scale=0.05, names=["allroots", "ul"])]
+        assert names == ["allroots", "ul"]
+        names1 = [m.name for m in table1_suite(scale=0.05, names=["ul"])]
+        assert names1 == ["ul"]
+
+
+class TestFixtures:
+    @pytest.mark.parametrize("name", sorted(ALL_FIXTURES))
+    def test_fixture_analyzable(self, name):
+        icfg = build_icfg(parse_and_analyze(ALL_FIXTURES[name]))
+        icfg.validate()
+
+    @pytest.mark.parametrize("name", sorted(STRESS_FIXTURES))
+    def test_stress_fixture_parses(self, name):
+        icfg = build_icfg(parse_and_analyze(STRESS_FIXTURES[name]))
+        icfg.validate()

@@ -1,0 +1,83 @@
+"""Unit tests for solution serialization."""
+
+import io
+
+import pytest
+
+from repro import analyze_source
+from repro.io import (
+    LoadedSolution,
+    dump_solution,
+    dumps_solution,
+    load_solution,
+    loads_solution,
+    solution_to_dict,
+)
+from repro.names import ObjectName
+from repro.programs.fixtures import FIGURE1
+
+
+@pytest.fixture(scope="module")
+def solution():
+    return analyze_source(FIGURE1, k=3)
+
+
+class TestRoundTrip:
+    def test_dict_shape(self, solution):
+        doc = solution_to_dict(solution)
+        assert doc["format"] == "repro-alias-solution"
+        assert doc["version"] == 1
+        assert doc["k"] == 3
+        assert len(doc["nodes"]) == len(solution.icfg)
+        assert doc["facts"]
+
+    def test_string_round_trip(self, solution):
+        loaded = loads_solution(dumps_solution(solution))
+        for node in solution.icfg.nodes:
+            assert loaded.may_alias(node.nid) == solution.may_alias(node)
+
+    def test_file_round_trip(self, solution, tmp_path):
+        path = tmp_path / "solution.json"
+        with open(path, "w") as fp:
+            dump_solution(solution, fp)
+        with open(path) as fp:
+            loaded = load_solution(fp)
+        assert loaded.k == 3
+
+    def test_alias_query_preserved(self, solution):
+        loaded = loads_solution(dumps_solution(solution))
+        exit_main = solution.icfg.exit_of("main")
+        l1 = ObjectName("main::l1").deref().deref()
+        l2 = ObjectName("main::l2").deref()
+        assert loaded.alias_query(exit_main.nid, l1, l2) == solution.alias_query(
+            exit_main, l1, l2
+        )
+
+    def test_percent_yes_close(self, solution):
+        loaded = loads_solution(dumps_solution(solution))
+        # Loaded %YES collapses assumptions to (node, pair) — identical
+        # to the solution's own definition.
+        assert loaded.percent_yes() == pytest.approx(solution.percent_yes(), abs=1e-9)
+
+    def test_truncated_names_survive(self):
+        src = """
+        struct node { int v; struct node *next; };
+        struct node *p, *q;
+        int main() { p = q; return 0; }
+        """
+        original = analyze_source(src, k=1)
+        loaded = loads_solution(dumps_solution(original))
+        exit_main = original.icfg.exit_of("main")
+        deep_p = ObjectName("p").extend(("*", "next", "*"))
+        deep_q = ObjectName("q").extend(("*", "next", "*"))
+        assert loaded.alias_query(exit_main.nid, deep_p, deep_q)
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError):
+            LoadedSolution({"format": "other", "version": 1})
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ValueError):
+            LoadedSolution({"format": "repro-alias-solution", "version": 99})
