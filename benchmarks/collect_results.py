@@ -1,31 +1,91 @@
 #!/usr/bin/env python3
-"""Assemble benchmarks/out/*.txt into the EXPERIMENTS.md appendix.
+"""Assemble benchmark outputs into the tracked result files.
 
 Run after ``pytest benchmarks/ --benchmark-only``::
 
     python benchmarks/collect_results.py
+
+Two artifacts are produced:
+
+* ``EXPERIMENTS.md`` — the text tables from ``benchmarks/out/*.txt``
+  embedded as an appendix (unchanged behaviour from the seed).
+* ``BENCH_PR1.json`` at the repo root — the engine-discipline numbers
+  for this PR: worklist pops under the deduplicated engine vs the seed
+  discipline on the largest scaling fixture, with the node-by-node
+  may-alias equality check.  The dedup comparison is read from
+  ``benchmarks/out/scaling_dedup.json`` when the bench suite already
+  wrote it, and computed inline otherwise.
 """
 
+import json
 import pathlib
+import sys
 
 MARKER = "## Appendix — measured tables (latest benchmark run)"
+BENCH_SCHEMA = "repro-bench/1"
 
 
-def main() -> None:
-    root = pathlib.Path(__file__).resolve().parents[1]
-    out_dir = root / "benchmarks" / "out"
+def collect_tables(root: pathlib.Path, out_dir: pathlib.Path) -> int:
     experiments = root / "EXPERIMENTS.md"
     tables = []
     for path in sorted(out_dir.glob("*.txt")):
         tables.append(f"### {path.name}\n\n```\n{path.read_text().rstrip()}\n```\n")
     if not tables:
-        raise SystemExit("no tables in benchmarks/out/; run the benchmarks first")
+        return 0
     text = experiments.read_text()
     if MARKER in text:
         text = text[: text.index(MARKER)].rstrip() + "\n"
     appendix = f"\n{MARKER}\n\n" + "\n".join(tables)
     experiments.write_text(text + appendix)
-    print(f"embedded {len(tables)} tables into EXPERIMENTS.md")
+    return len(tables)
+
+
+def dedup_comparison(root: pathlib.Path, out_dir: pathlib.Path) -> dict:
+    fragment = out_dir / "scaling_dedup.json"
+    if fragment.exists():
+        return json.loads(fragment.read_text())
+    # No fragment — compute inline on the largest scaling fixture.
+    sys.path.insert(0, str(root / "src"))
+    from repro.bench.runner import compare_dedup
+    from repro.programs import ProgramSpec, generate_program
+
+    from bench_scaling import SIZES  # noqa: E402  (benchmarks/ on sys.path)
+
+    target = SIZES[-1]
+    spec = ProgramSpec.for_target_nodes("scaling", target)
+    source = generate_program(spec)
+    return compare_dedup(f"scale{target}", source, k=3).as_dict()
+
+
+def main() -> None:
+    root = pathlib.Path(__file__).resolve().parents[1]
+    out_dir = root / "benchmarks" / "out"
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    n_tables = collect_tables(root, out_dir)
+    if n_tables:
+        print(f"embedded {n_tables} tables into EXPERIMENTS.md")
+    else:
+        print("no tables in benchmarks/out/; skipping EXPERIMENTS.md appendix")
+
+    comparison = dedup_comparison(root, out_dir)
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "pr": 1,
+        "description": (
+            "Deduplicated worklist vs seed discipline on the largest "
+            "scaling fixture: pops must not increase and the may-alias "
+            "sets must be node-identical."
+        ),
+        "dedup_vs_seed": comparison,
+    }
+    bench_path = root / "BENCH_PR1.json"
+    bench_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {bench_path}")
+    if not comparison.get("identical_may_alias", False):
+        raise SystemExit("dedup changed the may-alias sets — investigate")
+    if comparison["pops_dedup"] > comparison["pops_seed"]:
+        raise SystemExit("dedup increased worklist pops — investigate")
 
 
 if __name__ == "__main__":

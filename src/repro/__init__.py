@@ -20,20 +20,25 @@ Quickstart::
     print(solution.stats())
 """
 
-from .core.analysis import DEFAULT_K, analyze_program, analyze_source
+from .core.analysis import DEFAULT_K, BudgetExceeded, analyze_program, analyze_source
+from .core.metrics import BudgetOutcome, EngineReport, PhaseTimer
 from .core.solution import MayAliasSolution, SolutionStats
 from .frontend.semantics import parse_and_analyze
 from .icfg.builder import build_icfg
 from .names.alias_pairs import AliasPair
 from .names.object_names import ObjectName
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AliasPair",
+    "BudgetExceeded",
+    "BudgetOutcome",
     "DEFAULT_K",
+    "EngineReport",
     "MayAliasSolution",
     "ObjectName",
+    "PhaseTimer",
     "SolutionStats",
     "__version__",
     "analyze_program",

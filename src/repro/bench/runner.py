@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass
 from typing import Optional
@@ -17,7 +18,8 @@ from ..icfg.builder import build_icfg
 @dataclass(slots=True)
 class Measurement:
     """One program measured with the Landi/Ryder analysis and the
-    baselines, in the units the paper reports."""
+    baselines, in the units the paper reports (plus the engine's
+    worklist-discipline counters)."""
 
     name: str
     source_lines: int
@@ -27,6 +29,11 @@ class Measurement:
     lr_node_aliases: int
     lr_seconds: float
     percent_yes: float
+    worklist_pops: int = 0
+    worklist_pushes: int = 0
+    dedup_hits: int = 0
+    upgrades: int = 0
+    join_fanout: int = 0
     weihl_aliases: Optional[int] = None          # untruncated pairs
     weihl_aliases_all: Optional[int] = None      # incl. representatives
     weihl_seconds: Optional[float] = None
@@ -35,10 +42,27 @@ class Measurement:
 
     @property
     def weihl_ratio(self) -> Optional[float]:
-        """Weihl count over LR count (None when Weihl was skipped)."""
+        """Weihl count over LR count (None when Weihl was skipped).
+
+        Clamped to a finite value: a zero-alias program (both counts 0)
+        reports 1.0 — the baseline found exactly as little as we did —
+        and a zero LR count under a nonzero Weihl count reports the
+        Weihl count itself rather than ``inf``."""
         if self.weihl_aliases is None:
             return None
-        return self.weihl_aliases / max(1, self.lr_program_aliases)
+        if self.lr_program_aliases <= 0:
+            return 1.0 if self.weihl_aliases <= 0 else float(self.weihl_aliases)
+        ratio = self.weihl_aliases / self.lr_program_aliases
+        return ratio if math.isfinite(ratio) else 0.0
+
+
+def clamp_percent(value: float) -> float:
+    """Force a percentage into [0, 100] and map non-finite inputs
+    (the 0/0 cases on empty programs) to 100.0 — an empty alias set is
+    vacuously precise."""
+    if not math.isfinite(value):
+        return 100.0
+    return max(0.0, min(100.0, value))
 
 
 def measure(
@@ -70,7 +94,12 @@ def measure(
         lr_program_aliases_all=stats.program_alias_count,
         lr_node_aliases=stats.node_alias_count,
         lr_seconds=lr_seconds,
-        percent_yes=stats.percent_yes,
+        percent_yes=clamp_percent(stats.percent_yes),
+        worklist_pops=stats.engine.worklist_pops,
+        worklist_pushes=stats.engine.worklist_pushes,
+        dedup_hits=stats.engine.dedup_hits,
+        upgrades=stats.engine.upgrades,
+        join_fanout=stats.engine.join_fanout,
     )
     if run_weihl:
         weihl = weihl_aliases(analyzed, icfg, k=k, materialize=False)
@@ -89,3 +118,79 @@ def analyze_counts(source: str, k: int = 3, max_facts: Optional[int] = 3_000_000
     analyzed = parse_and_analyze(source)
     icfg = build_icfg(analyzed)
     return analyze_program(analyzed, icfg, k=k, max_facts=max_facts)
+
+
+@dataclass(slots=True)
+class DedupComparison:
+    """Deduplicated engine vs the seed's worklist discipline on one
+    program: same may-alias sets, fewer pops."""
+
+    name: str
+    icfg_nodes: int
+    may_hold_facts: int
+    pops_dedup: int
+    pops_seed: int
+    pushes_dedup: int
+    pushes_seed: int
+    dedup_hits: int
+    stale_skips: int
+    seconds_dedup: float
+    seconds_seed: float
+    identical_may_alias: bool
+
+    @property
+    def pop_reduction(self) -> float:
+        """Fraction of seed pops eliminated by the dedup discipline."""
+        if self.pops_seed <= 0:
+            return 0.0
+        return 1.0 - self.pops_dedup / self.pops_seed
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "icfg_nodes": self.icfg_nodes,
+            "may_hold_facts": self.may_hold_facts,
+            "pops_dedup": self.pops_dedup,
+            "pops_seed": self.pops_seed,
+            "pushes_dedup": self.pushes_dedup,
+            "pushes_seed": self.pushes_seed,
+            "dedup_hits": self.dedup_hits,
+            "stale_skips": self.stale_skips,
+            "seconds_dedup": self.seconds_dedup,
+            "seconds_seed": self.seconds_seed,
+            "pop_reduction": self.pop_reduction,
+            "identical_may_alias": self.identical_may_alias,
+        }
+
+
+def compare_dedup(
+    name: str, source: str, k: int = 3, max_facts: Optional[int] = 3_000_000
+) -> DedupComparison:
+    """Run ``source`` under the deduplicated worklist and under the
+    seed discipline (``dedup=False``) and compare pops, pushes and the
+    resulting may-alias sets node by node."""
+    analyzed = parse_and_analyze(source)
+    icfg = build_icfg(analyzed)
+    start = time.perf_counter()
+    deduped = analyze_program(analyzed, icfg, k=k, max_facts=max_facts, dedup=True)
+    seconds_dedup = time.perf_counter() - start
+    start = time.perf_counter()
+    seed = analyze_program(analyzed, icfg, k=k, max_facts=max_facts, dedup=False)
+    seconds_seed = time.perf_counter() - start
+    identical = all(
+        deduped.may_alias(node) == seed.may_alias(node) for node in icfg.nodes
+    )
+    return DedupComparison(
+        name=name,
+        icfg_nodes=len(icfg),
+        may_hold_facts=len(deduped.store),
+        pops_dedup=deduped.engine.worklist_pops,
+        pops_seed=seed.engine.worklist_pops,
+        pushes_dedup=deduped.engine.worklist_pushes,
+        pushes_seed=seed.engine.worklist_pushes,
+        dedup_hits=deduped.engine.dedup_hits,
+        stale_skips=deduped.engine.stale_skips,
+        seconds_dedup=seconds_dedup,
+        seconds_seed=seconds_seed,
+        identical_may_alias=identical,
+    )

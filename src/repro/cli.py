@@ -1,18 +1,26 @@
-"""Command-line interface: ``repro-aliases [options] file.c``.
+"""Command-line interface: ``repro analyze [options] file.c``.
 
 Analyzes a MiniC source file and prints per-node may-aliases, program
 aliases, or a summary — a small faithful analogue of the paper's
-prototype tool.
+prototype tool.  The leading ``analyze`` subcommand word is optional,
+so the historical ``repro-aliases file.c`` spelling keeps working.
+
+``--stats-json`` dumps the full ``repro-stats/1`` document (phase wall
+times, engine counters, budget outcome); ``--max-facts`` and
+``--deadline-seconds`` bound the run, and an exceeded budget reports
+the partial, all-tainted solution instead of discarding the work.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional
 
 from .baselines.weihl import weihl_aliases
 from .core.analysis import analyze_program
+from .core.metrics import PHASE_ICFG, PHASE_PARSE, PhaseTimer
 from .frontend.diagnostics import MiniCError
 from .frontend.semantics import parse_and_analyze
 from .icfg.builder import build_icfg
@@ -59,7 +67,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-facts",
         type=int,
         default=5_000_000,
-        help="abort if the may-hold relation exceeds this size",
+        help=(
+            "fact budget; an exceeded budget reports the partial "
+            "all-tainted solution and exits 1"
+        ),
+    )
+    parser.add_argument(
+        "--deadline-seconds",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget for propagation (same semantics as --max-facts)",
+    )
+    parser.add_argument(
+        "--stats-json",
+        metavar="FILE",
+        help=(
+            "write phase timings + engine counters as JSON "
+            "(repro-stats/1 schema; '-' for stdout)"
+        ),
     )
     parser.add_argument(
         "--json",
@@ -71,6 +97,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[list[str]] = None) -> int:
     """Entry point; returns a process exit status."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "analyze":
+        argv = argv[1:]
     args = build_parser().parse_args(argv)
     if args.file == "-":
         source = sys.stdin.read()
@@ -83,14 +113,23 @@ def main(argv: Optional[list[str]] = None) -> int:
             print(f"error: {err}", file=sys.stderr)
             return 2
         filename = args.file
+    timer = PhaseTimer()
     try:
-        analyzed = parse_and_analyze(source, filename)
-        icfg = build_icfg(analyzed)
+        with timer.phase(PHASE_PARSE):
+            analyzed = parse_and_analyze(source, filename)
+        with timer.phase(PHASE_ICFG):
+            icfg = build_icfg(analyzed)
         if args.dot:
             print(to_dot(icfg))
             return 0
         solution = analyze_program(
-            analyzed, icfg, k=args.k, max_facts=args.max_facts
+            analyzed,
+            icfg,
+            k=args.k,
+            max_facts=args.max_facts,
+            deadline_seconds=args.deadline_seconds,
+            on_budget="partial",
+            timer=timer,
         )
     except MiniCError as err:
         print(f"error: {err}", file=sys.stderr)
@@ -102,12 +141,36 @@ def main(argv: Optional[list[str]] = None) -> int:
     for diag in analyzed.diagnostics:
         print(diag, file=sys.stderr)
 
+    if not solution.complete:
+        print(
+            f"error: analysis exceeded its {solution.budget.reason} budget; "
+            "reporting the partial, all-tainted solution",
+            file=sys.stderr,
+        )
+
     if args.json:
         from .io import dump_solution
 
-        with open(args.json, "w") as handle:
-            dump_solution(solution, handle)
+        try:
+            with open(args.json, "w") as handle:
+                dump_solution(solution, handle)
+        except OSError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
         print(f"solution written to {args.json}", file=sys.stderr)
+
+    if args.stats_json:
+        document = json.dumps(solution.stats_dict(), indent=2, sort_keys=True)
+        if args.stats_json == "-":
+            print(document)
+        else:
+            try:
+                with open(args.stats_json, "w") as handle:
+                    handle.write(document + "\n")
+            except OSError as err:
+                print(f"error: {err}", file=sys.stderr)
+                return 2
+            print(f"stats written to {args.stats_json}", file=sys.stderr)
 
     stats = solution.stats()
     print(f"ICFG nodes:       {stats.icfg_nodes}")
@@ -116,6 +179,11 @@ def main(argv: Optional[list[str]] = None) -> int:
     print(f"program aliases:  {stats.program_alias_count}")
     print(f"%YES_{args.k}:           {stats.percent_yes:.1f}")
     print(f"analysis time:    {stats.analysis_seconds:.3f}s")
+    print(
+        f"worklist:         {stats.engine.worklist_pops} pops / "
+        f"{stats.engine.worklist_pushes} pushes / "
+        f"{stats.engine.dedup_hits} dedup hits"
+    )
 
     if args.weihl:
         weihl = weihl_aliases(analyzed, icfg, k=args.k, materialize=False)
@@ -135,7 +203,7 @@ def main(argv: Optional[list[str]] = None) -> int:
                 print(f"  n{node.nid} [{node.label()}]:")
                 for pair in pairs:
                     print(f"    {pair}")
-    return 0
+    return 1 if not solution.complete else 0
 
 
 if __name__ == "__main__":

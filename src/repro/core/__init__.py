@@ -1,8 +1,9 @@
 """The paper's contribution: conditional may-alias via may-hold facts."""
 
 from . import assumptions
-from .analysis import DEFAULT_K, analyze_program, analyze_source
+from .analysis import DEFAULT_K, BudgetExceeded, analyze_program, analyze_source
 from .bind import BoundAlias, CallBinder
+from .metrics import BudgetOutcome, EngineReport, PhaseTimer
 from .solution import MayAliasSolution, SolutionStats
 from .store import CLEAN, TAINTED, MayHoldStore
 from .transfer import AssignTransfer, RhsView
@@ -11,12 +12,16 @@ from .worklist import MayHoldAnalysis
 __all__ = [
     "AssignTransfer",
     "BoundAlias",
+    "BudgetExceeded",
+    "BudgetOutcome",
     "CLEAN",
     "CallBinder",
     "DEFAULT_K",
+    "EngineReport",
     "MayAliasSolution",
     "MayHoldAnalysis",
     "MayHoldStore",
+    "PhaseTimer",
     "RhsView",
     "SolutionStats",
     "TAINTED",

@@ -6,6 +6,16 @@ This is the primary public API of the library::
 
     solution = analyze_source(open("prog.c").read(), k=3)
     pairs = solution.may_alias(node)
+
+Budgets: ``max_facts`` bounds the may-hold relation's size and
+``deadline_seconds`` bounds propagation wall time.  When either is
+exceeded the engine stops, demotes every fact to TAINTED, and the
+driver raises :class:`BudgetExceeded` — a ``RuntimeError`` carrying the
+partial solution on its ``solution`` attribute.  Pass
+``on_budget="partial"`` to get the partial solution returned instead of
+raised (check ``solution.budget.exceeded``).  Either way the partial
+store is a *subset* of the full run's facts with nothing certified
+precise; treat it as a progress report, not as a sound may-alias set.
 """
 
 from __future__ import annotations
@@ -16,10 +26,26 @@ from typing import Optional
 from ..frontend.semantics import AnalyzedProgram, parse_and_analyze
 from ..icfg.builder import IcfgBuilder
 from ..icfg.graph import ICFG
+from .metrics import PHASE_ICFG, PHASE_PARSE, PhaseTimer
 from .solution import MayAliasSolution
 from .worklist import MayHoldAnalysis
 
 DEFAULT_K = 3  # the paper's Table 2 uses k = 3
+
+
+class BudgetExceeded(RuntimeError):
+    """The analysis hit its fact or wall-clock budget.
+
+    ``solution`` holds the partial result: every fact found so far,
+    all demoted to TAINTED.  ``reason`` is ``"max_facts"`` or
+    ``"deadline"``.  Subclasses ``RuntimeError`` so pre-budget callers
+    that caught the old bare error keep working.
+    """
+
+    def __init__(self, message: str, solution: MayAliasSolution) -> None:
+        super().__init__(message)
+        self.solution = solution
+        self.reason = solution.budget.reason
 
 
 def analyze_program(
@@ -28,17 +54,55 @@ def analyze_program(
     k: int = DEFAULT_K,
     max_facts: Optional[int] = None,
     entry_proc: str = "main",
+    deadline_seconds: Optional[float] = None,
+    on_budget: str = "raise",
+    dedup: bool = True,
+    timer: Optional[PhaseTimer] = None,
 ) -> MayAliasSolution:
     """Run the Landi/Ryder conditional may-alias algorithm."""
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
+    if on_budget not in ("raise", "partial"):
+        raise ValueError(f"on_budget must be 'raise' or 'partial', got {on_budget!r}")
+    if timer is None:
+        timer = PhaseTimer()
     if icfg is None:
-        icfg = IcfgBuilder(analyzed, entry_proc).build()
+        with timer.phase(PHASE_ICFG):
+            icfg = IcfgBuilder(analyzed, entry_proc).build()
     start = time.perf_counter()
-    analysis = MayHoldAnalysis(analyzed, icfg, k=k, max_facts=max_facts)
+    analysis = MayHoldAnalysis(
+        analyzed,
+        icfg,
+        k=k,
+        max_facts=max_facts,
+        deadline_seconds=deadline_seconds,
+        dedup=dedup,
+        timer=timer,
+    )
     store = analysis.run()
     elapsed = time.perf_counter() - start
-    return MayAliasSolution(icfg, store, analysis.ctx, k, analysis_seconds=elapsed)
+    solution = MayAliasSolution(
+        icfg,
+        store,
+        analysis.ctx,
+        k,
+        analysis_seconds=elapsed,
+        engine=analysis.engine_report(),
+        phases=timer,
+        budget=analysis.budget,
+    )
+    if analysis.budget.exceeded and on_budget == "raise":
+        limit = (
+            f"max_facts={max_facts}"
+            if analysis.budget.reason == "max_facts"
+            else f"deadline={deadline_seconds}s"
+        )
+        raise BudgetExceeded(
+            f"analysis exceeded {limit} ({len(store)} facts; "
+            "partial all-tainted solution attached)",
+            solution,
+        )
+    return solution
 
 
 def analyze_source(
@@ -47,9 +111,23 @@ def analyze_source(
     filename: str = "<input>",
     max_facts: Optional[int] = None,
     entry_proc: str = "main",
+    deadline_seconds: Optional[float] = None,
+    on_budget: str = "raise",
+    dedup: bool = True,
+    timer: Optional[PhaseTimer] = None,
 ) -> MayAliasSolution:
     """Parse, check, lower and analyze MiniC ``source``."""
-    analyzed = parse_and_analyze(source, filename)
+    if timer is None:
+        timer = PhaseTimer()
+    with timer.phase(PHASE_PARSE):
+        analyzed = parse_and_analyze(source, filename)
     return analyze_program(
-        analyzed, k=k, max_facts=max_facts, entry_proc=entry_proc
+        analyzed,
+        k=k,
+        max_facts=max_facts,
+        entry_proc=entry_proc,
+        deadline_seconds=deadline_seconds,
+        on_budget=on_budget,
+        dedup=dedup,
+        timer=timer,
     )

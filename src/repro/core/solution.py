@@ -9,7 +9,7 @@ counts and the ``%YES_k`` precision measure (Table 2 / Figure 5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
 from ..icfg.graph import ICFG
@@ -17,12 +17,17 @@ from ..icfg.ir import Node
 from ..names.alias_pairs import AliasPair
 from ..names.context import NameContext
 from ..names.object_names import ObjectName
+from .metrics import BudgetOutcome, EngineReport, PhaseTimer
 from .store import CLEAN, MayHoldStore
+
+STATS_SCHEMA = "repro-stats/1"
 
 
 @dataclass(slots=True)
 class SolutionStats:
-    """Aggregate numbers in the shape the paper reports."""
+    """Aggregate numbers in the shape the paper reports, plus the
+    engine/observability layer added on top (phase wall times, worklist
+    counters, budget outcome)."""
 
     icfg_nodes: int
     may_hold_facts: int
@@ -30,6 +35,9 @@ class SolutionStats:
     program_alias_count: int
     percent_yes: float
     analysis_seconds: float = 0.0
+    engine: EngineReport = field(default_factory=EngineReport)
+    phases: dict[str, float] = field(default_factory=dict)
+    budget: BudgetOutcome = field(default_factory=BudgetOutcome)
 
 
 class MayAliasSolution:
@@ -42,12 +50,23 @@ class MayAliasSolution:
         ctx: NameContext,
         k: int,
         analysis_seconds: float = 0.0,
+        engine: Optional[EngineReport] = None,
+        phases: Optional[PhaseTimer] = None,
+        budget: Optional[BudgetOutcome] = None,
     ) -> None:
         self.icfg = icfg
         self.store = store
         self.ctx = ctx
         self.k = k
         self.analysis_seconds = analysis_seconds
+        self.engine = engine if engine is not None else EngineReport()
+        self.phases = phases if phases is not None else PhaseTimer()
+        self.budget = budget if budget is not None else BudgetOutcome()
+
+    @property
+    def complete(self) -> bool:
+        """False when a budget truncated the run (partial solution)."""
+        return not self.budget.exceeded
 
     # -- core queries -----------------------------------------------------------
 
@@ -110,8 +129,10 @@ class MayAliasSolution:
             if clean is CLEAN:
                 yes.add(key)
         if not all_facts:
+            # Zero-alias program: vacuously precise (and the 0/0 ratio
+            # would otherwise be nan).
             return 100.0
-        return 100.0 * len(yes) / len(all_facts)
+        return max(0.0, min(100.0, 100.0 * len(yes) / len(all_facts)))
 
     # -- reporting --------------------------------------------------------------------
 
@@ -125,7 +146,31 @@ class MayAliasSolution:
             program_alias_count=len(self.program_aliases()),
             percent_yes=self.percent_yes(),
             analysis_seconds=self.analysis_seconds,
+            engine=self.engine,
+            phases=self.phases.as_dict(),
+            budget=self.budget,
         )
+
+    def stats_dict(self) -> dict:
+        """The full ``repro-stats/1`` document (see docs/API.md):
+        phase wall times, engine counters, solution aggregates and the
+        budget outcome, all JSON-serializable."""
+        stats = self.stats()
+        return {
+            "schema": STATS_SCHEMA,
+            "k": self.k,
+            "phases": stats.phases,
+            "engine": stats.engine.as_dict(),
+            "solution": {
+                "icfg_nodes": stats.icfg_nodes,
+                "may_hold_facts": stats.may_hold_facts,
+                "node_alias_count": stats.node_alias_count,
+                "program_alias_count": stats.program_alias_count,
+                "percent_yes": stats.percent_yes,
+                "analysis_seconds": stats.analysis_seconds,
+            },
+            "budget": stats.budget.as_dict(),
+        }
 
     def render_node_report(self, node: Node | int, limit: Optional[int] = None) -> str:
         """Human-readable alias list for one node (debugging aid)."""

@@ -36,17 +36,31 @@ CLEAN = True
 
 @dataclass(slots=True)
 class StoreStats:
-    """Counters for benchmarks and the paper's tables."""
+    """Counters for benchmarks and the paper's tables.
+
+    ``worklist_pushes`` counts actual queue appends; a fact upgraded
+    while still pending is *merged* into its queued entry and counted
+    under ``dedup_hits`` instead (the seed overcounted pushes here and
+    re-processed the fact).  ``stale_skips`` counts popped entries whose
+    store state had already been processed — with dedup on this is a
+    defensive net and stays 0."""
 
     facts: int = 0
     worklist_pushes: int = 0
+    worklist_pops: int = 0
+    dedup_hits: int = 0
+    stale_skips: int = 0
     upgrades: int = 0
 
 
 class MayHoldStore:
-    """Hash-backed may-hold relation with the analysis worklist."""
+    """Hash-backed may-hold relation with the analysis worklist.
 
-    def __init__(self) -> None:
+    ``dedup=False`` restores the seed's worklist discipline (every add
+    *and* upgrade appends unconditionally, stale pops are re-processed)
+    — kept as an A/B baseline for the benchmark harness."""
+
+    def __init__(self, dedup: bool = True) -> None:
         # (nid, AA, PA) -> CLEAN/TAINTED.  Absence means false.
         self._facts: dict[Fact, bool] = {}
         self._by_node: dict[int, set[tuple[Assumption, AliasPair]]] = {}
@@ -54,6 +68,12 @@ class MayHoldStore:
         self._by_node_base: dict[tuple[int, str], set[tuple[Assumption, AliasPair]]] = {}
         self._by_node_assumed: dict[tuple[int, AliasPair], set[tuple[Assumption, AliasPair]]] = {}
         self._worklist: deque[Fact] = deque()
+        self.dedup = dedup
+        # Facts currently sitting in the queue (dedup mode only).
+        self._pending: set[Fact] = set()
+        # Taint state a fact last left the queue with; lets pop() skip
+        # entries whose store state hasn't changed since enqueue.
+        self._popped_taint: dict[Fact, bool] = {}
         self.stats = StoreStats()
 
     # -- queries ---------------------------------------------------------------
@@ -126,23 +146,62 @@ class MayHoldStore:
                 self._by_node_base.setdefault((nid, pair.second.base), set()).add(entry)
             for assumed in assumption:
                 self._by_node_assumed.setdefault((nid, assumed), set()).add(entry)
-            self._worklist.append(key)
             self.stats.facts += 1
-            self.stats.worklist_pushes += 1
+            self._enqueue(key)
             return True
         if existing is TAINTED and clean is CLEAN:
             self._facts[key] = CLEAN
-            self._worklist.append(key)
             self.stats.upgrades += 1
-            self.stats.worklist_pushes += 1
+            self._enqueue(key)
             return True
         return False
 
+    def _enqueue(self, key: Fact) -> None:
+        """Queue a changed fact, merging with a still-pending entry."""
+        if self.dedup:
+            if key in self._pending:
+                # Already queued: the eventual pop reads the (upgraded)
+                # store state, so processing once covers both changes.
+                self.stats.dedup_hits += 1
+                return
+            self._pending.add(key)
+        self._worklist.append(key)
+        self.stats.worklist_pushes += 1
+
     def pop(self) -> Optional[Fact]:
-        """Next worklist item, or None when drained."""
-        if not self._worklist:
-            return None
-        return self._worklist.popleft()
+        """Next worklist item, or None when drained.
+
+        In dedup mode, entries whose store state was already processed
+        (taint unchanged since the last pop of the same fact) are
+        skipped rather than returned."""
+        while self._worklist:
+            key = self._worklist.popleft()
+            if not self.dedup:
+                self.stats.worklist_pops += 1
+                return key
+            self._pending.discard(key)
+            state = self._facts[key]
+            if self._popped_taint.get(key) is state:
+                self.stats.stale_skips += 1
+                continue
+            self._popped_taint[key] = state
+            self.stats.worklist_pops += 1
+            return key
+        return None
+
+    def taint_all(self) -> int:
+        """Budget post-pass: demote every fact to TAINTED (nothing is
+        certified precise on a truncated run) and drop the queue.
+        Returns the number of facts demoted."""
+        demoted = 0
+        for key, clean in self._facts.items():
+            if clean is CLEAN:
+                self._facts[key] = TAINTED
+                demoted += 1
+        self._worklist.clear()
+        self._pending.clear()
+        self._popped_taint.clear()
+        return demoted
 
     @property
     def pending(self) -> int:

@@ -25,25 +25,39 @@ the rule matching the node's kind:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional
 
 from ..frontend.semantics import AnalyzedProgram
 from ..icfg.graph import ICFG
 from ..icfg.ir import CallInfo, Node, NodeKind, PtrAssign
-from ..names.alias_pairs import AliasPair
+from ..names.alias_pairs import AliasPair, interned_pair_count
 from ..names.context import NameContext
 from ..names.object_names import (
     NONVISIBLE_BASES,
     ObjectName,
+    interned_name_count,
     is_nonvisible_based,
     k_limit,
 )
 from . import assumptions
 from .assumptions import Assumption
 from .bind import BoundAlias, CallBinder
+from .metrics import (
+    PHASE_INIT,
+    PHASE_POST,
+    PHASE_PROPAGATE,
+    BudgetOutcome,
+    EngineReport,
+    PhaseTimer,
+)
 from .store import CLEAN, MayHoldStore
 from .transfer import AssignTransfer
+
+# How many pops between wall-clock checks when a deadline is set (the
+# clock read is cheap but not free; the hot loop is pops).
+_DEADLINE_CHECK_EVERY = 256
 
 
 @dataclass(frozen=True, slots=True)
@@ -70,18 +84,30 @@ class MayHoldAnalysis:
         icfg: ICFG,
         k: int = 3,
         max_facts: Optional[int] = None,
+        deadline_seconds: Optional[float] = None,
+        dedup: bool = True,
+        timer: Optional[PhaseTimer] = None,
     ) -> None:
         self.analyzed = analyzed
         self.icfg = icfg
         self.k = k
         self.ctx = NameContext(analyzed.symbols, k)
-        self.store = MayHoldStore()
+        self.store = MayHoldStore(dedup=dedup)
         self.transfer = AssignTransfer(self.store, self.ctx)
         self.max_facts = max_facts
+        self.deadline_seconds = deadline_seconds
+        self.timer = timer if timer is not None else PhaseTimer()
+        self.budget = BudgetOutcome(
+            max_facts=max_facts, deadline_seconds=deadline_seconds
+        )
         self._binders: dict[int, CallBinder] = {}
         # (call node id, entry assumption pair) -> records for back-bind.
         self._registry: dict[tuple[int, AliasPair], list[BindRecord]] = {}
         self.steps = 0
+        # Interprocedural join counters (see EngineReport).
+        self.join_calls = 0
+        self.join_fanout = 0
+        self.stale_bind_records = 0
 
     # -- setup -------------------------------------------------------------------
 
@@ -134,18 +160,44 @@ class MayHoldAnalysis:
     # -- driver -------------------------------------------------------------------
 
     def run(self) -> MayHoldStore:
-        """Initialize and drain the worklist; returns the store."""
-        self._initialize()
+        """Initialize and drain the worklist; returns the store.
+
+        When a budget (``max_facts`` or ``deadline_seconds``) is hit the
+        loop stops early instead of raising: ``self.budget`` records the
+        reason and every fact found so far is demoted to TAINTED (the
+        partial store is a subset of the full run's facts, with nothing
+        certified precise).  The caller decides whether that outcome is
+        an error (see :func:`repro.core.analysis.analyze_program`)."""
+        with self.timer.phase(PHASE_INIT):
+            self._initialize()
+        with self.timer.phase(PHASE_PROPAGATE):
+            self._drain()
+        if self.budget.exceeded:
+            with self.timer.phase(PHASE_POST):
+                self.budget.demoted_facts = self.store.taint_all()
+        return self.store
+
+    def _drain(self) -> None:
+        deadline_at: Optional[float] = None
+        if self.deadline_seconds is not None:
+            deadline_at = time.perf_counter() + self.deadline_seconds
         while True:
             fact = self.store.pop()
             if fact is None:
-                break
+                return
             self.steps += 1
             if self.max_facts is not None and len(self.store) > self.max_facts:
-                raise RuntimeError(
-                    f"analysis exceeded max_facts={self.max_facts} "
-                    f"({len(self.store)} facts)"
-                )
+                self.budget.exceeded = True
+                self.budget.reason = "max_facts"
+                return
+            if (
+                deadline_at is not None
+                and self.steps % _DEADLINE_CHECK_EVERY == 0
+                and time.perf_counter() > deadline_at
+            ):
+                self.budget.exceeded = True
+                self.budget.reason = "deadline"
+                return
             nid, assumption, pair = fact
             node = self.icfg.node(nid)
             if node.kind is NodeKind.CALL and node.callee in self.icfg.procs:
@@ -154,7 +206,25 @@ class MayHoldAnalysis:
                 self._process_exit(node, assumption, pair)
             else:
                 self._process_other(node, assumption, pair)
-        return self.store
+
+    def engine_report(self) -> EngineReport:
+        """Snapshot of all engine counters (see :mod:`.metrics`)."""
+        stats = self.store.stats
+        return EngineReport(
+            facts=stats.facts,
+            worklist_pushes=stats.worklist_pushes,
+            worklist_pops=stats.worklist_pops,
+            dedup_hits=stats.dedup_hits,
+            stale_skips=stats.stale_skips,
+            upgrades=stats.upgrades,
+            join_calls=self.join_calls,
+            join_fanout=self.join_fanout,
+            stale_bind_records=self.stale_bind_records,
+            registry_keys=len(self._registry),
+            registry_records=sum(len(r) for r in self._registry.values()),
+            interned_names=interned_name_count(),
+            interned_pairs=interned_pair_count(),
+        )
 
     # -- per-kind rules --------------------------------------------------------------
 
@@ -215,6 +285,7 @@ class MayHoldAnalysis:
         ret = call.paired_return
         assert ret is not None
         callee = call.callee or ""
+        self.join_calls += 1
         exit_taint = self.store.taint_of(exit_node.nid, exit_assumption, exit_pair)
         if not exit_assumption:
             translated = self._translate(exit_pair, callee, {})
@@ -251,6 +322,7 @@ class MayHoldAnalysis:
         records: tuple[BindRecord, ...],
         indices: tuple[int, ...],
     ) -> None:
+        self.join_fanout += 1
         substitution: dict[str, ObjectName] = {}
         taint = exit_taint
         caller_assumptions: list[Assumption] = []
@@ -262,7 +334,17 @@ class MayHoldAnalysis:
                 if not self.store.holds(
                     call.nid, record.call_assumption, record.call_pair
                 ):
-                    return  # stale record (should not happen; facts persist)
+                    # Records are registered only for facts already made
+                    # true, and facts are never retracted — a miss here
+                    # means the engine dropped a return-join silently.
+                    # Count it (so production runs surface it in stats)
+                    # and fail fast in debug runs.
+                    self.stale_bind_records += 1
+                    assert False, (
+                        f"stale BindRecord at call n{call.nid}: "
+                        f"{record.call_pair} under {record.call_assumption}"
+                    )
+                    return
                 taint = taint and self.store.taint_of(
                     call.nid, record.call_assumption, record.call_pair
                 )

@@ -7,7 +7,6 @@ construction; ``AliasPair(a, b) == AliasPair(b, a)``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from .object_names import ObjectName, is_nonvisible_based, k_limit
@@ -17,26 +16,52 @@ def _key(name: ObjectName) -> tuple:
     return (name.base, name.selectors, name.truncated)
 
 
-@dataclass(frozen=True, slots=True, init=False, eq=False)
+# Hash-consing table keyed by the *canonicalized* member tuple.  Since
+# ObjectName is itself interned, the tuple hashes from cached hashes and
+# compares by identity, making pair construction cheap on repeat.
+_INTERN: dict[tuple[ObjectName, ObjectName], "AliasPair"] = {}
+
+
 class AliasPair:
-    """A canonical unordered pair of object names (hash cached: pairs
-    are dictionary keys throughout the analysis)."""
+    """A canonical, interned unordered pair of object names (hash
+    cached: pairs are dictionary keys throughout the analysis).
+
+    ``AliasPair(a, b)`` and ``AliasPair(b, a)`` return the *same*
+    instance, so equality degenerates to identity on in-process pairs."""
+
+    __slots__ = ("first", "second", "_hash")
 
     first: ObjectName
     second: ObjectName
-    _hash: int
 
-    def __init__(self, a: ObjectName, b: ObjectName) -> None:
+    def __new__(cls, a: ObjectName, b: ObjectName) -> "AliasPair":
         if _key(b) < _key(a):
             a, b = b, a
+        cached = _INTERN.get((a, b))
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
         object.__setattr__(self, "first", a)
         object.__setattr__(self, "second", b)
         object.__setattr__(self, "_hash", hash((a, b)))
+        _INTERN[(a, b)] = self
+        return self
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"AliasPair is immutable (tried to set {name!r})")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"AliasPair is immutable (tried to delete {name!r})")
+
+    def __repr__(self) -> str:
+        return f"AliasPair({self.first!r}, {self.second!r})"
 
     def __hash__(self) -> int:
         return self._hash
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, AliasPair):
             return NotImplemented
         return (
@@ -44,6 +69,9 @@ class AliasPair:
             and self.first == other.first
             and self.second == other.second
         )
+
+    def __reduce__(self):
+        return (AliasPair, (self.first, self.second))
 
     def __iter__(self) -> Iterator[ObjectName]:
         yield self.first
@@ -106,3 +134,8 @@ class AliasPair:
 def make_pair(a: ObjectName, b: ObjectName, k: int) -> AliasPair:
     """Build a k-limited alias pair."""
     return AliasPair(k_limit(a, k), k_limit(b, k))
+
+
+def interned_pair_count() -> int:
+    """Size of the AliasPair hash-consing table (observability)."""
+    return len(_INTERN)

@@ -21,7 +21,6 @@ represented by ``p->f1`` — *not* by ``*p``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 DEREF = "*"
@@ -31,34 +30,79 @@ DEREF = "*"
 # distinguishable ones.
 NONVISIBLE_BASES = ("$nv1", "$nv2")
 
+# Hash-consing table: (base, selectors, truncated) -> the one canonical
+# instance.  Every constructor funnels through ``__new__``, so equal
+# names are always the *same* object and the hot dict/set operations in
+# the may-hold store compare by identity.
+_INTERN: dict[tuple[str, tuple[str, ...], bool], "ObjectName"] = {}
 
-@dataclass(frozen=True, slots=True, eq=False)
+
 class ObjectName:
-    """An immutable object name with a cached hash (names are hashed on
-    every store operation, so this is hot)."""
+    """An immutable, interned object name with a cached hash (names are
+    hashed on every store operation, so this is hot).
+
+    ``ObjectName(b, s, t)`` always returns the canonical instance for
+    ``(b, s, t)``; equality therefore degenerates to identity on every
+    name built in-process (a value-comparison fallback remains for
+    safety)."""
+
+    __slots__ = ("base", "selectors", "truncated", "_hash")
 
     base: str
-    selectors: tuple[str, ...] = ()
-    truncated: bool = False
-    _hash: int = field(default=0, compare=False, repr=False)
+    selectors: tuple[str, ...]
+    truncated: bool
 
-    def __post_init__(self) -> None:
-        object.__setattr__(
-            self, "_hash", hash((self.base, self.selectors, self.truncated))
+    def __new__(
+        cls,
+        base: str,
+        selectors: tuple[str, ...] = (),
+        truncated: bool = False,
+    ) -> "ObjectName":
+        key = (base, selectors, truncated)
+        cached = _INTERN.get(key)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
+        object.__setattr__(self, "base", base)
+        object.__setattr__(self, "selectors", selectors)
+        object.__setattr__(self, "truncated", truncated)
+        object.__setattr__(self, "_hash", hash(key))
+        _INTERN[key] = self
+        return self
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"ObjectName is immutable (tried to set {name!r})")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"ObjectName is immutable (tried to delete {name!r})")
+
+    def __repr__(self) -> str:
+        return (
+            f"ObjectName(base={self.base!r}, selectors={self.selectors!r}, "
+            f"truncated={self.truncated!r})"
         )
 
     def __hash__(self) -> int:
         return self._hash
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, ObjectName):
             return NotImplemented
+        # Interning makes equal names identical; this fallback only
+        # matters for exotic instances (e.g. deserialized across a
+        # cleared intern table).
         return (
             self._hash == other._hash
             and self.base == other.base
             and self.selectors == other.selectors
             and self.truncated == other.truncated
         )
+
+    def __reduce__(self):
+        # Re-intern on unpickling instead of materializing a twin.
+        return (ObjectName, (self.base, self.selectors, self.truncated))
 
     # -- constructors --------------------------------------------------------
 
@@ -192,6 +236,11 @@ def nonvisible(index: int = 1) -> ObjectName:
     ordinary single-assumption facts always use index 1.
     """
     return ObjectName(NONVISIBLE_BASES[index - 1])
+
+
+def interned_name_count() -> int:
+    """Size of the ObjectName hash-consing table (observability)."""
+    return len(_INTERN)
 
 
 def is_nonvisible_based(name: ObjectName) -> bool:

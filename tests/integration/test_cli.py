@@ -63,6 +63,65 @@ class TestCli:
         assert main([str(dense), "--max-facts", "2"]) == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_analyze_subcommand_word_optional(self, figure1_file, capsys):
+        # `repro analyze file.c` and `repro-aliases file.c` both work.
+        assert main(["analyze", figure1_file]) == 0
+        assert "ICFG nodes:" in capsys.readouterr().out
+
+    def test_worklist_counters_in_summary(self, figure1_file, capsys):
+        assert main([figure1_file]) == 0
+        out = capsys.readouterr().out
+        assert "worklist:" in out
+        assert "pops" in out and "pushes" in out and "dedup hits" in out
+
+    def test_stats_json_to_stdout(self, figure1_file, capsys):
+        import json
+
+        assert main([figure1_file, "--stats-json", "-"]) == 0
+        out = capsys.readouterr().out
+        document = json.loads(out[: out.index("ICFG nodes:")])
+        assert document["schema"] == "repro-stats/1"
+        assert document["k"] == 3
+        assert document["engine"]["worklist_pops"] > 0
+        assert "propagate" in document["phases"]
+        assert "parse" in document["phases"]
+        assert document["budget"]["exceeded"] is False
+
+    def test_stats_json_to_file(self, figure1_file, tmp_path, capsys):
+        import json
+
+        stats_path = tmp_path / "stats.json"
+        assert main([figure1_file, "--stats-json", str(stats_path)]) == 0
+        with open(stats_path) as fp:
+            document = json.load(fp)
+        assert document["schema"] == "repro-stats/1"
+        assert document["solution"]["icfg_nodes"] > 0
+        assert document["solution"]["may_hold_facts"] > 0
+
+    def test_budget_run_still_emits_stats(self, tmp_path, capsys):
+        import json
+
+        dense = tmp_path / "dense.c"
+        dense.write_text(
+            """
+            struct node { int v; struct node *next; };
+            struct node *p, *q;
+            int main() { p = q; return 0; }
+            """
+        )
+        stats_path = tmp_path / "stats.json"
+        assert main([str(dense), "--max-facts", "2", "--stats-json", str(stats_path)]) == 1
+        assert "error:" in capsys.readouterr().err
+        with open(stats_path) as fp:
+            document = json.load(fp)
+        assert document["budget"]["exceeded"] is True
+        assert document["budget"]["reason"] == "max_facts"
+        assert document["solution"]["percent_yes"] == 0.0
+
+    def test_deadline_flag_accepted(self, figure1_file, capsys):
+        assert main([figure1_file, "--deadline-seconds", "600"]) == 0
+        assert "ICFG nodes:" in capsys.readouterr().out
+
     def test_missing_file(self, capsys):
         assert main(["/does/not/exist.c"]) == 2
         assert "error:" in capsys.readouterr().err

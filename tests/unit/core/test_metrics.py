@@ -1,0 +1,98 @@
+"""Unit tests for the observability layer (phase timer, reports)."""
+
+import json
+
+from repro.core.metrics import (
+    PHASE_ICFG,
+    PHASE_INIT,
+    PHASE_PARSE,
+    PHASE_POST,
+    PHASE_PROPAGATE,
+    BudgetOutcome,
+    EngineReport,
+    PhaseTimer,
+)
+
+
+class TestPhaseTimer:
+    def test_phase_records_elapsed(self):
+        timer = PhaseTimer()
+        with timer.phase("work"):
+            pass
+        assert timer.get("work") >= 0.0
+        assert "work" in timer.as_dict()
+
+    def test_reentry_accumulates(self):
+        timer = PhaseTimer()
+        timer.record("work", 1.0)
+        timer.record("work", 2.0)
+        assert timer.get("work") == 3.0
+
+    def test_unknown_phase_is_zero(self):
+        assert PhaseTimer().get("never") == 0.0
+
+    def test_total_sums_phases(self):
+        timer = PhaseTimer()
+        timer.record("a", 1.0)
+        timer.record("b", 2.5)
+        assert timer.total == 3.5
+
+    def test_records_on_exception(self):
+        timer = PhaseTimer()
+        try:
+            with timer.phase("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        assert "boom" in timer.as_dict()
+
+    def test_nesting_measures_each_span(self):
+        timer = PhaseTimer()
+        with timer.phase("outer"):
+            with timer.phase("inner"):
+                pass
+        assert timer.get("outer") >= timer.get("inner") >= 0.0
+
+    def test_as_dict_is_a_snapshot(self):
+        timer = PhaseTimer()
+        timer.record("a", 1.0)
+        snapshot = timer.as_dict()
+        timer.record("a", 1.0)
+        assert snapshot["a"] == 1.0
+
+    def test_canonical_phase_names(self):
+        assert (PHASE_PARSE, PHASE_ICFG, PHASE_INIT, PHASE_PROPAGATE, PHASE_POST) == (
+            "parse",
+            "icfg",
+            "init",
+            "propagate",
+            "post",
+        )
+
+
+class TestReports:
+    def test_budget_outcome_round_trips_through_json(self):
+        outcome = BudgetOutcome(
+            exceeded=True, reason="max_facts", max_facts=10, demoted_facts=7
+        )
+        loaded = json.loads(json.dumps(outcome.as_dict()))
+        assert loaded["exceeded"] is True
+        assert loaded["reason"] == "max_facts"
+        assert loaded["max_facts"] == 10
+        assert loaded["demoted_facts"] == 7
+        assert loaded["deadline_seconds"] is None
+
+    def test_default_budget_not_exceeded(self):
+        outcome = BudgetOutcome()
+        assert not outcome.exceeded
+        assert outcome.reason is None
+
+    def test_engine_report_as_dict_covers_every_counter(self):
+        report = EngineReport(facts=1, worklist_pushes=2, dedup_hits=3)
+        payload = report.as_dict()
+        # Every dataclass field is serialized — a new counter must show
+        # up in the stats document, not silently vanish.
+        assert set(payload) == set(EngineReport.__dataclass_fields__)
+        assert payload["facts"] == 1
+        assert payload["worklist_pushes"] == 2
+        assert payload["dedup_hits"] == 3

@@ -50,6 +50,69 @@ class TestMakeTrue:
         assert store.pop() is None
 
 
+class TestDedupDiscipline:
+    def test_upgrade_while_pending_processes_once(self):
+        # A fact added TAINTED and upgraded to CLEAN before its pop is
+        # merged into the queued entry: one pop, at the upgraded state.
+        store = MayHoldStore()
+        store.make_true(0, assumptions.EMPTY, pair(), TAINTED)
+        store.make_true(0, assumptions.EMPTY, pair(), CLEAN)
+        assert store.stats.worklist_pushes == 1
+        assert store.stats.dedup_hits == 1
+        fact = store.pop()
+        assert fact == (0, assumptions.EMPTY, pair())
+        assert store.taint_of(*fact) is CLEAN
+        assert store.pop() is None
+        assert store.stats.worklist_pops == 1
+
+    def test_seed_discipline_processes_each_state(self):
+        # dedup=False restores the seed's behaviour: the add and the
+        # upgrade each get their own queue entry and their own pop.
+        store = MayHoldStore(dedup=False)
+        store.make_true(0, assumptions.EMPTY, pair(), TAINTED)
+        store.make_true(0, assumptions.EMPTY, pair(), CLEAN)
+        assert store.stats.worklist_pushes == 2
+        assert store.stats.dedup_hits == 0
+        assert store.pop() is not None
+        assert store.pop() is not None
+        assert store.pop() is None
+        assert store.stats.worklist_pops == 2
+
+    def test_upgrade_after_pop_reenqueues(self):
+        # An upgrade after the fact left the queue must re-enter it —
+        # downstream facts still need the CLEAN propagation.
+        store = MayHoldStore()
+        store.make_true(0, assumptions.EMPTY, pair(), TAINTED)
+        assert store.pop() is not None
+        store.make_true(0, assumptions.EMPTY, pair(), CLEAN)
+        assert store.pop() == (0, assumptions.EMPTY, pair())
+        assert store.stats.worklist_pops == 2
+        assert store.stats.stale_skips == 0
+
+    def test_stale_entry_skipped(self):
+        # Defensive net: a queue entry whose store state was already
+        # processed (same taint as at the last pop) is skipped.
+        store = MayHoldStore()
+        store.make_true(0, assumptions.EMPTY, pair(), CLEAN)
+        assert store.pop() is not None
+        store._enqueue((0, assumptions.EMPTY, pair()))
+        assert store.pop() is None
+        assert store.stats.stale_skips == 1
+        assert store.stats.worklist_pops == 1
+
+    def test_taint_all_demotes_and_drains(self):
+        store = MayHoldStore()
+        store.make_true(0, assumptions.EMPTY, pair("a", "b"), CLEAN)
+        store.make_true(1, assumptions.EMPTY, pair("c", "d"), CLEAN)
+        store.make_true(2, assumptions.EMPTY, pair("e", "f"), TAINTED)
+        demoted = store.taint_all()
+        assert demoted == 2  # only the CLEAN facts change state
+        assert store.pop() is None
+        assert store.pending == 0
+        assert all(clean is TAINTED for _, clean in store.facts())
+        assert len(store) == 3  # facts survive, only their taint drops
+
+
 class TestIndexes:
     def test_at_node(self):
         store = MayHoldStore()

@@ -206,6 +206,70 @@ class TestReturnValues:
         assert pair("v", "*r") in sol.may_alias(exit_main)
 
 
+class TestBindRegistryDiscipline:
+    """Regression guard for the silent `_join_one` drop.
+
+    The seed returned silently when a registered BindRecord's call fact
+    was missing, discarding the return join.  Registration only happens
+    for facts already made true and facts are never retracted, so the
+    miss indicates engine corruption: it is now counted
+    (``stale_bind_records``) and asserted on.  These programs stress the
+    orderings that could expose it — exit facts arriving before call
+    facts (reverse matching), recursion, and repeated call sites."""
+
+    def _assert_no_stale_records(self, source):
+        sol = analyze_source(source)
+        assert sol.engine.stale_bind_records == 0
+        return sol
+
+    def test_exit_before_call_ordering(self):
+        # Both call sites share one callee: the second call processes
+        # after the callee's exit facts already exist, exercising the
+        # reverse-matching join against pre-existing exit facts.
+        sol = self._assert_no_stale_records(
+            """
+            int *g;
+            void capture(int *f) { g = f; }
+            int main() {
+                int a, b;
+                capture(&a);
+                capture(&b);
+                return 0;
+            }
+            """
+        )
+        first, second = returns_of(sol, "capture")
+        assert pair("*g", "main::a") in sol.may_alias(first)
+        assert pair("*g", "main::b") in sol.may_alias(second)
+
+    def test_recursive_call_exit_interleaving(self):
+        self._assert_no_stale_records(
+            """
+            int *rec(int *p, int d) {
+                if (d <= 0) { return p; }
+                return rec(p, d - 1);
+            }
+            int *r; int v;
+            int main() { r = rec(&v, 3); return 0; }
+            """
+        )
+
+    def test_two_nonvisible_join(self):
+        # Two-assumption exits join pairs of records (the rec1 x rec2
+        # product) — every combination must find its call facts.
+        self._assert_no_stale_records(
+            """
+            void link(int **x, int **y) { *x = *y; }
+            int main() {
+                int *p, *q, a;
+                q = &a;
+                link(&p, &q);
+                return 0;
+            }
+            """
+        )
+
+
 class TestNestedNonvisible:
     def test_nonvisible_through_two_levels(self):
         # main's local leaks through two nested calls via a global.

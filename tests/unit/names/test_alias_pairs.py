@@ -83,3 +83,39 @@ class TestTransforms:
         pair = make_pair(deep, B, 2)
         for member in pair:
             assert member.num_derefs <= 2
+
+
+class TestInterning:
+    """Alias pairs are hash-consed after canonicalization: both member
+    orders produce the same object."""
+
+    def test_equal_pairs_are_identical(self):
+        assert AliasPair(A, B) is AliasPair(A, B)
+
+    def test_member_order_interns_to_same_object(self):
+        assert AliasPair(A, B) is AliasPair(B, A)
+
+    def test_distinct_pairs_are_distinct(self):
+        assert AliasPair(A, B) is not AliasPair(A, STAR_A)
+
+    def test_pairs_are_immutable(self):
+        pair = AliasPair(A, B)
+        with pytest.raises(AttributeError):
+            pair.first = B
+
+    def test_pickle_reinterns(self):
+        import pickle
+
+        pair = AliasPair(STAR_A, B)
+        clone = pickle.loads(pickle.dumps(pair))
+        assert clone is pair
+
+    def test_intern_count_monotonic(self):
+        from repro.names.alias_pairs import interned_pair_count
+
+        fresh = ObjectName("fresh-pair-intern-member")
+        before = interned_pair_count()
+        AliasPair(fresh, B)
+        assert interned_pair_count() == before + 1
+        AliasPair(B, fresh)
+        assert interned_pair_count() == before + 1

@@ -159,3 +159,47 @@ class TestNonvisible:
     def test_renumber_leaves_ordinary_names(self):
         name = ObjectName("x").deref()
         assert renumber_nonvisible(name, 2) == name
+
+
+class TestInterning:
+    """Object names are hash-consed: equal construction arguments yield
+    the *same* object, so the engine's hot dict/set operations compare
+    by identity."""
+
+    def test_equal_names_are_identical(self):
+        assert ObjectName("p") is ObjectName("p")
+        assert ObjectName("p").deref() is ObjectName("p").deref()
+        assert ObjectName("s").field("f") is ObjectName("s").field("f")
+
+    def test_distinct_names_are_distinct(self):
+        assert ObjectName("p") is not ObjectName("q")
+        assert ObjectName("p") is not ObjectName("p").deref()
+
+    def test_truncation_flag_distinguishes(self):
+        plain = ObjectName("p", (DEREF,))
+        truncated = ObjectName("p", (DEREF,), truncated=True)
+        assert plain is not truncated
+        assert plain != truncated
+
+    def test_names_are_immutable(self):
+        name = ObjectName("p")
+        with pytest.raises(AttributeError):
+            name.base = "q"
+        with pytest.raises(AttributeError):
+            del name.base
+
+    def test_pickle_reinterns(self):
+        import pickle
+
+        name = ObjectName("p").deref().field("next")
+        clone = pickle.loads(pickle.dumps(name))
+        assert clone is name
+
+    def test_intern_count_monotonic(self):
+        from repro.names.object_names import interned_name_count
+
+        before = interned_name_count()
+        ObjectName("completely-fresh-intern-test-name")
+        assert interned_name_count() == before + 1
+        ObjectName("completely-fresh-intern-test-name")
+        assert interned_name_count() == before + 1
