@@ -15,6 +15,11 @@ Two artifacts are produced:
   may-alias equality check.  The dedup comparison is read from
   ``benchmarks/out/scaling_dedup.json`` when the bench suite already
   wrote it, and computed inline otherwise.
+
+``BENCH_PR2.json`` is additionally produced via the difftest harness
+(``repro difftest --stats-json`` equivalent): a generator sweep whose
+lattice checks must come back violation-free, with oracle/coverage
+statistics for the record.
 """
 
 import json
@@ -57,6 +62,29 @@ def dedup_comparison(root: pathlib.Path, out_dir: pathlib.Path) -> dict:
     return compare_dedup(f"scale{target}", source, k=3).as_dict()
 
 
+def difftest_sweep(root: pathlib.Path, seeds: int = 40) -> dict:
+    """The repro-difftest/1 stats document for the tracked sweep."""
+    if str(root / "src") not in sys.path:
+        sys.path.insert(0, str(root / "src"))
+    from repro.difftest import DifftestConfig, run_difftest_suite
+
+    config = DifftestConfig()
+    suite = run_difftest_suite(
+        range(1, seeds + 1), config, stop_on_failure=False
+    )
+    return {
+        "schema": "repro-difftest/1",
+        "config": {
+            "k": config.k,
+            "draws": config.draws,
+            "max_facts": config.max_facts,
+            "seeds": seeds,
+        },
+        "suite": suite.stats_dict(),
+        "failures": [v.as_dict() for v in suite.failures],
+    }
+
+
 def main() -> None:
     root = pathlib.Path(__file__).resolve().parents[1]
     out_dir = root / "benchmarks" / "out"
@@ -82,10 +110,28 @@ def main() -> None:
     bench_path = root / "BENCH_PR1.json"
     bench_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {bench_path}")
+
+    sweep = difftest_sweep(root)
+    pr2_payload = {
+        "schema": BENCH_SCHEMA,
+        "pr": 2,
+        "description": (
+            "Differential-testing sweep: dynamic/exact oracle containment, "
+            "Weihl coverage and budget degradation over generated programs "
+            "(equivalent to `repro difftest --stats-json`)."
+        ),
+        "difftest": sweep,
+    }
+    pr2_path = root / "BENCH_PR2.json"
+    pr2_path.write_text(json.dumps(pr2_payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {pr2_path}")
+
     if not comparison.get("identical_may_alias", False):
         raise SystemExit("dedup changed the may-alias sets — investigate")
     if comparison["pops_dedup"] > comparison["pops_seed"]:
         raise SystemExit("dedup increased worklist pops — investigate")
+    if sweep["suite"]["failures"]:
+        raise SystemExit("difftest sweep found soundness violations — investigate")
 
 
 if __name__ == "__main__":

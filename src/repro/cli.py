@@ -1,14 +1,21 @@
-"""Command-line interface: ``repro analyze [options] file.c``.
+"""Command-line interface: ``repro analyze [options] file.c`` and
+``repro difftest [options]``.
 
-Analyzes a MiniC source file and prints per-node may-aliases, program
-aliases, or a summary — a small faithful analogue of the paper's
-prototype tool.  The leading ``analyze`` subcommand word is optional,
-so the historical ``repro-aliases file.c`` spelling keeps working.
-
+``analyze`` (the leading subcommand word is optional, so the
+historical ``repro-aliases file.c`` spelling keeps working) analyzes a
+MiniC source file and prints per-node may-aliases, program aliases, or
+a summary — a small faithful analogue of the paper's prototype tool.
 ``--stats-json`` dumps the full ``repro-stats/1`` document (phase wall
 times, engine counters, budget outcome); ``--max-facts`` and
 ``--deadline-seconds`` bound the run, and an exceeded budget reports
 the partial, all-tainted solution instead of discarding the work.
+
+``difftest`` differential-tests the engine against the executable
+oracles and baselines (see ``docs/TESTING.md``): generator-drawn
+programs by default, or ``--replay file.c ...`` for corpus entries.
+A soundness violation prints a readable diff report, shrinks the
+program, persists it under the corpus directory, and exits with
+status 3 (distinct from the usual error statuses).
 """
 
 from __future__ import annotations
@@ -95,10 +102,206 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: Exit status for a confirmed soundness violation found by
+#: ``repro difftest`` — distinct from 1 (analysis/user error) and
+#: 2 (I/O error) so CI can tell "the engine is unsound" apart from
+#: "the invocation was wrong".
+EXIT_SOUNDNESS_VIOLATION = 3
+
+
+def build_difftest_parser() -> argparse.ArgumentParser:
+    """Argparse definition for ``repro difftest``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-aliases difftest",
+        description=(
+            "Differential-test the Landi/Ryder engine against the "
+            "dynamic and exact alias oracles and baseline analyses"
+        ),
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=50,
+        help="number of generator-drawn programs to test (default 50)",
+    )
+    parser.add_argument(
+        "--seed-start",
+        type=int,
+        default=1,
+        help="first generator seed (default 1)",
+    )
+    parser.add_argument(
+        "-k", type=int, default=2, help="k-limit under test (default 2)"
+    )
+    parser.add_argument(
+        "--draws",
+        type=int,
+        default=8,
+        help="input draws per program for the dynamic oracle (default 8)",
+    )
+    parser.add_argument(
+        "--max-facts",
+        type=int,
+        default=600_000,
+        help="fact budget; exceeding it degrades to the taint-invariant check",
+    )
+    parser.add_argument(
+        "--deadline-seconds",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-program wall-clock budget (same degradation as --max-facts)",
+    )
+    parser.add_argument(
+        "--replay",
+        nargs="+",
+        metavar="FILE",
+        help="difftest these MiniC files (e.g. corpus entries) instead of "
+        "generated programs",
+    )
+    parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="on violation, report without shrinking/persisting",
+    )
+    parser.add_argument(
+        "--corpus-dir",
+        default="tests/corpus",
+        help="where shrunk counterexamples are persisted (default tests/corpus)",
+    )
+    parser.add_argument(
+        "--stats-json",
+        metavar="FILE",
+        help="write suite statistics as JSON (repro-difftest/1; '-' for stdout)",
+    )
+    return parser
+
+
+def difftest_main(argv: list[str]) -> int:
+    """``repro difftest``: run the differential harness; exit 3 on a
+    soundness violation (with a readable report, never a traceback)."""
+    from pathlib import Path
+
+    from .difftest import (
+        DifftestConfig,
+        difftest_source,
+        persist_counterexample,
+        run_difftest_suite,
+        shrink_source,
+        violation_predicate,
+    )
+    from .difftest.harness import SuiteResult
+
+    args = build_difftest_parser().parse_args(argv)
+    config = DifftestConfig(
+        k=args.k,
+        draws=args.draws,
+        max_facts=args.max_facts,
+        deadline_seconds=args.deadline_seconds,
+    )
+
+    if args.replay:
+        suite = SuiteResult()
+        for path in args.replay:
+            try:
+                source = Path(path).read_text()
+            except OSError as err:
+                print(f"error: {err}", file=sys.stderr)
+                return 2
+            try:
+                verdict = difftest_source(source, config, name=path)
+            except MiniCError as err:
+                print(f"error: {path}: {err}", file=sys.stderr)
+                return 1
+            suite.verdicts.append(verdict)
+            suite.seconds += verdict.seconds
+    else:
+        seeds = range(args.seed_start, args.seed_start + args.seeds)
+        suite = run_difftest_suite(seeds, config)
+
+    stats = {
+        "schema": "repro-difftest/1",
+        "config": {
+            "k": config.k,
+            "draws": config.draws,
+            "max_facts": config.max_facts,
+            "deadline_seconds": config.deadline_seconds,
+        },
+        "suite": suite.stats_dict(),
+        "failures": [v.as_dict() for v in suite.failures],
+    }
+
+    shrunk_path = None
+    if not suite.ok:
+        failure = suite.failures[0]
+        print(failure.report())
+        if not args.no_shrink:
+            failed_checks = [c.name for c in failure.violating_checks]
+            print(
+                f"shrinking {failure.name} "
+                f"(preserving: {', '.join(failed_checks)}) ...",
+                file=sys.stderr,
+            )
+            try:
+                shrunk = shrink_source(
+                    failure.source,
+                    violation_predicate(config, failed_checks),
+                )
+            except ValueError:
+                print("shrink: violation did not reproduce", file=sys.stderr)
+            else:
+                shrunk_path = persist_counterexample(
+                    shrunk.source,
+                    Path(args.corpus_dir),
+                    failure.name,
+                    metadata={
+                        "checks": failed_checks,
+                        "k": config.k,
+                        "lines": shrunk.lines,
+                        "shrunk_from_lines": shrunk.original_lines,
+                    },
+                    note=f"Found by repro difftest; checks: {failed_checks}",
+                )
+                stats["shrunk"] = {
+                    "path": str(shrunk_path),
+                    "lines": shrunk.lines,
+                    "from_lines": shrunk.original_lines,
+                    "tests_run": shrunk.tests_run,
+                }
+                print(
+                    f"shrunk to {shrunk.lines} lines "
+                    f"(from {shrunk.original_lines}); saved to {shrunk_path}"
+                )
+
+    if args.stats_json:
+        document = json.dumps(stats, indent=2, sort_keys=True)
+        if args.stats_json == "-":
+            print(document)
+        else:
+            try:
+                with open(args.stats_json, "w") as handle:
+                    handle.write(document + "\n")
+            except OSError as err:
+                print(f"error: {err}", file=sys.stderr)
+                return 2
+            print(f"stats written to {args.stats_json}", file=sys.stderr)
+
+    summary = suite.stats_dict()
+    print(
+        f"difftest: {summary['programs']} programs, "
+        f"{summary['failures']} violations, "
+        f"{summary['partial_solutions']} partial (budget), "
+        f"{summary['seconds']:.1f}s"
+    )
+    return EXIT_SOUNDNESS_VIOLATION if not suite.ok else 0
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     """Entry point; returns a process exit status."""
     if argv is None:
         argv = sys.argv[1:]
+    if argv and argv[0] == "difftest":
+        return difftest_main(argv[1:])
     if argv and argv[0] == "analyze":
         argv = argv[1:]
     args = build_parser().parse_args(argv)

@@ -1,0 +1,83 @@
+"""Counterexample corpus: shrunk violating programs as regression
+fixtures.
+
+Each entry is a plain ``.c`` file under ``tests/corpus/`` whose
+leading ``//`` comment block carries machine-readable metadata (one
+``// difftest-corpus: {...json...}`` line) plus a human note on how to
+reproduce.  The MiniC lexer skips comments, so the file is fed to the
+harness verbatim — no stripping step to get out of sync.
+
+The unit suite auto-collects every entry and replays it through the
+harness: a corpus entry records a bug that *was* found (and fixed), so
+replay must come back clean on a healthy engine.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Optional
+
+METADATA_PREFIX = "// difftest-corpus:"
+
+#: Repo-relative default location (used by the CLI and the replay test).
+DEFAULT_CORPUS_DIR = Path("tests") / "corpus"
+
+
+def _slug(name: str) -> str:
+    slug = re.sub(r"[^a-zA-Z0-9_]+", "-", name).strip("-").lower()
+    return slug or "counterexample"
+
+
+def persist_counterexample(
+    source: str,
+    directory: Path,
+    name: str,
+    metadata: Optional[dict] = None,
+    note: str = "",
+) -> Path:
+    """Write one corpus entry; returns its path.
+
+    Existing entries with the same name are only rewritten when the
+    content changed, so repeated runs stay idempotent (and replay tests
+    can call this without dirtying the tree)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    header = [METADATA_PREFIX + " " + json.dumps(metadata or {}, sort_keys=True)]
+    header.append(
+        "// Reproduce: PYTHONPATH=src python -m repro.cli difftest "
+        f"--replay {directory / (_slug(name) + '.c')}"
+    )
+    if note:
+        for line in note.splitlines():
+            header.append(f"// {line}".rstrip())
+    content = "\n".join(header) + "\n" + source.rstrip("\n") + "\n"
+    path = directory / (_slug(name) + ".c")
+    if not path.exists() or path.read_text() != content:
+        path.write_text(content)
+    return path
+
+
+def corpus_entries(directory: Path = DEFAULT_CORPUS_DIR) -> list[Path]:
+    """All corpus entries, sorted for deterministic replay order."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return sorted(directory.glob("*.c"))
+
+
+def load_corpus_entry(path: Path) -> tuple[str, dict]:
+    """Read one entry: (full source including comments, metadata)."""
+    text = Path(path).read_text()
+    metadata: dict = {}
+    for line in text.splitlines():
+        if line.startswith(METADATA_PREFIX):
+            try:
+                metadata = json.loads(line[len(METADATA_PREFIX):])
+            except json.JSONDecodeError:
+                metadata = {}
+            break
+        if line and not line.startswith("//"):
+            break
+    return text, metadata

@@ -1,0 +1,189 @@
+"""Counterexample shrinking: ddmin over source lines.
+
+Given a program that exhibits a difftest violation and a predicate
+that re-checks it, delta-debugging removes chunks of lines while the
+violation persists.  Candidates that no longer parse or analyze simply
+fail the predicate, so no separate validity oracle is needed — the
+predicate built by :func:`repro.difftest.harness.violation_predicate`
+treats any crash as "violation gone".
+
+The implementation is the classic ddmin loop (Zeller & Hildebrandt):
+try removing each chunk's complement at the current granularity,
+double the granularity when nothing can be removed, stop at
+single-line granularity.  Two extra passes tighten the usual ddmin
+tail: a brace-aware pass removes whole balanced ``{...}`` blocks
+(loop scaffolding, dead functions — units line-granular chunks rarely
+align with), and a greedy pass retries single-line removals until a
+fixpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass(slots=True)
+class ShrinkResult:
+    """The reduced program plus bookkeeping for reports."""
+
+    source: str
+    original_lines: int
+    lines: int
+    tests_run: int
+    #: True when the predicate budget stopped the search early (the
+    #: result is still a valid, violating program — just maybe not
+    #: 1-minimal).
+    budget_exhausted: bool = False
+
+    @property
+    def removed_lines(self) -> int:
+        return self.original_lines - self.lines
+
+
+class _Budget:
+    """Caps predicate evaluations; shrinking must terminate quickly
+    even when every candidate re-runs a whole analysis stack."""
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.used = 0
+
+    def spend(self) -> bool:
+        if self.used >= self.limit:
+            return False
+        self.used += 1
+        return True
+
+
+def _chunks(n_lines: int, n: int) -> list[range]:
+    """Split ``range(n_lines)`` into ``n`` near-equal chunks."""
+    out = []
+    base, extra = divmod(n_lines, n)
+    start = 0
+    for i in range(n):
+        size = base + (1 if i < extra else 0)
+        if size:
+            out.append(range(start, start + size))
+            start += size
+    return out
+
+
+def _balanced_blocks(lines: list[str]) -> list[range]:
+    """Line ranges spanning balanced ``{...}`` regions (a line opening
+    a brace through the line closing it), innermost blocks last so
+    outer blocks — whole dead functions — are attempted first."""
+    blocks: list[range] = []
+    opens: list[int] = []
+    depth = 0
+    for i, line in enumerate(lines):
+        for ch in line:
+            if ch == "{":
+                if depth == len(opens):
+                    opens.append(i)
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                if depth < 0:
+                    return blocks
+                if depth < len(opens):
+                    start = opens.pop()
+                    if i > start:
+                        blocks.append(range(start, i + 1))
+    blocks.sort(key=lambda r: (r.start, -len(r)))
+    return blocks
+
+
+def _try_remove(
+    current: list[str],
+    chunk: range,
+    predicate: Callable[[str], bool],
+    budget: _Budget,
+) -> Optional[list[str]]:
+    """One removal attempt; None when it fails or the budget is out."""
+    candidate = [line for i, line in enumerate(current) if i not in chunk]
+    if not candidate or not budget.spend():
+        return None
+    if predicate("\n".join(candidate) + "\n"):
+        return candidate
+    return None
+
+
+def shrink_lines(
+    lines: list[str],
+    predicate: Callable[[str], bool],
+    max_tests: int = 400,
+) -> tuple[list[str], int, bool]:
+    """ddmin over a list of lines; returns (reduced lines, tests run,
+    budget_exhausted).  ``predicate`` receives the joined candidate."""
+    budget = _Budget(max_tests)
+    current = list(lines)
+    n = 2
+    while len(current) >= 2:
+        reduced = False
+        for chunk in _chunks(len(current), n):
+            candidate = _try_remove(current, chunk, predicate, budget)
+            if budget.used >= budget.limit and candidate is None:
+                return current, budget.used, True
+            if candidate is not None:
+                current = candidate
+                n = max(n - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if n >= len(current):
+                break
+            n = min(n * 2, len(current))
+    # Tail passes until a joint fixpoint: balanced-block removal (brace
+    # scaffolding ddmin's chunks rarely align with) interleaved with
+    # greedy single-line removal.
+    changed = True
+    while changed:
+        changed = False
+        for block in _balanced_blocks(current):
+            candidate = _try_remove(current, block, predicate, budget)
+            if candidate is not None:
+                current = candidate
+                changed = True
+                break
+        if changed:
+            continue
+        for i in range(len(current) - 1, -1, -1):
+            if len(current) <= 1:
+                break
+            candidate = _try_remove(current, range(i, i + 1), predicate, budget)
+            if candidate is not None:
+                current = candidate
+                changed = True
+        if budget.used >= budget.limit:
+            return current, budget.used, True
+    return current, budget.used, False
+
+
+def shrink_source(
+    source: str,
+    predicate: Callable[[str], bool],
+    max_tests: int = 400,
+) -> ShrinkResult:
+    """Reduce ``source`` while ``predicate`` stays true.
+
+    Raises ``ValueError`` when the original source does not satisfy the
+    predicate (nothing to shrink — guards against predicates built
+    from a config that no longer reproduces the violation).
+    """
+    if not predicate(source):
+        raise ValueError("original source does not satisfy the predicate")
+    lines = source.splitlines()
+    original = len(lines)
+    # Drop blank lines up front; they never affect the analyses.
+    stripped = [line for line in lines if line.strip()]
+    if stripped != lines and predicate("\n".join(stripped) + "\n"):
+        lines = stripped
+    reduced, tests, exhausted = shrink_lines(lines, predicate, max_tests=max_tests)
+    return ShrinkResult(
+        source="\n".join(reduced) + "\n",
+        original_lines=original,
+        lines=len(reduced),
+        tests_run=tests + 1,
+        budget_exhausted=exhausted,
+    )

@@ -696,6 +696,7 @@ class _FunctionLowerer:
         ret.callee = expr.callee
         call.paired_return = ret
         ret.paired_call = call
+        self.owner.call_site_nodes[id(expr)] = (call, ret)
         frontier = self.seq(frontier, call)
         # Deliberately no call->return edge; link_calls wires
         # call->entry and exit->return.
@@ -734,6 +735,9 @@ class IcfgBuilder:
         self.analyzed = analyzed
         self.icfg = ICFG(entry_proc)
         self.stmt_end_nodes: dict[int, Optional[Node]] = {}
+        #: id(ast.Call) -> (CALL node, RETURN node) for defined callees;
+        #: the interpreter observes aliases at both sides of the bind.
+        self.call_site_nodes: dict[int, tuple[Node, Node]] = {}
         self._string_uids: dict[str, str] = {}
         self.defined_functions = {fn.name for fn in analyzed.functions}
 

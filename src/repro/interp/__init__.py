@@ -13,6 +13,7 @@ from .recorder import (
     SoundnessReport,
     SoundnessViolation,
     enumerate_names,
+    make_observed_interpreter,
     observed_aliases,
     validate_soundness,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "SoundnessReport",
     "SoundnessViolation",
     "enumerate_names",
+    "make_observed_interpreter",
     "observed_aliases",
     "validate_soundness",
 ]

@@ -79,6 +79,9 @@ class Interpreter:
         extern_values: Optional[list[int]] = None,
         string_uids: Optional[dict[str, str]] = None,
         max_call_depth: int = 150,
+        call_site_nodes: Optional[dict[int, tuple[Node, Node]]] = None,
+        proc_nodes: Optional[dict[str, tuple[Node, Node]]] = None,
+        scalar_global_values: Optional[dict[str, int]] = None,
     ) -> None:
         self.analyzed = analyzed
         self.markers = stmt_end_nodes or {}
@@ -90,6 +93,16 @@ class Interpreter:
         self._extern_values = list(extern_values or [])
         self._extern_index = 0
         self._string_uids = string_uids or {}
+        # Call/entry/exit observation: ``call_site_nodes`` maps
+        # id(ast.Call) -> (CALL, RETURN) nodes; ``proc_nodes`` maps a
+        # procedure name -> (ENTRY, EXIT).  Both come from IcfgBuilder
+        # (``call_site_nodes`` / the ICFG's proc graphs).
+        self._call_sites = call_site_nodes or {}
+        self._proc_nodes = proc_nodes or {}
+        # Uninitialized scalar globals normally read as 0; the dynamic
+        # oracle scripts them (keyed by source name) to vary control flow
+        # across draws without changing the program text.
+        self._scalar_global_values = scalar_global_values or {}
 
     # -- plumbing -------------------------------------------------------------
 
@@ -112,13 +125,25 @@ class Interpreter:
         if node is not None:
             self.observer(node, self.memory)
 
+    def _observe_node(self, node: Optional[Node]) -> None:
+        if self.observer is not None and node is not None:
+            self.observer(node, self.memory)
+
     # -- program startup ----------------------------------------------------------
 
     def run(self, entry: str = "main") -> InterpResult:
         """Allocate globals, run initializers, call the entry function."""
         symbols = self.analyzed.symbols
         for name, sym in symbols.globals.items():
-            self.memory.globals[sym.uid] = Obj(sym.type, sym.uid)
+            cell = Obj(sym.type, sym.uid)
+            self.memory.globals[sym.uid] = cell
+            scripted = self._scalar_global_values.get(name)
+            if (
+                scripted is not None
+                and not cell.is_struct
+                and not isinstance(collapse_arrays(sym.type), PointerType)
+            ):
+                cell.value = scripted
         for info in symbols.functions.values():
             if info.return_slot is not None:
                 self.memory.globals[info.return_slot.uid] = Obj(
@@ -158,15 +183,26 @@ class Interpreter:
             self._store(cell, arg)
             frame.bind(param.uid, cell)
         self.memory.push(frame)
+        entry_exit = self._proc_nodes.get(name)
+        if entry_exit is not None and len(self.memory.stack) > 1:
+            # Skip the outermost frame's ENTRY: the lowerer places the
+            # global pointer initializers *after* main's entry node, so
+            # the facts there predate the state the interpreter has here.
+            self._observe_node(entry_exit[0])
         try:
-            self._exec_block(fn.body)
-            result: Value = None
-        except _Return as ret:
-            result = ret.value
+            try:
+                self._exec_block(fn.body)
+                result: Value = None
+            except _Return as ret:
+                result = ret.value
+            if info.return_slot is not None and result is not None:
+                self._store(self.memory.globals[info.return_slot.uid], result)
+            # Observed only on a normal exit: a trapped path never
+            # reaches the EXIT node.
+            if entry_exit is not None:
+                self._observe_node(entry_exit[1])
         finally:
             self.memory.pop()
-        if info.return_slot is not None and result is not None:
-            self._store(self.memory.globals[info.return_slot.uid], result)
         return result
 
     # -- statements ----------------------------------------------------------------------
@@ -420,7 +456,16 @@ class Interpreter:
                 self._eval(arg, expected=collapse_arrays(param.type).decayed())
                 for arg, param in zip(expr.args, info.params)
             ]
-            return self._call(expr.callee, args)
+            site = self._call_sites.get(id(expr))
+            if site is not None:
+                # CALL: caller-space aliases feeding the bind.
+                self._observe_node(site[0])
+            result = self._call(expr.callee, args)
+            if site is not None:
+                # RETURN: caller-space aliases after the back-bind (the
+                # callee's ``f$ret`` slot is a global, already stored).
+                self._observe_node(site[1])
+            return result
         # External: evaluate args for effects, produce a scripted int.
         for arg in expr.args:
             self._eval(arg)

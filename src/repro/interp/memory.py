@@ -128,16 +128,19 @@ class Memory:
 
     def live_roots(self) -> dict[str, Obj]:
         """uid → Obj for every variable with exactly one live instance
-        (globals plus locals of frames on the stack; uids instantiated
-        more than once — recursion — are excluded because a single
-        object name cannot distinguish the instances)."""
-        counts: dict[str, int] = {}
-        roots: dict[str, Obj] = {}
-        for uid, obj in self.globals.items():
-            counts[uid] = counts.get(uid, 0) + 1
-            roots[uid] = obj
+        (globals plus locals of frames on the stack).  Locals of any
+        procedure with more than one live frame — recursion — are
+        excluded *by procedure*, not by materialized slot: slots are
+        bound lazily, so a fresh recursive frame may hold no slots yet
+        while an outer frame's cells do, and naming those outer cells
+        with plain visible names would misattribute them to the
+        current activation."""
+        proc_frames: dict[str, int] = {}
         for frame in self.stack:
-            for uid, obj in frame.slots.items():
-                counts[uid] = counts.get(uid, 0) + 1
-                roots[uid] = obj
-        return {uid: obj for uid, obj in roots.items() if counts[uid] == 1}
+            proc_frames[frame.proc] = proc_frames.get(frame.proc, 0) + 1
+        roots: dict[str, Obj] = dict(self.globals)
+        for frame in self.stack:
+            if proc_frames[frame.proc] > 1:
+                continue
+            roots.update(frame.slots)
+        return roots

@@ -73,11 +73,23 @@ class SoundnessReport:
     checked_nodes: int = 0
     checked_pairs: int = 0
     violations: list[SoundnessViolation] = field(default_factory=list)
+    #: observation counts per NodeKind name (ASSIGN, CALL, RETURN,
+    #: ENTRY, EXIT, ...) — lets tests assert the oracle actually covers
+    #: the bind/back-bind edges, not just statement nodes.
+    checked_by_kind: dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
         """No violations recorded."""
         return not self.violations
+
+    def merge(self, other: "SoundnessReport") -> None:
+        """Fold another run's counts and violations into this report."""
+        self.checked_nodes += other.checked_nodes
+        self.checked_pairs += other.checked_pairs
+        self.violations.extend(other.violations)
+        for kind, count in other.checked_by_kind.items():
+            self.checked_by_kind[kind] = self.checked_by_kind.get(kind, 0) + count
 
 
 class SoundnessChecker:
@@ -118,9 +130,16 @@ class SoundnessChecker:
                 return True
         return False
 
-    def __call__(self, node: Node, memory: Memory) -> None:
+    def check_observed(self, node: Node, pairs: set[AliasPair]) -> None:
+        """Check one node's observed alias set against the solution
+        (also used by the dynamic oracle, which batches observations
+        across runs before checking)."""
         self.report.checked_nodes += 1
-        for pair in observed_aliases(memory, self.max_derefs):
+        kind = node.kind.name
+        self.report.checked_by_kind[kind] = (
+            self.report.checked_by_kind.get(kind, 0) + 1
+        )
+        for pair in pairs:
             vis_first = self._visible_at(pair.first, node.proc)
             vis_second = self._visible_at(pair.second, node.proc)
             if not vis_first and not vis_second:
@@ -134,6 +153,39 @@ class SoundnessChecker:
             if not ok:
                 self.report.violations.append(SoundnessViolation(node, pair))
 
+    def __call__(self, node: Node, memory: Memory) -> None:
+        self.check_observed(node, observed_aliases(memory, self.max_derefs))
+
+
+def make_observed_interpreter(
+    analyzed,
+    builder,
+    icfg,
+    observer: Optional[object] = None,
+    fuel: int = 100_000,
+    extern_values: Optional[list[int]] = None,
+    scalar_global_values: Optional[dict[str, int]] = None,
+):
+    """An :class:`Interpreter` wired for full-coverage observation:
+    statement end nodes plus CALL/RETURN/ENTRY/EXIT nodes.  Shared by
+    :func:`validate_soundness` and the dynamic oracle."""
+    from .interpreter import Interpreter
+
+    proc_nodes = {
+        name: (proc.entry, proc.exit) for name, proc in icfg.procs.items()
+    }
+    return Interpreter(
+        analyzed,
+        stmt_end_nodes=builder.stmt_end_nodes,
+        observer=observer,
+        fuel=fuel,
+        extern_values=extern_values,
+        string_uids=dict(builder._string_uids),
+        call_site_nodes=builder.call_site_nodes,
+        proc_nodes=proc_nodes,
+        scalar_global_values=scalar_global_values,
+    )
+
 
 def validate_soundness(
     source: str,
@@ -141,6 +193,7 @@ def validate_soundness(
     fuel: int = 100_000,
     extern_values: Optional[list[int]] = None,
     max_facts: Optional[int] = 1_000_000,
+    scalar_global_values: Optional[dict[str, int]] = None,
 ) -> SoundnessReport:
     """End-to-end dynamic validation of the analysis on ``source``:
     parse, analyze, execute, and check every observed alias.  Raises
@@ -148,20 +201,20 @@ def validate_soundness(
     from ..core.analysis import analyze_program
     from ..frontend.semantics import parse_and_analyze
     from ..icfg.builder import IcfgBuilder
-    from .interpreter import Interpreter
 
     analyzed = parse_and_analyze(source)
     builder = IcfgBuilder(analyzed)
     icfg = builder.build()
     solution = analyze_program(analyzed, icfg, k=k, max_facts=max_facts)
     checker = SoundnessChecker(solution)
-    interp = Interpreter(
+    interp = make_observed_interpreter(
         analyzed,
-        stmt_end_nodes=builder.stmt_end_nodes,
+        builder,
+        icfg,
         observer=checker,
         fuel=fuel,
         extern_values=extern_values,
-        string_uids=dict(builder._string_uids),
+        scalar_global_values=scalar_global_values,
     )
     interp.run()
     return checker.report

@@ -1,0 +1,31 @@
+"""Executable alias oracles: ground truth for differential testing.
+
+Two complementary oracles, both independent of the dataflow engine:
+
+* :mod:`repro.oracle.dynamic` — runs the concrete interpreter over
+  many input draws and pools the alias pairs that actually held
+  (under-approximates truth; a sound analysis must contain it).
+* :mod:`repro.oracle.exact` — enumerates realizable interprocedural
+  paths up to a bound with no k-limiting (contains the dynamic oracle;
+  contained by any sound analysis).
+"""
+
+from .dynamic import (
+    DynamicOracle,
+    check_dynamic_oracle,
+    collect_dynamic_oracle,
+    dynamic_alias_oracle,
+    scriptable_scalar_globals,
+)
+from .exact import ExactEnumerator, ExactOracle, exact_alias_oracle
+
+__all__ = [
+    "DynamicOracle",
+    "ExactEnumerator",
+    "ExactOracle",
+    "check_dynamic_oracle",
+    "collect_dynamic_oracle",
+    "dynamic_alias_oracle",
+    "exact_alias_oracle",
+    "scriptable_scalar_globals",
+]

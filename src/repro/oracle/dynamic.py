@@ -1,0 +1,171 @@
+"""Dynamic alias oracle: ground truth from concrete executions.
+
+Drives the concrete interpreter over many nondeterministic input draws
+(scripted extern-call results and uninitialized scalar globals) and
+accumulates, per ICFG node, every alias pair that *actually held* when
+execution passed that node.  Any accumulated pair missing from the
+static ``may_alias`` solution is a hard soundness bug — there is no
+approximation argument to hide behind, the aliasing was witnessed.
+
+The oracle is deliberately separated from checking: collection needs
+only the program, so one collection can be checked against many
+solutions (different k, budgets, or a mutated engine).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..frontend.semantics import AnalyzedProgram, parse_and_analyze
+from ..frontend.types import PointerType
+from ..icfg.builder import IcfgBuilder
+from ..icfg.graph import ICFG
+from ..icfg.ir import Node
+from ..interp.interpreter import InterpError, OutOfFuel
+from ..interp.recorder import (
+    SoundnessChecker,
+    SoundnessReport,
+    make_observed_interpreter,
+    observed_aliases,
+)
+from ..names.alias_pairs import AliasPair
+from ..names.context import collapse_arrays
+
+
+@dataclass(slots=True)
+class DynamicOracle:
+    """Alias pairs witnessed at each node across all draws."""
+
+    pairs_by_node: dict[int, set[AliasPair]] = field(default_factory=dict)
+    node_by_nid: dict[int, Node] = field(default_factory=dict)
+    draws: int = 0
+    runs_trapped: int = 0
+    runs_out_of_fuel: int = 0
+    observations: int = 0
+
+    @property
+    def total_pairs(self) -> int:
+        """Distinct (node, pair) observations."""
+        return sum(len(pairs) for pairs in self.pairs_by_node.values())
+
+    def merge_observation(self, node: Node, pairs: set[AliasPair]) -> None:
+        """Fold one observation event into the oracle."""
+        self.observations += 1
+        self.node_by_nid[node.nid] = node
+        if pairs:
+            self.pairs_by_node.setdefault(node.nid, set()).update(pairs)
+
+    def stats_dict(self) -> dict:
+        """JSON-ready summary (embedded in difftest --stats-json)."""
+        return {
+            "draws": self.draws,
+            "observations": self.observations,
+            "distinct_node_pairs": self.total_pairs,
+            "nodes_observed": len(self.node_by_nid),
+            "runs_trapped": self.runs_trapped,
+            "runs_out_of_fuel": self.runs_out_of_fuel,
+        }
+
+
+def scriptable_scalar_globals(analyzed: AnalyzedProgram) -> list[str]:
+    """Source names of globals the oracle may script: non-pointer,
+    non-struct cells (their values only steer control flow)."""
+    names = []
+    for name, sym in analyzed.symbols.globals.items():
+        collapsed = collapse_arrays(sym.type)
+        if isinstance(collapsed, PointerType) or collapsed.is_struct():
+            continue
+        names.append(name)
+    return names
+
+
+def collect_dynamic_oracle(
+    analyzed: AnalyzedProgram,
+    builder: IcfgBuilder,
+    icfg: ICFG,
+    draws: int = 16,
+    seed: int = 0,
+    fuel: int = 60_000,
+    max_derefs: int = 4,
+) -> DynamicOracle:
+    """Run ``draws`` executions with varied inputs, pooling every
+    observed alias pair per node."""
+    oracle = DynamicOracle()
+    scalar_names = scriptable_scalar_globals(analyzed)
+    rng = random.Random(seed)
+    for _ in range(max(1, draws)):
+        oracle.draws += 1
+        extern_values = [rng.randrange(-4, 12) for _ in range(24)]
+        scalar_values = {
+            name: rng.randrange(-3, 9) for name in scalar_names
+        }
+
+        def observer(node, memory):
+            oracle.merge_observation(
+                node, observed_aliases(memory, max_derefs)
+            )
+
+        interp = make_observed_interpreter(
+            analyzed,
+            builder,
+            icfg,
+            observer=observer,
+            fuel=fuel,
+            extern_values=extern_values,
+            scalar_global_values=scalar_values,
+        )
+        try:
+            result = interp.run()
+        except OutOfFuel:
+            # Every state observed before the fuel ran out was reached;
+            # keeping those observations is sound.
+            oracle.runs_out_of_fuel += 1
+            continue
+        except InterpError:
+            # Unsupported construct (e.g. goto): no observations are
+            # wrong, the run simply ends early.
+            continue
+        if result.trapped:
+            oracle.runs_trapped += 1
+    return oracle
+
+
+def check_dynamic_oracle(
+    oracle: DynamicOracle, solution, max_violations: Optional[int] = None
+) -> SoundnessReport:
+    """Every oracle pair must be in the solution; returns the report
+    (``report.ok`` is the soundness verdict)."""
+    checker = SoundnessChecker(solution)
+    for nid in sorted(oracle.pairs_by_node):
+        node = oracle.node_by_nid[nid]
+        checker.check_observed(node, oracle.pairs_by_node[nid])
+        if (
+            max_violations is not None
+            and len(checker.report.violations) >= max_violations
+        ):
+            break
+    return checker.report
+
+
+def dynamic_alias_oracle(
+    source: str,
+    k: int = 3,
+    draws: int = 16,
+    seed: int = 0,
+    fuel: int = 60_000,
+    max_facts: Optional[int] = 1_000_000,
+) -> tuple[DynamicOracle, SoundnessReport]:
+    """Convenience wrapper: parse, analyze, collect and check."""
+    from ..core.analysis import analyze_program
+
+    analyzed = parse_and_analyze(source)
+    builder = IcfgBuilder(analyzed)
+    icfg = builder.build()
+    solution = analyze_program(analyzed, icfg, k=k, max_facts=max_facts)
+    oracle = collect_dynamic_oracle(
+        analyzed, builder, icfg, draws=draws, seed=seed, fuel=fuel,
+        max_derefs=k + 1,
+    )
+    return oracle, check_dynamic_oracle(oracle, solution)

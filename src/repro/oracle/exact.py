@@ -1,0 +1,406 @@
+"""Exact bounded static oracle: realizable-path enumeration.
+
+For tiny programs this enumerates every *realizable* interprocedural
+path through the ICFG up to explicit bounds (call depth, explored
+states), executing pointer assignments concretely over the same memory
+model as the interpreter.  Predicates fork both ways — like the
+analysis, control flow is approximated — but calls and returns are
+matched exactly (an exit resumes only at the return site that invoked
+the activation), so unlike the k-limited dataflow solution there is no
+name truncation and no assumption-set approximation.
+
+The result is a precision/soundness reference independent of
+k-limiting:
+
+* every pair the dynamic oracle witnesses is found here (dynamic runs
+  follow one realizable path; we enumerate them all, up to the bound);
+* every pair found here must be reported by the Landi-Ryder solution,
+  bound or no bound — each explored state lies on a realizable path,
+  and the analysis claims safety over exactly those paths.
+
+States are deduplicated by a canonical serialization of the memory
+graph, so loops that do not allocate converge without the bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..frontend.semantics import ALLOCATOR_NAMES, AnalyzedProgram
+from ..frontend.types import PointerType, scalar
+from ..icfg.graph import ICFG
+from ..icfg.ir import AddrOf, CallInfo, NameRef, NodeKind, Opaque, PtrAssign, Node
+from ..interp.memory import Frame, Memory, Obj
+from ..interp.recorder import observed_aliases
+from ..names.alias_pairs import AliasPair
+from ..names.context import collapse_arrays
+from ..names.object_names import ObjectName
+
+
+@dataclass(slots=True)
+class ExactOracle:
+    """Per-node alias pairs over all enumerated realizable paths."""
+
+    pairs_by_node: dict[int, set[AliasPair]] = field(default_factory=dict)
+    node_by_nid: dict[int, Node] = field(default_factory=dict)
+    complete: bool = True
+    incomplete_reason: str = ""
+    states_explored: int = 0
+    states_deduped: int = 0
+
+    @property
+    def total_pairs(self) -> int:
+        """Distinct (node, pair) entries."""
+        return sum(len(p) for p in self.pairs_by_node.values())
+
+    def stats_dict(self) -> dict:
+        """JSON-ready summary."""
+        return {
+            "complete": self.complete,
+            "incomplete_reason": self.incomplete_reason,
+            "states_explored": self.states_explored,
+            "states_deduped": self.states_deduped,
+            "distinct_node_pairs": self.total_pairs,
+        }
+
+
+class _Trap(Exception):
+    """A path ends here (NULL dereference, like the interpreter)."""
+
+
+def _copy_memory(memory: Memory) -> Memory:
+    """A structure-preserving copy of the cell graph: sharing (aliasing)
+    is kept, types and labels are shared, not cloned."""
+    # Iterative (worklist) copy: pointer chains can be far longer than
+    # the host recursion limit.  First pass clones every reachable cell
+    # shallowly; the second pass rewires references through the memo.
+    memo: dict[int, Obj] = {}
+    sources: list[Obj] = []
+
+    def copy_obj(obj: Obj) -> Obj:
+        clone = memo.get(id(obj))
+        if clone is not None:
+            return clone
+        pending = [obj]
+        while pending:
+            source = pending.pop()
+            if id(source) in memo:
+                continue
+            shallow = Obj.__new__(Obj)
+            shallow.oid = source.oid
+            shallow.type = source.type
+            shallow.label = source.label
+            shallow.value = source.value if not isinstance(source.value, Obj) else None
+            shallow.fields = None
+            memo[id(source)] = shallow
+            sources.append(source)
+            if source.fields is not None:
+                pending.extend(source.fields.values())
+            if isinstance(source.value, Obj):
+                pending.append(source.value)
+        while sources:
+            source = sources.pop()
+            shallow = memo[id(source)]
+            if source.fields is not None:
+                shallow.fields = {
+                    name: memo[id(cell)]
+                    for name, cell in source.fields.items()
+                }
+            if isinstance(source.value, Obj):
+                shallow.value = memo[id(source.value)]
+        return memo[id(obj)]
+
+    clone = Memory()
+    clone.globals = {uid: copy_obj(o) for uid, o in memory.globals.items()}
+    for frame in memory.stack:
+        new_frame = Frame(frame.proc)
+        for uid, cell in frame.slots.items():
+            new_frame.bind(uid, copy_obj(cell))
+        clone.push(new_frame)
+    clone.heap = [copy_obj(o) for o in memory.heap]
+    return clone
+
+
+class _State:
+    """One point in the enumeration: node to process next, memory, and
+    the stack of pending return-site nids (realizability)."""
+
+    __slots__ = ("node", "memory", "returns")
+
+    def __init__(self, node: Node, memory: Memory, returns: list[int]) -> None:
+        self.node = node
+        self.memory = memory
+        self.returns = returns
+
+    def fork(self, node: Node) -> "_State":
+        """An independent copy positioned at ``node``."""
+        return _State(node, _copy_memory(self.memory), list(self.returns))
+
+
+class ExactEnumerator:
+    """Walks the ICFG exhaustively from ``main`` under bounds."""
+
+    def __init__(
+        self,
+        analyzed: AnalyzedProgram,
+        icfg: ICFG,
+        max_states: int = 5_000,
+        max_call_depth: int = 8,
+        max_derefs: int = 5,
+    ) -> None:
+        self.analyzed = analyzed
+        self.icfg = icfg
+        self.max_states = max_states
+        self.max_call_depth = max_call_depth
+        self.max_derefs = max_derefs
+        self.result = ExactOracle()
+        self._seen: set = set()
+
+    # -- memory helpers ----------------------------------------------------
+
+    def _initial_state(self) -> _State:
+        memory = Memory()
+        symbols = self.analyzed.symbols
+        for _, sym in symbols.globals.items():
+            memory.globals[sym.uid] = Obj(sym.type, sym.uid)
+        for info in symbols.functions.values():
+            if info.return_slot is not None:
+                memory.globals[info.return_slot.uid] = Obj(
+                    info.return_type, info.return_slot.uid
+                )
+        entry = self.icfg.entry_of(self.icfg.entry_proc)
+        memory.push(self._fresh_frame(self.icfg.entry_proc))
+        return _State(entry, memory, [])
+
+    def _fresh_frame(self, proc: str) -> Frame:
+        """A frame with cells for every param, local and temp — the
+        lowered graph has no declaration nodes, so storage must exist
+        before first use (uninitialized cells alias nothing)."""
+        info = self.analyzed.symbols.function(proc)
+        frame = Frame(proc)
+        for sym in list(info.params) + list(info.locals):
+            frame.bind(sym.uid, Obj(sym.type, sym.uid))
+        return frame
+
+    def _resolve(self, memory: Memory, name: ObjectName) -> Obj:
+        """The cell ``name`` denotes in the current state; raises
+        ``_Trap`` when a dereference goes through NULL/uninitialized."""
+        cell = memory.lookup(name.base)
+        if cell is None:
+            raise _Trap(f"no storage for {name.base}")
+        for selector in name.selectors:
+            if selector == "*":
+                value = cell.value
+                if not isinstance(value, Obj):
+                    raise _Trap(f"dereference of NULL in {name}")
+                cell = value
+            else:
+                if not cell.is_struct:
+                    raise _Trap(f"field {selector!r} of non-struct in {name}")
+                cell = cell.field(selector)
+        return cell
+
+    def _operand_value(self, memory: Memory, operand, pointee_hint):
+        """The value an operand produces: a pointed-to cell, a struct
+        cell (by-value argument, copied at bind), or None (NULL)."""
+        if isinstance(operand, NameRef):
+            cell = self._resolve(memory, operand.name)
+            if cell.is_struct:
+                return cell
+            value = cell.value
+            return value if isinstance(value, Obj) else None
+        if isinstance(operand, AddrOf):
+            return self._resolve(memory, operand.name)
+        assert isinstance(operand, Opaque)
+        if operand.describe in ALLOCATOR_NAMES:
+            return memory.allocate(pointee_hint, f"heap<{operand.describe}>")
+        return None  # NULL / integer / scalar
+
+    # -- the walk ----------------------------------------------------------
+
+    def run(self) -> ExactOracle:
+        """Enumerate; returns the (possibly bounded) oracle."""
+        frontier = [self._initial_state()]
+        while frontier:
+            state = frontier.pop()
+            if self.result.states_explored >= self.max_states:
+                self.result.complete = False
+                self.result.incomplete_reason = "max_states"
+                break
+            key = self._state_key(state)
+            if key in self._seen:
+                self.result.states_deduped += 1
+                continue
+            self._seen.add(key)
+            self.result.states_explored += 1
+            try:
+                frontier.extend(self._step(state))
+            except _Trap:
+                continue  # the path terminates, like an interpreter trap
+        return self.result
+
+    def _record(self, state: _State) -> None:
+        node = state.node
+        self.result.node_by_nid[node.nid] = node
+        pairs = observed_aliases(state.memory, self.max_derefs)
+        if pairs:
+            self.result.pairs_by_node.setdefault(node.nid, set()).update(pairs)
+
+    def _step(self, state: _State) -> list[_State]:
+        """Apply ``state.node``'s effect, record post-state aliases and
+        produce successor states."""
+        node = state.node
+        if node.kind is NodeKind.ASSIGN:
+            self._apply_assign(state.memory, node.stmt)
+            self._record(state)
+            return self._forks(state, node.succs)
+        if node.kind is NodeKind.CALL:
+            return self._apply_call(state)
+        if node.kind is NodeKind.EXIT:
+            self._record(state)
+            if not state.returns:
+                return []  # main's exit: the path is done
+            state.memory.pop()
+            resume = self.icfg.node(state.returns[-1])
+            return [_State(resume, state.memory, state.returns[:-1])]
+        # ENTRY / RETURN / PREDICATE / OTHER have no memory effect.
+        self._record(state)
+        return self._forks(state, node.succs)
+
+    def _forks(self, state: _State, succs: list[Node]) -> list[_State]:
+        if not succs:
+            return []
+        out = [state.fork(succ) for succ in succs[1:]]
+        state.node = succs[0]  # reuse the current copy for one branch
+        out.append(state)
+        return out
+
+    def _apply_assign(self, memory: Memory, stmt: PtrAssign) -> None:
+        target = self._resolve(memory, stmt.lhs)
+        target.value = self._operand_value(
+            memory, stmt.rhs, self._pointee_of(target)
+        )
+
+    @staticmethod
+    def _pointee_of(cell: Obj):
+        collapsed = collapse_arrays(cell.type)
+        if isinstance(collapsed, PointerType):
+            return collapse_arrays(collapsed.pointee)
+        return scalar("int")
+
+    def _apply_call(self, state: _State) -> list[_State]:
+        node = state.node
+        info: CallInfo = node.stmt
+        memory = state.memory
+        if len(memory.stack) >= self.max_call_depth:
+            self.result.complete = False
+            self.result.incomplete_reason = "max_call_depth"
+            return []
+        fn_info = self.analyzed.symbols.function(info.callee)
+        # Argument values are evaluated in the caller's state ...
+        values = []
+        for operand, param in zip(info.args, fn_info.params):
+            ptype = collapse_arrays(param.type).decayed()
+            if not ptype.has_pointers():
+                values.append(None)
+                continue
+            pointee = (
+                collapse_arrays(ptype.pointee)
+                if isinstance(ptype, PointerType)
+                else scalar("int")
+            )
+            values.append(self._operand_value(memory, operand, pointee))
+        self._record(state)  # facts at the CALL node: caller space
+        # ... then the callee frame binds them.
+        frame = self._fresh_frame(info.callee)
+        for param, value in zip(fn_info.params, values):
+            if value is None:
+                continue
+            cell = frame.slots[param.uid]
+            if cell.is_struct:
+                if value.is_struct:
+                    cell.copy_from(value)  # struct passed by value
+            else:
+                cell.value = value
+        memory.push(frame)
+        assert node.paired_return is not None
+        state.node = self.icfg.entry_of(info.callee)
+        state.returns = state.returns + [node.paired_return.nid]
+        return [state]
+
+    # -- canonical state keys ----------------------------------------------
+
+    def _state_key(self, state: _State):
+        """Canonical, alias-preserving serialization: cells are numbered
+        in first-visit order over a deterministic root walk, so two
+        states with isomorphic memory graphs collide."""
+        index: dict[int, int] = {}
+        cells: list[Obj] = []
+
+        def number(cell: Obj) -> int:
+            got = index.get(id(cell))
+            if got is None:
+                got = len(cells)
+                index[id(cell)] = got
+                cells.append(cell)
+            return got
+
+        roots = tuple(
+            (uid, number(state.memory.globals[uid]))
+            for uid in sorted(state.memory.globals)
+        )
+        frames = tuple(
+            (
+                frame.proc,
+                tuple(
+                    (uid, number(frame.slots[uid]))
+                    for uid in sorted(frame.slots)
+                ),
+            )
+            for frame in state.memory.stack
+        )
+        shape: list[tuple] = []
+        cursor = 0
+        while cursor < len(cells):
+            cell = cells[cursor]
+            cursor += 1
+            if cell.is_struct:
+                assert cell.fields is not None
+                shape.append(
+                    ("s",)
+                    + tuple(
+                        (fname, number(cell.fields[fname]))
+                        for fname in sorted(cell.fields)
+                    )
+                )
+            elif isinstance(cell.value, Obj):
+                shape.append(("p", number(cell.value)))
+            else:
+                # Scalar payloads are irrelevant to aliasing; collapsing
+                # them accelerates convergence without losing pairs.
+                shape.append(("v",))
+        return (
+            state.node.nid,
+            tuple(state.returns),
+            roots,
+            frames,
+            tuple(shape),
+        )
+
+
+def exact_alias_oracle(
+    analyzed: AnalyzedProgram,
+    icfg: ICFG,
+    max_states: int = 5_000,
+    max_call_depth: int = 8,
+    max_derefs: int = 5,
+) -> ExactOracle:
+    """Enumerate realizable bounded paths of ``analyzed`` (see module
+    docstring for the guarantees)."""
+    return ExactEnumerator(
+        analyzed,
+        icfg,
+        max_states=max_states,
+        max_call_depth=max_call_depth,
+        max_derefs=max_derefs,
+    ).run()

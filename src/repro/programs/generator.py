@@ -31,7 +31,18 @@ _DECL = {
 
 @dataclass(slots=True)
 class ProgramSpec:
-    """Knobs controlling one synthetic program."""
+    """Knobs controlling one synthetic program.
+
+    ``max_pointer_depth`` bounds the pointer-chain depth the program
+    can *construct*: ``None`` (the default) reproduces the historical
+    generator byte-for-byte; any bound disables the cycle-creating
+    ``d->next = s`` statement form (a cyclic list makes every k-limited
+    name reachable at every depth, which is what made rare draws — e.g.
+    seed 95 at k=3 — blow the fact budget), and a bound below 2 also
+    removes ``int **`` variables.  ``pointer_density`` in ``[0, 1]``
+    scales how often declarations and statements draw pointer kinds
+    (1.0, the default, is again stream-identical with the seed
+    generator; lower values redirect pointer draws to scalars)."""
 
     name: str
     seed: int
@@ -43,6 +54,8 @@ class ProgramSpec:
     loop_prob: float = 0.12
     call_prob: float = 0.18
     recursion: bool = True
+    max_pointer_depth: Optional[int] = None
+    pointer_density: float = 1.0
 
     @staticmethod
     def for_target_nodes(name: str, target_nodes: int, seed: Optional[int] = None) -> "ProgramSpec":
@@ -130,6 +143,30 @@ class SyntheticProgram:
         self._counter += 1
         return f"{prefix}{self._counter}"
 
+    def _draw_kind(self, options: tuple[str, ...]) -> str:
+        """One weighted kind draw, filtered through the density knobs.
+
+        The underlying ``rng.choice`` always runs, so default knob
+        values consume the random stream exactly as the seed generator
+        did (generated programs stay byte-identical).  The filters only
+        remap the drawn value — and only ``pointer_density < 1`` makes
+        an extra draw."""
+        spec = self.spec
+        kind = self.rng.choice(options)
+        if (
+            spec.max_pointer_depth is not None
+            and spec.max_pointer_depth < 2
+            and kind in ("intpp", "deref")
+        ):
+            kind = "intp"
+        if (
+            spec.pointer_density < 1.0
+            and kind != "int"
+            and self.rng.random() >= spec.pointer_density
+        ):
+            kind = "int"
+        return kind
+
     # -- top level --------------------------------------------------------------
 
     def generate(self) -> str:
@@ -144,7 +181,7 @@ class SyntheticProgram:
         # program-wide), so keep their share realistic.
         decls: list[str] = []
         for i in range(self.spec.n_globals):
-            kind = rng.choice(
+            kind = self._draw_kind(
                 ("int", "int", "int", "int", "intp", "intp", "intpp", "nodep")
             )
             var = _Var(f"g{i}", kind)
@@ -156,7 +193,7 @@ class SyntheticProgram:
         for i in range(self.spec.n_functions):
             params: list[_Var] = []
             for j in range(rng.randrange(self.spec.max_params + 1)):
-                kind = rng.choice(("int", "int", "intp", "intp", "intpp", "nodep"))
+                kind = self._draw_kind(("int", "int", "intp", "intp", "intpp", "nodep"))
                 params.append(_Var(f"a{j}", kind))
             returns = rng.choice(("void", "intp", "nodep", "int"))
             recursive = self.spec.recursion and rng.random() < 0.25
@@ -191,7 +228,7 @@ class SyntheticProgram:
             scope.add(param)
         # Locals.
         for i in range(rng.randrange(2, 5)):
-            kind = rng.choice(("int", "intp", "intp", "intpp", "nodep"))
+            kind = self._draw_kind(("int", "intp", "intp", "intpp", "nodep"))
             var = _Var(f"l{i}", kind)
             scope.add(var)
             self._emit(f"{_DECL[kind].format(var.name)};")
@@ -212,7 +249,7 @@ class SyntheticProgram:
         rng = self.rng
         scope = _Scope()
         for i in range(4):
-            kind = rng.choice(("int", "intp", "intpp", "nodep"))
+            kind = self._draw_kind(("int", "intp", "intpp", "nodep"))
             var = _Var(f"m{i}", kind)
             scope.add(var)
             self._emit(f"{_DECL[kind].format(var.name)};")
@@ -359,7 +396,7 @@ class SyntheticProgram:
 
     def _assignment(self, env: _Scope) -> None:
         rng = self.rng
-        kind = rng.choice(
+        kind = self._draw_kind(
             ("int", "int", "int", "int", "int", "intp", "intp", "nodep", "intpp", "deref")
         )
         if kind == "int":
@@ -423,9 +460,17 @@ class SyntheticProgram:
                 f"if ({src.name} != NULL) {{ {dest.name} = {src.name}->next; }}"
             )
         elif roll < 0.9 and src is not None:
-            self._emit(
-                f"if ({dest.name} != NULL) {{ {dest.name}->next = {src.name}; }}"
-            )
+            if self.spec.max_pointer_depth is None:
+                self._emit(
+                    f"if ({dest.name} != NULL) {{ {dest.name}->next = {src.name}; }}"
+                )
+            else:
+                # Bounded depth: `d->next = s` can close a cycle (s may
+                # reach d), making every k-limited name hold at every
+                # depth; grow the list with fresh storage instead.
+                self._emit(
+                    f"if ({dest.name} != NULL) {{ {dest.name}->next = malloc(24); }}"
+                )
         else:
             intvar = env.pick(rng, "int")
             if intvar is not None:

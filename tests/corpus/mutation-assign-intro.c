@@ -1,0 +1,16 @@
+// difftest-corpus: {"checks": ["dynamic_in_lr", "exact_in_lr"], "k": 2, "lines": 12, "mutation": "AssignTransfer.intro disabled (Figure 2 alias introduction dropped)", "shrunk_from_lines": 86}
+// Reproduce: PYTHONPATH=src python -m repro.cli difftest --replay tests/corpus/mutation-assign-intro.c
+// Shrunk from generator seed 1 with the assignment alias-introduction
+// transfer disabled; replays clean on a healthy engine.
+int *g2;
+struct node *g3;
+struct node *f2(int a0) {
+    { int it2;
+        for (it2 = 0; it2 < 3; it2 = it2 + 1) {
+            g2 = &a0;
+        }
+    }
+}
+int main() {
+    g3 = f2(2);
+}

@@ -148,3 +148,68 @@ class TestCli:
         assert main([str(bad)]) == 1
         err = capsys.readouterr().err
         assert "function pointer" in err or "declarator" in err
+
+
+class TestDifftestCli:
+    """``repro difftest``: exit statuses, reports, replay, stats."""
+
+    def test_clean_sweep_exits_zero(self, capsys):
+        assert main(["difftest", "--seeds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "difftest: 2 programs, 0 violations" in out
+
+    def test_replay_corpus_entry(self, capsys):
+        assert (
+            main(
+                [
+                    "difftest",
+                    "--replay",
+                    "tests/corpus/mutation-assign-intro.c",
+                ]
+            )
+            == 0
+        )
+        assert "0 violations" in capsys.readouterr().out
+
+    def test_replay_missing_file_exits_two(self, capsys):
+        assert main(["difftest", "--replay", "/does/not/exist.c"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_stats_json_stdout(self, capsys):
+        import json
+
+        assert main(["difftest", "--seeds", "1", "--stats-json", "-"]) == 0
+        out = capsys.readouterr().out
+        document = json.loads(out[: out.rindex("}") + 1])
+        assert document["schema"] == "repro-difftest/1"
+        assert document["suite"]["programs"] == 1
+
+    def test_violation_exits_three_with_report_and_shrunk_corpus(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        from repro.core.transfer import AssignTransfer
+        from repro.cli import EXIT_SOUNDNESS_VIOLATION
+
+        monkeypatch.setattr(
+            AssignTransfer, "intro", lambda self, succ_id, stmt: None
+        )
+        corpus = tmp_path / "corpus"
+        status = main(
+            [
+                "difftest",
+                "--seeds",
+                "3",
+                "--draws",
+                "4",
+                "--corpus-dir",
+                str(corpus),
+            ]
+        )
+        assert status == EXIT_SOUNDNESS_VIOLATION
+        out = capsys.readouterr().out
+        assert "SOUNDNESS VIOLATION" in out
+        assert "dynamic_in_lr" in out
+        assert "saved to" in out
+        entries = list(corpus.glob("*.c"))
+        assert len(entries) == 1
+        assert len(entries[0].read_text().splitlines()) <= 30

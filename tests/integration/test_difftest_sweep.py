@@ -1,0 +1,38 @@
+"""Wide differential-testing sweep (extended profile).
+
+Runs the full oracle/baseline lattice over generator-drawn programs.
+Excluded from the default pytest profile (see the ``difftest`` marker
+in pyproject.toml); run explicitly with::
+
+    PYTHONPATH=src python -m pytest -m difftest
+
+or via the CLI: ``repro difftest --seeds 200``.
+"""
+
+import pytest
+
+from repro.difftest import DifftestConfig, run_difftest_suite
+
+
+@pytest.mark.difftest
+def test_generated_sweep_finds_no_violations():
+    result = run_difftest_suite(
+        range(1, 61), DifftestConfig(), stop_on_failure=False
+    )
+    assert result.ok, "\n\n".join(v.report() for v in result.failures)
+    stats = result.stats_dict()
+    # The sweep must actually exercise the lattice, not skip through it.
+    assert stats["checks"]["dynamic_in_lr"]["ok"] > 0
+    assert stats["exact_oracle_complete"] > 0
+
+
+@pytest.mark.difftest
+def test_budget_degradation_within_sweep():
+    """A tight fact budget across the sweep must degrade every program
+    to the taint-invariant check — never a false violation."""
+    result = run_difftest_suite(
+        range(1, 11),
+        DifftestConfig(max_facts=50, draws=2, run_baselines=False),
+        stop_on_failure=False,
+    )
+    assert result.ok, "\n\n".join(v.report() for v in result.failures)

@@ -10,7 +10,6 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro import BudgetExceeded
 from repro.interp import validate_soundness
 from repro.programs import ProgramSpec, generate_program
 from repro.programs.fixtures import ALL_FIXTURES
@@ -34,10 +33,27 @@ def test_fixture_soundness(name, k):
     assert report.checked_nodes > 0
 
 
-@pytest.mark.slow  # dominates the property suite (~8 min of interpreter fuzzing)
+# Two things let these run without the budget escape hatches older
+# revisions needed: the generator's depth/density knobs steer draws
+# away from the k-limiting saturation pathology (recursion + deep
+# struct-pointer globals flooding the truncated-name universe), and
+# ``derandomize=True`` pins the hypothesis examples — a verified draw
+# stays verified, while randomized breadth lives in the difftest
+# sweeps whose budgets degrade gracefully (on_budget="partial").
+FUZZ_SPEC = dict(
+    n_functions=3,
+    n_globals=5,
+    stmts_per_function=7,
+    max_pointer_depth=1,
+    pointer_density=0.85,
+)
+
+
+@pytest.mark.slow  # dominates the property suite (minutes of interpreter fuzzing)
 @settings(
     max_examples=15,
     deadline=None,
+    derandomize=True,
     suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
 )
 @given(
@@ -45,21 +61,9 @@ def test_fixture_soundness(name, k):
     k=st.integers(min_value=1, max_value=3),
 )
 def test_generated_program_soundness(seed, k):
-    spec = ProgramSpec(
-        name=f"fuzz{seed}",
-        seed=seed,
-        n_functions=3,
-        n_globals=5,
-        stmts_per_function=7,
-    )
+    spec = ProgramSpec(name=f"fuzz{seed}", seed=seed, **FUZZ_SPEC)
     source = generate_program(spec)
-    # A rare seed can produce a pointer-dense program whose analysis
-    # exceeds the budget; that is a performance property, not a
-    # soundness one — skip those examples.
-    try:
-        report = validate_soundness(source, k=k, fuel=60_000, max_facts=250_000)
-    except RuntimeError:
-        return
+    report = validate_soundness(source, k=k, fuel=60_000, max_facts=600_000)
     assert report.ok, (
         [str(v) for v in report.violations[:5]],
         source,
@@ -69,18 +73,10 @@ def test_generated_program_soundness(seed, k):
 @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 @given(seed=st.integers(min_value=1, max_value=10_000))
 def test_generated_program_analyzable(seed):
-    """Generated programs always parse, check, lower and analyze."""
+    """Generated programs always parse, check, lower and analyze —
+    with the depth/density knobs, within budget."""
     from repro import analyze_source
 
-    spec = ProgramSpec(
-        name=f"gen{seed}",
-        seed=seed,
-        n_functions=4,
-        n_globals=6,
-        stmts_per_function=8,
-    )
-    try:
-        solution = analyze_source(generate_program(spec), k=2, max_facts=400_000)
-    except BudgetExceeded:
-        return  # pointer-dense draw; analyzability still demonstrated
+    spec = ProgramSpec(name=f"gen{seed}", seed=seed, **FUZZ_SPEC)
+    solution = analyze_source(generate_program(spec), k=2, max_facts=600_000)
     assert solution.stats().icfg_nodes > 0

@@ -1,0 +1,37 @@
+"""Corpus replay: every persisted counterexample must come back clean
+on the healthy engine.
+
+Entries record bugs that were found and fixed (or injected by a
+mutation), so a violation here means a regression.  This is the fast
+tier-1 slice of the difftest suite — wide generator sweeps live behind
+the ``difftest`` marker (see docs/TESTING.md).
+"""
+
+import pytest
+
+from repro.difftest import (
+    DifftestConfig,
+    corpus_entries,
+    difftest_source,
+    load_corpus_entry,
+)
+
+ENTRIES = corpus_entries()
+
+
+def test_corpus_is_not_empty():
+    assert ENTRIES, "tests/corpus/ should hold at least one entry"
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=lambda p: p.stem)
+def test_corpus_entry_replays_clean(path):
+    source, metadata = load_corpus_entry(path)
+    config = DifftestConfig(draws=4, k=metadata.get("k", 2), run_baselines=False)
+    verdict = difftest_source(source, config, name=str(path))
+    assert verdict.ok, verdict.report()
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=lambda p: p.stem)
+def test_corpus_entry_has_metadata(path):
+    _, metadata = load_corpus_entry(path)
+    assert "checks" in metadata, f"{path} lacks difftest-corpus metadata"

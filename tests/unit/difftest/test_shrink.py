@@ -1,0 +1,89 @@
+"""ddmin shrinking: minimality on synthetic predicates, validity
+filtering, and budget behavior."""
+
+import pytest
+
+from repro.difftest.shrink import _balanced_blocks, shrink_lines, shrink_source
+
+
+def needs_lines(*required):
+    """Predicate: all required lines still present."""
+
+    def predicate(source):
+        lines = set(source.splitlines())
+        return all(r in lines for r in required)
+
+    return predicate
+
+
+class TestShrinkLines:
+    def test_reduces_to_required_lines(self):
+        lines = [f"line{i}" for i in range(40)]
+        keep = {"line3", "line17", "line31"}
+        reduced, _, exhausted = shrink_lines(
+            lines, needs_lines(*keep), max_tests=2_000
+        )
+        assert set(reduced) == keep
+        assert not exhausted
+
+    def test_budget_exhaustion_reported(self):
+        lines = [f"line{i}" for i in range(64)]
+        reduced, tests, exhausted = shrink_lines(
+            lines, needs_lines("line0", "line63"), max_tests=3
+        )
+        assert exhausted
+        assert tests == 3
+        # Whatever was kept still satisfies the predicate.
+        assert needs_lines("line0", "line63")("\n".join(reduced) + "\n")
+
+    def test_order_dependent_pairs_removed_by_tail_pass(self):
+        # Lines removable only together (classic ddmin blind spot when
+        # they land in different chunks).
+        lines = ["a", "b", "c", "d"]
+
+        def predicate(source):
+            present = set(source.splitlines())
+            # 'a' and 'b' must go together; 'c' is required.
+            if ("a" in present) != ("b" in present):
+                return False
+            return "c" in present
+
+        reduced, _, _ = shrink_lines(lines, predicate, max_tests=200)
+        assert reduced == ["c"]
+
+
+class TestBalancedBlocks:
+    def test_brace_blocks_found(self):
+        lines = [
+            "int f() {",
+            "  { int t;",
+            "    t = 1;",
+            "  }",
+            "}",
+        ]
+        blocks = _balanced_blocks(lines)
+        assert range(0, 5) in blocks
+        assert range(1, 4) in blocks
+
+    def test_unbalanced_input_is_safe(self):
+        assert _balanced_blocks(["}", "{"]) == []
+
+
+class TestShrinkSource:
+    def test_original_must_satisfy_predicate(self):
+        with pytest.raises(ValueError):
+            shrink_source("int main() { return 0; }\n", lambda s: False)
+
+    def test_blank_lines_dropped(self):
+        source = "a\n\n\nb\n"
+        result = shrink_source(source, needs_lines("a", "b"))
+        assert result.source == "a\nb\n"
+        assert result.original_lines == 4
+        assert result.removed_lines == 2
+
+    def test_result_counts(self):
+        source = "\n".join(f"line{i}" for i in range(10)) + "\n"
+        result = shrink_source(source, needs_lines("line5"))
+        assert result.lines == 1
+        assert result.source == "line5\n"
+        assert result.tests_run > 1

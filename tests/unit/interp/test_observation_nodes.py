@@ -1,0 +1,171 @@
+"""Observation coverage at call/return/entry/exit nodes.
+
+PR 1 validated only statement-end nodes; the dynamic oracle also needs
+the bind/back-bind edges.  The Figure 1 program is the paper's own
+motivating case: after the second call to ``p`` the pair
+``(**l1, *l2)`` holds in ``main`` precisely because ``(*g1, g2)`` holds
+at ``p``'s exit under *two different assumption sets* — the case the
+exit rule's two-assumption join exists for.
+"""
+
+import pytest
+
+from repro.core import analyze_program
+from repro.frontend import parse_and_analyze
+from repro.icfg import IcfgBuilder
+from repro.icfg.ir import NodeKind
+from repro.interp import (
+    make_observed_interpreter,
+    observed_aliases,
+    validate_soundness,
+)
+from repro.names import AliasPair, ObjectName
+from repro.programs.fixtures import FIGURE1
+
+
+def build(source):
+    analyzed = parse_and_analyze(source)
+    builder = IcfgBuilder(analyzed)
+    icfg = builder.build()
+    return analyzed, builder, icfg
+
+
+def record_by_node(source, **kwargs):
+    """Run with full observation; alias sets per node, in node order."""
+    analyzed, builder, icfg = build(source)
+    events = []
+
+    def observer(node, memory):
+        events.append((node, observed_aliases(memory, max_derefs=3)))
+
+    interp = make_observed_interpreter(
+        analyzed, builder, icfg, observer=observer, **kwargs
+    )
+    result = interp.run()
+    return analyzed, builder, icfg, events, result
+
+
+class TestObservationPoints:
+    def test_all_interprocedural_kinds_observed(self):
+        _, _, _, events, result = record_by_node(FIGURE1)
+        assert not result.trapped
+        kinds = {node.kind for node, _ in events}
+        assert {
+            NodeKind.CALL,
+            NodeKind.RETURN,
+            NodeKind.ENTRY,
+            NodeKind.EXIT,
+        } <= kinds
+
+    def test_entry_of_main_not_observed(self):
+        # Global pointer initializers lower *after* main's entry node,
+        # so observing main's entry would compare against facts that
+        # predate the interpreter's startup state.
+        _, _, icfg, events, _ = record_by_node(FIGURE1)
+        main_entry = icfg.procs["main"].entry
+        assert all(node is not main_entry for node, _ in events)
+
+    def test_callee_entries_and_exits_observed(self):
+        _, _, icfg, events, _ = record_by_node(FIGURE1)
+        p_entry = icfg.procs["p"].entry
+        p_exit = icfg.procs["p"].exit
+        seen = [node for node, _ in events]
+        assert seen.count(p_entry) == 2  # p is called twice
+        assert seen.count(p_exit) == 2
+        assert icfg.procs["main"].exit in seen
+
+    def test_trapped_call_skips_exit(self):
+        source = """
+        int *g;
+        void bad(void) { *g = 1; }
+        int main() { bad(); return 0; }
+        """
+        _, _, icfg, events, result = record_by_node(source)
+        assert result.trapped
+        assert all(node is not icfg.procs["bad"].exit for node, _ in events)
+        # ... but the entry was still reached before the NULL deref.
+        assert any(node is icfg.procs["bad"].entry for node, _ in events)
+
+
+class TestFigure1TwoAssumptionCase:
+    """The ``(**l1, *l2)`` alias after the second ``p()`` call."""
+
+    def pair(self):
+        return AliasPair(
+            ObjectName("main::l1", ("*", "*")),
+            ObjectName("main::l2", ("*",)),
+        )
+
+    def test_alias_observed_at_both_return_nodes(self):
+        _, builder, _, events, _ = record_by_node(FIGURE1)
+        returns = [
+            ret for _, ret in builder.call_site_nodes.values()
+            if ret.callee == "p"
+        ]
+        assert len(returns) == 2
+        observed = {
+            node.nid: pairs for node, pairs in events if node in returns
+        }
+        # l1 = &g1 precedes both calls; g1 = &g2 holds across each
+        # return, so **l1 and *l2 name the same cell (g2) at both.
+        assert all(self.pair() in pairs for pairs in observed.values())
+        assert len(observed) == 2
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_static_solution_predicts_the_alias(self, k):
+        analyzed, builder, icfg, events, _ = record_by_node(FIGURE1)
+        solution = analyze_program(analyzed, icfg, k=k)
+        pair = self.pair()
+        for _, ret in builder.call_site_nodes.values():
+            if ret.callee == "p":
+                assert solution.alias_query(ret, pair.first, pair.second)
+
+    def test_conditional_fact_at_p_exit(self):
+        # At p's exit the visible alias (*g1, g2) must hold — reached
+        # under two distinct assumption sets (one per call site).
+        analyzed, builder, icfg = build(FIGURE1)
+        solution = analyze_program(analyzed, icfg, k=2)
+        p_exit = icfg.procs["p"].exit
+        assert solution.alias_query(
+            p_exit, ObjectName("g1", ("*",)), ObjectName("g2")
+        )
+
+    def test_validate_soundness_covers_interprocedural_kinds(self):
+        report = validate_soundness(FIGURE1, k=2)
+        assert report.ok
+        for kind in ("CALL", "RETURN", "ENTRY", "EXIT"):
+            assert report.checked_by_kind.get(kind, 0) > 0
+
+
+class TestScalarGlobalScripting:
+    SOURCE = """
+    int *p; int sel; int a; int b;
+    int main() {
+        if (sel % 2) { p = &a; } else { p = &b; }
+        return 0;
+    }
+    """
+
+    def run_with(self, sel):
+        _, _, _, events, result = record_by_node(
+            self.SOURCE, scalar_global_values={"sel": sel}
+        )
+        assert not result.trapped
+        return set().union(*(pairs for _, pairs in events))
+
+    def test_scripted_global_steers_control_flow(self):
+        star_p = ObjectName("p", ("*",))
+        odd = self.run_with(1)
+        even = self.run_with(2)
+        assert AliasPair(star_p, ObjectName("a")) in odd
+        assert AliasPair(star_p, ObjectName("b")) in even
+        assert AliasPair(star_p, ObjectName("b")) not in odd
+
+    def test_initializers_override_scripted_values(self):
+        source = "int g = 7; int main() { return g; }"
+        analyzed, builder, icfg = build(source)
+        interp = make_observed_interpreter(
+            analyzed, builder, icfg, scalar_global_values={"g": 3}
+        )
+        result = interp.run()
+        assert result.exit_value == 7

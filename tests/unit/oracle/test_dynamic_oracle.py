@@ -1,0 +1,123 @@
+"""Dynamic alias oracle: collection, determinism, and containment in
+the static solution on the known fixtures."""
+
+import pytest
+
+from repro.core import analyze_program
+from repro.frontend import parse_and_analyze
+from repro.icfg.builder import IcfgBuilder
+from repro.oracle import (
+    check_dynamic_oracle,
+    collect_dynamic_oracle,
+    dynamic_alias_oracle,
+    scriptable_scalar_globals,
+)
+from repro.programs.fixtures import FIGURE1
+
+
+def _collect(source, draws=6, seed=0, **kwargs):
+    analyzed = parse_and_analyze(source)
+    builder = IcfgBuilder(analyzed)
+    icfg = builder.build()
+    oracle = collect_dynamic_oracle(
+        analyzed, builder, icfg, draws=draws, seed=seed, **kwargs
+    )
+    return analyzed, icfg, oracle
+
+
+class TestCollection:
+    def test_figure1_witnesses_pairs(self):
+        _, _, oracle = _collect(FIGURE1)
+        assert oracle.draws == 6
+        assert oracle.total_pairs > 0
+        assert oracle.observations > 0
+        # The recursive fixture exercises entry/exit and call/return.
+        assert len(oracle.node_by_nid) > 0
+
+    def test_same_seed_is_deterministic(self):
+        _, _, a = _collect(FIGURE1, seed=7)
+        _, _, b = _collect(FIGURE1, seed=7)
+        assert a.pairs_by_node == b.pairs_by_node
+        assert a.stats_dict() == b.stats_dict()
+
+    def test_scalar_globals_steer_draws(self):
+        # A scalar global selecting between two &-targets: pooled over
+        # enough draws, both branches' aliases must be witnessed.
+        source = """
+        int sel;
+        int a; int b; int *p;
+        int main() {
+            if (sel > 2) { p = &a; } else { p = &b; }
+            return 0;
+        }
+        """
+        # sel draws uniformly from [-3, 9), so both branches are taken
+        # with near-certainty over 12 draws.
+        _, _, oracle = _collect(source, draws=12)
+        strings = {
+            str(pair)
+            for pairs in oracle.pairs_by_node.values()
+            for pair in pairs
+        }
+        assert "(a, *p)" in strings
+        assert "(b, *p)" in strings
+
+    def test_scriptable_scalar_globals_excludes_pointers(self):
+        analyzed = parse_and_analyze(
+            "int s; int *p; struct node { int v; struct node *n; };"
+            "struct node g; int main() { return 0; }"
+        )
+        assert scriptable_scalar_globals(analyzed) == ["s"]
+
+    def test_stats_dict_shape(self):
+        _, _, oracle = _collect(FIGURE1, draws=2)
+        stats = oracle.stats_dict()
+        assert stats["draws"] == 2
+        assert set(stats) >= {
+            "observations",
+            "distinct_node_pairs",
+            "nodes_observed",
+            "runs_trapped",
+            "runs_out_of_fuel",
+        }
+
+
+class TestContainment:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_figure1_oracle_contained_in_solution(self, k):
+        analyzed, icfg, oracle = _collect(FIGURE1, max_derefs=k + 1)
+        solution = analyze_program(analyzed, icfg, k=k)
+        report = check_dynamic_oracle(oracle, solution)
+        assert report.ok, [str(v) for v in report.violations[:5]]
+        assert report.checked_pairs > 0
+
+    def test_convenience_wrapper(self):
+        oracle, report = dynamic_alias_oracle(FIGURE1, k=2, draws=4)
+        assert oracle.total_pairs > 0
+        assert report.ok
+
+    @pytest.fixture
+    def unsound_solution(self, monkeypatch):
+        """FIGURE1 analyzed with Figure 2's alias introduction disabled
+        — an engine that silently misses assignment-created aliases."""
+        from repro.core.transfer import AssignTransfer
+
+        monkeypatch.setattr(
+            AssignTransfer, "intro", lambda self, succ_id, stmt: None
+        )
+        analyzed, icfg, oracle = _collect(FIGURE1)
+        return oracle, analyze_program(analyzed, icfg, k=2)
+
+    def test_violation_reported_against_unsound_engine(self, unsound_solution):
+        # Sanity: the check is not vacuous — a broken transfer function
+        # must be flagged.
+        oracle, solution = unsound_solution
+        report = check_dynamic_oracle(oracle, solution)
+        assert not report.ok
+
+    def test_max_violations_truncates_scan(self, unsound_solution):
+        oracle, solution = unsound_solution
+        full = check_dynamic_oracle(oracle, solution)
+        assert len(full.violations) > 1
+        report = check_dynamic_oracle(oracle, solution, max_violations=1)
+        assert 1 <= len(report.violations) <= len(full.violations)

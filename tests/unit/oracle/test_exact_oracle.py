@@ -1,0 +1,99 @@
+"""Exact bounded oracle: completeness on tiny programs, agreement
+with the dynamic oracle, and containment in the static solution."""
+
+import pytest
+
+from repro.core import analyze_program
+from repro.frontend import parse_and_analyze
+from repro.icfg.builder import IcfgBuilder
+from repro.interp.recorder import SoundnessChecker
+from repro.oracle import ExactEnumerator, collect_dynamic_oracle, exact_alias_oracle
+from repro.programs.fixtures import FIGURE1
+
+
+def _build(source):
+    analyzed = parse_and_analyze(source)
+    builder = IcfgBuilder(analyzed)
+    return analyzed, builder, builder.build()
+
+
+class TestEnumeration:
+    def test_figure1_completes(self):
+        analyzed, _, icfg = _build(FIGURE1)
+        oracle = ExactEnumerator(analyzed, icfg).run()
+        assert oracle.complete
+        assert oracle.incomplete_reason == ""
+        assert oracle.states_explored > 0
+        assert oracle.total_pairs > 0
+
+    def test_max_states_bound_reported(self):
+        analyzed, _, icfg = _build(FIGURE1)
+        oracle = ExactEnumerator(analyzed, icfg, max_states=3).run()
+        assert not oracle.complete
+        assert oracle.incomplete_reason == "max_states"
+
+    def test_recursion_depth_bound_reported(self):
+        source = """
+        int *g;
+        int f(int n) { if (n > 0) { f(n - 1); } return 0; }
+        int main() { f(100); return 0; }
+        """
+        analyzed, _, icfg = _build(source)
+        oracle = ExactEnumerator(analyzed, icfg, max_call_depth=4).run()
+        assert not oracle.complete
+        assert oracle.incomplete_reason == "max_call_depth"
+
+    def test_branches_both_explored(self):
+        # No input scripting needed: the enumerator forks on every
+        # predicate, so both &-targets show up.
+        source = """
+        int sel;
+        int a; int b; int *p;
+        int main() {
+            if (sel) { p = &a; } else { p = &b; }
+            return 0;
+        }
+        """
+        analyzed, _, icfg = _build(source)
+        oracle = ExactEnumerator(analyzed, icfg).run()
+        assert oracle.complete
+        strings = {
+            str(pair)
+            for pairs in oracle.pairs_by_node.values()
+            for pair in pairs
+        }
+        assert "(a, *p)" in strings
+        assert "(b, *p)" in strings
+
+
+class TestLattice:
+    def test_dynamic_contained_in_exact_on_figure1(self):
+        analyzed, builder, icfg = _build(FIGURE1)
+        exact = ExactEnumerator(analyzed, icfg, max_derefs=4).run()
+        assert exact.complete
+        dynamic = collect_dynamic_oracle(
+            analyzed, builder, icfg, draws=6, max_derefs=4
+        )
+        for nid, pairs in dynamic.pairs_by_node.items():
+            missing = pairs - exact.pairs_by_node.get(nid, set())
+            assert not missing, (nid, [str(p) for p in missing])
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_exact_contained_in_solution(self, k):
+        analyzed, _, icfg = _build(FIGURE1)
+        solution = analyze_program(analyzed, icfg, k=k)
+        oracle = ExactEnumerator(analyzed, icfg, max_derefs=k + 1).run()
+        checker = SoundnessChecker(solution)
+        for nid in sorted(oracle.pairs_by_node):
+            checker.check_observed(
+                oracle.node_by_nid[nid], oracle.pairs_by_node[nid]
+            )
+        assert checker.report.ok, [
+            str(v) for v in checker.report.violations[:5]
+        ]
+
+    def test_wrapper_matches_enumerator(self):
+        analyzed, _, icfg = _build(FIGURE1)
+        via_wrapper = exact_alias_oracle(analyzed, icfg)
+        direct = ExactEnumerator(analyzed, icfg).run()
+        assert via_wrapper.pairs_by_node == direct.pairs_by_node
