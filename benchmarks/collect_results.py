@@ -20,6 +20,14 @@ Two artifacts are produced:
 (``repro difftest --stats-json`` equivalent): a generator sweep whose
 lattice checks must come back violation-free, with oracle/coverage
 statistics for the record.
+
+``BENCH_PR3.json`` measures the lint layer on the largest scaling
+fixture: wall time (analysis vs detectors), findings per detector, and
+the LR-vs-Weihl false-positive delta — the user-visible precision the
+flow-sensitive solution buys (EXPERIMENTS.md "Lint precision" table).
+The difftest sweep backing PR 3's oracle-validation acceptance (every
+dynamically witnessed pointer bug covered by a finding) is part of the
+``difftest_sweep`` stats via the ``lint_soundness`` check.
 """
 
 import json
@@ -85,6 +93,30 @@ def difftest_sweep(root: pathlib.Path, seeds: int = 40) -> dict:
     }
 
 
+def lint_scale(root: pathlib.Path, target: int = 800) -> dict:
+    """Lint the largest scaling fixture under LR with the Weihl
+    comparison: wall time, findings per detector, FP delta."""
+    if str(root / "src") not in sys.path:
+        sys.path.insert(0, str(root / "src"))
+    from repro.lint import run_lint
+    from repro.programs import ProgramSpec, generate_program
+
+    spec = ProgramSpec.for_target_nodes("scaling", target)
+    source = generate_program(spec)
+    report = run_lint(source, provider="lr", compare_with="weihl", k=3)
+    return {
+        "program": f"scale{target}",
+        "k": 3,
+        "analysis_seconds": round(report.analysis_seconds, 3),
+        "lint_seconds": round(report.lint_seconds, 3),
+        "findings": len(report.findings),
+        "findings_by_rule": dict(sorted(report.rule_counts().items())),
+        "weihl_findings_by_rule": dict(sorted(report.comparison_counts.items())),
+        "fp_delta": dict(sorted(report.fp_delta().items())),
+        "fp_avoided": sum(d for d in report.fp_delta().values() if d > 0),
+    }
+
+
 def main() -> None:
     root = pathlib.Path(__file__).resolve().parents[1]
     out_dir = root / "benchmarks" / "out"
@@ -125,6 +157,26 @@ def main() -> None:
     pr2_path = root / "BENCH_PR2.json"
     pr2_path.write_text(json.dumps(pr2_payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {pr2_path}")
+
+    lint = lint_scale(root)
+    pr3_payload = {
+        "schema": BENCH_SCHEMA,
+        "pr": 3,
+        "description": (
+            "Lint layer on the largest scaling fixture: detector wall "
+            "time, findings per rule, and the LR-vs-Weihl false-positive "
+            "delta (positive = findings the flow-insensitive baseline "
+            "emits that flow sensitivity rules out).  Oracle-backed "
+            "detector soundness rides in the difftest sweep's "
+            "lint_soundness check."
+        ),
+        "lint_scale": lint,
+        "lint_soundness": sweep["suite"]["checks"].get("lint_soundness", {}),
+        "lint_suite": sweep["suite"].get("lint", {}),
+    }
+    pr3_path = root / "BENCH_PR3.json"
+    pr3_path.write_text(json.dumps(pr3_payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {pr3_path}")
 
     if not comparison.get("identical_may_alias", False):
         raise SystemExit("dedup changed the may-alias sets — investigate")

@@ -1,5 +1,5 @@
-"""Command-line interface: ``repro analyze [options] file.c`` and
-``repro difftest [options]``.
+"""Command-line interface: ``repro analyze [options] file.c``,
+``repro lint [options] file.c`` and ``repro difftest [options]``.
 
 ``analyze`` (the leading subcommand word is optional, so the
 historical ``repro-aliases file.c`` spelling keeps working) analyzes a
@@ -9,6 +9,11 @@ a summary — a small faithful analogue of the paper's prototype tool.
 times, engine counters, budget outcome); ``--max-facts`` and
 ``--deadline-seconds`` bound the run, and an exceeded budget reports
 the partial, all-tainted solution instead of discarding the work.
+
+``lint`` runs the alias-aware pointer-bug detectors
+(:mod:`repro.lint`) — text or SARIF 2.1.0 output, a ``repro-lint/1``
+stats document, optional Weihl provenance comparison
+(``--compare-weihl``), and a ``--self-check`` smoke mode for CI.
 
 ``difftest`` differential-tests the engine against the executable
 oracles and baselines (see ``docs/TESTING.md``): generator-drawn
@@ -107,6 +112,171 @@ def build_parser() -> argparse.ArgumentParser:
 #: 2 (I/O error) so CI can tell "the engine is unsound" apart from
 #: "the invocation was wrong".
 EXIT_SOUNDNESS_VIOLATION = 3
+
+#: Exit status for ``repro lint`` when findings at or above the
+#: ``--fail-on`` severity exist (the lint analogue of a compiler
+#: reporting errors; distinct from crash statuses).
+EXIT_LINT_FINDINGS = 4
+
+
+def build_lint_parser() -> argparse.ArgumentParser:
+    """Argparse definition for ``repro lint``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-aliases lint",
+        description=(
+            "Alias-aware pointer-bug detection for MiniC: uninitialized "
+            "pointer uses, escaping stack addresses, null dereferences, "
+            "dead stores and statement conflicts"
+        ),
+    )
+    parser.add_argument(
+        "file",
+        nargs="?",
+        help="MiniC source file ('-' for stdin; optional with --self-check)",
+    )
+    parser.add_argument(
+        "-k", type=int, default=3, help="k-limit for object names (default 3)"
+    )
+    parser.add_argument(
+        "--provider",
+        choices=("lr", "weihl", "andersen"),
+        default="lr",
+        help="alias provider backing the detectors (default lr)",
+    )
+    parser.add_argument(
+        "--compare-weihl",
+        action="store_true",
+        help=(
+            "also lint under the flow-insensitive Weihl baseline and tag "
+            "each finding with whether Weihl flags it too"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "sarif"),
+        default="text",
+        help="output format (default text; sarif emits SARIF 2.1.0)",
+    )
+    parser.add_argument(
+        "--no-witnesses",
+        action="store_true",
+        help="text format: omit witness alias pairs",
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "note", "never"),
+        default="error",
+        help=(
+            "minimum severity that makes the exit status non-zero "
+            "(default error; 'never' always exits 0)"
+        ),
+    )
+    parser.add_argument(
+        "--max-facts",
+        type=int,
+        default=1_000_000,
+        help="fact budget for the alias analysis",
+    )
+    parser.add_argument(
+        "--stats-json",
+        metavar="FILE",
+        help="write finding counts as JSON (repro-lint/1; '-' for stdout)",
+    )
+    parser.add_argument(
+        "--rules",
+        action="store_true",
+        help="print the detector catalog and exit",
+    )
+    parser.add_argument(
+        "--self-check",
+        action="store_true",
+        help=(
+            "lint the bundled fixture programs under every provider and "
+            "verify structural invariants (CI smoke target)"
+        ),
+    )
+    return parser
+
+
+def lint_main(argv: list[str]) -> int:
+    """``repro lint``: run the pointer-bug detectors on one file."""
+    from .lint import (
+        render_sarif,
+        render_text,
+        rule_help,
+        run_lint,
+        self_check,
+        stats_dict,
+    )
+    from .lint.findings import SEVERITIES
+
+    args = build_lint_parser().parse_args(argv)
+    if args.rules:
+        print(rule_help())
+        return 0
+    if args.self_check:
+        problems = self_check()
+        if problems:
+            for problem in problems:
+                print(f"self-check: {problem}", file=sys.stderr)
+            return 1
+        print("lint self-check: OK")
+        return 0
+    if not args.file:
+        print("error: a source file is required (or --self-check)", file=sys.stderr)
+        return 2
+    if args.file == "-":
+        source = sys.stdin.read()
+        filename = "<stdin>"
+    else:
+        try:
+            with open(args.file) as handle:
+                source = handle.read()
+        except OSError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
+        filename = args.file
+
+    try:
+        report = run_lint(
+            source,
+            provider=args.provider,
+            compare_with="weihl" if args.compare_weihl else None,
+            k=args.k,
+            max_facts=args.max_facts,
+            filename=filename,
+        )
+    except MiniCError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    except RuntimeError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+
+    if args.format == "sarif":
+        print(render_sarif(report, filename=filename))
+    else:
+        print(render_text(report, show_witnesses=not args.no_witnesses))
+
+    if args.stats_json:
+        document = json.dumps(stats_dict(report), indent=2, sort_keys=True)
+        if args.stats_json == "-":
+            print(document)
+        else:
+            try:
+                with open(args.stats_json, "w") as handle:
+                    handle.write(document + "\n")
+            except OSError as err:
+                print(f"error: {err}", file=sys.stderr)
+                return 2
+            print(f"stats written to {args.stats_json}", file=sys.stderr)
+
+    if args.fail_on != "never":
+        threshold = SEVERITIES.index(args.fail_on)
+        worst = report.max_severity()
+        if worst is not None and SEVERITIES.index(worst) <= threshold:
+            return EXIT_LINT_FINDINGS
+    return 0
 
 
 def build_difftest_parser() -> argparse.ArgumentParser:
@@ -302,6 +472,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "difftest":
         return difftest_main(argv[1:])
+    if argv and argv[0] == "lint":
+        return lint_main(argv[1:])
     if argv and argv[0] == "analyze":
         argv = argv[1:]
     args = build_parser().parse_args(argv)

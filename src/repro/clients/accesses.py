@@ -1,9 +1,17 @@
 """Memory-access extraction for client analyses.
 
 Maps each ICFG node to the object names it *writes* and *reads*:
-pointer assignments carry this structurally, scalar statements carry
-the names the lowerer recorded, call/return/predicate nodes access
-nothing directly (their effects happen inside the callee's own nodes).
+pointer assignments carry this structurally; scalar statements,
+predicates (their guard expressions) and ``++``/``--`` updates carry
+the names the lowerer recorded; call nodes read their operands.
+Entry/exit/return nodes access nothing directly (their effects happen
+inside the callee's own nodes).
+
+Every read set is closed under :func:`deref_prefixes`: resolving
+``*u`` reads ``u``, so a node that reads ``*u`` also reads ``u``.
+This closure matters to the lint detectors — a guard like
+``if (*p == 0)`` is a *use* of ``p`` that must be flagged when ``p``
+may be uninitialized.
 """
 
 from __future__ import annotations
@@ -26,6 +34,19 @@ def deref_prefixes(name: ObjectName) -> tuple[ObjectName, ...]:
     return tuple(out)
 
 
+def close_reads(reads: tuple[ObjectName, ...]) -> tuple[ObjectName, ...]:
+    """``reads`` plus the deref prefixes of every member, deduplicated
+    in first-seen order (reading ``*u`` reads ``u`` as well)."""
+    seen: set[ObjectName] = set()
+    out: list[ObjectName] = []
+    for name in reads:
+        for member in (name,) + deref_prefixes(name):
+            if member not in seen:
+                seen.add(member)
+                out.append(member)
+    return tuple(out)
+
+
 @dataclass(frozen=True, slots=True)
 class Access:
     """The names a node writes and reads."""
@@ -38,6 +59,19 @@ class Access:
         """Does the node read or write anything?"""
         return bool(self.writes or self.reads)
 
+    def dereferenced(self) -> tuple[ObjectName, ...]:
+        """Names *dereferenced* by this access, deduplicated: the deref
+        prefixes of every accessed name (reading ``*p`` or writing
+        ``p->f`` dereferences ``p``)."""
+        seen: set[ObjectName] = set()
+        out: list[ObjectName] = []
+        for name in self.writes + self.reads:
+            for prefix in deref_prefixes(name):
+                if prefix not in seen:
+                    seen.add(prefix)
+                    out.append(prefix)
+        return tuple(out)
+
 
 def node_access(node: Node) -> Access:
     """Writes/reads of one ICFG node."""
@@ -48,12 +82,14 @@ def node_access(node: Node) -> Access:
             reads = reads + (stmt.rhs.name,) + deref_prefixes(stmt.rhs.name)
         elif isinstance(stmt.rhs, AddrOf):
             reads = reads + deref_prefixes(stmt.rhs.name)
-        return Access(writes=(stmt.lhs,), reads=reads)
+        return Access(writes=(stmt.lhs,), reads=close_reads(reads))
     if isinstance(node.stmt, OtherStmt):
+        # Covers PREDICATE guards and OTHER statements alike: the
+        # lowerer records the guard/operand names on the OtherStmt.
         reads = node.stmt.reads
         for written in node.stmt.writes:
             reads = reads + deref_prefixes(written)
-        return Access(writes=node.stmt.writes, reads=reads)
+        return Access(writes=node.stmt.writes, reads=close_reads(reads))
     if node.kind is NodeKind.CALL and isinstance(node.stmt, CallInfo):
         reads = node.stmt.scalar_reads
         for operand in node.stmt.args:
@@ -61,7 +97,7 @@ def node_access(node: Node) -> Access:
                 reads = reads + (operand.name,) + deref_prefixes(operand.name)
             elif isinstance(operand, AddrOf):
                 reads = reads + deref_prefixes(operand.name)
-        return Access(reads=reads)
+        return Access(reads=close_reads(reads))
     return Access()
 
 

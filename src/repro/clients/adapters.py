@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..baselines.andersen import AndersenResult
 from ..baselines.weihl import WeihlResult
 from ..frontend.semantics import AnalyzedProgram
 from ..icfg.graph import ICFG
@@ -65,3 +66,63 @@ class WeihlBackedSolution:
                 if x_ok and y_ok:
                     return True
         return False
+
+
+class AndersenBackedSolution:
+    """Presents the Andersen-style points-to baseline through the
+    MayAliasSolution query surface.
+
+    Andersen's abstraction is field-insensitive: an alias ``(*p, *q)``
+    (same points-to sets) stands for aliasing at *any* selector depth
+    below the variables, so ``alias_query`` widens each queried name to
+    its first-deref form.  Flow-insensitive like Weihl: every node sees
+    the same relation.
+    """
+
+    def __init__(
+        self,
+        analyzed: AnalyzedProgram,
+        icfg: ICFG,
+        andersen: AndersenResult,
+        k: int = 3,
+    ) -> None:
+        self.icfg = icfg
+        self.ctx = NameContext(analyzed.symbols, k)
+        self.k = k
+        self._aliases = andersen.aliases
+        self._by_base: dict[str, set[str]] = {}
+        for pair in andersen.aliases:
+            self._by_base.setdefault(pair.first.base, set()).add(pair.second.base)
+            self._by_base.setdefault(pair.second.base, set()).add(pair.first.base)
+
+    def _bases_alias(self, a: ObjectName, b: ObjectName) -> bool:
+        """Do the two names dereference variables with intersecting
+        points-to sets?  Only deref-bearing names denote
+        pointed-to storage (bare ``a``/``b`` never alias here)."""
+        from ..names.object_names import DEREF
+
+        if DEREF not in a.selectors and not a.truncated:
+            return False
+        if DEREF not in b.selectors and not b.truncated:
+            return False
+        return b.base in self._by_base.get(a.base, ())
+
+    def may_alias(self, node: Node | int) -> set[AliasPair]:
+        """The whole-program relation (flow-insensitive)."""
+        return set(self._aliases)
+
+    def may_alias_names(self, node: Node | int, name: ObjectName) -> set[ObjectName]:
+        """Names aliased to ``name`` program-wide, at the coarse
+        one-deref-per-variable granularity."""
+        from ..names.object_names import DEREF
+
+        if DEREF not in name.selectors and not name.truncated:
+            return set()
+        return {
+            ObjectName(base).deref() for base in self._by_base.get(name.base, ())
+        }
+
+    def alias_query(self, node: Node | int, a: ObjectName, b: ObjectName) -> bool:
+        """Coarse query: may the storage below ``a``'s and ``b``'s base
+        variables overlap?"""
+        return self._bases_alias(a, b)

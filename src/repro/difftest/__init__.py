@@ -18,6 +18,8 @@ from .corpus import (
     persist_counterexample,
 )
 from .harness import (
+    ALL_CHECKS,
+    CHECK_LINT_SOUNDNESS,
     CheckResult,
     DifftestConfig,
     ProgramVerdict,
@@ -30,6 +32,8 @@ from .harness import (
 from .shrink import shrink_source
 
 __all__ = [
+    "ALL_CHECKS",
+    "CHECK_LINT_SOUNDNESS",
     "CheckResult",
     "DifftestConfig",
     "ProgramVerdict",

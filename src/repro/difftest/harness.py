@@ -24,6 +24,12 @@ made executable):
 Andersen and the type-based filter are run for comparative statistics
 only; their precision is incomparable with the flow-sensitive
 analysis, so no containment is asserted.
+
+The ``lint_soundness`` check extends the lattice to the client layer:
+every pointer bug *witnessed at run time* (uninitialized pointer read,
+dangling dereference — see :mod:`repro.interp.events`) must be covered
+by a lint finding on the same variable, and the LR-vs-Weihl finding
+delta is recorded as a precision self-measure.
 """
 
 from __future__ import annotations
@@ -46,6 +52,7 @@ CHECK_EXACT_IN_LR = "exact_in_lr"
 CHECK_DYNAMIC_IN_EXACT = "dynamic_in_exact"
 CHECK_LR_IN_WEIHL = "lr_in_weihl"
 CHECK_PARTIAL_TAINT = "partial_taint"
+CHECK_LINT_SOUNDNESS = "lint_soundness"
 
 ALL_CHECKS = (
     CHECK_DYNAMIC_IN_LR,
@@ -53,6 +60,7 @@ ALL_CHECKS = (
     CHECK_DYNAMIC_IN_EXACT,
     CHECK_LR_IN_WEIHL,
     CHECK_PARTIAL_TAINT,
+    CHECK_LINT_SOUNDNESS,
 )
 
 
@@ -78,6 +86,12 @@ class DifftestConfig:
     #: exhaustive path enumeration is for tiny programs only.
     exact_max_nodes: int = 160
     run_baselines: bool = True
+    #: Run the lint detectors and hold them to the dynamic events
+    #: (every witnessed uninit read / dangling deref must be reported).
+    run_lint_check: bool = True
+    #: Comparison provider for the lint false-positive delta (None
+    #: skips the comparison; the soundness check still runs).
+    lint_compare: Optional[str] = "weihl"
     #: Violations reported per check (the totals are always exact).
     max_violation_reports: int = 8
 
@@ -302,6 +316,88 @@ def _check_partial_taint(solution: MayAliasSolution) -> CheckResult:
     )
 
 
+def _check_lint_soundness(
+    analyzed,
+    builder,
+    icfg,
+    solution: MayAliasSolution,
+    config: DifftestConfig,
+) -> tuple[CheckResult, dict]:
+    """Hold the lint detectors to the dynamic oracle: every witnessed
+    ``uninit_read`` / ``dangling_deref`` event must be covered by a
+    finding on the same variable (``repro.lint.validation``).  Also
+    records the LR-vs-baseline false-positive delta as a precision
+    self-measure."""
+    from ..lint.engine import LintInput, run_lint
+    from ..lint.validation import collect_runtime_events, uncovered_events
+
+    lint_input = LintInput(analyzed=analyzed, builder=builder, icfg=icfg)
+    try:
+        report = run_lint(
+            lint_input,
+            provider="lr",
+            compare_with=config.lint_compare,
+            k=config.k,
+            max_facts=config.max_facts,
+            solution=solution,
+        )
+    except Exception as exc:  # comparison baseline saturated on a dense draw
+        if config.lint_compare is None:
+            raise
+        report = run_lint(
+            lint_input, provider="lr", k=config.k, solution=solution
+        )
+        report_stats = {"comparison_error": str(exc)}
+    else:
+        report_stats = {}
+    events, trapped = collect_runtime_events(
+        analyzed,
+        builder,
+        icfg,
+        draws=config.draws,
+        seed=config.oracle_seed,
+        fuel=config.fuel,
+    )
+    stats = {
+        "findings": len(report.findings),
+        "rules": report.rule_counts(),
+        "events": events.stats_dict(),
+        "runs_trapped": trapped,
+        **report_stats,
+    }
+    if report.compared_with:
+        stats["fp_delta"] = report.fp_delta()
+        stats["flow_sensitive_only"] = sum(
+            1 for f in report.findings if f.also_weihl is False
+        )
+    missing = uncovered_events(events, report)
+    if missing:
+        shown = [
+            f"witnessed {event} has no covering finding"
+            for event in missing[: config.max_violation_reports]
+        ]
+        return (
+            CheckResult(
+                CHECK_LINT_SOUNDNESS,
+                "violation",
+                violations=shown,
+                violation_count=len(missing),
+            ),
+            stats,
+        )
+    return (
+        CheckResult(
+            CHECK_LINT_SOUNDNESS,
+            "ok",
+            detail=(
+                f"{len(events)} distinct runtime events covered by "
+                f"{len(report.findings)} findings"
+            ),
+        ),
+        stats,
+    )
+
+
 def difftest_source(
     source: str, config: Optional[DifftestConfig] = None, name: str = "<program>"
 ) -> ProgramVerdict:
@@ -328,7 +424,12 @@ def difftest_source(
         # on_budget="raise": no solution to check against; record the
         # outcome so suite stats still count the program.
         verdict.stats["lr"] = {"budget_exceeded": True, "error": str(exc)}
-        for check_name in (CHECK_DYNAMIC_IN_LR, CHECK_EXACT_IN_LR, CHECK_LR_IN_WEIHL):
+        for check_name in (
+            CHECK_DYNAMIC_IN_LR,
+            CHECK_EXACT_IN_LR,
+            CHECK_LR_IN_WEIHL,
+            CHECK_LINT_SOUNDNESS,
+        ):
             verdict.checks.append(
                 CheckResult(check_name, "skipped", detail="analysis budget exceeded")
             )
@@ -431,6 +532,12 @@ def difftest_source(
                 "seconds": round(weihl.total_seconds, 4),
             }
             verdict.checks.append(_check_lr_in_weihl(solution, weihl, config))
+        if config.run_lint_check:
+            lint_check, lint_stats = _check_lint_soundness(
+                analyzed, builder, icfg, solution, config
+            )
+            verdict.stats["lint"] = lint_stats
+            verdict.checks.append(lint_check)
     else:
         # Partial solution: an all-TAINTED subset of the fixpoint makes
         # no containment claim in either direction.
@@ -442,6 +549,7 @@ def difftest_source(
             CHECK_EXACT_IN_LR,
             CHECK_DYNAMIC_IN_EXACT,
             CHECK_LR_IN_WEIHL,
+            CHECK_LINT_SOUNDNESS,
         ):
             verdict.checks.append(CheckResult(check_name, "skipped", detail=detail))
         verdict.checks.append(_check_partial_taint(solution))
@@ -538,6 +646,29 @@ class SuiteResult:
                 v.stats.get("dynamic_oracle", {}).get("distinct_node_pairs", 0)
                 for v in self.verdicts
             ),
+            "lint": self._lint_stats(),
+        }
+
+    def _lint_stats(self) -> dict:
+        """Suite-wide lint precision numbers: total findings and the
+        per-rule false-positive delta vs the flow-insensitive baseline
+        (positive = extra findings the baseline would emit)."""
+        findings = 0
+        runtime_events = 0
+        fp_delta: dict[str, int] = {}
+        for verdict in self.verdicts:
+            lint = verdict.stats.get("lint")
+            if not lint:
+                continue
+            findings += lint.get("findings", 0)
+            runtime_events += lint.get("events", {}).get("distinct_events", 0)
+            for rule, delta in lint.get("fp_delta", {}).items():
+                fp_delta[rule] = fp_delta.get(rule, 0) + delta
+        return {
+            "findings_total": findings,
+            "runtime_events_total": runtime_events,
+            "fp_delta": dict(sorted(fp_delta.items())),
+            "fp_avoided_total": sum(d for d in fp_delta.values() if d > 0),
         }
 
 

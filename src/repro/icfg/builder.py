@@ -89,11 +89,11 @@ class _FunctionLowerer:
         self.info.locals.append(sym)
         return sym
 
-    def label_node(self, name: str) -> Node:
+    def label_node(self, name: str, span: Optional[Span] = None) -> Node:
         """The join node for ``name`` (created on first use)."""
         node = self._labels.get(name)
         if node is None:
-            node = self.node(NodeKind.OTHER, OtherStmt(f"label {name}"))
+            node = self.node(NodeKind.OTHER, OtherStmt(f"label {name}"), span)
             self._labels[name] = node
         return node
 
@@ -176,12 +176,12 @@ class _FunctionLowerer:
                 node.add_succ(target)
             return []
         if isinstance(stmt, ast.Goto):
-            target = self.label_node(stmt.label)
+            target = self.label_node(stmt.label, stmt.span)
             for node in frontier:
                 node.add_succ(target)
             return []
         if isinstance(stmt, ast.Label):
-            node = self.label_node(stmt.name)
+            node = self.label_node(stmt.name, stmt.span)
             frontier = self.seq(frontier, node)
             return self.lower_stmt(stmt.stmt, frontier)
         if isinstance(stmt, ast.Switch):
@@ -343,7 +343,11 @@ class _FunctionLowerer:
             return self.lower_expr_effects(expr.right, frontier)
         if isinstance(expr, ast.Conditional):
             frontier = self.lower_expr_effects(expr.cond, frontier)
-            pred = self.node(NodeKind.PREDICATE, OtherStmt("?:"), expr.span)
+            pred = self.node(
+                NodeKind.PREDICATE,
+                OtherStmt("?:", reads=tuple(self._read_names(expr.cond))),
+                expr.span,
+            )
             frontier = self.seq(frontier, pred)
             then_out = self.lower_expr_effects(expr.then, [pred])
             else_out = self.lower_expr_effects(expr.otherwise, [pred])
@@ -362,9 +366,14 @@ class _FunctionLowerer:
 
     def _lower_incr(self, expr, frontier: list[Node]) -> list[Node]:
         """``++``/``--``: pointer arithmetic stays inside the aggregate,
-        so alias-wise this is a no-op; scalars are pass-through too."""
+        so alias-wise this is a no-op — but the operand is both read and
+        written, which client analyses (liveness, lint) must see."""
         frontier = self.lower_expr_effects(expr.operand, frontier)
-        node = self.node(NodeKind.OTHER, OtherStmt(expr.op), expr.span)
+        reads = tuple(self._read_names(expr.operand))
+        writes = (reads[-1],) if reads else ()
+        node = self.node(
+            NodeKind.OTHER, OtherStmt(expr.op, writes=writes, reads=reads), expr.span
+        )
         return self.seq(frontier, node)
 
     def _lower_assign_expr(
@@ -629,7 +638,11 @@ class _FunctionLowerer:
         temp = self.fresh_temp(collapse_arrays(ctype).decayed())
         temp_name = ObjectName(temp.uid)
         frontier = self.lower_expr_effects(expr.cond, frontier)
-        pred = self.node(NodeKind.PREDICATE, OtherStmt("?:"), expr.span)
+        pred = self.node(
+            NodeKind.PREDICATE,
+            OtherStmt("?:", reads=tuple(self._read_names(expr.cond))),
+            expr.span,
+        )
         frontier = self.seq(frontier, pred)
         then_front, then_rhs = self.lower_operand(expr.then, [pred])
         then_node = self.node(NodeKind.ASSIGN, PtrAssign(temp_name, then_rhs), expr.span)

@@ -1,0 +1,96 @@
+"""Run-time pointer-bug events: ground truth for lint validation.
+
+The interpreter (when handed a :class:`RuntimeEventLog`) records the
+moments a concrete execution actually commits one of the pointer bugs
+the lint detectors claim to find statically:
+
+* **uninitialized pointer read** — loading the value of a pointer cell
+  that was never stored to (locals only: C zero-initializes globals,
+  and heap cells have no source-level name to report against);
+* **dangling dereference** — following a pointer into storage owned by
+  an activation frame that has already been popped.
+
+Events are *witnesses*, not traps: logging never changes execution
+semantics, so instrumented runs observe exactly the states
+uninstrumented runs do.  The lint validation contract
+(:mod:`repro.lint.validation`) is that every witnessed event must be
+covered by a static finding for the same variable — a dynamic
+under-approximation check mirroring the alias-oracle lattice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Event kinds (stable identifiers used in reports and stats JSON).
+UNINIT_READ = "uninit_read"
+DANGLING_DEREF = "dangling_deref"
+
+
+@dataclass(frozen=True, slots=True)
+class RuntimeEvent:
+    """One witnessed pointer bug.
+
+    ``uid_label`` is the storage cell's label: a symbol uid such as
+    ``main::p`` for variables, possibly with field suffixes
+    (``main::s.f``).  ``base_uid`` strips the field suffix — the key
+    findings are matched on.  ``owner_proc`` is the procedure owning
+    the storage (for dangling events, the procedure whose frame died);
+    ``at_proc`` is where execution was when the event fired.
+    """
+
+    kind: str
+    uid_label: str
+    owner_proc: str
+    at_proc: str
+
+    @property
+    def base_uid(self) -> str:
+        """The cell's root variable uid (field suffixes stripped)."""
+        return self.uid_label.split(".", 1)[0]
+
+    def __str__(self) -> str:
+        return (
+            f"{self.kind}: {self.uid_label} (owned by {self.owner_proc}, "
+            f"witnessed in {self.at_proc})"
+        )
+
+
+@dataclass(slots=True)
+class RuntimeEventLog:
+    """Deduplicated event collection across one or many runs."""
+
+    events: set[RuntimeEvent] = field(default_factory=set)
+    #: Raw occurrence counts per kind (events dedup; counts do not).
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def record(self, kind: str, uid_label: str, owner_proc: str, at_proc: str) -> None:
+        """Fold one occurrence into the log."""
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        self.events.add(RuntimeEvent(kind, uid_label, owner_proc, at_proc))
+
+    def by_kind(self, kind: str) -> list[RuntimeEvent]:
+        """Distinct events of one kind, deterministically ordered."""
+        return sorted(
+            (e for e in self.events if e.kind == kind),
+            key=lambda e: (e.uid_label, e.owner_proc, e.at_proc),
+        )
+
+    def merge(self, other: "RuntimeEventLog") -> None:
+        """Fold another log into this one."""
+        self.events |= other.events
+        for kind, count in other.counts.items():
+            self.counts[kind] = self.counts.get(kind, 0) + count
+
+    def stats_dict(self) -> dict:
+        """JSON-ready summary."""
+        return {
+            "distinct_events": len(self.events),
+            "counts": dict(sorted(self.counts.items())),
+        }
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)

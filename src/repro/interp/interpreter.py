@@ -25,6 +25,7 @@ from ..frontend.symbols import Symbol
 from ..frontend.types import PointerType, Type
 from ..icfg.ir import Node
 from ..names.context import collapse_arrays
+from .events import DANGLING_DEREF, UNINIT_READ, RuntimeEventLog
 from .memory import Frame, Memory, Obj
 
 Value = Union[int, float, Obj, None]
@@ -82,6 +83,7 @@ class Interpreter:
         call_site_nodes: Optional[dict[int, tuple[Node, Node]]] = None,
         proc_nodes: Optional[dict[str, tuple[Node, Node]]] = None,
         scalar_global_values: Optional[dict[str, int]] = None,
+        event_log: Optional["RuntimeEventLog"] = None,
     ) -> None:
         self.analyzed = analyzed
         self.markers = stmt_end_nodes or {}
@@ -103,6 +105,12 @@ class Interpreter:
         # oracle scripts them (keyed by source name) to vary control flow
         # across draws without changing the program text.
         self._scalar_global_values = scalar_global_values or {}
+        # Witness bookkeeping for lint validation (None → zero overhead
+        # and zero behavior change): oids that have ever been stored to,
+        # so a None-valued pointer cell can be told apart from one
+        # explicitly assigned NULL.
+        self._events = event_log
+        self._stored: set[int] = set()
 
     # -- plumbing -------------------------------------------------------------
 
@@ -202,7 +210,9 @@ class Interpreter:
             if entry_exit is not None:
                 self._observe_node(entry_exit[1])
         finally:
-            self.memory.pop()
+            popped = self.memory.pop()
+            if self._events is not None:
+                self.memory.mark_frame_dead(popped)
         return result
 
     # -- statements ----------------------------------------------------------------------
@@ -486,12 +496,14 @@ class Interpreter:
             value = self._eval(expr.operand)
             if not isinstance(value, Obj):
                 raise InterpTrap("dereference of NULL/uninitialized pointer")
+            self._note_deref(value)
             return value
         if isinstance(expr, ast.Member):
             if expr.arrow:
                 base_value = self._eval(expr.base)
                 if not isinstance(base_value, Obj):
                     raise InterpTrap("-> through NULL/uninitialized pointer")
+                self._note_deref(base_value)
                 return base_value.field(expr.field_name)
             return self._lvalue(expr.base).field(expr.field_name)
         if isinstance(expr, ast.Index):
@@ -502,6 +514,7 @@ class Interpreter:
             value = self._eval(expr.base)
             if not isinstance(value, Obj):
                 raise InterpTrap("index through NULL/uninitialized pointer")
+            self._note_deref(value)
             return value
         raise InterpError(f"{type(expr).__name__} is not an lvalue")
 
@@ -510,19 +523,59 @@ class Interpreter:
     def _load(self, cell: Obj) -> Value:
         if cell.is_struct:
             return cell  # struct value contexts copy via _store
-        if cell.value is None and not isinstance(
-            collapse_arrays(cell.type), PointerType
-        ):
-            return 0  # uninitialized scalars read as 0
+        if cell.value is None:
+            if not isinstance(collapse_arrays(cell.type), PointerType):
+                return 0  # uninitialized scalars read as 0
+            if (
+                self._events is not None
+                and cell.oid not in self._stored
+                and "::" in cell.label
+            ):
+                # A never-stored local/param pointer cell read as None:
+                # a genuine uninitialized read (globals zero-init to
+                # NULL and carry no "::"; explicit NULL stores mark the
+                # oid in ``_stored``).
+                self._events.record(
+                    UNINIT_READ,
+                    cell.label,
+                    cell.label.split("::", 1)[0],
+                    self.memory.top.proc if self.memory.stack else "<global>",
+                )
         return cell.value
 
     def _store(self, cell: Obj, value: Value) -> None:
+        self._mark_stored(cell)
         if cell.is_struct:
             if isinstance(value, Obj) and value.is_struct:
                 cell.copy_from(value)
                 return
             raise InterpTrap("storing non-struct into struct")
         cell.value = value
+
+    def _mark_stored(self, cell: Obj) -> None:
+        """Witness bookkeeping: this cell (fields too, for struct
+        copies — the static model kills per-field on struct assign) has
+        been the target of a store."""
+        if self._events is None:
+            return
+        self._stored.add(cell.oid)
+        if cell.fields is not None:
+            for sub in cell.fields.values():
+                self._mark_stored(sub)
+
+    def _note_deref(self, target: Obj) -> None:
+        """Record a dereference landing in dead frame storage."""
+        if self._events is None:
+            return
+        dead = self.memory.dead.get(target.oid)
+        if dead is not None:
+            label, owner = dead
+            self._events.record(
+                DANGLING_DEREF,
+                label,
+                owner,
+                self.memory.top.proc if self.memory.stack else "<global>",
+            )
 
     # -- helpers ------------------------------------------------------------------------------------
 

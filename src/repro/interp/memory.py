@@ -98,6 +98,23 @@ class Memory:
         self.globals: dict[str, Obj] = {}
         self.stack: list[Frame] = []
         self.heap: list[Obj] = []
+        #: oid -> (uid label, owning proc) for cells of popped frames.
+        #: Populated only when the interpreter carries an event log;
+        #: reads/writes through dead cells still behave as before —
+        #: this is witness bookkeeping, not a semantics change.
+        self.dead: dict[int, tuple[str, str]] = {}
+
+    def mark_frame_dead(self, frame: "Frame") -> None:
+        """Record every cell of a popped frame (recursing into struct
+        fields) as dead stack storage."""
+        def mark(label: str, obj: Obj) -> None:
+            self.dead[obj.oid] = (label, frame.proc)
+            if obj.fields is not None:
+                for fname, cell in obj.fields.items():
+                    mark(f"{label}.{fname}", cell)
+
+        for uid, obj in frame.slots.items():
+            mark(uid, obj)
 
     def push(self, frame: Frame) -> None:
         """Push an activation frame."""

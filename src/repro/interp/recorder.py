@@ -165,6 +165,7 @@ def make_observed_interpreter(
     fuel: int = 100_000,
     extern_values: Optional[list[int]] = None,
     scalar_global_values: Optional[dict[str, int]] = None,
+    event_log=None,
 ):
     """An :class:`Interpreter` wired for full-coverage observation:
     statement end nodes plus CALL/RETURN/ENTRY/EXIT nodes.  Shared by
@@ -184,6 +185,7 @@ def make_observed_interpreter(
         call_site_nodes=builder.call_site_nodes,
         proc_nodes=proc_nodes,
         scalar_global_values=scalar_global_values,
+        event_log=event_log,
     )
 
 

@@ -1,0 +1,51 @@
+"""Alias-aware pointer-bug detection over MiniC programs.
+
+The lint layer is the paper's motivation made concrete: client
+analyses whose *quality* depends on alias precision.  Every detector
+consumes only the ``MayAliasSolution`` query surface, so the same
+diagnostics can be produced from the Landi/Ryder engine or from the
+flow-insensitive baselines — and the difference is measurable (see
+:mod:`repro.lint.validation`).
+"""
+
+from .findings import (
+    RULE_CATALOG,
+    RULE_CONFLICT,
+    RULE_DANGLING,
+    RULE_DEAD_STORE,
+    RULE_NULL_DEREF,
+    RULE_UNINIT,
+    Finding,
+    LintReport,
+    dedup_findings,
+)
+from .engine import LintInput, PROVIDERS, make_provider, run_lint, self_check
+from .render import LINT_STATS_SCHEMA, render_text, rule_help, stats_dict
+from .sarif import render_sarif, to_sarif, validate_sarif
+from .validation import LintValidation, validate_lint
+
+__all__ = [
+    "Finding",
+    "LintInput",
+    "LintReport",
+    "LintValidation",
+    "LINT_STATS_SCHEMA",
+    "PROVIDERS",
+    "RULE_CATALOG",
+    "RULE_CONFLICT",
+    "RULE_DANGLING",
+    "RULE_DEAD_STORE",
+    "RULE_NULL_DEREF",
+    "RULE_UNINIT",
+    "dedup_findings",
+    "make_provider",
+    "render_sarif",
+    "render_text",
+    "rule_help",
+    "run_lint",
+    "self_check",
+    "stats_dict",
+    "to_sarif",
+    "validate_lint",
+    "validate_sarif",
+]

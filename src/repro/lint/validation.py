@@ -1,0 +1,166 @@
+"""Oracle-backed validation of the lint detectors.
+
+Dynamic *events* (:mod:`repro.interp.events`) are ground truth: a
+witnessed uninitialized pointer read or dangling dereference is a real
+bug, no approximation argument applies.  The soundness contract for
+the detectors is directional, mirroring the alias lattice
+``dynamic ⊆ exact ⊆ LR ⊆ Weihl``:
+
+* every ``uninit_read`` event must be covered by an
+  ``uninit-pointer-use`` finding on the same variable;
+* every ``dangling_deref`` event must be covered by a
+  ``dangling-escape`` finding on the escaping local.
+
+An uncovered event is a detector soundness violation (shrunk and
+persisted to the corpus by the difftest harness).  Alongside coverage,
+the validator measures precision: the per-rule finding-count deltas
+between the Landi/Ryder-backed run and the Weihl-backed run — the
+false positives flow sensitivity avoids.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..frontend.semantics import AnalyzedProgram
+from ..icfg.builder import IcfgBuilder
+from ..icfg.graph import ICFG
+from ..interp.events import DANGLING_DEREF, UNINIT_READ, RuntimeEvent, RuntimeEventLog
+from ..interp.interpreter import InterpError, OutOfFuel
+from ..interp.recorder import make_observed_interpreter
+from ..oracle.dynamic import scriptable_scalar_globals
+from .findings import RULE_DANGLING, RULE_UNINIT, LintReport
+from .engine import LintInput, run_lint
+
+#: Event kind → the lint rule that must cover it.
+COVERAGE_RULES = {
+    UNINIT_READ: RULE_UNINIT,
+    DANGLING_DEREF: RULE_DANGLING,
+}
+
+
+@dataclass(slots=True)
+class LintValidation:
+    """Outcome of validating one program's lint report dynamically."""
+
+    events: RuntimeEventLog = field(default_factory=RuntimeEventLog)
+    uncovered: list[RuntimeEvent] = field(default_factory=list)
+    draws: int = 0
+    runs_trapped: int = 0
+    report: Optional[LintReport] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when every witnessed event is covered by a finding."""
+        return not self.uncovered
+
+    def stats_dict(self) -> dict:
+        """JSON-ready summary."""
+        out = {
+            "draws": self.draws,
+            "runs_trapped": self.runs_trapped,
+            "events": self.events.stats_dict(),
+            "uncovered_events": [str(e) for e in self.uncovered],
+        }
+        if self.report is not None:
+            out["findings"] = len(self.report.findings)
+            out["rules"] = self.report.rule_counts()
+            if self.report.compared_with:
+                out["fp_delta"] = self.report.fp_delta()
+        return out
+
+
+def collect_runtime_events(
+    analyzed: AnalyzedProgram,
+    builder: IcfgBuilder,
+    icfg: ICFG,
+    draws: int = 12,
+    seed: int = 0,
+    fuel: int = 60_000,
+) -> tuple[RuntimeEventLog, int]:
+    """Execute ``draws`` scripted runs, pooling runtime pointer-bug
+    events.  Returns (merged log, trapped-run count)."""
+    log = RuntimeEventLog()
+    trapped = 0
+    scalar_names = scriptable_scalar_globals(analyzed)
+    rng = random.Random(seed)
+    for _ in range(max(1, draws)):
+        extern_values = [rng.randrange(-4, 12) for _ in range(24)]
+        scalar_values = {name: rng.randrange(-3, 9) for name in scalar_names}
+        run_log = RuntimeEventLog()
+        interp = make_observed_interpreter(
+            analyzed,
+            builder,
+            icfg,
+            fuel=fuel,
+            extern_values=extern_values,
+            scalar_global_values=scalar_values,
+            event_log=run_log,
+        )
+        try:
+            result = interp.run()
+        except (OutOfFuel, InterpError):
+            # Partial runs still witnessed real events up to the stop.
+            log.merge(run_log)
+            continue
+        if result.trapped:
+            trapped += 1
+        log.merge(run_log)
+    return log, trapped
+
+
+def uncovered_events(
+    events: RuntimeEventLog, report: LintReport
+) -> list[RuntimeEvent]:
+    """Events not covered by a finding: match on (rule, base uid)."""
+    covered = {f.match_key() for f in report.findings}
+    missing = []
+    for kind, rule in COVERAGE_RULES.items():
+        for event in events.by_kind(kind):
+            if (rule, event.base_uid) not in covered:
+                missing.append(event)
+    return missing
+
+
+def validate_lint(
+    source_or_input,
+    draws: int = 12,
+    seed: int = 0,
+    fuel: int = 60_000,
+    k: int = 3,
+    max_facts: Optional[int] = 1_000_000,
+    compare_with: Optional[str] = "weihl",
+) -> LintValidation:
+    """Full oracle-backed validation of one program: lint it with the
+    Landi/Ryder provider, execute it under the event-logging
+    interpreter, and check that every witnessed pointer bug is
+    reported.  ``compare_with`` also computes the precision delta."""
+    if isinstance(source_or_input, LintInput):
+        lint_input = source_or_input
+    else:
+        lint_input = LintInput.from_source(source_or_input)
+    report = run_lint(
+        lint_input,
+        provider="lr",
+        compare_with=compare_with,
+        k=k,
+        max_facts=max_facts,
+    )
+    events, trapped = collect_runtime_events(
+        lint_input.analyzed,
+        lint_input.builder,
+        lint_input.icfg,
+        draws=draws,
+        seed=seed,
+        fuel=fuel,
+    )
+    validation = LintValidation(
+        events=events,
+        uncovered=uncovered_events(events, report),
+        draws=max(1, draws),
+        runs_trapped=trapped,
+        report=report,
+    )
+    return validation

@@ -1,0 +1,105 @@
+"""Integration tests for the ``repro lint`` subcommand, including the
+tier-1 ``--self-check`` smoke required by the lint tooling config."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import EXIT_LINT_FINDINGS, main
+from repro.lint import validate_sarif
+
+pytestmark = pytest.mark.lint
+
+EXAMPLE = str(pathlib.Path(__file__).resolve().parents[2] / "examples" / "figure1.c")
+
+BUGGY = (
+    "int *mk() { int local; int *p; p = &local; return p; }"
+    " int main() { int *q; int x; q = mk(); x = *q; return x; }"
+)
+CLEAN = "int main() { int *p, x; x = 3; p = &x; return *p; }"
+
+
+@pytest.fixture()
+def buggy_file(tmp_path):
+    path = tmp_path / "buggy.c"
+    path.write_text(BUGGY)
+    return str(path)
+
+
+@pytest.fixture()
+def clean_file(tmp_path):
+    path = tmp_path / "clean.c"
+    path.write_text(CLEAN)
+    return str(path)
+
+
+class TestLintCli:
+    def test_self_check_smoke(self, capsys):
+        assert main(["lint", "--self-check"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_findings_set_exit_code(self, buggy_file, capsys):
+        assert main(["lint", buggy_file]) == EXIT_LINT_FINDINGS
+        out = capsys.readouterr().out
+        assert "dangling-escape" in out
+        assert "buggy.c:" in out
+
+    def test_fail_on_never_is_zero(self, buggy_file):
+        assert main(["lint", buggy_file, "--fail-on", "never"]) == 0
+
+    def test_clean_program_is_zero(self, clean_file, capsys):
+        assert main(["lint", clean_file]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_sarif_output_is_valid(self, capsys):
+        assert main(["lint", EXAMPLE, "--format", "sarif", "--fail-on", "never"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        assert validate_sarif(doc) == []
+        assert doc["runs"][0]["results"]
+
+    def test_compare_weihl_tags_output(self, buggy_file, capsys):
+        assert (
+            main(["lint", buggy_file, "--compare-weihl"]) == EXIT_LINT_FINDINGS
+        )
+        out = capsys.readouterr().out
+        assert "flow-insensitive" in out
+
+    def test_stats_json_document(self, buggy_file, tmp_path, capsys):
+        stats_path = tmp_path / "stats.json"
+        assert (
+            main(
+                [
+                    "lint",
+                    buggy_file,
+                    "--stats-json",
+                    str(stats_path),
+                    "--fail-on",
+                    "never",
+                ]
+            )
+            == 0
+        )
+        stats = json.loads(stats_path.read_text())
+        assert stats["schema"] == "repro-lint/1"
+        assert stats["findings"] >= 1
+        assert stats["rules"]["dangling-escape"] == 1
+
+    def test_rules_listing(self, capsys):
+        assert main(["lint", "--rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ("uninit-pointer-use", "dangling-escape", "null-deref"):
+            assert rule in out
+
+    def test_stdin_input(self, monkeypatch, capsys):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(CLEAN))
+        assert main(["lint", "-"]) == 0
+
+    def test_parse_error_is_reported_not_raised(self, tmp_path, capsys):
+        bad = tmp_path / "bad.c"
+        bad.write_text("int main( {")
+        assert main(["lint", str(bad)]) == 1
+        assert "error" in capsys.readouterr().err.lower()

@@ -1,0 +1,133 @@
+"""Pin the read/write sets :func:`node_access` reports per NodeKind.
+
+Regression tests for the PR 3 fix: predicate guards (including ``?:``)
+and ``++``/``--`` updates must surface their reads, and every read set
+is closed under deref prefixes (reading ``*p`` reads ``p``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clients.accesses import Access, close_reads, deref_prefixes, node_access
+from repro.frontend.semantics import parse_and_analyze
+from repro.icfg.builder import build_icfg
+from repro.icfg.ir import NodeKind, OtherStmt
+from repro.names.object_names import ObjectName
+
+SOURCE = """\
+int *g;
+int x;
+
+void callee(int *q, int v) {
+    *q = v;
+}
+
+int main() {
+    int *p;
+    int y;
+    p = &x;
+    *p = 3;
+    if (*p > 0) { y = 1; }
+    callee(p, y);
+    y = y ? 1 : 2;
+    y++;
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def icfg():
+    return build_icfg(parse_and_analyze(SOURCE))
+
+
+def _nodes(icfg, kind, describe=None):
+    out = []
+    for node in icfg.nodes:
+        if node.kind is not kind:
+            continue
+        if describe is not None:
+            if not isinstance(node.stmt, OtherStmt) or node.stmt.describe != describe:
+                continue
+        out.append(node)
+    return out
+
+
+def test_structural_nodes_access_nothing(icfg):
+    for kind in (NodeKind.ENTRY, NodeKind.EXIT, NodeKind.RETURN):
+        for node in _nodes(icfg, kind):
+            assert node_access(node) == Access(), f"{kind} should access nothing"
+
+
+def test_assign_node_writes_lhs(icfg):
+    p = ObjectName("main::p")
+    assigns = [
+        n
+        for n in _nodes(icfg, NodeKind.ASSIGN)
+        if n.proc == "main" and n.stmt.lhs == p
+    ]
+    assert assigns, "p = &x should lower to an ASSIGN node"
+    access = node_access(assigns[0])
+    assert access.writes == (p,)
+    assert access.reads == ()  # &x reads nothing
+
+
+def test_deref_write_reads_pointer(icfg):
+    p = ObjectName("main::p")
+    star_p = p.deref()
+    stores = [
+        n
+        for n in _nodes(icfg, NodeKind.OTHER, "scalar-assign")
+        if n.proc == "main" and star_p in node_access(n).writes
+    ]
+    assert stores, "*p = 3 should lower to a scalar-assign OTHER node"
+    access = node_access(stores[0])
+    assert p in access.reads, "writing *p reads p"
+    assert p in access.dereferenced()
+
+
+def test_if_predicate_reads_guard_closed(icfg):
+    p = ObjectName("main::p")
+    preds = [n for n in _nodes(icfg, NodeKind.PREDICATE, "if") if n.proc == "main"]
+    assert preds
+    access = node_access(preds[0])
+    assert p.deref() in access.reads, "guard reads *p"
+    assert p in access.reads, "deref-prefix closure: guard also reads p"
+    assert access.writes == ()
+
+
+def test_conditional_predicate_reads_guard(icfg):
+    # PR 3 fix: `y = y ? 1 : 2` previously recorded no reads at all.
+    y = ObjectName("main::y")
+    preds = [n for n in _nodes(icfg, NodeKind.PREDICATE, "?:") if n.proc == "main"]
+    assert preds, "?: should lower to a PREDICATE node"
+    assert y in node_access(preds[0]).reads
+
+
+def test_incr_node_reads_and_writes_operand(icfg):
+    # PR 3 fix: `y++` previously recorded no accesses at all.
+    y = ObjectName("main::y")
+    incrs = [n for n in _nodes(icfg, NodeKind.OTHER, "++") if n.proc == "main"]
+    assert incrs, "y++ should lower to an OTHER node"
+    access = node_access(incrs[0])
+    assert access.writes == (y,)
+    assert y in access.reads
+
+
+def test_call_node_reads_operands_and_scalars(icfg):
+    p = ObjectName("main::p")
+    y = ObjectName("main::y")
+    calls = [n for n in _nodes(icfg, NodeKind.CALL) if n.callee == "callee"]
+    assert calls
+    access = node_access(calls[0])
+    assert p in access.reads, "pointer argument is read"
+    assert y in access.reads, "scalar argument is read"
+    assert access.writes == ()
+
+
+def test_close_reads_dedups_and_orders():
+    p = ObjectName("main::p")
+    pp = p.deref().deref()
+    closed = close_reads((pp, p))
+    assert closed == (pp, p, p.deref())
+    assert deref_prefixes(pp) == (p, p.deref())

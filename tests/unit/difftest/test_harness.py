@@ -8,6 +8,7 @@ from repro.difftest.harness import (
     CHECK_DYNAMIC_IN_EXACT,
     CHECK_DYNAMIC_IN_LR,
     CHECK_EXACT_IN_LR,
+    CHECK_LINT_SOUNDNESS,
     CHECK_LR_IN_WEIHL,
     CHECK_PARTIAL_TAINT,
 )
@@ -26,6 +27,7 @@ class TestVerdict:
             CHECK_EXACT_IN_LR: "ok",
             CHECK_DYNAMIC_IN_EXACT: "ok",
             CHECK_LR_IN_WEIHL: "ok",
+            CHECK_LINT_SOUNDNESS: "ok",
         }
 
     def test_stats_cover_every_stage(self):
@@ -36,6 +38,7 @@ class TestVerdict:
         assert "andersen" in verdict.stats["baselines"]
         assert "typebased" in verdict.stats["baselines"]
         assert "weihl" in verdict.stats
+        assert "fp_delta" in verdict.stats["lint"]
 
     def test_report_is_readable(self):
         verdict = difftest_source(FIGURE1, FAST)
@@ -72,6 +75,7 @@ class TestBudgetPartial:
         assert statuses[CHECK_DYNAMIC_IN_LR] == "skipped"
         assert statuses[CHECK_EXACT_IN_LR] == "skipped"
         assert statuses[CHECK_LR_IN_WEIHL] == "skipped"
+        assert statuses[CHECK_LINT_SOUNDNESS] == "skipped"
         assert statuses[CHECK_PARTIAL_TAINT] == "ok"
         assert not verdict.stats["lr"]["complete"]
 

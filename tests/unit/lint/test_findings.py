@@ -1,0 +1,100 @@
+"""Finding structure: dedup, severity ranking, keys, report math."""
+
+import pytest
+
+from repro.frontend.diagnostics import DUMMY_SPAN
+from repro.lint import LintReport, dedup_findings
+from repro.lint.findings import (
+    RULE_CATALOG,
+    RULE_DANGLING,
+    RULE_DEAD_STORE,
+    RULE_NULL_DEREF,
+    RULE_UNINIT,
+    SEVERITIES,
+    Finding,
+)
+from repro.names import ObjectName
+
+pytestmark = pytest.mark.lint
+
+
+def make(rule=RULE_NULL_DEREF, severity="warning", proc="main", node_id=1,
+         name=None, **kw):
+    return Finding(
+        rule=rule,
+        severity=severity,
+        message=f"{rule} on {name}",
+        proc=proc,
+        node_id=node_id,
+        name=name,
+        **kw,
+    )
+
+
+class TestFinding:
+    def test_dummy_span_has_no_location(self):
+        finding = make()
+        assert not finding.has_location
+        assert finding.location() == "<main>"
+
+    def test_match_key_uses_base_uid(self):
+        name = ObjectName("main::p").deref()
+        assert make(name=name).match_key() == (RULE_NULL_DEREF, "main::p")
+
+    def test_str_mentions_rule_and_witnesses(self):
+        text = str(make(witnesses=("(p, q)",), also_weihl=False))
+        assert "[null-deref]" in text
+        assert "(p, q)" in text
+        assert "NOT flagged" in text
+
+    def test_catalog_covers_all_severities(self):
+        for info in RULE_CATALOG.values():
+            assert info.default_level in SEVERITIES
+
+
+class TestDedup:
+    def test_same_defect_keeps_most_severe(self):
+        name = ObjectName("main::p")
+        dupes = [
+            make(name=name, severity="warning", node_id=3),
+            make(name=name, severity="error", node_id=4),
+        ]
+        kept = dedup_findings(dupes)
+        assert len(kept) == 1
+        assert kept[0].severity == "error"
+
+    def test_different_rules_both_kept(self):
+        name = ObjectName("main::p")
+        kept = dedup_findings(
+            [make(rule=RULE_NULL_DEREF, name=name), make(rule=RULE_UNINIT, name=name)]
+        )
+        assert len(kept) == 2
+
+
+class TestReport:
+    def test_rule_counts_include_zero_rules(self):
+        report = LintReport(findings=[make()])
+        counts = report.rule_counts()
+        assert counts[RULE_NULL_DEREF] == 1
+        assert counts[RULE_DANGLING] == 0
+        assert set(counts) == set(RULE_CATALOG)
+
+    def test_max_severity(self):
+        assert LintReport().max_severity() is None
+        report = LintReport(
+            findings=[make(severity="note", rule=RULE_DEAD_STORE), make()]
+        )
+        assert report.max_severity() == "warning"
+
+    def test_fp_delta_is_comparison_minus_primary(self):
+        report = LintReport(
+            findings=[make()],
+            compared_with="weihl",
+            comparison_counts={RULE_NULL_DEREF: 3},
+        )
+        delta = report.fp_delta()
+        assert delta[RULE_NULL_DEREF] == 2
+        assert delta[RULE_DANGLING] == 0
+
+    def test_fp_delta_empty_without_comparison(self):
+        assert LintReport(findings=[make()]).fp_delta() == {}

@@ -1,0 +1,83 @@
+"""Oracle-backed validation: dynamically witnessed pointer bugs must
+be covered by static findings, and the difftest harness treats an
+uncovered event as a shrinkable soundness violation."""
+
+import pytest
+
+from repro.difftest import DifftestConfig, difftest_source
+from repro.difftest.harness import CHECK_LINT_SOUNDNESS
+from repro.interp.events import DANGLING_DEREF, UNINIT_READ
+from repro.lint import LintReport, validate_lint
+from repro.lint.validation import uncovered_events
+
+pytestmark = pytest.mark.lint
+
+DANGLING_PROGRAM = (
+    "int *mk() { int local; int *p; p = &local; return p; }"
+    " int main() { int *q; int x; q = mk(); x = *q; return x; }"
+)
+UNINIT_PROGRAM = "int main() { int *p; int x; x = *p; return x; }"
+CLEAN_PROGRAM = (
+    "int main() { int *p, x; x = 3; p = &x; return *p; }"
+)
+
+
+class TestValidateLint:
+    def test_dangling_deref_witnessed_and_covered(self):
+        validation = validate_lint(DANGLING_PROGRAM, draws=4)
+        assert validation.events.by_kind(DANGLING_DEREF)
+        assert validation.ok
+        assert validation.uncovered == []
+
+    def test_uninit_read_witnessed_and_covered(self):
+        validation = validate_lint(UNINIT_PROGRAM, draws=4)
+        assert validation.events.by_kind(UNINIT_READ)
+        assert validation.ok
+
+    def test_clean_program_witnesses_nothing(self):
+        validation = validate_lint(CLEAN_PROGRAM, draws=4)
+        assert len(validation.events) == 0
+        assert validation.ok
+
+    def test_uncovered_when_findings_suppressed(self):
+        validation = validate_lint(DANGLING_PROGRAM, draws=4)
+        empty = LintReport()
+        missing = uncovered_events(validation.events, empty)
+        assert missing
+        assert {e.kind for e in missing} <= {UNINIT_READ, DANGLING_DEREF}
+
+    def test_stats_dict_reports_coverage_and_delta(self):
+        validation = validate_lint(DANGLING_PROGRAM, draws=4)
+        stats = validation.stats_dict()
+        assert stats["events"]["distinct_events"] >= 1
+        assert stats["uncovered_events"] == []
+        assert "fp_delta" in stats
+
+
+class TestHarnessCheck:
+    FAST = DifftestConfig(draws=4, run_baselines=False)
+
+    def test_witnessed_bug_passes_when_reported(self):
+        verdict = difftest_source(DANGLING_PROGRAM, self.FAST)
+        check = verdict.check(CHECK_LINT_SOUNDNESS)
+        assert check.status == "ok"
+        assert verdict.stats["lint"]["events"]["distinct_events"] >= 1
+
+    def test_check_is_not_vacuous(self, monkeypatch):
+        # Suppress every detector: the witnessed dangling deref is now
+        # uncovered and the harness must flag a violation.
+        import repro.lint.engine as engine
+
+        monkeypatch.setattr(engine, "run_detectors", lambda *a, **k: [])
+        verdict = difftest_source(DANGLING_PROGRAM, self.FAST)
+        check = verdict.check(CHECK_LINT_SOUNDNESS)
+        assert check.status == "violation"
+        assert check.violation_count >= 1
+        assert not verdict.ok
+
+    def test_disabled_by_config(self):
+        config = DifftestConfig(
+            draws=2, run_baselines=False, run_lint_check=False
+        )
+        verdict = difftest_source(CLEAN_PROGRAM, config)
+        assert verdict.check(CHECK_LINT_SOUNDNESS) is None
