@@ -3,54 +3,58 @@
 
 Run after ``pytest benchmarks/ --benchmark-only``::
 
-    python benchmarks/collect_results.py
+    python benchmarks/collect_results.py              # every section
+    python benchmarks/collect_results.py --sections pr5
+    python benchmarks/collect_results.py --sections tables,pr1 --seeds 10
 
-Two artifacts are produced:
+Sections (each tolerates missing inputs and failures in the others):
 
-* ``EXPERIMENTS.md`` — the text tables from ``benchmarks/out/*.txt``
-  embedded as an appendix (unchanged behaviour from the seed).
-* ``BENCH_PR1.json`` at the repo root — the engine-discipline numbers
-  for this PR: worklist pops under the deduplicated engine vs the seed
-  discipline on the largest scaling fixture, with the node-by-node
-  may-alias equality check.  The dedup comparison is read from
-  ``benchmarks/out/scaling_dedup.json`` when the bench suite already
-  wrote it, and computed inline otherwise.
-
-``BENCH_PR2.json`` is additionally produced via the difftest harness
-(``repro difftest --stats-json`` equivalent): a generator sweep whose
-lattice checks must come back violation-free, with oracle/coverage
-statistics for the record.
-
-``BENCH_PR3.json`` measures the lint layer on the largest scaling
-fixture: wall time (analysis vs detectors), findings per detector, and
-the LR-vs-Weihl false-positive delta — the user-visible precision the
-flow-sensitive solution buys (EXPERIMENTS.md "Lint precision" table).
-The difftest sweep backing PR 3's oracle-validation acceptance (every
-dynamically witnessed pointer bug covered by a finding) is part of the
-``difftest_sweep`` stats via the ``lint_soundness`` check.
+* ``tables`` — embed ``benchmarks/out/*.txt`` into EXPERIMENTS.md.
+* ``pr1`` — ``BENCH_PR1.json``: deduplicated worklist vs seed
+  discipline on the largest scaling fixture.
+* ``pr2`` — ``BENCH_PR2.json``: the tracked difftest sweep.
+* ``pr3`` — ``BENCH_PR3.json``: lint layer on the scaling fixture.
+* ``pr5`` — ``BENCH_PR5.json``: the parallel/cache numbers — difftest
+  sweep serial vs ``--jobs 4`` and cold vs warm cache, the scale
+  fixture solved serially vs slice-parallel and cold vs warm cache,
+  plus the cross-job determinism check (stats documents must be equal
+  after ``strip_timing``).  ``cpu_count`` is recorded with every row:
+  on a single-core container the parallel rows are *expected* to show
+  overhead, not speedup — the numbers are honest, not aspirational.
 """
 
+import argparse
 import json
+import os
 import pathlib
 import sys
+import time
+import traceback
 
 MARKER = "## Appendix — measured tables (latest benchmark run)"
 BENCH_SCHEMA = "repro-bench/1"
+ALL_SECTIONS = ("tables", "pr1", "pr2", "pr3", "pr5")
 
 
-def collect_tables(root: pathlib.Path, out_dir: pathlib.Path) -> int:
+def _ensure_src(root: pathlib.Path) -> None:
+    if str(root / "src") not in sys.path:
+        sys.path.insert(0, str(root / "src"))
+
+
+def collect_tables(root: pathlib.Path, out_dir: pathlib.Path, args) -> None:
     experiments = root / "EXPERIMENTS.md"
     tables = []
     for path in sorted(out_dir.glob("*.txt")):
         tables.append(f"### {path.name}\n\n```\n{path.read_text().rstrip()}\n```\n")
     if not tables:
-        return 0
+        print("no tables in benchmarks/out/; skipping EXPERIMENTS.md appendix")
+        return
     text = experiments.read_text()
     if MARKER in text:
         text = text[: text.index(MARKER)].rstrip() + "\n"
     appendix = f"\n{MARKER}\n\n" + "\n".join(tables)
     experiments.write_text(text + appendix)
-    return len(tables)
+    print(f"embedded {len(tables)} tables into EXPERIMENTS.md")
 
 
 def dedup_comparison(root: pathlib.Path, out_dir: pathlib.Path) -> dict:
@@ -58,7 +62,7 @@ def dedup_comparison(root: pathlib.Path, out_dir: pathlib.Path) -> dict:
     if fragment.exists():
         return json.loads(fragment.read_text())
     # No fragment — compute inline on the largest scaling fixture.
-    sys.path.insert(0, str(root / "src"))
+    _ensure_src(root)
     from repro.bench.runner import compare_dedup
     from repro.programs import ProgramSpec, generate_program
 
@@ -70,15 +74,37 @@ def dedup_comparison(root: pathlib.Path, out_dir: pathlib.Path) -> dict:
     return compare_dedup(f"scale{target}", source, k=3).as_dict()
 
 
-def difftest_sweep(root: pathlib.Path, seeds: int = 40) -> dict:
-    """The repro-difftest/1 stats document for the tracked sweep."""
-    if str(root / "src") not in sys.path:
-        sys.path.insert(0, str(root / "src"))
+def section_pr1(root: pathlib.Path, out_dir: pathlib.Path, args) -> None:
+    comparison = dedup_comparison(root, out_dir)
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "pr": 1,
+        "description": (
+            "Deduplicated worklist vs seed discipline on the largest "
+            "scaling fixture: pops must not increase and the may-alias "
+            "sets must be node-identical."
+        ),
+        "dedup_vs_seed": comparison,
+    }
+    _write(root / "BENCH_PR1.json", payload)
+    if not comparison.get("identical_may_alias", False):
+        raise RuntimeError("dedup changed the may-alias sets — investigate")
+    if comparison["pops_dedup"] > comparison["pops_seed"]:
+        raise RuntimeError("dedup increased worklist pops — investigate")
+
+
+def difftest_sweep(root: pathlib.Path, seeds: int, jobs: int = 1, cache_dir=None) -> dict:
+    """The repro-difftest/1 stats document for one tracked sweep."""
+    _ensure_src(root)
     from repro.difftest import DifftestConfig, run_difftest_suite
 
     config = DifftestConfig()
     suite = run_difftest_suite(
-        range(1, seeds + 1), config, stop_on_failure=False
+        range(1, seeds + 1),
+        config,
+        stop_on_failure=False,
+        jobs=jobs,
+        cache_dir=cache_dir,
     )
     return {
         "schema": "repro-difftest/1",
@@ -87,17 +113,34 @@ def difftest_sweep(root: pathlib.Path, seeds: int = 40) -> dict:
             "draws": config.draws,
             "max_facts": config.max_facts,
             "seeds": seeds,
+            "jobs": jobs,
         },
         "suite": suite.stats_dict(),
         "failures": [v.as_dict() for v in suite.failures],
     }
 
 
-def lint_scale(root: pathlib.Path, target: int = 800) -> dict:
+def section_pr2(root: pathlib.Path, out_dir: pathlib.Path, args) -> None:
+    sweep = difftest_sweep(root, seeds=args.seeds)
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "pr": 2,
+        "description": (
+            "Differential-testing sweep: dynamic/exact oracle containment, "
+            "Weihl coverage and budget degradation over generated programs "
+            "(equivalent to `repro difftest --stats-json`)."
+        ),
+        "difftest": sweep,
+    }
+    _write(root / "BENCH_PR2.json", payload)
+    if sweep["suite"]["failures"]:
+        raise RuntimeError("difftest sweep found soundness violations — investigate")
+
+
+def lint_scale(root: pathlib.Path, target: int) -> dict:
     """Lint the largest scaling fixture under LR with the Weihl
     comparison: wall time, findings per detector, FP delta."""
-    if str(root / "src") not in sys.path:
-        sys.path.insert(0, str(root / "src"))
+    _ensure_src(root)
     from repro.lint import run_lint
     from repro.programs import ProgramSpec, generate_program
 
@@ -117,49 +160,10 @@ def lint_scale(root: pathlib.Path, target: int = 800) -> dict:
     }
 
 
-def main() -> None:
-    root = pathlib.Path(__file__).resolve().parents[1]
-    out_dir = root / "benchmarks" / "out"
-    out_dir.mkdir(parents=True, exist_ok=True)
-
-    n_tables = collect_tables(root, out_dir)
-    if n_tables:
-        print(f"embedded {n_tables} tables into EXPERIMENTS.md")
-    else:
-        print("no tables in benchmarks/out/; skipping EXPERIMENTS.md appendix")
-
-    comparison = dedup_comparison(root, out_dir)
+def section_pr3(root: pathlib.Path, out_dir: pathlib.Path, args) -> None:
+    sweep = difftest_sweep(root, seeds=args.seeds)
+    lint = lint_scale(root, args.scale_target)
     payload = {
-        "schema": BENCH_SCHEMA,
-        "pr": 1,
-        "description": (
-            "Deduplicated worklist vs seed discipline on the largest "
-            "scaling fixture: pops must not increase and the may-alias "
-            "sets must be node-identical."
-        ),
-        "dedup_vs_seed": comparison,
-    }
-    bench_path = root / "BENCH_PR1.json"
-    bench_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {bench_path}")
-
-    sweep = difftest_sweep(root)
-    pr2_payload = {
-        "schema": BENCH_SCHEMA,
-        "pr": 2,
-        "description": (
-            "Differential-testing sweep: dynamic/exact oracle containment, "
-            "Weihl coverage and budget degradation over generated programs "
-            "(equivalent to `repro difftest --stats-json`)."
-        ),
-        "difftest": sweep,
-    }
-    pr2_path = root / "BENCH_PR2.json"
-    pr2_path.write_text(json.dumps(pr2_payload, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {pr2_path}")
-
-    lint = lint_scale(root)
-    pr3_payload = {
         "schema": BENCH_SCHEMA,
         "pr": 3,
         "description": (
@@ -174,17 +178,261 @@ def main() -> None:
         "lint_soundness": sweep["suite"]["checks"].get("lint_soundness", {}),
         "lint_suite": sweep["suite"].get("lint", {}),
     }
-    pr3_path = root / "BENCH_PR3.json"
-    pr3_path.write_text(json.dumps(pr3_payload, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {pr3_path}")
-
-    if not comparison.get("identical_may_alias", False):
-        raise SystemExit("dedup changed the may-alias sets — investigate")
-    if comparison["pops_dedup"] > comparison["pops_seed"]:
-        raise SystemExit("dedup increased worklist pops — investigate")
+    _write(root / "BENCH_PR3.json", payload)
     if sweep["suite"]["failures"]:
-        raise SystemExit("difftest sweep found soundness violations — investigate")
+        raise RuntimeError("difftest sweep found soundness violations — investigate")
+
+
+def _difftest_rows(root: pathlib.Path, args, tmp: pathlib.Path) -> dict:
+    """Serial vs parallel, then cold vs warm cache, for one sweep."""
+    from repro.core.metrics import strip_timing
+
+    seeds = args.pr5_seeds
+    rows = []
+    t0 = time.perf_counter()
+    serial = difftest_sweep(root, seeds=seeds, jobs=1)
+    rows.append(_sweep_row("serial", jobs=1, seconds=time.perf_counter() - t0, sweep=serial))
+
+    t0 = time.perf_counter()
+    parallel = difftest_sweep(root, seeds=seeds, jobs=args.jobs)
+    rows.append(
+        _sweep_row("parallel", jobs=args.jobs, seconds=time.perf_counter() - t0, sweep=parallel)
+    )
+
+    cache_dir = tmp / "difftest-cache"
+    t0 = time.perf_counter()
+    cold = difftest_sweep(root, seeds=seeds, jobs=args.jobs, cache_dir=cache_dir)
+    rows.append(
+        _sweep_row("cold-cache", jobs=args.jobs, seconds=time.perf_counter() - t0, sweep=cold)
+    )
+    t0 = time.perf_counter()
+    warm = difftest_sweep(root, seeds=seeds, jobs=args.jobs, cache_dir=cache_dir)
+    rows.append(
+        _sweep_row("warm-cache", jobs=args.jobs, seconds=time.perf_counter() - t0, sweep=warm)
+    )
+
+    serial_doc = strip_timing(serial["suite"])
+    parallel_doc = strip_timing(parallel["suite"])
+    determinism_ok = serial_doc == parallel_doc
+    warm_solves_skipped = warm["suite"]["cache"]["hit"]
+    programs = warm["suite"]["programs"]
+    return {
+        "seeds": seeds,
+        "rows": rows,
+        "determinism_serial_equals_parallel": determinism_ok,
+        "warm_cache_skip_ratio": round(warm_solves_skipped / max(1, programs), 4),
+        "speedup_parallel_vs_serial": _speedup(rows[0], rows[1]),
+        "speedup_warm_vs_cold": _speedup(rows[2], rows[3]),
+    }
+
+
+def _sweep_row(label: str, jobs: int, seconds: float, sweep: dict) -> dict:
+    suite = sweep["suite"]
+    return {
+        "label": label,
+        "jobs": jobs,
+        "wall_seconds": round(seconds, 3),
+        "programs": suite["programs"],
+        "failures": suite["failures"],
+        "cache_hit_rate": suite["cache"]["hit_rate"],
+        "cache_hits": suite["cache"]["hit"],
+        "cache_misses": suite["cache"]["miss"],
+    }
+
+
+def _speedup(base_row: dict, new_row: dict):
+    base, new = base_row["wall_seconds"], new_row["wall_seconds"]
+    return round(base / new, 3) if new > 0 else None
+
+
+def _scale_rows(root: pathlib.Path, args, tmp: pathlib.Path) -> dict:
+    """One large program: serial solve vs slice-parallel solve, and a
+    cold vs warm cache roundtrip."""
+    _ensure_src(root)
+    from repro.cache.store import SolutionCache
+    from repro.cache.solve import solve_with_cache
+    from repro.core.analysis import analyze_program
+    from repro.frontend.semantics import parse_and_analyze
+    from repro.icfg.builder import build_icfg
+    from repro.parallel import solve_sliced
+    from repro.programs import ProgramSpec, generate_program
+
+    target = args.scale_target
+    spec = ProgramSpec.for_target_nodes("scaling", target)
+    source = generate_program(spec)
+    k = 3
+
+    def fresh():
+        analyzed = parse_and_analyze(source)
+        return analyzed, build_icfg(analyzed)
+
+    rows = []
+    analyzed, icfg = fresh()
+    t0 = time.perf_counter()
+    serial = analyze_program(analyzed, icfg, k=k, on_budget="partial")
+    rows.append(
+        {
+            "label": "serial",
+            "jobs": 1,
+            "wall_seconds": round(time.perf_counter() - t0, 3),
+            "facts": len(serial.store),
+            "cache_hit_rate": 0.0,
+        }
+    )
+
+    analyzed, icfg = fresh()
+    t0 = time.perf_counter()
+    sliced = solve_sliced(source, analyzed, icfg, k=k, jobs=args.jobs)
+    rows.append(
+        {
+            "label": "slice-parallel",
+            "jobs": args.jobs,
+            "wall_seconds": round(time.perf_counter() - t0, 3),
+            "facts": len(sliced.store),
+            "cache_hit_rate": 0.0,
+        }
+    )
+    facts_equal = {(n, repr(a), repr(p)) for (n, a, p), _ in serial.store.facts()} == {
+        (n, repr(a), repr(p)) for (n, a, p), _ in sliced.store.facts()
+    }
+
+    cache = SolutionCache(tmp / "scale-cache")
+    for label in ("cold-cache", "warm-cache"):
+        analyzed, icfg = fresh()
+        t0 = time.perf_counter()
+        _solution, status = solve_with_cache(
+            analyzed, icfg, k=k, on_budget="partial", cache=cache
+        )
+        rows.append(
+            {
+                "label": label,
+                "jobs": 1,
+                "wall_seconds": round(time.perf_counter() - t0, 3),
+                "cache_status": status,
+                "cache_hit_rate": cache.counters.hit_rate,
+            }
+        )
+
+    return {
+        "program": f"scale{target}",
+        "k": k,
+        "rows": rows,
+        "sliced_facts_equal_serial": facts_equal,
+        "speedup_parallel_vs_serial": _speedup(rows[0], rows[1]),
+        "speedup_warm_vs_cold": _speedup(rows[2], rows[3]),
+    }
+
+
+def section_pr5(root: pathlib.Path, out_dir: pathlib.Path, args) -> None:
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-pr5-") as tmp_name:
+        tmp = pathlib.Path(tmp_name)
+        difftest = _difftest_rows(root, args, tmp)
+        scale = _scale_rows(root, args, tmp)
+
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "pr": 5,
+        "description": (
+            "Parallel sharded driver + content-addressed result cache: "
+            "difftest sweep and the scaling fixture, serial vs --jobs N "
+            "and cold vs warm cache.  Wall-clock speedups are "
+            "hardware-bound — cpu_count below is what the numbers were "
+            "measured on; with one core the process pool and the slice "
+            "closure add overhead by construction, and the cache rows "
+            "carry the repeat-run speedup instead."
+        ),
+        "cpu_count": os.cpu_count(),
+        "jobs": args.jobs,
+        "difftest_sweep": difftest,
+        "scale_fixture": scale,
+    }
+    _write(root / "BENCH_PR5.json", payload)
+    if not difftest["determinism_serial_equals_parallel"]:
+        raise RuntimeError("parallel sweep stats differ from serial — investigate")
+    if not scale["sliced_facts_equal_serial"]:
+        raise RuntimeError("sliced solve diverged from serial — investigate")
+    if difftest["warm_cache_skip_ratio"] < 0.9:
+        raise RuntimeError(
+            f"warm cache skipped only {difftest['warm_cache_skip_ratio']:.0%} "
+            "of solves (acceptance: >= 90%)"
+        )
+
+
+def _write(path: pathlib.Path, payload: dict) -> None:
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+
+
+SECTION_RUNNERS = {
+    "tables": collect_tables,
+    "pr1": section_pr1,
+    "pr2": section_pr2,
+    "pr3": section_pr3,
+    "pr5": section_pr5,
+}
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sections",
+        default=",".join(ALL_SECTIONS),
+        help=f"comma-separated subset of {ALL_SECTIONS} (default: all)",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=40,
+        help="difftest sweep size for pr2/pr3 (default 40)",
+    )
+    parser.add_argument(
+        "--pr5-seeds",
+        type=int,
+        default=12,
+        help="difftest sweep size for the pr5 serial/parallel rows (default 12)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=4,
+        help="job count for the pr5 parallel rows (default 4)",
+    )
+    parser.add_argument(
+        "--scale-target",
+        type=int,
+        default=800,
+        help="scaling-fixture node target for pr3/pr5 (default 800)",
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    sections = [s.strip() for s in args.sections.split(",") if s.strip()]
+    unknown = [s for s in sections if s not in SECTION_RUNNERS]
+    if unknown:
+        print(f"unknown sections: {unknown} (expected {ALL_SECTIONS})")
+        return 2
+
+    root = pathlib.Path(__file__).resolve().parents[1]
+    out_dir = root / "benchmarks" / "out"
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    failed = []
+    for section in sections:
+        try:
+            SECTION_RUNNERS[section](root, out_dir, args)
+        except Exception as exc:
+            failed.append(section)
+            print(f"section {section} FAILED: {exc}")
+            traceback.print_exc()
+    if failed:
+        print(f"failed sections: {', '.join(failed)}")
+        return 1
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

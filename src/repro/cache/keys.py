@@ -1,0 +1,74 @@
+"""Cache keys: canonical IR hash + solve configuration + code version.
+
+A cache entry must be invalidated by exactly the inputs that can change
+the solution:
+
+* the program itself — hashed over the *pretty-printed parse tree*, so
+  formatting, comments and re-parses of identical source hit, while any
+  change to one IR statement misses;
+* the k-limit;
+* the engine configuration (fact budget, worklist discipline) — a
+  complete fixpoint is in fact independent of ``max_facts``, but keying
+  on the configuration keeps the invariant trivially auditable and
+  matches the stats the entry reproduces;
+* the solver code version (:data:`ENGINE_CODE_VERSION`), bumped
+  whenever the engine's semantics or the serialization change.
+
+``deadline_seconds`` is deliberately *not* part of the key: it is a
+wall-clock bound, and only complete solutions (which never hit it) are
+ever stored.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Optional
+
+from ..frontend.printer import print_program
+from ..frontend.semantics import AnalyzedProgram
+
+#: Bump on any change to the solver's semantics or to the serialized
+#: solution format; every bump orphans old entries (they simply stop
+#: being addressed — ``repro cache clear`` reclaims the space).
+ENGINE_CODE_VERSION = "lr-engine/5.1"
+
+
+def canonical_program_text(analyzed: AnalyzedProgram) -> str:
+    """The pretty-printed parse tree: the canonical spelling of the
+    program's IR (whitespace- and comment-insensitive)."""
+    return print_program(analyzed.ast)
+
+
+def canonical_ir_hash(analyzed: AnalyzedProgram) -> str:
+    """SHA-256 over the canonical program text."""
+    text = canonical_program_text(analyzed)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def engine_config_dict(
+    max_facts: Optional[int] = None, dedup: bool = True
+) -> dict:
+    """The engine-configuration fragment of the key."""
+    return {"max_facts": max_facts, "dedup": bool(dedup)}
+
+
+def entry_key(
+    ir_hash: str,
+    k: int,
+    engine_config: dict,
+    code_version: str = ENGINE_CODE_VERSION,
+) -> str:
+    """The content address: SHA-256 over the canonical JSON encoding of
+    every key input."""
+    payload = json.dumps(
+        {
+            "ir": ir_hash,
+            "k": k,
+            "engine": engine_config,
+            "code": code_version,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -1,0 +1,216 @@
+"""Cache-aware solving: the bridge between the engine and the store.
+
+``solve_with_cache`` is what the sweep drivers call instead of
+:func:`repro.core.analysis.analyze_program`.  On a hit the solution is
+rebuilt from the envelope (full store, assumptions, original engine
+counters — so warm-run statistics match the cold run byte-for-byte
+modulo wall-clock fields); on a miss the engine runs and, when the
+solution is complete, the envelope is persisted.  Partial (budget-
+truncated) solutions are returned to the caller but never cached:
+their content depends on the budget and on timing.
+
+``verify_cache`` re-solves a sample of stored entries from the
+canonical program text embedded in each envelope and diffs the facts —
+the ``repro cache verify`` subcommand.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Optional
+
+from ..core.analysis import analyze_program
+from ..core.metrics import PhaseTimer
+from ..core.solution import MayAliasSolution
+from ..frontend.semantics import AnalyzedProgram, parse_and_analyze
+from ..icfg.builder import build_icfg
+from ..icfg.graph import ICFG
+from ..io import rebuild_solution, solution_to_dict
+from .keys import (
+    ENGINE_CODE_VERSION,
+    canonical_program_text,
+    engine_config_dict,
+    entry_key,
+)
+from .store import CACHE_ENTRY_SCHEMA, SolutionCache
+
+#: Lookup outcomes reported by :func:`solve_with_cache`.
+STATUS_OFF = "off"
+STATUS_HIT = "hit"
+STATUS_MISS = "miss"
+STATUS_UNCACHEABLE = "uncacheable"  # solved, but partial: not stored
+
+
+def make_envelope(
+    key: str,
+    program_text: str,
+    ir_hash: str,
+    k: int,
+    engine_config: dict,
+    solution: MayAliasSolution,
+) -> dict:
+    """The JSON envelope one cache entry stores."""
+    return {
+        "schema": CACHE_ENTRY_SCHEMA,
+        "key": key,
+        "inputs": {
+            "ir_hash": ir_hash,
+            "k": k,
+            "engine": dict(engine_config),
+            "code_version": ENGINE_CODE_VERSION,
+        },
+        "program": program_text,
+        "solution": solution_to_dict(solution, include_report=True),
+    }
+
+
+def solve_with_cache(
+    analyzed: AnalyzedProgram,
+    icfg: ICFG,
+    k: int,
+    max_facts: Optional[int] = None,
+    deadline_seconds: Optional[float] = None,
+    on_budget: str = "partial",
+    dedup: bool = True,
+    cache: Optional[SolutionCache] = None,
+    timer: Optional[PhaseTimer] = None,
+) -> tuple[MayAliasSolution, str]:
+    """Solve (or reload) the may-alias solution for one program.
+
+    Returns ``(solution, status)`` with status one of ``"off"``,
+    ``"hit"``, ``"miss"`` or ``"uncacheable"``."""
+    if cache is None:
+        solution = analyze_program(
+            analyzed,
+            icfg,
+            k=k,
+            max_facts=max_facts,
+            deadline_seconds=deadline_seconds,
+            on_budget=on_budget,
+            dedup=dedup,
+            timer=timer,
+        )
+        return solution, STATUS_OFF
+
+    text = canonical_program_text(analyzed)
+    ir_hash = hashlib.sha256(text.encode("utf-8")).hexdigest()
+    config = engine_config_dict(max_facts=max_facts, dedup=dedup)
+    key = entry_key(ir_hash, k, config)
+
+    envelope = cache.get(key)
+    if envelope is not None:
+        try:
+            solution = rebuild_solution(envelope["solution"], analyzed, icfg)
+            return solution, STATUS_HIT
+        except (KeyError, ValueError, TypeError):
+            # Schema drift inside an otherwise well-formed envelope:
+            # drop it and fall through to a fresh solve.
+            cache.counters.corrupt_dropped += 1
+            cache.counters.hits -= 1
+            cache.counters.misses += 1
+            try:
+                cache.entry_path(key).unlink()
+            except OSError:
+                pass
+
+    solution = analyze_program(
+        analyzed,
+        icfg,
+        k=k,
+        max_facts=max_facts,
+        deadline_seconds=deadline_seconds,
+        on_budget=on_budget,
+        dedup=dedup,
+        timer=timer,
+    )
+    if not solution.complete:
+        return solution, STATUS_UNCACHEABLE
+    cache.put(key, make_envelope(key, text, ir_hash, k, config, solution))
+    return solution, STATUS_MISS
+
+
+def verify_cache(
+    cache: SolutionCache, sample: Optional[int] = None
+) -> tuple[int, list[str]]:
+    """Re-solve a sample of cached entries and diff against the stored
+    solutions.  Returns ``(entries_checked, problems)`` — an empty
+    problem list means every checked entry reproduces exactly.
+
+    Entries are taken in deterministic (sorted-path) order; ``sample``
+    bounds how many are re-solved (None = all)."""
+    problems: list[str] = []
+    checked = 0
+    for path in cache.iter_paths():
+        if sample is not None and checked >= sample:
+            break
+        try:
+            envelope = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            problems.append(f"{path.name}: unreadable entry")
+            checked += 1
+            continue
+        try:
+            program = envelope["program"]
+            inputs = envelope["inputs"]
+            stored = envelope["solution"]
+            k = int(inputs["k"])
+            engine = inputs["engine"]
+        except (KeyError, TypeError, ValueError):
+            problems.append(f"{path.name}: malformed envelope")
+            checked += 1
+            continue
+        checked += 1
+        if inputs.get("code_version") != ENGINE_CODE_VERSION:
+            problems.append(
+                f"{path.name}: stale code version "
+                f"{inputs.get('code_version')!r} (current {ENGINE_CODE_VERSION!r})"
+            )
+            continue
+        try:
+            analyzed = parse_and_analyze(program)
+            icfg = build_icfg(analyzed)
+            fresh = analyze_program(
+                analyzed,
+                icfg,
+                k=k,
+                max_facts=engine.get("max_facts"),
+                dedup=bool(engine.get("dedup", True)),
+                on_budget="partial",
+            )
+        except Exception as exc:
+            problems.append(f"{path.name}: re-solve failed: {exc}")
+            continue
+        if not fresh.complete:
+            problems.append(f"{path.name}: re-solve hit its budget")
+            continue
+        fresh_doc = solution_to_dict(fresh)
+        stored_facts = _fact_set(stored)
+        fresh_facts = _fact_set(fresh_doc)
+        if stored_facts != fresh_facts:
+            missing = len(stored_facts - fresh_facts)
+            extra = len(fresh_facts - stored_facts)
+            problems.append(
+                f"{path.name}: solution drift — {missing} stored facts "
+                f"not re-derived, {extra} new facts"
+            )
+    return checked, problems
+
+
+def _fact_set(document: dict) -> set[tuple]:
+    """Hashable view of a serialized solution's facts."""
+
+    def freeze(value: object) -> object:
+        if isinstance(value, list):
+            return tuple(freeze(item) for item in value)
+        return value
+
+    return {
+        (
+            fact["node"],
+            freeze(fact["assume"]),
+            freeze(fact["pair"]),
+            fact["clean"],
+        )
+        for fact in document["facts"]
+    }

@@ -1,5 +1,6 @@
-"""Command-line interface: ``repro analyze [options] file.c``,
-``repro lint [options] file.c`` and ``repro difftest [options]``.
+"""Command-line interface: ``repro analyze [options] file.c ...``,
+``repro lint [options] file.c ...``, ``repro difftest [options]`` and
+``repro cache {stats,verify,clear}``.
 
 ``analyze`` (the leading subcommand word is optional, so the
 historical ``repro-aliases file.c`` spelling keeps working) analyzes a
@@ -21,6 +22,19 @@ programs by default, or ``--replay file.c ...`` for corpus entries.
 A soundness violation prints a readable diff report, shrinks the
 program, persists it under the corpus directory, and exits with
 status 3 (distinct from the usual error statuses).
+
+``analyze``, ``lint`` and ``difftest`` all accept ``--jobs N`` (shard
+the work across a process pool via :mod:`repro.parallel`; results
+merge in deterministic unit order, and a crashed or timed-out shard
+degrades to a partial outcome instead of hanging the run) and
+``--cache-dir DIR`` (reload unchanged programs from the
+content-addressed result cache, :mod:`repro.cache`, instead of
+re-solving).  ``analyze`` and ``lint`` accept multiple files and then
+print one summary per file plus an aggregated multi-file stats
+document.  ``repro cache`` administers a cache directory: ``stats``
+prints the ``repro-cache/1`` document, ``verify`` re-solves a sample
+of entries and diffs them against the stored solutions (exit 1 on any
+drift), and ``clear`` deletes the entries.
 """
 
 from __future__ import annotations
@@ -48,7 +62,14 @@ def build_parser() -> argparse.ArgumentParser:
             "(Landi & Ryder, PLDI 1992)"
         ),
     )
-    parser.add_argument("file", help="MiniC source file ('-' for stdin)")
+    parser.add_argument(
+        "file",
+        nargs="+",
+        help=(
+            "MiniC source file(s) ('-' for stdin); several files run "
+            "as a sweep (see --jobs)"
+        ),
+    )
     parser.add_argument(
         "-k",
         type=int,
@@ -104,7 +125,34 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="export the full solution as JSON (see repro.io)",
     )
+    add_parallel_arguments(parser)
     return parser
+
+
+def add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
+    """The ``--jobs`` / ``--cache-dir`` pair shared by every sweeping
+    subcommand (see docs/PARALLEL.md)."""
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for sweeps (and, for a single analyze "
+            "target, parallel seed-slice solving); results merge in "
+            "deterministic unit order, so every N prints the same "
+            "report (default 1)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help=(
+            "content-addressed result cache: solved solutions are "
+            "keyed by canonical IR + k + engine config and reloaded "
+            "instead of re-solved (see 'repro cache --help')"
+        ),
+    )
 
 
 #: Exit status for a confirmed soundness violation found by
@@ -131,8 +179,11 @@ def build_lint_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "file",
-        nargs="?",
-        help="MiniC source file ('-' for stdin; optional with --self-check)",
+        nargs="*",
+        help=(
+            "MiniC source file(s) ('-' for stdin; optional with "
+            "--self-check); several files run as a sweep (see --jobs)"
+        ),
     )
     parser.add_argument(
         "-k", type=int, default=3, help="k-limit for object names (default 3)"
@@ -195,6 +246,7 @@ def build_lint_parser() -> argparse.ArgumentParser:
             "verify structural invariants (CI smoke target)"
         ),
     )
+    add_parallel_arguments(parser)
     return parser
 
 
@@ -225,18 +277,28 @@ def lint_main(argv: list[str]) -> int:
     if not args.file:
         print("error: a source file is required (or --self-check)", file=sys.stderr)
         return 2
-    if args.file == "-":
+
+    if len(args.file) > 1:
+        return _lint_sweep(args)
+
+    file = args.file[0]
+    if file == "-":
         source = sys.stdin.read()
         filename = "<stdin>"
     else:
         try:
-            with open(args.file) as handle:
+            with open(file) as handle:
                 source = handle.read()
         except OSError as err:
             print(f"error: {err}", file=sys.stderr)
             return 2
-        filename = args.file
+        filename = file
 
+    cache = None
+    if args.cache_dir:
+        from .cache.store import SolutionCache
+
+        cache = SolutionCache(args.cache_dir)
     try:
         report = run_lint(
             source,
@@ -245,6 +307,7 @@ def lint_main(argv: list[str]) -> int:
             k=args.k,
             max_facts=args.max_facts,
             filename=filename,
+            cache=cache,
         )
     except MiniCError as err:
         print(f"error: {err}", file=sys.stderr)
@@ -275,6 +338,95 @@ def lint_main(argv: list[str]) -> int:
         threshold = SEVERITIES.index(args.fail_on)
         worst = report.max_severity()
         if worst is not None and SEVERITIES.index(worst) <= threshold:
+            return EXIT_LINT_FINDINGS
+    return 0
+
+
+def _lint_sweep(args) -> int:
+    """Multi-file ``repro lint``: one sharded unit per file, reports
+    printed in argument order, one aggregated stats document."""
+    from .lint.findings import SEVERITIES
+    from .parallel import run_sharded
+    from .parallel.units import lint_file_unit
+
+    payloads = []
+    for path in args.file:
+        try:
+            with open(path) as handle:
+                source = handle.read()
+        except OSError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
+        payloads.append(
+            {
+                "path": path,
+                "source": source,
+                "k": args.k,
+                "max_facts": args.max_facts,
+                "provider": args.provider,
+                "compare_with": "weihl" if args.compare_weihl else None,
+                "format": args.format,
+                "show_witnesses": not args.no_witnesses,
+                "cache_dir": args.cache_dir,
+            }
+        )
+
+    outcomes = run_sharded(lint_file_unit, payloads, jobs=args.jobs)
+    worst: Optional[str] = None
+    failed_shards = 0
+    files_stats = []
+    cache_totals: dict[str, int] = {}
+    for payload, outcome in zip(payloads, outcomes):
+        if not outcome.ok:
+            failed_shards += 1
+            print(
+                f"error: {payload['path']}: shard {outcome.status}: "
+                f"{outcome.error}",
+                file=sys.stderr,
+            )
+            files_stats.append(
+                {"file": payload["path"], "shard": outcome.as_dict()}
+            )
+            continue
+        result = outcome.value
+        print(f"== {result['path']} ==")
+        print(result["rendered"])
+        files_stats.append({"file": result["path"], **result["stats"]})
+        for key, value in (result.get("cache_counters") or {}).items():
+            cache_totals[key] = cache_totals.get(key, 0) + value
+        severity = result["max_severity"]
+        if severity is not None and (
+            worst is None or SEVERITIES.index(severity) < SEVERITIES.index(worst)
+        ):
+            worst = severity
+
+    if args.stats_json:
+        document = json.dumps(
+            {
+                "schema": "repro-lint-multi/1",
+                "files": files_stats,
+                "jobs": args.jobs,
+                "failed_shards": failed_shards,
+                "cache": cache_totals or None,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        if args.stats_json == "-":
+            print(document)
+        else:
+            try:
+                with open(args.stats_json, "w") as handle:
+                    handle.write(document + "\n")
+            except OSError as err:
+                print(f"error: {err}", file=sys.stderr)
+                return 2
+            print(f"stats written to {args.stats_json}", file=sys.stderr)
+
+    if failed_shards:
+        return 1
+    if args.fail_on != "never" and worst is not None:
+        if SEVERITIES.index(worst) <= SEVERITIES.index(args.fail_on):
             return EXIT_LINT_FINDINGS
     return 0
 
@@ -344,6 +496,7 @@ def build_difftest_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write suite statistics as JSON (repro-difftest/1; '-' for stdout)",
     )
+    add_parallel_arguments(parser)
     return parser
 
 
@@ -371,23 +524,57 @@ def difftest_main(argv: list[str]) -> int:
     )
 
     if args.replay:
-        suite = SuiteResult()
+        sources = []
         for path in args.replay:
             try:
-                source = Path(path).read_text()
+                sources.append((path, Path(path).read_text()))
             except OSError as err:
                 print(f"error: {err}", file=sys.stderr)
                 return 2
-            try:
-                verdict = difftest_source(source, config, name=path)
-            except MiniCError as err:
-                print(f"error: {path}: {err}", file=sys.stderr)
-                return 1
-            suite.verdicts.append(verdict)
-            suite.seconds += verdict.seconds
+        suite = SuiteResult()
+        if args.jobs > 1 and len(sources) > 1:
+            from .difftest.harness import degraded_verdict
+            from .parallel import run_sharded
+            from .parallel.units import difftest_replay_unit
+
+            payloads = [
+                {
+                    "path": path,
+                    "source": source,
+                    "config": config,
+                    "cache_dir": args.cache_dir,
+                }
+                for path, source in sources
+            ]
+            outcomes = run_sharded(difftest_replay_unit, payloads, jobs=args.jobs)
+            for (path, source), outcome in zip(sources, outcomes):
+                if outcome.ok:
+                    verdict = outcome.value["verdict"]
+                else:
+                    verdict = degraded_verdict(
+                        path, source, config.k, outcome.as_dict()
+                    )
+                suite.verdicts.append(verdict)
+                suite.seconds += verdict.seconds
+        else:
+            cache = None
+            if args.cache_dir:
+                from .cache.store import SolutionCache
+
+                cache = SolutionCache(args.cache_dir)
+            for path, source in sources:
+                try:
+                    verdict = difftest_source(source, config, name=path, cache=cache)
+                except MiniCError as err:
+                    print(f"error: {path}: {err}", file=sys.stderr)
+                    return 1
+                suite.verdicts.append(verdict)
+                suite.seconds += verdict.seconds
     else:
         seeds = range(args.seed_start, args.seed_start + args.seeds)
-        suite = run_difftest_suite(seeds, config)
+        suite = run_difftest_suite(
+            seeds, config, jobs=args.jobs, cache_dir=args.cache_dir
+        )
 
     stats = {
         "schema": "repro-difftest/1",
@@ -396,6 +583,8 @@ def difftest_main(argv: list[str]) -> int:
             "draws": config.draws,
             "max_facts": config.max_facts,
             "deadline_seconds": config.deadline_seconds,
+            "jobs": args.jobs,
+            "cache_dir": args.cache_dir,
         },
         "suite": suite.stats_dict(),
         "failures": [v.as_dict() for v in suite.failures],
@@ -466,6 +655,175 @@ def difftest_main(argv: list[str]) -> int:
     return EXIT_SOUNDNESS_VIOLATION if not suite.ok else 0
 
 
+def build_cache_parser() -> argparse.ArgumentParser:
+    """Argparse definition for ``repro cache``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-aliases cache",
+        description=(
+            "Inspect and maintain a content-addressed solution cache "
+            "(see docs/PARALLEL.md)"
+        ),
+    )
+    parser.add_argument(
+        "action",
+        choices=("stats", "clear", "verify"),
+        help=(
+            "stats: print the repro-cache/1 document; clear: delete "
+            "every entry; verify: re-solve stored entries from their "
+            "embedded canonical program and diff the solutions"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        required=True,
+        metavar="DIR",
+        help="cache directory (the same value passed to the sweeps)",
+    )
+    parser.add_argument(
+        "--sample",
+        type=int,
+        default=None,
+        metavar="N",
+        help="verify: bound how many entries are re-solved (default all)",
+    )
+    return parser
+
+
+def cache_main(argv: list[str]) -> int:
+    """``repro cache``: stats / clear / verify for one cache directory."""
+    from .cache.solve import verify_cache
+    from .cache.store import SolutionCache
+
+    args = build_cache_parser().parse_args(argv)
+    cache = SolutionCache(args.cache_dir)
+    if args.action == "stats":
+        print(json.dumps(cache.stats_dict(), indent=2, sort_keys=True))
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cache cleared: {removed} entries removed")
+        return 0
+    checked, problems = verify_cache(cache, sample=args.sample)
+    for problem in problems:
+        print(f"verify: {problem}", file=sys.stderr)
+    print(
+        f"cache verify: {checked} entries re-solved, "
+        f"{len(problems)} problems"
+    )
+    return 1 if problems else 0
+
+
+def _analyze_sweep(args) -> int:
+    """Multi-file ``repro analyze``: one sharded unit per file, a
+    one-line summary per file, one aggregated stats document."""
+    from .core.metrics import EngineReport
+    from .parallel import run_sharded
+    from .parallel.units import analyze_file_unit
+
+    for flag, name in (
+        (args.dot, "--dot"),
+        (args.per_node, "--per-node"),
+        (args.program_aliases, "--program-aliases"),
+        (args.weihl, "--weihl"),
+        (args.json, "--json"),
+    ):
+        if flag:
+            print(f"error: {name} requires a single input file", file=sys.stderr)
+            return 2
+
+    payloads = []
+    for path in args.file:
+        if path == "-":
+            print("error: '-' (stdin) requires a single input file", file=sys.stderr)
+            return 2
+        try:
+            with open(path) as handle:
+                source = handle.read()
+        except OSError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
+        payloads.append(
+            {
+                "path": path,
+                "source": source,
+                "k": args.k,
+                "max_facts": args.max_facts,
+                "deadline_seconds": args.deadline_seconds,
+                "cache_dir": args.cache_dir,
+            }
+        )
+
+    outcomes = run_sharded(analyze_file_unit, payloads, jobs=args.jobs)
+    files_stats = []
+    reports = []
+    cache_totals: dict[str, int] = {}
+    failed = 0
+    incomplete = 0
+    for payload, outcome in zip(payloads, outcomes):
+        if not outcome.ok:
+            failed += 1
+            print(
+                f"error: {payload['path']}: shard {outcome.status}: "
+                f"{outcome.error}",
+                file=sys.stderr,
+            )
+            files_stats.append({"file": payload["path"], "shard": outcome.as_dict()})
+            continue
+        result = outcome.value
+        for diag in result["diagnostics"]:
+            print(diag, file=sys.stderr)
+        stats = result["stats"]
+        solution = stats["solution"]
+        cache_note = (
+            f"  [cache {result['cache']}]" if result["cache"] != "off" else ""
+        )
+        print(
+            f"{result['path']}: nodes={solution['icfg_nodes']} "
+            f"facts={solution['may_hold_facts']} "
+            f"aliases={solution['program_alias_count']} "
+            f"%YES={solution['percent_yes']:.1f} "
+            f"time={solution['analysis_seconds']:.3f}s{cache_note}"
+        )
+        if not result["complete"]:
+            incomplete += 1
+            print(
+                f"error: {result['path']}: analysis exceeded its "
+                f"{stats['budget']['reason']} budget; partial, all-tainted "
+                "solution reported",
+                file=sys.stderr,
+            )
+        files_stats.append({"file": result["path"], "cache": result["cache"], **stats})
+        reports.append(EngineReport.from_dict(stats["engine"]))
+        for key, value in (result.get("cache_counters") or {}).items():
+            cache_totals[key] = cache_totals.get(key, 0) + value
+
+    if args.stats_json:
+        document = json.dumps(
+            {
+                "schema": "repro-stats-multi/1",
+                "jobs": args.jobs,
+                "files": files_stats,
+                "engine": EngineReport.aggregate(reports).as_dict(),
+                "cache": cache_totals or None,
+                "failed_shards": failed,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        if args.stats_json == "-":
+            print(document)
+        else:
+            try:
+                with open(args.stats_json, "w") as handle:
+                    handle.write(document + "\n")
+            except OSError as err:
+                print(f"error: {err}", file=sys.stderr)
+                return 2
+            print(f"stats written to {args.stats_json}", file=sys.stderr)
+
+    return 1 if (failed or incomplete) else 0
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     """Entry point; returns a process exit status."""
     if argv is None:
@@ -474,20 +832,25 @@ def main(argv: Optional[list[str]] = None) -> int:
         return difftest_main(argv[1:])
     if argv and argv[0] == "lint":
         return lint_main(argv[1:])
+    if argv and argv[0] == "cache":
+        return cache_main(argv[1:])
     if argv and argv[0] == "analyze":
         argv = argv[1:]
     args = build_parser().parse_args(argv)
-    if args.file == "-":
+    if len(args.file) > 1:
+        return _analyze_sweep(args)
+    file = args.file[0]
+    if file == "-":
         source = sys.stdin.read()
         filename = "<stdin>"
     else:
         try:
-            with open(args.file) as handle:
+            with open(file) as handle:
                 source = handle.read()
         except OSError as err:
             print(f"error: {err}", file=sys.stderr)
             return 2
-        filename = args.file
+        filename = file
     timer = PhaseTimer()
     try:
         with timer.phase(PHASE_PARSE):
@@ -496,16 +859,55 @@ def main(argv: Optional[list[str]] = None) -> int:
             icfg = build_icfg(analyzed)
         if args.dot:
             print(to_dot(icfg))
-            return 0
-        solution = analyze_program(
-            analyzed,
-            icfg,
-            k=args.k,
-            max_facts=args.max_facts,
-            deadline_seconds=args.deadline_seconds,
-            on_budget="partial",
-            timer=timer,
-        )
+            wants_solution = (
+                args.json
+                or args.stats_json
+                or args.per_node
+                or args.program_aliases
+                or args.weihl
+            )
+            if not wants_solution:
+                # Plain --dot stays pipeable into graphviz: graph only,
+                # no solve, no summary.
+                return 0
+        if args.cache_dir:
+            from .cache.solve import solve_with_cache
+            from .cache.store import SolutionCache
+
+            solution, _status = solve_with_cache(
+                analyzed,
+                icfg,
+                k=args.k,
+                max_facts=args.max_facts,
+                deadline_seconds=args.deadline_seconds,
+                on_budget="partial",
+                cache=SolutionCache(args.cache_dir),
+                timer=timer,
+            )
+        elif args.jobs > 1:
+            from .parallel import solve_sliced
+
+            solution = solve_sliced(
+                source,
+                analyzed,
+                icfg,
+                k=args.k,
+                jobs=args.jobs,
+                max_facts=args.max_facts,
+                deadline_seconds=args.deadline_seconds,
+                on_budget="partial",
+                timer=timer,
+            )
+        else:
+            solution = analyze_program(
+                analyzed,
+                icfg,
+                k=args.k,
+                max_facts=args.max_facts,
+                deadline_seconds=args.deadline_seconds,
+                on_budget="partial",
+                timer=timer,
+            )
     except MiniCError as err:
         print(f"error: {err}", file=sys.stderr)
         return 1

@@ -115,3 +115,13 @@ def normalize_tokens(pair: AliasPair) -> AliasPair:
     facts carry ``$nv2`` in their second assumed pair; joins must
     normalize before registry lookups."""
     return _retag_pair(pair, 1)
+
+
+def second_token_form(pair: AliasPair) -> AliasPair:
+    """Rewrite any nonvisible token in ``pair`` to ``$nv2`` — the form
+    the *second* assumed pair of a two-assumption fact carries.  The
+    reverse matching at call sites must look up waiting exit facts
+    under this form as well as the ``$nv1`` form, or a record that
+    arrives after a two-assumption exit fact never re-triggers its
+    join (the fixpoint would then depend on processing order)."""
+    return _retag_pair(pair, 2)

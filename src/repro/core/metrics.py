@@ -16,7 +16,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterable, Iterator, Optional
 
 # Canonical phase names, in pipeline order.
 PHASE_PARSE = "parse"
@@ -63,6 +63,13 @@ class PhaseTimer:
         """Phase -> seconds snapshot."""
         return dict(self.phases)
 
+    def merge(self, other: "PhaseTimer | dict[str, float]") -> None:
+        """Accumulate another timer's phases into this one (used when a
+        sharded run aggregates per-shard timings)."""
+        phases = other.phases if isinstance(other, PhaseTimer) else other
+        for name, seconds in phases.items():
+            self.record(name, seconds)
+
 
 @dataclass(slots=True)
 class BudgetOutcome:
@@ -88,6 +95,18 @@ class BudgetOutcome:
             "deadline_seconds": self.deadline_seconds,
             "demoted_facts": self.demoted_facts,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BudgetOutcome":
+        """Inverse of :meth:`as_dict` (unknown keys are ignored so old
+        serialized documents keep loading)."""
+        outcome = cls()
+        outcome.exceeded = bool(data.get("exceeded", False))
+        outcome.reason = data.get("reason")
+        outcome.max_facts = data.get("max_facts")
+        outcome.deadline_seconds = data.get("deadline_seconds")
+        outcome.demoted_facts = int(data.get("demoted_facts", 0))
+        return outcome
 
 
 @dataclass(slots=True)
@@ -128,6 +147,66 @@ class EngineReport:
             "interned_pairs": self.interned_pairs,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "EngineReport":
+        """Inverse of :meth:`as_dict`; unknown keys are ignored."""
+        report = cls()
+        for name in report.__dataclass_fields__:
+            if name in data:
+                setattr(report, name, int(data[name]))
+        return report
+
+    def add(self, other: "EngineReport") -> None:
+        """Accumulate another report's counters into this one.
+
+        Intern-table sizes are process-global gauges, not flow counters,
+        so aggregation takes their max rather than their sum."""
+        gauges = ("interned_names", "interned_pairs")
+        for name in self.__dataclass_fields__:
+            ours, theirs = getattr(self, name), getattr(other, name)
+            if name in gauges:
+                setattr(self, name, max(ours, theirs))
+            else:
+                setattr(self, name, ours + theirs)
+
+    @classmethod
+    def aggregate(cls, reports: "Iterable[EngineReport]") -> "EngineReport":
+        """Sum per-shard reports into one suite-level report."""
+        total = cls()
+        for report in reports:
+            total.add(report)
+        return total
+
+
+#: Keys that hold wall-clock measurements in the stats documents this
+#: package emits (``repro-stats/1``, ``repro-difftest/1``,
+#: ``repro-lint/1``).  Two runs of the same work are byte-identical
+#: *modulo these fields* — tests and the benchmark harness strip them
+#: before comparing documents.
+TIMING_KEYS = frozenset(
+    {
+        "seconds",
+        "analysis_seconds",
+        "lint_seconds",
+        "phases",
+        "created_at",
+    }
+)
+
+
+def strip_timing(value):
+    """Recursively drop wall-clock fields (:data:`TIMING_KEYS`) from a
+    JSON-able stats document, returning a comparable copy."""
+    if isinstance(value, dict):
+        return {
+            key: strip_timing(item)
+            for key, item in value.items()
+            if key not in TIMING_KEYS
+        }
+    if isinstance(value, list):
+        return [strip_timing(item) for item in value]
+    return value
+
 
 __all__ = [
     "BudgetOutcome",
@@ -138,4 +217,6 @@ __all__ = [
     "PHASE_POST",
     "PHASE_PROPAGATE",
     "PhaseTimer",
+    "TIMING_KEYS",
+    "strip_timing",
 ]

@@ -203,6 +203,16 @@ class MayHoldStore:
         self._popped_taint.clear()
         return demoted
 
+    def clear_worklist(self) -> None:
+        """Drop pending worklist entries without touching the facts.
+
+        Used when a store is rebuilt from a serialized solution for
+        query-only use (nothing will ever drain the queue) — the facts,
+        indexes and taint states are already final."""
+        self._worklist.clear()
+        self._pending.clear()
+        self._popped_taint.clear()
+
     @property
     def pending(self) -> int:
         """Worklist length."""

@@ -87,10 +87,18 @@ class MayHoldAnalysis:
         deadline_seconds: Optional[float] = None,
         dedup: bool = True,
         timer: Optional[PhaseTimer] = None,
+        seed_nodes: Optional[frozenset[int]] = None,
     ) -> None:
         self.analyzed = analyzed
         self.icfg = icfg
         self.k = k
+        #: When set, initialization only introduces facts at these
+        #: nodes — the per-slice mode of :mod:`repro.parallel.slices`.
+        #: Every slice's fixpoint is a sound subset of the full one
+        #: (its derivations are ordinary full-program derivations); the
+        #: closure pass re-runs with ``seed_nodes=None`` over the
+        #: merged warm store to finish cross-slice joins.
+        self.seed_nodes = seed_nodes
         self.ctx = NameContext(analyzed.symbols, k)
         self.store = MayHoldStore(dedup=dedup)
         self.transfer = AssignTransfer(self.store, self.ctx)
@@ -124,6 +132,8 @@ class MayHoldAnalysis:
 
     def _initialize(self) -> None:
         for node in self.icfg.nodes:
+            if self.seed_nodes is not None and node.nid not in self.seed_nodes:
+                continue
             if node.is_pointer_assignment:
                 assert isinstance(node.stmt, PtrAssign)
                 self.transfer.intro(node.nid, node.stmt)
@@ -261,11 +271,21 @@ class MayHoldAnalysis:
             # Reverse matching: exit facts that already assumed this
             # bound alias can now be joined to our return node.  This
             # runs on every (re)processing so taint upgrades of the call
-            # fact propagate to the return as well.
+            # fact propagate to the return as well.  Two-assumption
+            # exit facts carry their second assumed pair in $nv2 form,
+            # so the lookup must cover both token forms — otherwise a
+            # record arriving after such an exit fact never re-triggers
+            # the join and the fixpoint depends on processing order.
             for exit_aa, exit_pair in self.store.at_node_assuming(
                 exit_node.nid, bound.entry_pair
             ):
                 self._join_return(call, exit_node, exit_aa, exit_pair)
+            second_form = assumptions.second_token_form(bound.entry_pair)
+            if second_form != bound.entry_pair:
+                for exit_aa, exit_pair in self.store.at_node_assuming(
+                    exit_node.nid, second_form
+                ):
+                    self._join_return(call, exit_node, exit_aa, exit_pair)
 
     def _process_exit(self, exit_node: Node, assumption: Assumption, pair: AliasPair) -> None:
         for ret in exit_node.succs:

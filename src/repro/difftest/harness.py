@@ -38,7 +38,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
 
-from ..core.analysis import BudgetExceeded, analyze_program
+from ..core.analysis import BudgetExceeded
 from ..core.solution import MayAliasSolution
 from ..frontend.semantics import parse_and_analyze
 from ..icfg.builder import IcfgBuilder
@@ -399,9 +399,17 @@ def _check_lint_soundness(
 
 
 def difftest_source(
-    source: str, config: Optional[DifftestConfig] = None, name: str = "<program>"
+    source: str,
+    config: Optional[DifftestConfig] = None,
+    name: str = "<program>",
+    cache=None,
 ) -> ProgramVerdict:
-    """Run every analysis on ``source`` and check the lattice."""
+    """Run every analysis on ``source`` and check the lattice.
+
+    ``cache`` is an optional :class:`repro.cache.SolutionCache`; the
+    expensive Landi/Ryder solve is looked up there first (the oracles
+    and baselines always run — they are what the solution is checked
+    *against*)."""
     config = config or DifftestConfig()
     started = time.perf_counter()
     verdict = ProgramVerdict(name=name, source=source, k=config.k)
@@ -412,13 +420,16 @@ def difftest_source(
     verdict.stats["icfg_nodes"] = len(icfg.nodes)
 
     try:
-        solution = analyze_program(
+        from ..cache.solve import solve_with_cache
+
+        solution, cache_status = solve_with_cache(
             analyzed,
             icfg,
             k=config.k,
             max_facts=config.max_facts,
             deadline_seconds=config.deadline_seconds,
             on_budget=config.on_budget,
+            cache=cache,
         )
     except BudgetExceeded as exc:
         # on_budget="raise": no solution to check against; record the
@@ -442,6 +453,8 @@ def difftest_source(
         "percent_yes": solution.percent_yes(),
         "seconds": round(solution.analysis_seconds, 4),
         "budget": solution.budget.as_dict(),
+        "engine": solution.engine.as_dict(),
+        "cache": cache_status,
     }
 
     if solution.complete:
@@ -619,6 +632,11 @@ class SuiteResult:
     def failures(self) -> list[ProgramVerdict]:
         return [v for v in self.verdicts if not v.ok]
 
+    @property
+    def degraded(self) -> list[ProgramVerdict]:
+        """Verdicts degraded by a dead/timed-out worker shard."""
+        return [v for v in self.verdicts if "shard" in v.stats]
+
     def stats_dict(self) -> dict:
         by_status: dict[str, dict[str, int]] = {}
         for verdict in self.verdicts:
@@ -637,6 +655,7 @@ class SuiteResult:
                 for v in self.verdicts
                 if not v.stats.get("lr", {}).get("complete", True)
             ),
+            "degraded_shards": len(self.degraded),
             "exact_oracle_complete": sum(
                 1
                 for v in self.verdicts
@@ -647,7 +666,40 @@ class SuiteResult:
                 for v in self.verdicts
             ),
             "lint": self._lint_stats(),
+            "engine": self._engine_stats(),
+            "cache": self._cache_stats(),
         }
+
+    def _engine_stats(self) -> dict:
+        """Per-program engine counters aggregated across the suite —
+        the ``repro-stats/1`` counter block at sweep granularity.  The
+        merge is order-independent (sums), so every job count yields
+        the same numbers; the intern-table sizes are *process-global*
+        gauges (they depend on how programs were packed into worker
+        processes), so they are excluded from the deterministic block."""
+        from ..core.metrics import EngineReport
+
+        reports = [
+            EngineReport.from_dict(v.stats["lr"]["engine"])
+            for v in self.verdicts
+            if "engine" in v.stats.get("lr", {})
+        ]
+        merged = EngineReport.aggregate(reports).as_dict()
+        merged.pop("interned_names", None)
+        merged.pop("interned_pairs", None)
+        return merged
+
+    def _cache_stats(self) -> dict:
+        """Result-cache lookup outcomes across the suite (per-status
+        counts of the ``solve_with_cache`` statuses)."""
+        counts = {"off": 0, "hit": 0, "miss": 0, "uncacheable": 0}
+        for verdict in self.verdicts:
+            status = verdict.stats.get("lr", {}).get("cache")
+            if status in counts:
+                counts[status] += 1
+        lookups = counts["hit"] + counts["miss"]
+        counts["hit_rate"] = round(counts["hit"] / lookups, 4) if lookups else 0.0
+        return counts
 
     def _lint_stats(self) -> dict:
         """Suite-wide lint precision numbers: total findings and the
@@ -672,22 +724,98 @@ class SuiteResult:
         }
 
 
+def degraded_verdict(name: str, source: str, k: int, shard: dict) -> ProgramVerdict:
+    """The sweep-level analogue of the engine's budget degradation: a
+    dead or timed-out worker shard yields a verdict whose checks are
+    all *skipped* (no claim either way), clearly marked with the shard
+    outcome — partial results, never a hang, never a silent gap."""
+    verdict = ProgramVerdict(name=name, source=source, k=k)
+    verdict.stats["shard"] = dict(shard)
+    detail = f"worker shard {shard.get('status', 'lost')}: no result"
+    verdict.checks = [
+        CheckResult(check_name, "skipped", detail=detail)
+        for check_name in ALL_CHECKS
+    ]
+    return verdict
+
+
+def _difftest_unit(payload: tuple) -> ProgramVerdict:
+    """Sharded-driver worker: difftest one generated seed.
+
+    Module-level (picklable); opens its own cache handle — concurrent
+    writers are safe because entries land via atomic rename."""
+    seed, config, spec_kwargs, cache_dir = payload
+    cache = None
+    if cache_dir is not None:
+        from ..cache.store import SolutionCache
+
+        cache = SolutionCache(cache_dir)
+    spec = ProgramSpec(name=f"difftest{seed}", seed=seed, **spec_kwargs)
+    source = generate_program(spec)
+    return difftest_source(source, config, name=f"seed{seed}", cache=cache)
+
+
 def run_difftest_suite(
     seeds: Iterable[int],
     config: Optional[DifftestConfig] = None,
     spec_kwargs: Optional[dict] = None,
     stop_on_failure: bool = True,
     progress: Optional[Callable[[ProgramVerdict], None]] = None,
+    jobs: int = 1,
+    cache_dir=None,
 ) -> SuiteResult:
-    """Differential-test one generated program per seed."""
+    """Differential-test one generated program per seed.
+
+    ``jobs > 1`` fans the seeds out over worker processes via
+    :func:`repro.parallel.run_sharded`; verdicts are merged in seed
+    order, so the suite result (and its stats document) is identical
+    for every job count, modulo wall-clock fields.  With
+    ``stop_on_failure`` the parallel verdict list is truncated at the
+    first failure — exactly the prefix the serial loop would produce.
+    ``cache_dir`` enables the content-addressed solution cache."""
     config = config or DifftestConfig()
     spec_kwargs = dict(DEFAULT_SUITE_SPEC if spec_kwargs is None else spec_kwargs)
+    seed_list = list(seeds)
     result = SuiteResult()
     started = time.perf_counter()
-    for seed in seeds:
+
+    if jobs > 1 and len(seed_list) > 1:
+        from ..parallel import run_sharded
+
+        units = [(seed, config, spec_kwargs, cache_dir) for seed in seed_list]
+        outcomes = run_sharded(
+            _difftest_unit,
+            units,
+            jobs=jobs,
+            timeout=config.deadline_seconds and config.deadline_seconds * len(units),
+        )
+        for seed, outcome in zip(seed_list, outcomes):
+            if outcome.ok:
+                verdict = outcome.value
+            else:
+                verdict = degraded_verdict(
+                    f"seed{seed}", "", config.k, outcome.as_dict()
+                )
+            result.verdicts.append(verdict)
+            if progress is not None:
+                progress(verdict)
+        if stop_on_failure:
+            for position, verdict in enumerate(result.verdicts):
+                if not verdict.ok:
+                    del result.verdicts[position + 1 :]
+                    break
+        result.seconds = time.perf_counter() - started
+        return result
+
+    cache = None
+    if cache_dir is not None:
+        from ..cache.store import SolutionCache
+
+        cache = SolutionCache(cache_dir)
+    for seed in seed_list:
         spec = ProgramSpec(name=f"difftest{seed}", seed=seed, **spec_kwargs)
         source = generate_program(spec)
-        verdict = difftest_source(source, config, name=f"seed{seed}")
+        verdict = difftest_source(source, config, name=f"seed{seed}", cache=cache)
         result.verdicts.append(verdict)
         if progress is not None:
             progress(verdict)

@@ -21,6 +21,17 @@ The format is versioned and intentionally simple::
         ...
       ]
     }
+
+Version 2 (``solution_to_dict(..., include_report=True)``) adds the
+run's observability record — ``engine`` counters, ``budget`` outcome,
+``phases`` wall times and ``analysis_seconds`` — which is what the
+content-addressed result cache (:mod:`repro.cache`) persists so a cache
+hit can reproduce the original run's non-timing statistics exactly.
+:func:`rebuild_solution` is the full inverse: it reconstructs a real
+:class:`~repro.core.store.MayHoldStore`-backed
+:class:`~repro.core.solution.MayAliasSolution` (assumptions included)
+with the entire query surface the clients use, not just the
+:class:`LoadedSolution` view.
 """
 
 from __future__ import annotations
@@ -28,33 +39,73 @@ from __future__ import annotations
 import json
 from typing import Optional, TextIO, Union
 
+from .core.metrics import BudgetOutcome, EngineReport, PhaseTimer
 from .core.solution import MayAliasSolution
+from .core.store import MayHoldStore
+from .frontend.semantics import AnalyzedProgram
+from .icfg.graph import ICFG
 from .names.alias_pairs import AliasPair
+from .names.context import NameContext
 from .names.object_names import ObjectName
 
 FORMAT_NAME = "repro-alias-solution"
 FORMAT_VERSION = 1
+#: Version 2 = version 1 plus the engine/budget/phase report.
+FORMAT_VERSION_REPORT = 2
+_SUPPORTED_VERSIONS = (FORMAT_VERSION, FORMAT_VERSION_REPORT)
 
 
-def _name_to_json(name: ObjectName) -> list:
+def name_to_json(name: ObjectName) -> list:
+    """``ObjectName`` → JSON-able ``[base, selectors, truncated]``."""
     return [name.base, list(name.selectors), name.truncated]
 
 
-def _name_from_json(data: list) -> ObjectName:
+def name_from_json(data: list) -> ObjectName:
+    """Inverse of :func:`name_to_json`."""
     base, selectors, truncated = data
     return ObjectName(base, tuple(selectors), bool(truncated))
 
 
-def _pair_to_json(pair: AliasPair) -> list:
-    return [_name_to_json(pair.first), _name_to_json(pair.second)]
+def pair_to_json(pair: AliasPair) -> list:
+    """``AliasPair`` → JSON-able pair of name encodings."""
+    return [name_to_json(pair.first), name_to_json(pair.second)]
 
 
-def _pair_from_json(data: list) -> AliasPair:
-    return AliasPair(_name_from_json(data[0]), _name_from_json(data[1]))
+def pair_from_json(data: list) -> AliasPair:
+    """Inverse of :func:`pair_to_json`."""
+    return AliasPair(name_from_json(data[0]), name_from_json(data[1]))
 
 
-def solution_to_dict(solution: MayAliasSolution) -> dict:
-    """Export every may-hold fact plus the node table."""
+def fact_to_json(fact: tuple, clean: bool) -> list:
+    """One may-hold triple → ``[nid, [assume...], pair, clean]`` (the
+    compact encoding the parallel slice workers ship over IPC)."""
+    nid, assumption, pair = fact
+    return [nid, [pair_to_json(a) for a in assumption], pair_to_json(pair), bool(clean)]
+
+
+def fact_from_json(data: list) -> tuple:
+    """Inverse of :func:`fact_to_json` → ``((nid, AA, PA), clean)``."""
+    nid, assume, pair, clean = data
+    assumption = tuple(pair_from_json(a) for a in assume)
+    return (nid, assumption, pair_from_json(pair)), bool(clean)
+
+
+# Backwards-compatible private aliases (pre-PR5 spelling).
+_name_to_json = name_to_json
+_name_from_json = name_from_json
+_pair_to_json = pair_to_json
+_pair_from_json = pair_from_json
+
+
+def solution_to_dict(
+    solution: MayAliasSolution, include_report: bool = False
+) -> dict:
+    """Export every may-hold fact plus the node table.
+
+    ``include_report=True`` emits a version-2 document that also
+    carries the engine counters, budget outcome, phase timings and
+    analysis wall time, so :func:`rebuild_solution` can restore the
+    full observability record."""
     nodes = [
         {
             "id": node.nid,
@@ -69,18 +120,69 @@ def solution_to_dict(solution: MayAliasSolution) -> dict:
         facts.append(
             {
                 "node": nid,
-                "assume": [_pair_to_json(a) for a in assumption],
-                "pair": _pair_to_json(pair),
+                "assume": [pair_to_json(a) for a in assumption],
+                "pair": pair_to_json(pair),
                 "clean": bool(clean),
             }
         )
-    return {
+    document = {
         "format": FORMAT_NAME,
-        "version": FORMAT_VERSION,
+        "version": FORMAT_VERSION_REPORT if include_report else FORMAT_VERSION,
         "k": solution.k,
         "nodes": nodes,
         "facts": facts,
     }
+    if include_report:
+        document["engine"] = solution.engine.as_dict()
+        document["budget"] = solution.budget.as_dict()
+        document["phases"] = solution.phases.as_dict()
+        document["analysis_seconds"] = solution.analysis_seconds
+    return document
+
+
+def rebuild_solution(
+    document: dict, analyzed: AnalyzedProgram, icfg: ICFG
+) -> MayAliasSolution:
+    """Reconstruct a full :class:`MayAliasSolution` from a serialized
+    document (either version) plus a freshly parsed program.
+
+    The caller supplies ``analyzed``/``icfg`` for the *same* program the
+    document was computed from (the cache layer guarantees this by
+    keying on the canonical IR hash); the store is rebuilt fact by fact
+    with assumptions intact, so every client query — ``may_alias``,
+    ``at_node_assuming``, ``percent_yes`` — answers exactly as it did on
+    the original run."""
+    if document.get("format") != FORMAT_NAME:
+        raise ValueError(f"not a {FORMAT_NAME} document")
+    if document.get("version") not in _SUPPORTED_VERSIONS:
+        raise ValueError(
+            f"unsupported version {document.get('version')!r} "
+            f"(expected one of {_SUPPORTED_VERSIONS})"
+        )
+    k = int(document["k"])
+    store = MayHoldStore()
+    for fact in document["facts"]:
+        assumption = tuple(pair_from_json(a) for a in fact["assume"])
+        store.make_true(
+            fact["node"], assumption, pair_from_json(fact["pair"]), bool(fact["clean"])
+        )
+    # The rebuilt store is query-only: drop the worklist entries that
+    # make_true queued (nothing will ever drain them).
+    store.clear_worklist()
+    engine = EngineReport.from_dict(document.get("engine", {}))
+    budget = BudgetOutcome.from_dict(document.get("budget", {}))
+    timer = PhaseTimer()
+    timer.merge(document.get("phases", {}))
+    return MayAliasSolution(
+        icfg,
+        store,
+        NameContext(analyzed.symbols, k),
+        k,
+        analysis_seconds=float(document.get("analysis_seconds", 0.0)),
+        engine=engine,
+        phases=timer,
+        budget=budget,
+    )
 
 
 def dump_solution(solution: MayAliasSolution, fp: TextIO) -> None:
@@ -99,10 +201,10 @@ class LoadedSolution:
     def __init__(self, document: dict) -> None:
         if document.get("format") != FORMAT_NAME:
             raise ValueError(f"not a {FORMAT_NAME} document")
-        if document.get("version") != FORMAT_VERSION:
+        if document.get("version") not in _SUPPORTED_VERSIONS:
             raise ValueError(
                 f"unsupported version {document.get('version')!r} "
-                f"(expected {FORMAT_VERSION})"
+                f"(expected one of {_SUPPORTED_VERSIONS})"
             )
         self.k: int = document["k"]
         self.nodes: dict[int, dict] = {n["id"]: n for n in document["nodes"]}

@@ -49,10 +49,25 @@ def make_provider(
     icfg: ICFG,
     k: int = 3,
     max_facts: Optional[int] = 1_000_000,
+    cache=None,
 ):
     """Build an alias solution presenting the MayAliasSolution query
-    surface, by provider name."""
+    surface, by provider name.  ``cache`` (a
+    :class:`repro.cache.SolutionCache`) short-circuits the ``"lr"``
+    solve through the content-addressed result cache."""
     if name == "lr":
+        if cache is not None:
+            from ..cache.solve import solve_with_cache
+
+            solution, _status = solve_with_cache(
+                analyzed,
+                icfg,
+                k=k,
+                max_facts=max_facts,
+                on_budget="raise",
+                cache=cache,
+            )
+            return solution
         return analyze_program(analyzed, icfg, k=k, max_facts=max_facts)
     if name == "weihl":
         from ..baselines.weihl import weihl_aliases
@@ -114,6 +129,7 @@ def run_lint(
     max_facts: Optional[int] = 1_000_000,
     filename: str = "<input>",
     solution=None,
+    cache=None,
 ) -> LintReport:
     """Lint one program.
 
@@ -123,7 +139,8 @@ def run_lint(
     provider also produces a matching finding, and the report records
     the comparison's per-rule counts (the false-positive delta).
     A pre-built ``solution`` (anything with the MayAliasSolution query
-    surface) short-circuits provider construction.
+    surface) short-circuits provider construction; ``cache`` routes
+    the primary provider's solve through the result cache.
     """
     if isinstance(source_or_input, LintInput):
         lint_input = source_or_input
@@ -133,7 +150,9 @@ def run_lint(
 
     t0 = time.perf_counter()
     if solution is None:
-        solution = make_provider(provider, analyzed, icfg, k=k, max_facts=max_facts)
+        solution = make_provider(
+            provider, analyzed, icfg, k=k, max_facts=max_facts, cache=cache
+        )
     analysis_seconds = time.perf_counter() - t0
 
     t1 = time.perf_counter()

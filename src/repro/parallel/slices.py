@@ -1,0 +1,202 @@
+"""Intra-program parallelism: assumption-slice solving.
+
+The may-hold computation for one program starts from a finite set of
+*seed introductions* — the trivially-true facts at pointer assignments
+and the binding-implied aliases at call sites (paper §4, Figure 2's
+initialization).  Each ``(n, AA)`` slice of the final relation is
+reached from some subset of those seeds, and slices that never interact
+through an interprocedural join are fully independent.
+
+``solve_sliced`` exploits that structure without gambling on it:
+
+1. **Parallel seeding** — the seed nodes are partitioned round-robin
+   across ``jobs`` worker processes; each worker solves its slice of
+   the program to a fixpoint with the ordinary engine.  Every slice
+   derivation is a valid full-program derivation, so each slice's
+   *fact set* is a sound subset of the full solution.  (Its CLEAN bits
+   are not reusable: approximations 3/4 taint on the existence of a
+   rebinding alias, so a slice that never saw that alias can
+   over-certify.)
+2. **Sequential closure** — the parent re-enqueues every slice fact
+   (as TAINTED) into a fresh engine and runs the ordinary algorithm
+   with the *full* seed set.  The closure re-derives anything a
+   cross-slice join needed (the engine's reverse matching makes the
+   fact set order-robust), so the final store holds exactly the serial
+   fact set — identical may-alias answers at every node.  Taint bits
+   are conservative: the closure never certifies CLEAN a fact serial
+   left TAINTED, though it may taint a handful serial's processing
+   order happened to certify before the tainting alias appeared.
+
+On a machine with free cores the seeding phase runs concurrently and
+the closure mostly re-pops already-final facts; on a single core the
+duplicated propagation makes this *slower* than a serial solve — the
+driver is honest about that in its stats (see docs/PARALLEL.md).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from ..core.analysis import analyze_program
+from ..core.metrics import EngineReport, PhaseTimer
+from ..core.solution import MayAliasSolution
+from ..core.store import TAINTED
+from ..core.worklist import MayHoldAnalysis
+from ..frontend.semantics import AnalyzedProgram, parse_and_analyze
+from ..icfg.builder import build_icfg
+from ..icfg.graph import ICFG
+from ..icfg.ir import NodeKind
+from ..io import fact_from_json, fact_to_json
+from .driver import run_sharded
+
+
+def seed_node_ids(icfg: ICFG) -> list[int]:
+    """The nodes where initialization introduces facts (mirrors
+    ``MayHoldAnalysis._initialize``'s selection)."""
+    out: list[int] = []
+    for node in icfg.nodes:
+        if node.is_pointer_assignment:
+            out.append(node.nid)
+        elif node.kind is NodeKind.CALL and node.callee in icfg.procs:
+            out.append(node.nid)
+    return sorted(out)
+
+
+def partition_seeds(seed_ids: list[int], shards: int) -> list[list[int]]:
+    """Round-robin partition (deterministic; balanced to ±1)."""
+    groups: list[list[int]] = [[] for _ in range(max(1, shards))]
+    for position, nid in enumerate(seed_ids):
+        groups[position % len(groups)].append(nid)
+    return [group for group in groups if group]
+
+
+def _solve_slice(payload: tuple) -> dict:
+    """Worker: solve one seed slice of the program to its fixpoint.
+
+    The worker re-parses the source (parsing is cheap next to solving
+    and keeps the payload picklable everywhere); the ICFG build is
+    deterministic, so node ids agree with the parent's."""
+    source, k, group, max_facts, deadline_seconds, dedup = payload
+    analyzed = parse_and_analyze(source)
+    icfg = build_icfg(analyzed)
+    analysis = MayHoldAnalysis(
+        analyzed,
+        icfg,
+        k=k,
+        max_facts=max_facts,
+        deadline_seconds=deadline_seconds,
+        dedup=dedup,
+        seed_nodes=frozenset(group),
+    )
+    store = analysis.run()
+    return {
+        "facts": [fact_to_json(fact, clean) for fact, clean in store.facts()],
+        "engine": analysis.engine_report().as_dict(),
+        "budget_exceeded": analysis.budget.exceeded,
+    }
+
+
+def solve_sliced(
+    source: str,
+    analyzed: AnalyzedProgram,
+    icfg: ICFG,
+    k: int,
+    jobs: int,
+    max_facts: Optional[int] = None,
+    deadline_seconds: Optional[float] = None,
+    on_budget: str = "partial",
+    dedup: bool = True,
+    timer: Optional[PhaseTimer] = None,
+) -> MayAliasSolution:
+    """Solve one program with parallel seeding + sequential closure.
+
+    Guarantee: the returned solution's fact set — and therefore every
+    may-alias answer — equals the serial ``analyze_program`` result
+    exactly (docs/PARALLEL.md walks the argument).  Taint bits are
+    conservative, never more optimistic than serial; wall-times and
+    engine counters differ.  With ``jobs <= 1`` this *is* a serial
+    solve."""
+    if timer is None:
+        timer = PhaseTimer()
+    if jobs <= 1:
+        return analyze_program(
+            analyzed,
+            icfg,
+            k=k,
+            max_facts=max_facts,
+            deadline_seconds=deadline_seconds,
+            on_budget=on_budget,
+            dedup=dedup,
+            timer=timer,
+        )
+
+    seeds = seed_node_ids(icfg)
+    groups = partition_seeds(seeds, jobs)
+    slice_started = time.perf_counter()
+    outcomes = run_sharded(
+        _solve_slice,
+        [
+            (source, k, group, max_facts, deadline_seconds, dedup)
+            for group in groups
+        ],
+        jobs=jobs,
+    )
+    timer.record("slices", time.perf_counter() - slice_started)
+
+    shard_reports: list[EngineReport] = []
+    warm_facts: list[tuple] = []
+    for outcome in outcomes:
+        # A failed slice costs warm-start coverage, never soundness:
+        # the closure re-derives everything from the full seed set.
+        if not outcome.ok:
+            continue
+        shard_reports.append(EngineReport.from_dict(outcome.value["engine"]))
+        warm_facts.extend(
+            fact_from_json(item) for item in outcome.value["facts"]
+        )
+
+    start = time.perf_counter()
+    closure = MayHoldAnalysis(
+        analyzed,
+        icfg,
+        k=k,
+        max_facts=max_facts,
+        deadline_seconds=deadline_seconds,
+        dedup=dedup,
+        timer=timer,
+    )
+    # Warm-start with the slice *fact sets* only: every slice fact is
+    # TAINTED here and the closure re-derives cleanness itself.  A
+    # slice's CLEAN bits are not reusable — the paper's approximations
+    # 3/4 taint a derivation when a *rebinding alias exists* at the
+    # node, so cleanness depends on the absence of facts a slice never
+    # saw, and the upgrade-only taint lattice could never take back an
+    # over-certified CLEAN.
+    for (nid, assumption, pair), _clean in warm_facts:
+        closure.store.make_true(nid, assumption, pair, TAINTED)
+    store = closure.run()
+    elapsed = time.perf_counter() - start
+
+    engine = closure.engine_report()
+    shard_engine = EngineReport.aggregate(shard_reports)
+    engine.add(shard_engine)
+    solution = MayAliasSolution(
+        icfg,
+        store,
+        closure.ctx,
+        k,
+        analysis_seconds=elapsed,
+        engine=engine,
+        phases=timer,
+        budget=closure.budget,
+    )
+    if closure.budget.exceeded and on_budget == "raise":
+        from ..core.analysis import BudgetExceeded
+
+        raise BudgetExceeded(
+            f"sliced analysis exceeded its {closure.budget.reason} budget "
+            f"({len(store)} facts; partial all-tainted solution attached)",
+            solution,
+        )
+    return solution

@@ -1,0 +1,100 @@
+"""Picklable worker functions for the CLI-level sweeps.
+
+Each worker takes one plain-dict payload (everything a fresh process
+needs: source text, knobs, the cache directory) and returns a plain
+dict — no engine objects cross the process boundary, so the workers
+run identically under ``fork`` and ``spawn`` and under the serial
+``jobs=1`` path of :func:`repro.parallel.run_sharded`.
+
+Cache handles are opened per worker: concurrent writers are safe
+because :class:`repro.cache.SolutionCache` lands entries via atomic
+rename, and each worker's hit/miss counters come back in its result
+for the parent to aggregate.
+"""
+
+from __future__ import annotations
+
+from ..frontend.semantics import parse_and_analyze
+from ..icfg.builder import build_icfg
+
+
+def _open_cache(cache_dir):
+    if cache_dir is None:
+        return None
+    from ..cache.store import SolutionCache
+
+    return SolutionCache(cache_dir)
+
+
+def analyze_file_unit(payload: dict) -> dict:
+    """Analyze one MiniC source: the per-file unit of
+    ``repro analyze file1.c file2.c ... --jobs N``."""
+    from ..cache.solve import solve_with_cache
+
+    cache = _open_cache(payload.get("cache_dir"))
+    analyzed = parse_and_analyze(payload["source"], payload["path"])
+    icfg = build_icfg(analyzed)
+    solution, cache_status = solve_with_cache(
+        analyzed,
+        icfg,
+        k=payload["k"],
+        max_facts=payload.get("max_facts"),
+        deadline_seconds=payload.get("deadline_seconds"),
+        on_budget="partial",
+        cache=cache,
+    )
+    stats = solution.stats_dict()
+    return {
+        "path": payload["path"],
+        "complete": solution.complete,
+        "cache": cache_status,
+        "cache_counters": cache.counters.as_dict() if cache else None,
+        "diagnostics": [str(d) for d in analyzed.diagnostics],
+        "stats": stats,
+    }
+
+
+def lint_file_unit(payload: dict) -> dict:
+    """Lint one MiniC source: the per-file unit of
+    ``repro lint file1.c file2.c ... --jobs N``.  The report is
+    rendered *in the worker* (text or SARIF) so the parent only
+    concatenates strings in unit order."""
+    from ..lint import render_sarif, render_text, run_lint, stats_dict
+
+    cache = _open_cache(payload.get("cache_dir"))
+    report = run_lint(
+        payload["source"],
+        provider=payload.get("provider", "lr"),
+        compare_with=payload.get("compare_with"),
+        k=payload["k"],
+        max_facts=payload.get("max_facts"),
+        filename=payload["path"],
+        cache=cache,
+    )
+    if payload.get("format") == "sarif":
+        rendered = render_sarif(report, filename=payload["path"])
+    else:
+        rendered = render_text(
+            report, show_witnesses=payload.get("show_witnesses", True)
+        )
+    return {
+        "path": payload["path"],
+        "rendered": rendered,
+        "max_severity": report.max_severity(),
+        "findings": len(report.findings),
+        "cache_counters": cache.counters.as_dict() if cache else None,
+        "stats": stats_dict(report),
+    }
+
+
+def difftest_replay_unit(payload: dict) -> dict:
+    """Difftest one corpus file: the per-file unit of
+    ``repro difftest --replay ... --jobs N``."""
+    from ..difftest.harness import DifftestConfig, difftest_source
+
+    cache = _open_cache(payload.get("cache_dir"))
+    config: DifftestConfig = payload["config"]
+    verdict = difftest_source(
+        payload["source"], config, name=payload["path"], cache=cache
+    )
+    return {"path": payload["path"], "verdict": verdict}

@@ -1,0 +1,169 @@
+"""End-to-end: ``--jobs`` / ``--cache-dir`` on the CLI, the ``repro
+cache`` subcommand, and the cross-job determinism guarantee.
+
+Determinism is checked the strong way: the stats documents of runs at
+different job counts must be *equal* after stripping wall-clock fields
+(``repro.core.metrics.strip_timing``) — not merely similar.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.metrics import strip_timing
+from repro.difftest.harness import DifftestConfig, run_difftest_suite
+from repro.programs.fixtures import FIGURE1
+
+pytestmark = pytest.mark.parallel
+
+#: Small but non-trivial: calls, globals, pointer-dense.
+SWEEP_SEEDS = [1, 2, 3]
+SWEEP_CONFIG = dict(k=2, draws=4)
+
+
+def _suite_stats(jobs, cache_dir=None):
+    config = DifftestConfig(**SWEEP_CONFIG)
+    suite = run_difftest_suite(
+        SWEEP_SEEDS, config, jobs=jobs, cache_dir=cache_dir
+    )
+    return suite.stats_dict()
+
+
+class TestJobsDeterminism:
+    def test_difftest_suite_stats_equal_across_job_counts(self):
+        docs = [strip_timing(_suite_stats(jobs)) for jobs in (1, 2, 4)]
+        assert docs[0] == docs[1] == docs[2]
+        assert docs[0]["programs"] == len(SWEEP_SEEDS)
+        assert docs[0]["failures"] == 0
+        assert docs[0]["degraded_shards"] == 0
+        # The aggregated engine block is part of the guarantee.
+        assert docs[0]["engine"]["worklist_pops"] > 0
+
+    def test_analyze_single_file_output_equal_across_job_counts(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "fig1.c"
+        path.write_text(FIGURE1)
+
+        def run(jobs):
+            assert main([str(path), "-k", "2", "--jobs", str(jobs)]) == 0
+            out = capsys.readouterr().out
+            # Drop the wall-clock line and the engine-counter line (the
+            # sliced solve legitimately pops more).
+            return [
+                line
+                for line in out.splitlines()
+                if not line.startswith(("analysis time:", "worklist:"))
+            ]
+
+        assert run(1) == run(2) == run(4)
+
+
+class TestWarmCache:
+    def test_warm_difftest_rerun_skips_all_solves(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cold = _suite_stats(jobs=1, cache_dir=cache_dir)
+        warm = _suite_stats(jobs=2, cache_dir=cache_dir)
+
+        assert cold["cache"]["hit"] == 0
+        assert cold["cache"]["miss"] == len(SWEEP_SEEDS)
+        # ISSUE acceptance: a warm rerun skips >= 90% of solves; here
+        # every complete solution comes back from the cache.
+        assert warm["cache"]["hit"] == len(SWEEP_SEEDS)
+        assert warm["cache"]["miss"] == 0
+        assert warm["cache"]["hit_rate"] == 1.0
+
+        # Warm results are byte-identical to cold modulo timing.
+        assert strip_timing({**cold, "cache": None}) == strip_timing(
+            {**warm, "cache": None}
+        )
+
+    def test_analyze_cache_roundtrip_cli(self, tmp_path, capsys):
+        path = tmp_path / "fig1.c"
+        path.write_text(FIGURE1)
+        cache_dir = str(tmp_path / "cache")
+        args = [str(path), "-k", "2", "--cache-dir", cache_dir]
+
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+
+        strip = lambda text: [
+            line
+            for line in text.splitlines()
+            if not line.startswith("analysis time:")
+        ]
+        assert strip(cold) == strip(warm)
+
+
+class TestMultiFileSweeps:
+    def test_analyze_sweep_prints_one_line_per_file(self, tmp_path, capsys):
+        paths = []
+        for index in range(3):
+            path = tmp_path / f"prog{index}.c"
+            path.write_text(FIGURE1)
+            paths.append(str(path))
+        stats_file = tmp_path / "stats.json"
+        code = main(
+            paths + ["-k", "2", "--jobs", "2", "--stats-json", str(stats_file)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for path in paths:
+            assert any(line.startswith(f"{path}:") for line in out.splitlines())
+        document = json.loads(stats_file.read_text())
+        assert document["schema"] == "repro-stats-multi/1"
+        assert len(document["files"]) == 3
+        assert document["failed_shards"] == 0
+        assert document["engine"]["worklist_pops"] > 0
+
+    def test_lint_sweep_renders_every_file(self, tmp_path, capsys):
+        paths = []
+        for index in range(2):
+            path = tmp_path / f"prog{index}.c"
+            path.write_text(FIGURE1)
+            paths.append(str(path))
+        code = main(["lint"] + paths + ["--jobs", "2", "--fail-on", "never"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for path in paths:
+            assert f"== {path} ==" in out
+
+
+class TestCacheSubcommand:
+    def _populate(self, tmp_path, capsys):
+        path = tmp_path / "fig1.c"
+        path.write_text(FIGURE1)
+        cache_dir = str(tmp_path / "cache")
+        assert main([str(path), "-k", "2", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        return cache_dir
+
+    def test_stats_clear_verify_flow(self, tmp_path, capsys):
+        cache_dir = self._populate(tmp_path, capsys)
+
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["schema"] == "repro-cache/1"
+        assert stats["entries"] == 1
+
+        assert main(["cache", "verify", "--cache-dir", cache_dir]) == 0
+        assert "0 problems" in capsys.readouterr().out
+
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "1 entries removed" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 0
+
+    def test_verify_flags_a_tampered_entry(self, tmp_path, capsys):
+        from repro.cache.store import SolutionCache
+
+        cache_dir = self._populate(tmp_path, capsys)
+        (entry,) = list(SolutionCache(cache_dir).iter_paths())
+        envelope = json.loads(entry.read_text())
+        envelope["solution"]["facts"] = envelope["solution"]["facts"][:-2]
+        entry.write_text(json.dumps(envelope))
+        assert main(["cache", "verify", "--cache-dir", cache_dir]) == 1
+        assert "1 problems" in capsys.readouterr().out

@@ -1,0 +1,143 @@
+"""Slice-parallel solving must reproduce the serial fixpoint.
+
+This is the determinism guarantee of docs/PARALLEL.md at the engine
+level: for every job count, ``solve_sliced`` yields the identical fact
+set (so identical may-alias answers at every node), because the
+sequential closure pass re-runs the full worklist algorithm over the
+merged warm store.  Taint bits are *conservative*: a sliced run never
+certifies CLEAN a fact the serial run left TAINTED (the paper's
+approximations 3/4 taint on the mere existence of a rebinding alias,
+so serial processing order can certify a fact just before the tainting
+alias appears — the closure, which sees every fact from the start,
+taints those; never the reverse).
+"""
+
+import pytest
+
+from repro.core.analysis import analyze_program
+from repro.frontend.semantics import parse_and_analyze
+from repro.icfg.builder import build_icfg
+from repro.parallel.slices import partition_seeds, seed_node_ids, solve_sliced
+from repro.programs.fixtures import FIGURE1
+from repro.programs.generator import ProgramSpec, generate_program
+
+pytestmark = pytest.mark.parallel
+
+
+def _facts_view(solution):
+    """Process-independent view of the store (names stringified —
+    interned objects differ across processes)."""
+    return {
+        (nid, repr(assumption), repr(pair)): clean
+        for (nid, assumption, pair), clean in solution.store.facts()
+    }
+
+
+def _generated_source(seed: int) -> str:
+    return generate_program(
+        ProgramSpec(
+            name=f"slices{seed}",
+            seed=seed,
+            n_functions=3,
+            n_globals=4,
+            stmts_per_function=5,
+            max_pointer_depth=1,
+            pointer_density=0.85,
+        )
+    )
+
+
+class TestSeedPartition:
+    def test_seed_nodes_cover_assignments_and_calls(self):
+        analyzed = parse_and_analyze(FIGURE1)
+        icfg = build_icfg(analyzed)
+        seeds = seed_node_ids(icfg)
+        assert seeds == sorted(seeds)
+        assert len(seeds) == len(set(seeds))
+        for nid in seeds:
+            node = icfg.node(nid)
+            assert node.is_pointer_assignment or node.callee is not None
+
+    def test_partition_is_deterministic_and_complete(self):
+        seeds = list(range(10))
+        groups = partition_seeds(seeds, 3)
+        assert sorted(nid for group in groups for nid in group) == seeds
+        assert groups == partition_seeds(seeds, 3)
+        assert max(len(g) for g in groups) - min(len(g) for g in groups) <= 1
+
+    def test_more_shards_than_seeds(self):
+        groups = partition_seeds([7], 8)
+        assert groups == [[7]]
+
+
+class TestFixpointEquality:
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_figure1_matches_serial(self, jobs):
+        analyzed = parse_and_analyze(FIGURE1)
+        icfg = build_icfg(analyzed)
+        serial = analyze_program(analyzed, icfg, k=2, on_budget="partial")
+
+        analyzed2 = parse_and_analyze(FIGURE1)
+        icfg2 = build_icfg(analyzed2)
+        sliced = solve_sliced(FIGURE1, analyzed2, icfg2, k=2, jobs=jobs)
+
+        assert _facts_view(serial) == _facts_view(sliced)
+        assert sliced.complete
+        assert serial.percent_yes() == sliced.percent_yes()
+
+    def test_generated_program_matches_serial(self):
+        source = _generated_source(seed=11)
+        analyzed = parse_and_analyze(source)
+        icfg = build_icfg(analyzed)
+        serial = analyze_program(analyzed, icfg, k=2, on_budget="partial")
+
+        analyzed2 = parse_and_analyze(source)
+        icfg2 = build_icfg(analyzed2)
+        sliced = solve_sliced(source, analyzed2, icfg2, k=2, jobs=2)
+
+        assert _facts_view(serial) == _facts_view(sliced)
+
+    @pytest.mark.slow
+    def test_scaling_fixture_matches_serial_conservatively(self):
+        """A program large enough to exercise approximations 3/4 across
+        slice boundaries: fact sets must agree exactly; taint may only
+        differ in the conservative direction (sliced CLEAN ⇒ serial
+        CLEAN)."""
+        source = generate_program(ProgramSpec.for_target_nodes("slices-scale", 100))
+        analyzed = parse_and_analyze(source)
+        icfg = build_icfg(analyzed)
+        serial = analyze_program(analyzed, icfg, k=3, on_budget="partial")
+
+        analyzed2 = parse_and_analyze(source)
+        icfg2 = build_icfg(analyzed2)
+        sliced = solve_sliced(source, analyzed2, icfg2, k=3, jobs=2)
+
+        serial_view = _facts_view(serial)
+        sliced_view = _facts_view(sliced)
+        assert serial_view.keys() == sliced_view.keys()
+        over_certified = [
+            key
+            for key, clean in sliced_view.items()
+            if clean and not serial_view[key]
+        ]
+        assert over_certified == []
+
+    def test_sliced_solution_reports_slice_phase(self):
+        analyzed = parse_and_analyze(FIGURE1)
+        icfg = build_icfg(analyzed)
+        sliced = solve_sliced(FIGURE1, analyzed, icfg, k=2, jobs=2)
+        phases = sliced.phases.as_dict()
+        assert "slices" in phases
+        # Shard counters are aggregated into the closure's report, so
+        # the sliced run records at least as many pops as serial.
+        serial = analyze_program(
+            *_reparse(FIGURE1), k=2, on_budget="partial"
+        )
+        assert (
+            sliced.engine.worklist_pops >= serial.engine.worklist_pops
+        )
+
+
+def _reparse(source):
+    analyzed = parse_and_analyze(source)
+    return analyzed, build_icfg(analyzed)
