@@ -31,7 +31,9 @@ from ..frontend.semantics import AnalyzedProgram
 #: Bump on any change to the solver's semantics or to the serialized
 #: solution format; every bump orphans old entries (they simply stop
 #: being addressed — ``repro cache clear`` reclaims the space).
-ENGINE_CODE_VERSION = "lr-engine/5.1"
+#: 6.0: integer-ID kernel backend + insertion-ordered reference
+#: indexes (taint bits are now PYTHONHASHSEED-independent).
+ENGINE_CODE_VERSION = "lr-engine/6.0"
 
 
 def canonical_program_text(analyzed: AnalyzedProgram) -> str:
@@ -47,10 +49,14 @@ def canonical_ir_hash(analyzed: AnalyzedProgram) -> str:
 
 
 def engine_config_dict(
-    max_facts: Optional[int] = None, dedup: bool = True
+    max_facts: Optional[int] = None, dedup: bool = True, engine: str = "kernel"
 ) -> dict:
-    """The engine-configuration fragment of the key."""
-    return {"max_facts": max_facts, "dedup": bool(dedup)}
+    """The engine-configuration fragment of the key.
+
+    The kernel and reference backends produce identical solutions (the
+    difftest lattice pins that), but keying on the backend keeps every
+    entry reproducible by exactly the configuration that wrote it."""
+    return {"max_facts": max_facts, "dedup": bool(dedup), "engine": engine}
 
 
 def entry_key(

@@ -26,7 +26,7 @@ from ..core.solution import MayAliasSolution
 from ..frontend.semantics import AnalyzedProgram, parse_and_analyze
 from ..icfg.builder import build_icfg
 from ..icfg.graph import ICFG
-from ..io import rebuild_solution, solution_to_dict
+from ..io import facts_json_from_document, rebuild_solution, solution_to_dict
 from .keys import (
     ENGINE_CODE_VERSION,
     canonical_program_text,
@@ -50,7 +50,11 @@ def make_envelope(
     engine_config: dict,
     solution: MayAliasSolution,
 ) -> dict:
-    """The JSON envelope one cache entry stores."""
+    """The JSON envelope one cache entry stores.
+
+    Kernel solutions persist as version-3 packed-column documents
+    (serialized off the flat arrays, rebuilt by bulk load); reference
+    solutions keep the per-fact version-2 encoding."""
     return {
         "schema": CACHE_ENTRY_SCHEMA,
         "key": key,
@@ -61,7 +65,7 @@ def make_envelope(
             "code_version": ENGINE_CODE_VERSION,
         },
         "program": program_text,
-        "solution": solution_to_dict(solution, include_report=True),
+        "solution": solution_to_dict(solution, include_report=True, packed=True),
     }
 
 
@@ -75,6 +79,7 @@ def solve_with_cache(
     dedup: bool = True,
     cache: Optional[SolutionCache] = None,
     timer: Optional[PhaseTimer] = None,
+    engine: str = "kernel",
 ) -> tuple[MayAliasSolution, str]:
     """Solve (or reload) the may-alias solution for one program.
 
@@ -90,12 +95,13 @@ def solve_with_cache(
             on_budget=on_budget,
             dedup=dedup,
             timer=timer,
+            engine=engine,
         )
         return solution, STATUS_OFF
 
     text = canonical_program_text(analyzed)
     ir_hash = hashlib.sha256(text.encode("utf-8")).hexdigest()
-    config = engine_config_dict(max_facts=max_facts, dedup=dedup)
+    config = engine_config_dict(max_facts=max_facts, dedup=dedup, engine=engine)
     key = entry_key(ir_hash, k, config)
 
     envelope = cache.get(key)
@@ -105,10 +111,13 @@ def solve_with_cache(
             return solution, STATUS_HIT
         except (KeyError, ValueError, TypeError):
             # Schema drift inside an otherwise well-formed envelope:
-            # drop it and fall through to a fresh solve.
+            # drop it and fall through to a fresh solve.  The lookup
+            # stays counted as the hit it was; the failure gets its own
+            # counter instead of the old hits/misses rewrite, which
+            # made rates unauditable (a rolled-back hit was
+            # indistinguishable from a plain miss).
             cache.counters.corrupt_dropped += 1
-            cache.counters.hits -= 1
-            cache.counters.misses += 1
+            cache.counters.rebuild_failures += 1
             try:
                 cache.entry_path(key).unlink()
             except OSError:
@@ -123,6 +132,7 @@ def solve_with_cache(
         on_budget=on_budget,
         dedup=dedup,
         timer=timer,
+        engine=engine,
     )
     if not solution.complete:
         return solution, STATUS_UNCACHEABLE
@@ -177,6 +187,7 @@ def verify_cache(
                 max_facts=engine.get("max_facts"),
                 dedup=bool(engine.get("dedup", True)),
                 on_budget="partial",
+                engine=engine.get("engine", "kernel"),
             )
         except Exception as exc:
             problems.append(f"{path.name}: re-solve failed: {exc}")
@@ -198,7 +209,8 @@ def verify_cache(
 
 
 def _fact_set(document: dict) -> set[tuple]:
-    """Hashable view of a serialized solution's facts."""
+    """Hashable view of a serialized solution's facts (any version —
+    packed documents are expanded first)."""
 
     def freeze(value: object) -> object:
         if isinstance(value, list):
@@ -212,5 +224,5 @@ def _fact_set(document: dict) -> set[tuple]:
             freeze(fact["pair"]),
             fact["clean"],
         )
-        for fact in document["facts"]
+        for fact in facts_json_from_document(document)
     }

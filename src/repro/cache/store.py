@@ -36,13 +36,21 @@ _LAYOUT_VERSION = "v1"
 
 @dataclass(slots=True)
 class CacheCounters:
-    """Per-process counters for one :class:`SolutionCache` instance."""
+    """Per-process counters for one :class:`SolutionCache` instance.
+
+    ``rebuild_failures`` counts lookups that *hit* but whose envelope
+    failed to rebuild into a solution (schema drift inside a
+    well-formed entry).  The lookup stays counted as a hit; the
+    follow-up solve is not a miss.  (An earlier revision rewrote
+    ``hits``/``misses`` in place on this path, which made measured hit
+    rates unauditable.)"""
 
     hits: int = 0
     misses: int = 0
     puts: int = 0
     evictions: int = 0
     corrupt_dropped: int = 0
+    rebuild_failures: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -51,7 +59,42 @@ class CacheCounters:
             "puts": self.puts,
             "evictions": self.evictions,
             "corrupt_dropped": self.corrupt_dropped,
+            "rebuild_failures": self.rebuild_failures,
         }
+
+    def snapshot(self) -> "CacheCounters":
+        """An independent copy of the current counts."""
+        return CacheCounters(
+            hits=self.hits,
+            misses=self.misses,
+            puts=self.puts,
+            evictions=self.evictions,
+            corrupt_dropped=self.corrupt_dropped,
+            rebuild_failures=self.rebuild_failures,
+        )
+
+    def since(self, earlier: "CacheCounters") -> "CacheCounters":
+        """The per-phase delta against an earlier :meth:`snapshot` —
+        benchmark rows report these, never the cumulative counts (the
+        PR-5 warm-cache row famously showed a 0.5 hit rate on an
+        all-hit phase because the cold phase's misses leaked in)."""
+        return CacheCounters(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            puts=self.puts - earlier.puts,
+            evictions=self.evictions - earlier.evictions,
+            corrupt_dropped=self.corrupt_dropped - earlier.corrupt_dropped,
+            rebuild_failures=self.rebuild_failures - earlier.rebuild_failures,
+        )
+
+    def reset(self) -> None:
+        """Zero every counter (phase boundaries in benchmark drivers)."""
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.evictions = 0
+        self.corrupt_dropped = 0
+        self.rebuild_failures = 0
 
     @property
     def hit_rate(self) -> float:

@@ -113,6 +113,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall-clock budget for propagation (same semantics as --max-facts)",
     )
     parser.add_argument(
+        "--engine",
+        choices=("kernel", "reference"),
+        default="kernel",
+        help=(
+            "solver backend: the integer-ID kernel (default) or the "
+            "object-graph reference engine; both produce identical "
+            "solutions (the difftest suite pins that equivalence)"
+        ),
+    )
+    parser.add_argument(
         "--stats-json",
         metavar="FILE",
         help=(
@@ -883,6 +893,7 @@ def main(argv: Optional[list[str]] = None) -> int:
                 on_budget="partial",
                 cache=SolutionCache(args.cache_dir),
                 timer=timer,
+                engine=getattr(args, "engine", "kernel"),
             )
         elif args.jobs > 1:
             from .parallel import solve_sliced
@@ -897,6 +908,7 @@ def main(argv: Optional[list[str]] = None) -> int:
                 deadline_seconds=args.deadline_seconds,
                 on_budget="partial",
                 timer=timer,
+                engine=getattr(args, "engine", "kernel"),
             )
         else:
             solution = analyze_program(
@@ -907,6 +919,7 @@ def main(argv: Optional[list[str]] = None) -> int:
                 deadline_seconds=args.deadline_seconds,
                 on_budget="partial",
                 timer=timer,
+                engine=getattr(args, "engine", "kernel"),
             )
     except MiniCError as err:
         print(f"error: {err}", file=sys.stderr)

@@ -26,11 +26,20 @@ from typing import Optional
 from ..frontend.semantics import AnalyzedProgram, parse_and_analyze
 from ..icfg.builder import IcfgBuilder
 from ..icfg.graph import ICFG
+from .kernel import KernelAnalysis
 from .metrics import PHASE_ICFG, PHASE_PARSE, PhaseTimer
 from .solution import MayAliasSolution
 from .worklist import MayHoldAnalysis
 
 DEFAULT_K = 3  # the paper's Table 2 uses k = 3
+
+# Engine backends.  "kernel" is the integer-ID fast path
+# (:mod:`repro.core.kernel`); "reference" is the object-graph engine
+# (:mod:`repro.core.worklist`) kept as the executable specification.
+# Both produce bit-identical solutions (fact order, assumptions and
+# taint bits included) — the difftest lattice pins that equivalence.
+ENGINES = ("kernel", "reference")
+DEFAULT_ENGINE = "kernel"
 
 
 class BudgetExceeded(RuntimeError):
@@ -58,19 +67,27 @@ def analyze_program(
     on_budget: str = "raise",
     dedup: bool = True,
     timer: Optional[PhaseTimer] = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> MayAliasSolution:
     """Run the Landi/Ryder conditional may-alias algorithm."""
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     if on_budget not in ("raise", "partial"):
         raise ValueError(f"on_budget must be 'raise' or 'partial', got {on_budget!r}")
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
     if timer is None:
         timer = PhaseTimer()
     if icfg is None:
         with timer.phase(PHASE_ICFG):
             icfg = IcfgBuilder(analyzed, entry_proc).build()
+    # The kernel implements only the dedup worklist discipline; the
+    # dedup=False A/B baseline always runs on the reference engine.
+    engine_cls = (
+        MayHoldAnalysis if engine == "reference" or not dedup else KernelAnalysis
+    )
     start = time.perf_counter()
-    analysis = MayHoldAnalysis(
+    analysis = engine_cls(
         analyzed,
         icfg,
         k=k,
@@ -115,6 +132,7 @@ def analyze_source(
     on_budget: str = "raise",
     dedup: bool = True,
     timer: Optional[PhaseTimer] = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> MayAliasSolution:
     """Parse, check, lower and analyze MiniC ``source``."""
     if timer is None:
@@ -130,4 +148,5 @@ def analyze_source(
         on_budget=on_budget,
         dedup=dedup,
         timer=timer,
+        engine=engine,
     )

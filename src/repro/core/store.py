@@ -63,10 +63,18 @@ class MayHoldStore:
     def __init__(self, dedup: bool = True) -> None:
         # (nid, AA, PA) -> CLEAN/TAINTED.  Absence means false.
         self._facts: dict[Fact, bool] = {}
-        self._by_node: dict[int, set[tuple[Assumption, AliasPair]]] = {}
-        self._by_node_name: dict[tuple[int, ObjectName], set[tuple[Assumption, AliasPair]]] = {}
-        self._by_node_base: dict[tuple[int, str], set[tuple[Assumption, AliasPair]]] = {}
-        self._by_node_assumed: dict[tuple[int, AliasPair], set[tuple[Assumption, AliasPair]]] = {}
+        # Index values are insertion-ordered keys-only dicts rather than
+        # sets: iteration order then depends only on the derivation
+        # order, never on PYTHONHASHSEED.  The taint bits of
+        # approximations 3/4 are order-sensitive (a CLEAN certified
+        # before the rebinding alias appears is never revoked), so
+        # ordered indexes make whole runs — fact order *and* taint bits
+        # — reproducible, and let the integer-ID kernel match the
+        # reference bit for bit.
+        self._by_node: dict[int, dict[tuple[Assumption, AliasPair], None]] = {}
+        self._by_node_name: dict[tuple[int, ObjectName], dict[tuple[Assumption, AliasPair], None]] = {}
+        self._by_node_base: dict[tuple[int, str], dict[tuple[Assumption, AliasPair], None]] = {}
+        self._by_node_assumed: dict[tuple[int, AliasPair], dict[tuple[Assumption, AliasPair], None]] = {}
         self._worklist: deque[Fact] = deque()
         self.dedup = dedup
         # Facts currently sitting in the queue (dedup mode only).
@@ -137,15 +145,15 @@ class MayHoldStore:
         if existing is None:
             self._facts[key] = clean
             entry = (assumption, pair)
-            self._by_node.setdefault(nid, set()).add(entry)
-            self._by_node_name.setdefault((nid, pair.first), set()).add(entry)
+            self._by_node.setdefault(nid, {})[entry] = None
+            self._by_node_name.setdefault((nid, pair.first), {})[entry] = None
             if pair.second != pair.first:
-                self._by_node_name.setdefault((nid, pair.second), set()).add(entry)
-            self._by_node_base.setdefault((nid, pair.first.base), set()).add(entry)
+                self._by_node_name.setdefault((nid, pair.second), {})[entry] = None
+            self._by_node_base.setdefault((nid, pair.first.base), {})[entry] = None
             if pair.second.base != pair.first.base:
-                self._by_node_base.setdefault((nid, pair.second.base), set()).add(entry)
+                self._by_node_base.setdefault((nid, pair.second.base), {})[entry] = None
             for assumed in assumption:
-                self._by_node_assumed.setdefault((nid, assumed), set()).add(entry)
+                self._by_node_assumed.setdefault((nid, assumed), {})[entry] = None
             self.stats.facts += 1
             self._enqueue(key)
             return True
@@ -187,6 +195,11 @@ class MayHoldStore:
             self._popped_taint[key] = state
             self.stats.worklist_pops += 1
             return key
+        # Drained.  The stale-skip map otherwise retains one entry per
+        # fact ever popped for the lifetime of the store; nothing can be
+        # stale once the queue is empty, so release it here (a later
+        # warm-start re-run begins with a clean slate).
+        self._popped_taint.clear()
         return None
 
     def taint_all(self) -> int:

@@ -53,6 +53,7 @@ CHECK_DYNAMIC_IN_EXACT = "dynamic_in_exact"
 CHECK_LR_IN_WEIHL = "lr_in_weihl"
 CHECK_PARTIAL_TAINT = "partial_taint"
 CHECK_LINT_SOUNDNESS = "lint_soundness"
+CHECK_KERNEL_EQ_REFERENCE = "kernel_eq_reference"
 
 ALL_CHECKS = (
     CHECK_DYNAMIC_IN_LR,
@@ -61,6 +62,7 @@ ALL_CHECKS = (
     CHECK_LR_IN_WEIHL,
     CHECK_PARTIAL_TAINT,
     CHECK_LINT_SOUNDNESS,
+    CHECK_KERNEL_EQ_REFERENCE,
 )
 
 
@@ -92,6 +94,11 @@ class DifftestConfig:
     #: Comparison provider for the lint false-positive delta (None
     #: skips the comparison; the soundness check still runs).
     lint_compare: Optional[str] = "weihl"
+    #: Re-solve with the reference (object-graph) engine and require
+    #: the integer-ID kernel's solution to match it *exactly* — fact
+    #: insertion order, assumptions, taint bits and per-node
+    #: ``pairs_at`` — the PR-6 equality edge of the lattice.
+    run_kernel_check: bool = True
     #: Violations reported per check (the totals are always exact).
     max_violation_reports: int = 8
 
@@ -316,6 +323,86 @@ def _check_partial_taint(solution: MayAliasSolution) -> CheckResult:
     )
 
 
+def _check_kernel_eq_reference(
+    analyzed,
+    icfg,
+    solution: MayAliasSolution,
+    config: DifftestConfig,
+) -> CheckResult:
+    """The engine-equality edge: the kernel and reference engines must
+    produce *identical* solutions — same fact set (pair + assumption),
+    same taint bits, same per-node pair sets.
+
+    ``solution`` is the kernel's result (the default engine); this
+    re-solves with ``engine="reference"`` and diffs.  Insertion order
+    is deliberately *not* compared: the kernel's directed return join
+    skips the reference's redundant record rescans, so a return fact
+    first materializes at the exit fact's own pop rather than at an
+    earlier call-site rescan — a pure reordering that the fact-set and
+    taint comparison would surface if it ever changed an answer."""
+    from ..core.analysis import analyze_program
+
+    reference = analyze_program(
+        analyzed,
+        icfg,
+        k=config.k,
+        max_facts=config.max_facts,
+        on_budget="partial",
+        engine="reference",
+    )
+    if not reference.complete:
+        return CheckResult(
+            CHECK_KERNEL_EQ_REFERENCE,
+            "skipped",
+            detail=f"reference re-solve hit its {reference.budget.reason} budget",
+        )
+    kernel_facts = list(solution.store.facts())
+    reference_facts = list(reference.store.facts())
+    problems: list[str] = []
+    count = 0
+    if len(kernel_facts) != len(reference_facts):
+        count += 1
+        problems.append(
+            f"fact counts differ: kernel {len(kernel_facts)} "
+            f"vs reference {len(reference_facts)}"
+        )
+    kernel_map = dict(kernel_facts)
+    reference_map = dict(reference_facts)
+    for fact in kernel_map.keys() - reference_map.keys():
+        count += 1
+        if len(problems) < config.max_violation_reports:
+            problems.append(f"kernel-only fact {fact}")
+    for fact in reference_map.keys() - kernel_map.keys():
+        count += 1
+        if len(problems) < config.max_violation_reports:
+            problems.append(f"reference-only fact {fact}")
+    for fact in kernel_map.keys() & reference_map.keys():
+        if kernel_map[fact] != reference_map[fact]:
+            count += 1
+            if len(problems) < config.max_violation_reports:
+                problems.append(
+                    f"taint differs on {fact}: kernel clean={kernel_map[fact]} "
+                    f"reference clean={reference_map[fact]}"
+                )
+    for node in icfg.nodes:
+        if solution.store.pairs_at(node.nid) != reference.store.pairs_at(node.nid):
+            count += 1
+            if len(problems) < config.max_violation_reports:
+                problems.append(f"pairs_at(n{node.nid}) differs")
+    if count:
+        return CheckResult(
+            CHECK_KERNEL_EQ_REFERENCE,
+            "violation",
+            violations=problems,
+            violation_count=count,
+        )
+    return CheckResult(
+        CHECK_KERNEL_EQ_REFERENCE,
+        "ok",
+        detail=f"{len(kernel_facts)} facts identical across engines",
+    )
+
+
 def _check_lint_soundness(
     analyzed,
     builder,
@@ -440,6 +527,7 @@ def difftest_source(
             CHECK_EXACT_IN_LR,
             CHECK_LR_IN_WEIHL,
             CHECK_LINT_SOUNDNESS,
+            CHECK_KERNEL_EQ_REFERENCE,
         ):
             verdict.checks.append(
                 CheckResult(check_name, "skipped", detail="analysis budget exceeded")
@@ -551,6 +639,10 @@ def difftest_source(
             )
             verdict.stats["lint"] = lint_stats
             verdict.checks.append(lint_check)
+        if config.run_kernel_check:
+            verdict.checks.append(
+                _check_kernel_eq_reference(analyzed, icfg, solution, config)
+            )
     else:
         # Partial solution: an all-TAINTED subset of the fixpoint makes
         # no containment claim in either direction.
@@ -563,6 +655,7 @@ def difftest_source(
             CHECK_DYNAMIC_IN_EXACT,
             CHECK_LR_IN_WEIHL,
             CHECK_LINT_SOUNDNESS,
+            CHECK_KERNEL_EQ_REFERENCE,
         ):
             verdict.checks.append(CheckResult(check_name, "skipped", detail=detail))
         verdict.checks.append(_check_partial_taint(solution))

@@ -36,6 +36,7 @@ with the entire query surface the clients use, not just the
 
 from __future__ import annotations
 
+import base64
 import json
 from typing import Optional, TextIO, Union
 
@@ -52,7 +53,14 @@ FORMAT_NAME = "repro-alias-solution"
 FORMAT_VERSION = 1
 #: Version 2 = version 1 plus the engine/budget/phase report.
 FORMAT_VERSION_REPORT = 2
-_SUPPORTED_VERSIONS = (FORMAT_VERSION, FORMAT_VERSION_REPORT)
+#: Version 3 = version 2 with the facts as packed kernel columns
+#: (``"packed"`` replaces ``"facts"``) — the result cache's format.
+FORMAT_VERSION_PACKED = 3
+_SUPPORTED_VERSIONS = (
+    FORMAT_VERSION,
+    FORMAT_VERSION_REPORT,
+    FORMAT_VERSION_PACKED,
+)
 
 
 def name_to_json(name: ObjectName) -> list:
@@ -98,14 +106,22 @@ _pair_from_json = pair_from_json
 
 
 def solution_to_dict(
-    solution: MayAliasSolution, include_report: bool = False
+    solution: MayAliasSolution, include_report: bool = False, packed: bool = False
 ) -> dict:
     """Export every may-hold fact plus the node table.
 
     ``include_report=True`` emits a version-2 document that also
     carries the engine counters, budget outcome, phase timings and
     analysis wall time, so :func:`rebuild_solution` can restore the
-    full observability record."""
+    full observability record.
+
+    ``packed=True`` additionally asks for the version-3 columnar
+    encoding (``"packed"`` replaces the per-fact ``"facts"`` list) when
+    the solution is kernel-backed — base64 int columns copied straight
+    off the store's arrays, which is what keeps the result cache's
+    serialization overhead a fraction of the solve instead of a
+    multiple of it.  Reference-engine solutions have no flat columns
+    and silently fall back to the per-fact encoding."""
     nodes = [
         {
             "id": node.nid,
@@ -115,16 +131,39 @@ def solution_to_dict(
         }
         for node in solution.icfg.nodes
     ]
-    facts = []
-    for (nid, assumption, pair), clean in solution.store.facts():
-        facts.append(
-            {
-                "node": nid,
-                "assume": [pair_to_json(a) for a in assumption],
-                "pair": pair_to_json(pair),
-                "clean": bool(clean),
-            }
-        )
+    pack = getattr(solution.store, "packed_json", None) if packed else None
+    if pack is not None:
+        document = {
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION_PACKED,
+            "k": solution.k,
+            "nodes": nodes,
+            "packed": pack(),
+        }
+        if include_report:
+            document["engine"] = solution.engine.as_dict()
+            document["budget"] = solution.budget.as_dict()
+            document["phases"] = solution.phases.as_dict()
+            document["analysis_seconds"] = solution.analysis_seconds
+        return document
+    # The kernel store serializes straight off its flat ID columns
+    # (pair/assumption fragments encoded once per id, not once per
+    # fact); the reference store walks the object graph.  Both produce
+    # the same dicts in the same (insertion) order.
+    fast = getattr(solution.store, "facts_json", None)
+    if fast is not None:
+        facts = fast()
+    else:
+        facts = []
+        for (nid, assumption, pair), clean in solution.store.facts():
+            facts.append(
+                {
+                    "node": nid,
+                    "assume": [pair_to_json(a) for a in assumption],
+                    "pair": pair_to_json(pair),
+                    "clean": bool(clean),
+                }
+            )
     document = {
         "format": FORMAT_NAME,
         "version": FORMAT_VERSION_REPORT if include_report else FORMAT_VERSION,
@@ -138,6 +177,50 @@ def solution_to_dict(
         document["phases"] = solution.phases.as_dict()
         document["analysis_seconds"] = solution.analysis_seconds
     return document
+
+
+def facts_json_from_document(document: dict) -> list[dict]:
+    """The per-fact dict list of any supported document version.
+
+    Version 1/2 documents carry the list verbatim; version-3 documents
+    get their packed columns expanded here (pair/assumption fragments
+    decoded once per id and shared, mirroring ``facts_json``).  Readers
+    that only *inspect* facts — :class:`LoadedSolution`, the cache
+    verifier — go through this instead of ``document["facts"]``."""
+    facts = document.get("facts")
+    if facts is not None:
+        return facts
+    from .core.kernel import decode_int_column
+
+    packed = document["packed"]
+    byteorder = packed["byteorder"]
+    names_json = [
+        [base, list(selectors), bool(truncated)]
+        for base, selectors, truncated in packed["names"]
+    ]
+    pair_first = decode_int_column(packed["pair_first"], byteorder)
+    pair_second = decode_int_column(packed["pair_second"], byteorder)
+    pair_json = [
+        [names_json[first], names_json[second]]
+        for first, second in zip(pair_first, pair_second)
+    ]
+    aa_json = [
+        [pair_json[p] for p in pair_ids] for pair_ids in packed["aas"]
+    ]
+    entry_aa = decode_int_column(packed["entry_aa"], byteorder)
+    entry_pair = decode_int_column(packed["entry_pair"], byteorder)
+    fact_node = decode_int_column(packed["fact_node"], byteorder)
+    fact_entry = decode_int_column(packed["fact_entry"], byteorder)
+    taint = base64.b64decode(packed["taint"])
+    return [
+        {
+            "node": fact_node[i],
+            "assume": aa_json[entry_aa[eid]],
+            "pair": pair_json[entry_pair[eid]],
+            "clean": bool(taint[i]),
+        }
+        for i, eid in enumerate(fact_entry)
+    ]
 
 
 def rebuild_solution(
@@ -160,15 +243,27 @@ def rebuild_solution(
             f"(expected one of {_SUPPORTED_VERSIONS})"
         )
     k = int(document["k"])
-    store = MayHoldStore()
-    for fact in document["facts"]:
-        assumption = tuple(pair_from_json(a) for a in fact["assume"])
-        store.make_true(
-            fact["node"], assumption, pair_from_json(fact["pair"]), bool(fact["clean"])
+    if "packed" in document:
+        # Version 3: bulk-load the columns into a fresh kernel — no
+        # per-fact object decoding on the hit path.
+        from .core.kernel import KernelAnalysis
+
+        store = KernelAnalysis(analyzed, icfg, k=k).load_packed(
+            document["packed"]
         )
-    # The rebuilt store is query-only: drop the worklist entries that
-    # make_true queued (nothing will ever drain them).
-    store.clear_worklist()
+    else:
+        store = MayHoldStore()
+        for fact in document["facts"]:
+            assumption = tuple(pair_from_json(a) for a in fact["assume"])
+            store.make_true(
+                fact["node"],
+                assumption,
+                pair_from_json(fact["pair"]),
+                bool(fact["clean"]),
+            )
+        # The rebuilt store is query-only: drop the worklist entries
+        # that make_true queued (nothing will ever drain them).
+        store.clear_worklist()
     engine = EngineReport.from_dict(document.get("engine", {}))
     budget = BudgetOutcome.from_dict(document.get("budget", {}))
     timer = PhaseTimer()
@@ -210,7 +305,7 @@ class LoadedSolution:
         self.nodes: dict[int, dict] = {n["id"]: n for n in document["nodes"]}
         self._pairs_at: dict[int, set[AliasPair]] = {}
         self._clean: dict[tuple[int, AliasPair], bool] = {}
-        for fact in document["facts"]:
+        for fact in facts_json_from_document(document):
             nid = fact["node"]
             pair = _pair_from_json(fact["pair"])
             self._pairs_at.setdefault(nid, set()).add(pair)

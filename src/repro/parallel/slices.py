@@ -39,10 +39,17 @@ import time
 from typing import Optional
 
 from ..core.analysis import analyze_program
+from ..core.kernel import KernelAnalysis
 from ..core.metrics import EngineReport, PhaseTimer
 from ..core.solution import MayAliasSolution
 from ..core.store import TAINTED
 from ..core.worklist import MayHoldAnalysis
+
+
+def _engine_class(engine: str, dedup: bool):
+    """The analysis class for an engine selection (the dedup=False A/B
+    baseline always runs on the reference engine)."""
+    return MayHoldAnalysis if engine == "reference" or not dedup else KernelAnalysis
 from ..frontend.semantics import AnalyzedProgram, parse_and_analyze
 from ..icfg.builder import build_icfg
 from ..icfg.graph import ICFG
@@ -77,10 +84,10 @@ def _solve_slice(payload: tuple) -> dict:
     The worker re-parses the source (parsing is cheap next to solving
     and keeps the payload picklable everywhere); the ICFG build is
     deterministic, so node ids agree with the parent's."""
-    source, k, group, max_facts, deadline_seconds, dedup = payload
+    source, k, group, max_facts, deadline_seconds, dedup, engine = payload
     analyzed = parse_and_analyze(source)
     icfg = build_icfg(analyzed)
-    analysis = MayHoldAnalysis(
+    analysis = _engine_class(engine, dedup)(
         analyzed,
         icfg,
         k=k,
@@ -108,6 +115,7 @@ def solve_sliced(
     on_budget: str = "partial",
     dedup: bool = True,
     timer: Optional[PhaseTimer] = None,
+    engine: str = "kernel",
 ) -> MayAliasSolution:
     """Solve one program with parallel seeding + sequential closure.
 
@@ -129,6 +137,7 @@ def solve_sliced(
             on_budget=on_budget,
             dedup=dedup,
             timer=timer,
+            engine=engine,
         )
 
     seeds = seed_node_ids(icfg)
@@ -137,7 +146,7 @@ def solve_sliced(
     outcomes = run_sharded(
         _solve_slice,
         [
-            (source, k, group, max_facts, deadline_seconds, dedup)
+            (source, k, group, max_facts, deadline_seconds, dedup, engine)
             for group in groups
         ],
         jobs=jobs,
@@ -157,7 +166,7 @@ def solve_sliced(
         )
 
     start = time.perf_counter()
-    closure = MayHoldAnalysis(
+    closure = _engine_class(engine, dedup)(
         analyzed,
         icfg,
         k=k,

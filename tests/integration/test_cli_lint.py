@@ -35,6 +35,10 @@ def clean_file(tmp_path):
 
 
 class TestLintCli:
+    # ~15s: runs the full provider self-check sweep, which the unit
+    # test_self_check_is_clean already covers and the CI soundness job
+    # exercises through the real CLI.
+    @pytest.mark.slow
     def test_self_check_smoke(self, capsys):
         assert main(["lint", "--self-check"]) == 0
         assert "OK" in capsys.readouterr().out

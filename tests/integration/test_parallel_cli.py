@@ -158,12 +158,17 @@ class TestCacheSubcommand:
         assert json.loads(capsys.readouterr().out)["entries"] == 0
 
     def test_verify_flags_a_tampered_entry(self, tmp_path, capsys):
+        import base64
+
         from repro.cache.store import SolutionCache
 
         cache_dir = self._populate(tmp_path, capsys)
         (entry,) = list(SolutionCache(cache_dir).iter_paths())
         envelope = json.loads(entry.read_text())
-        envelope["solution"]["facts"] = envelope["solution"]["facts"][:-2]
+        packed = envelope["solution"]["packed"]
+        taint = bytearray(base64.b64decode(packed["taint"]))
+        taint[0] ^= 1
+        packed["taint"] = base64.b64encode(bytes(taint)).decode("ascii")
         entry.write_text(json.dumps(envelope))
         assert main(["cache", "verify", "--cache-dir", cache_dir]) == 1
         assert "1 problems" in capsys.readouterr().out

@@ -1,0 +1,182 @@
+"""Property tests for the kernel's integer interning and fact columns.
+
+Two layers are exercised: the dense-ID interning of names, pairs and
+assumptions (ids are dense, stable and decode back to the interned
+object), and the packed fact store (add / CLEAN-upgrade / iterate /
+snapshot-during-mutation behave exactly like the reference
+``MayHoldStore``).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kernel import KernelAnalysis
+from repro.core.store import MayHoldStore
+from repro.frontend.semantics import parse_and_analyze
+from repro.icfg.builder import build_icfg
+from repro.names import DEREF, AliasPair, ObjectName
+from repro.programs import ALL_FIXTURES
+
+bases = st.sampled_from(["p", "q", "g1", "main::l1", "$nv1", "$nv2"])
+selectors = st.lists(
+    st.sampled_from([DEREF, "next", "f"]), min_size=0, max_size=4
+).map(tuple)
+names = st.builds(
+    lambda b, s, t: ObjectName(b, s, truncated=t),
+    bases,
+    selectors,
+    st.booleans(),
+)
+pairs = st.builds(AliasPair, names, names).filter(lambda p: not p.is_trivial)
+assumptions_ = st.lists(pairs, min_size=0, max_size=2).map(tuple)
+
+
+def _fresh_kernel():
+    analyzed = parse_and_analyze(ALL_FIXTURES["figure1"])
+    icfg = build_icfg(analyzed)
+    return KernelAnalysis(analyzed, icfg, k=3), icfg
+
+
+class TestInterning:
+    @given(st.lists(names, min_size=1, max_size=20))
+    @settings(max_examples=50)
+    def test_name_ids_dense_stable_and_decodable(self, name_list):
+        kernel, _ = _fresh_kernel()
+        start = len(kernel._names)
+        ids = [kernel._name_id(n) for n in name_list]
+        # Stable: re-interning returns the same id.
+        assert ids == [kernel._name_id(n) for n in name_list]
+        # Dense: every id indexes the decode table.
+        assert all(0 <= i < len(kernel._names) for i in ids)
+        assert len(kernel._names) - start == len(set(name_list) - set(kernel._names[:start]))
+        # Decodable: the table inverts the id map.
+        for n, i in zip(name_list, ids):
+            assert kernel._names[i] == n
+        # Equal names (and only equal names) share an id.
+        for a, ia in zip(name_list, ids):
+            for b, ib in zip(name_list, ids):
+                assert (ia == ib) == (a == b)
+
+    @given(st.lists(pairs, min_size=1, max_size=15))
+    @settings(max_examples=50)
+    def test_pair_ids_decode_to_member_columns(self, pair_list):
+        kernel, _ = _fresh_kernel()
+        for p in pair_list:
+            pid = kernel._pair_id(p)
+            assert kernel._pairs[pid] == p
+            assert kernel._names[kernel._pair_first[pid]] == p.first
+            assert kernel._names[kernel._pair_second[pid]] == p.second
+            assert kernel._pair_id(p) == pid
+
+    @given(st.lists(assumptions_, min_size=1, max_size=10))
+    @settings(max_examples=50)
+    def test_assumption_ids_decode_and_index_pairs_dedupe(self, aa_list):
+        kernel, _ = _fresh_kernel()
+        for aa in aa_list:
+            aid = kernel._aa_id(aa)
+            assert kernel._aas[aid] == aa
+            assert kernel._aa_id(aa) == aid
+            decoded = tuple(kernel._pairs[p] for p in kernel._aa_pairs[aid])
+            assert decoded == aa
+            index_pairs = kernel._aa_index_pairs[aid]
+            assert len(index_pairs) == len(set(index_pairs))
+            assert set(index_pairs) == set(kernel._aa_pairs[aid])
+
+    def test_empty_assumption_is_id_zero(self):
+        kernel, _ = _fresh_kernel()
+        assert kernel._aa_id(()) == 0
+        assert kernel._aas[0] == ()
+
+
+# One op = (node offset, assumption, pair, clean).
+ops = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=9), assumptions_, pairs, st.booleans()),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestFactColumns:
+    @given(ops)
+    @settings(max_examples=60, deadline=None)
+    def test_add_upgrade_iterate_matches_reference_store(self, op_list):
+        kernel, icfg = _fresh_kernel()
+        reference = MayHoldStore()
+        n_nodes = len(icfg.nodes)
+        for offset, assumption, pair, clean in op_list:
+            nid = offset % n_nodes
+            created_ref = reference.make_true(nid, assumption, pair, clean)
+            created_ker = kernel.store.make_true(nid, assumption, pair, clean)
+            assert created_ref == created_ker
+        assert dict(reference.facts()) == dict(kernel.store.facts())
+        assert len(reference) == len(kernel.store)
+        for offset, assumption, pair, _ in op_list:
+            nid = offset % n_nodes
+            assert reference.holds(nid, assumption, pair)
+            assert kernel.store.holds(nid, assumption, pair)
+            assert reference.is_clean(nid, assumption, pair) == kernel.store.is_clean(
+                nid, assumption, pair
+            )
+            assert reference.pairs_at(nid) == kernel.store.pairs_at(nid)
+            assert set(reference.at_node(nid)) == set(kernel.store.at_node(nid))
+            for name in (pair.first, pair.second):
+                assert set(reference.at_node_with_name(nid, name)) == set(
+                    kernel.store.at_node_with_name(nid, name)
+                )
+                assert set(reference.at_node_with_base(nid, name.base)) == set(
+                    kernel.store.at_node_with_base(nid, name.base)
+                )
+            for assumed in assumption:
+                assert set(reference.at_node_assuming(nid, assumed)) == set(
+                    kernel.store.at_node_assuming(nid, assumed)
+                )
+
+    @given(ops)
+    @settings(max_examples=40, deadline=None)
+    def test_taint_is_upgrade_only(self, op_list):
+        # CLEAN is sticky: once a fact is certified it never reverts,
+        # whatever later TAINTED re-derivations arrive.
+        kernel, icfg = _fresh_kernel()
+        n_nodes = len(icfg.nodes)
+        ever_clean: set = set()
+        for offset, assumption, pair, clean in op_list:
+            nid = offset % n_nodes
+            kernel.store.make_true(nid, assumption, pair, clean)
+            if clean:
+                ever_clean.add((nid, assumption, pair))
+        for fact, clean in kernel.store.facts():
+            assert clean == (fact in ever_clean)
+
+    @given(ops)
+    @settings(max_examples=40, deadline=None)
+    def test_bucket_snapshot_stable_during_mutation(self, op_list):
+        # Iterating a node's facts while inserting new ones must not
+        # see (or be corrupted by) the concurrent growth — the store
+        # snapshots the bucket at iteration start.
+        kernel, icfg = _fresh_kernel()
+        n_nodes = len(icfg.nodes)
+        for offset, assumption, pair, clean in op_list:
+            kernel.store.make_true(offset % n_nodes, assumption, pair, clean)
+        nid = op_list[0][0] % n_nodes
+        before = list(kernel.store.at_node(nid))
+        seen = []
+        extra = AliasPair(
+            ObjectName("snapshot$a").deref(), ObjectName("snapshot$b")
+        )
+        for i, item in enumerate(kernel.store.at_node(nid)):
+            seen.append(item)
+            if i == 0:
+                kernel.store.make_true(nid, (), extra, False)
+        assert seen == before
+        assert ((), extra) in set(kernel.store.at_node(nid))
+
+    @given(ops)
+    @settings(max_examples=30, deadline=None)
+    def test_taint_all_counts_demotions(self, op_list):
+        kernel, icfg = _fresh_kernel()
+        n_nodes = len(icfg.nodes)
+        for offset, assumption, pair, clean in op_list:
+            kernel.store.make_true(offset % n_nodes, assumption, pair, clean)
+        clean_now = sum(1 for _, clean in kernel.store.facts() if clean)
+        assert kernel.store.taint_all() == clean_now
+        assert all(not clean for _, clean in kernel.store.facts())

@@ -193,7 +193,7 @@ class TestCorruptionRecovery:
         # (simulates schema drift between code versions).
         cache, path = self._prime(tmp_path)
         envelope = json.loads(path.read_text())
-        envelope["solution"]["facts"] = [{"bogus": True}]
+        envelope["solution"]["packed"] = {"bogus": True}
         path.write_text(json.dumps(envelope))
         solution, status = _solve(SOURCE, cache)
         assert status == STATUS_MISS
@@ -252,11 +252,18 @@ class TestVerify:
         assert problems == []
 
     def test_tampered_entry_is_reported(self, tmp_path):
+        import base64
+
         cache = SolutionCache(tmp_path)
         _solve(SOURCE, cache)
         (path,) = list(cache.iter_paths())
         envelope = json.loads(path.read_text())
-        envelope["solution"]["facts"] = envelope["solution"]["facts"][:-1]
+        # Flip one fact's taint bit inside the packed columns: the
+        # stored solution no longer matches a fresh re-solve.
+        packed = envelope["solution"]["packed"]
+        taint = bytearray(base64.b64decode(packed["taint"]))
+        taint[0] ^= 1
+        packed["taint"] = base64.b64encode(bytes(taint)).decode("ascii")
         path.write_text(json.dumps(envelope))
         checked, problems = verify_cache(cache)
         assert checked == 1

@@ -8,6 +8,7 @@ from repro.difftest.harness import (
     CHECK_DYNAMIC_IN_EXACT,
     CHECK_DYNAMIC_IN_LR,
     CHECK_EXACT_IN_LR,
+    CHECK_KERNEL_EQ_REFERENCE,
     CHECK_LINT_SOUNDNESS,
     CHECK_LR_IN_WEIHL,
     CHECK_PARTIAL_TAINT,
@@ -28,6 +29,7 @@ class TestVerdict:
             CHECK_DYNAMIC_IN_EXACT: "ok",
             CHECK_LR_IN_WEIHL: "ok",
             CHECK_LINT_SOUNDNESS: "ok",
+            CHECK_KERNEL_EQ_REFERENCE: "ok",
         }
 
     def test_stats_cover_every_stage(self):
@@ -99,6 +101,7 @@ class TestBudgetPartial:
     def test_partial_taint_check_is_not_vacuous(self, monkeypatch):
         # A partial store smuggling a CLEAN fact violates the PR 1
         # contract and must be flagged.
+        from repro.core.kernel import KernelAnalysis
         from repro.core.store import MayHoldStore
 
         original = MayHoldStore.taint_all
@@ -110,6 +113,18 @@ class TestBudgetPartial:
             return count
 
         monkeypatch.setattr(MayHoldStore, "taint_all", leaky_taint_all)
+
+        # The kernel demotes through its private _taint_all (both at
+        # the budget trip and via KernelStore.taint_all), so leak there.
+        kernel_original = KernelAnalysis._taint_all
+
+        def leaky_kernel_taint_all(self):
+            count = kernel_original(self)
+            if self._taint:
+                self._taint[0] = 1
+            return count
+
+        monkeypatch.setattr(KernelAnalysis, "_taint_all", leaky_kernel_taint_all)
         verdict = difftest_source(
             FIGURE1, DifftestConfig(max_facts=10, run_baselines=False)
         )

@@ -9,7 +9,7 @@ has gone vacuous.
 
 import pytest
 
-from repro.core.transfer import AssignTransfer
+from repro.core.transfer import RhsView
 from repro.difftest import (
     DifftestConfig,
     difftest_source,
@@ -29,10 +29,14 @@ COMMITTED_ENTRY = "tests/corpus/mutation-assign-intro.c"
 @pytest.fixture
 def broken_intro(monkeypatch):
     """Disable Figure 2's alias introduction at assignments — the
-    engine silently misses every (*p, x) fact an assignment creates."""
-    monkeypatch.setattr(
-        AssignTransfer, "intro", lambda self, succ_id, stmt: None
-    )
+    engine silently misses every (*p, x) fact an assignment creates.
+
+    ``RhsView.intro_target`` is the single source of introduced pairs
+    for *both* engines (the reference transfer calls it per visit, the
+    kernel bakes it into its per-node table), so the mutation breaks
+    them identically and must be caught by the oracle checks rather
+    than the kernel-vs-reference equality edge."""
+    monkeypatch.setattr(RhsView, "intro_target", lambda self, lhs: None)
 
 
 def test_mutation_caught_shrunk_and_persisted(broken_intro, tmp_path):

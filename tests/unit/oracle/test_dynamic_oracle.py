@@ -99,12 +99,12 @@ class TestContainment:
     @pytest.fixture
     def unsound_solution(self, monkeypatch):
         """FIGURE1 analyzed with Figure 2's alias introduction disabled
-        — an engine that silently misses assignment-created aliases."""
-        from repro.core.transfer import AssignTransfer
+        — an engine that silently misses assignment-created aliases.
+        ``RhsView.intro_target`` feeds both engines, so the sabotage
+        holds whichever engine ``analyze_program`` selects."""
+        from repro.core.transfer import RhsView
 
-        monkeypatch.setattr(
-            AssignTransfer, "intro", lambda self, succ_id, stmt: None
-        )
+        monkeypatch.setattr(RhsView, "intro_target", lambda self, lhs: None)
         analyzed, icfg, oracle = _collect(FIGURE1)
         return oracle, analyze_program(analyzed, icfg, k=2)
 
