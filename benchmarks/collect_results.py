@@ -26,6 +26,13 @@ Sections (each tolerates missing inputs and failures in the others):
   PR1/PR5 trajectory, >=10x acceptance), the cold-cache store-overhead
   pin (<=10% over the plain solve) and the per-phase cache counters
   (warm row must report hit rate exactly 1.0).
+* ``pr7`` — ``BENCH_PR7.json``: the bottom-up summary engine vs the
+  serial kernel on the scaling fixture at ``--jobs 1`` and ``--jobs
+  4`` (oversubscribed past the core clamp so the worker pool really
+  runs), the summary-vs-kernel work ratio in worklist pops, the
+  byte-identical cross-job determinism pin, and the per-procedure
+  cache cold -> warm roundtrip (warm phase must replay >= 90% of
+  envelope lookups from cache).
 """
 
 import argparse
@@ -38,7 +45,7 @@ import traceback
 
 MARKER = "## Appendix — measured tables (latest benchmark run)"
 BENCH_SCHEMA = "repro-bench/1"
-ALL_SECTIONS = ("tables", "pr1", "pr2", "pr3", "pr5", "pr6")
+ALL_SECTIONS = ("tables", "pr1", "pr2", "pr3", "pr5", "pr6", "pr7")
 
 
 def _ensure_src(root: pathlib.Path) -> None:
@@ -504,6 +511,156 @@ def section_pr6(root: pathlib.Path, out_dir: pathlib.Path, args) -> None:
         )
 
 
+def _summary_rows(root: pathlib.Path, args, tmp: pathlib.Path) -> dict:
+    """Serial kernel vs the summary engine at jobs 1 and 4 on the
+    scaling fixture, plus a cold/warm per-procedure cache roundtrip."""
+    _ensure_src(root)
+    from repro.cache.store import SolutionCache
+    from repro.core.analysis import analyze_program
+    from repro.frontend.semantics import parse_and_analyze
+    from repro.icfg.builder import build_icfg
+    from repro.io import solution_to_dict
+    from repro.programs import ProgramSpec, generate_program
+    from repro.summaries.solver import solve_summary
+
+    target = args.scale_target
+    spec = ProgramSpec.for_target_nodes("scaling", target)
+    source = generate_program(spec)
+    k = 3
+
+    # One fresh parse per solve: rebuilding the ICFG on a shared
+    # analyzed program shifts the temp-name uniquifiers and would make
+    # the byte-identity comparison below fail spuriously.
+    def fresh():
+        analyzed = parse_and_analyze(source)
+        return analyzed, build_icfg(analyzed)
+
+    rows = []
+    analyzed, icfg = fresh()
+    t0 = time.perf_counter()
+    kernel = analyze_program(analyzed, icfg, k=k, on_budget="partial", engine="kernel")
+    kernel_report = kernel.engine.as_dict()
+    rows.append(
+        {
+            "label": "serial-kernel",
+            "engine": "kernel",
+            "jobs": 1,
+            "wall_seconds": round(time.perf_counter() - t0, 3),
+            "facts": len(kernel.store),
+            "worklist_pops": kernel_report.get("worklist_pops"),
+        }
+    )
+    kernel_facts = dict(kernel.store.facts())
+
+    summary_docs = {}
+    facts_equal_kernel = True
+    for jobs in (1, args.jobs):
+        analyzed, icfg = fresh()
+        t0 = time.perf_counter()
+        solution = solve_summary(
+            analyzed, icfg, k=k, jobs=jobs, on_budget="partial", oversubscribe=True
+        )
+        seconds = time.perf_counter() - t0
+        report = solution.engine.as_dict()
+        rows.append(
+            {
+                "label": f"summary-jobs{jobs}",
+                "engine": "summary",
+                "jobs": jobs,
+                "wall_seconds": round(seconds, 3),
+                "facts": len(solution.store),
+                "worklist_pops": report.get("worklist_pops"),
+                "work_ratio_vs_kernel": (
+                    round(report["worklist_pops"] / kernel_report["worklist_pops"], 3)
+                    if kernel_report.get("worklist_pops")
+                    else None
+                ),
+            }
+        )
+        facts_equal_kernel &= dict(solution.store.facts()) == kernel_facts
+        summary_docs[jobs] = json.dumps(
+            solution_to_dict(solution, packed=True), sort_keys=True
+        )
+    jobs_byte_identical = len(set(summary_docs.values())) == 1
+
+    # Per-procedure envelope cache: a cold solve populates one envelope
+    # per (procedure, inputs-digest) drain, a warm re-solve must replay
+    # almost all of them.
+    cache = SolutionCache(tmp / "summary-cache")
+    cache_rows = []
+    for label in ("cold-cache", "warm-cache"):
+        analyzed, icfg = fresh()
+        before = cache.counters.snapshot()
+        t0 = time.perf_counter()
+        solve_summary(
+            analyzed, icfg, k=k, jobs=1, on_budget="partial",
+            cache=cache, source=source,
+        )
+        seconds = time.perf_counter() - t0
+        phase = cache.counters.since(before)
+        cache_rows.append(
+            {
+                "label": label,
+                "engine": "summary",
+                "jobs": 1,
+                "wall_seconds": round(seconds, 3),
+                "cache_hit_rate": phase.hit_rate,
+                "cache_hits": phase.hits,
+                "cache_misses": phase.misses,
+            }
+        )
+    rows.extend(cache_rows)
+
+    return {
+        "program": f"scale{target}",
+        "k": k,
+        "rows": rows,
+        "fact_sets_identical_kernel_vs_summary": facts_equal_kernel,
+        "jobs_byte_identical": jobs_byte_identical,
+        "speedup_summary_vs_kernel": _speedup(rows[0], rows[1]),
+        "speedup_jobs_vs_serial": _speedup(rows[1], rows[2]),
+        "warm_hit_rate": cache_rows[1]["cache_hit_rate"],
+        "speedup_warm_vs_cold": _speedup(cache_rows[0], cache_rows[1]),
+    }
+
+
+def section_pr7(root: pathlib.Path, out_dir: pathlib.Path, args) -> None:
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-pr7-") as tmp_name:
+        tmp = pathlib.Path(tmp_name)
+        summaries = _summary_rows(root, args, tmp)
+
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "pr": 7,
+        "description": (
+            "Bottom-up procedure summaries vs the serial kernel on the "
+            "scaling fixture.  The summary engine pays for condensation "
+            "and instantiation in worklist pops (work_ratio_vs_kernel) "
+            "and buys back per-procedure incrementality: the warm-cache "
+            "row replays per-procedure envelopes instead of re-solving. "
+            "cpu_count is what the numbers were measured on — the jobs-4 "
+            "row is oversubscribed on fewer cores, so its wall clock "
+            "shows pool overhead, not speedup; the byte-identity pin is "
+            "the point of that row."
+        ),
+        "cpu_count": os.cpu_count(),
+        "jobs": args.jobs,
+        "summaries": summaries,
+    }
+    _write(root / "BENCH_PR7.json", payload)
+    if not summaries["fact_sets_identical_kernel_vs_summary"]:
+        raise RuntimeError("summary fact set diverged from kernel — investigate")
+    if not summaries["jobs_byte_identical"]:
+        raise RuntimeError("summary solutions differ across job counts — investigate")
+    if summaries["warm_hit_rate"] < 0.9:
+        raise RuntimeError(
+            f"warm per-procedure cache hit rate {summaries['warm_hit_rate']} "
+            "below the 90% bar"
+        )
+
+
 def _write(path: pathlib.Path, payload: dict) -> None:
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {path}")
@@ -516,6 +673,7 @@ SECTION_RUNNERS = {
     "pr3": section_pr3,
     "pr5": section_pr5,
     "pr6": section_pr6,
+    "pr7": section_pr7,
 }
 
 

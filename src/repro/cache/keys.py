@@ -33,7 +33,10 @@ from ..frontend.semantics import AnalyzedProgram
 #: being addressed — ``repro cache clear`` reclaims the space).
 #: 6.0: integer-ID kernel backend + insertion-ordered reference
 #: indexes (taint bits are now PYTHONHASHSEED-independent).
-ENGINE_CODE_VERSION = "lr-engine/6.0"
+# 7.0: unconditional extension/closure emission in the assignment
+# transfer (schedule-independent fact sets; solutions can gain implied
+# alias pairs the gated emission dropped).
+ENGINE_CODE_VERSION = "lr-engine/7.0"
 
 
 def canonical_program_text(analyzed: AnalyzedProgram) -> str:

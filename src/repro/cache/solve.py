@@ -69,6 +69,50 @@ def make_envelope(
     }
 
 
+def _solve(
+    analyzed: AnalyzedProgram,
+    icfg: ICFG,
+    k: int,
+    max_facts: Optional[int],
+    deadline_seconds: Optional[float],
+    on_budget: str,
+    dedup: bool,
+    timer: Optional[PhaseTimer],
+    engine: str,
+    jobs: int,
+    cache: Optional[SolutionCache],
+) -> MayAliasSolution:
+    """One fresh solve.  The summary engine threads ``jobs`` and the
+    cache through — its per-procedure envelopes share the store with
+    the whole-program entries, so an outer (whole-program) miss still
+    replays every procedure whose body and inputs are unchanged."""
+    if engine == "summary":
+        from ..summaries.solver import solve_summary
+
+        return solve_summary(
+            analyzed,
+            icfg,
+            k=k,
+            jobs=jobs,
+            max_facts=max_facts,
+            deadline_seconds=deadline_seconds,
+            on_budget=on_budget,
+            timer=timer,
+            cache=cache,
+        )
+    return analyze_program(
+        analyzed,
+        icfg,
+        k=k,
+        max_facts=max_facts,
+        deadline_seconds=deadline_seconds,
+        on_budget=on_budget,
+        dedup=dedup,
+        timer=timer,
+        engine=engine,
+    )
+
+
 def solve_with_cache(
     analyzed: AnalyzedProgram,
     icfg: ICFG,
@@ -80,22 +124,25 @@ def solve_with_cache(
     cache: Optional[SolutionCache] = None,
     timer: Optional[PhaseTimer] = None,
     engine: str = "kernel",
+    jobs: int = 1,
 ) -> tuple[MayAliasSolution, str]:
     """Solve (or reload) the may-alias solution for one program.
 
     Returns ``(solution, status)`` with status one of ``"off"``,
     ``"hit"``, ``"miss"`` or ``"uncacheable"``."""
     if cache is None:
-        solution = analyze_program(
+        solution = _solve(
             analyzed,
             icfg,
-            k=k,
-            max_facts=max_facts,
-            deadline_seconds=deadline_seconds,
-            on_budget=on_budget,
-            dedup=dedup,
-            timer=timer,
-            engine=engine,
+            k,
+            max_facts,
+            deadline_seconds,
+            on_budget,
+            dedup,
+            timer,
+            engine,
+            jobs,
+            None,
         )
         return solution, STATUS_OFF
 
@@ -123,16 +170,18 @@ def solve_with_cache(
             except OSError:
                 pass
 
-    solution = analyze_program(
+    solution = _solve(
         analyzed,
         icfg,
-        k=k,
-        max_facts=max_facts,
-        deadline_seconds=deadline_seconds,
-        on_budget=on_budget,
-        dedup=dedup,
-        timer=timer,
-        engine=engine,
+        k,
+        max_facts,
+        deadline_seconds,
+        on_budget,
+        dedup,
+        timer,
+        engine,
+        jobs,
+        cache,
     )
     if not solution.complete:
         return solution, STATUS_UNCACHEABLE
@@ -159,6 +208,15 @@ def verify_cache(
         except (OSError, json.JSONDecodeError):
             problems.append(f"{path.name}: unreadable entry")
             checked += 1
+            continue
+        if (
+            isinstance(envelope, dict)
+            and envelope.get("schema") != CACHE_ENTRY_SCHEMA
+        ):
+            # Per-procedure summary envelopes (repro-summary-entry/1)
+            # share the store but are not self-contained programs; the
+            # summary engine's own warm-vs-cold equivalence tests cover
+            # them.
             continue
         try:
             program = envelope["program"]

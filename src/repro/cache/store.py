@@ -126,10 +126,19 @@ class SolutionCache:
 
     # -- reads ---------------------------------------------------------------
 
-    def get(self, key: str) -> Optional[dict]:
+    def get(
+        self,
+        key: str,
+        schema: str = CACHE_ENTRY_SCHEMA,
+        payload_key: str = "solution",
+    ) -> Optional[dict]:
         """The stored envelope for ``key``, or None (a miss).
 
-        A malformed entry — unreadable, truncated, wrong schema — is
+        ``schema``/``payload_key`` describe what a well-formed entry
+        under this key looks like — whole-program solution envelopes by
+        default; the summary engine reads its per-procedure entries
+        with ``schema=SUMMARY_ENTRY_SCHEMA, payload_key="state"``.  A
+        malformed entry — unreadable, truncated, wrong schema — is
         deleted, counted under ``corrupt_dropped``, and reported as a
         miss; the cache never propagates its own corruption."""
         path = self.entry_path(key)
@@ -144,8 +153,8 @@ class SolutionCache:
             return None
         if (
             not isinstance(envelope, dict)
-            or envelope.get("schema") != CACHE_ENTRY_SCHEMA
-            or "solution" not in envelope
+            or envelope.get("schema") != schema
+            or payload_key not in envelope
         ):
             self._drop_corrupt(path)
             return None

@@ -114,12 +114,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--engine",
-        choices=("kernel", "reference"),
+        choices=("kernel", "reference", "summary"),
         default="kernel",
         help=(
-            "solver backend: the integer-ID kernel (default) or the "
-            "object-graph reference engine; both produce identical "
-            "solutions (the difftest suite pins that equivalence)"
+            "solver backend: the integer-ID kernel (default), the "
+            "object-graph reference engine, or the bottom-up "
+            "procedure-summary solver (parallelizes within one "
+            "program via --jobs; caches per procedure via "
+            "--cache-dir); all three produce identical solutions "
+            "(the difftest suite pins the equivalences)"
         ),
     )
     parser.add_argument(
@@ -149,9 +152,10 @@ def add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="N",
         help=(
             "worker processes for sweeps (and, for a single analyze "
-            "target, parallel seed-slice solving); results merge in "
-            "deterministic unit order, so every N prints the same "
-            "report (default 1)"
+            "target, parallel seed-slice solving — or parallel "
+            "per-procedure drains with --engine summary); results "
+            "merge in deterministic unit order, so every N prints the "
+            "same report (default 1)"
         ),
     )
     parser.add_argument(
@@ -235,7 +239,7 @@ def build_lint_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--max-facts",
         type=int,
-        default=1_000_000,
+        default=2_000_000,
         help="fact budget for the alias analysis",
     )
     parser.add_argument(
@@ -894,6 +898,7 @@ def main(argv: Optional[list[str]] = None) -> int:
                 cache=SolutionCache(args.cache_dir),
                 timer=timer,
                 engine=getattr(args, "engine", "kernel"),
+                jobs=args.jobs,
             )
         elif args.jobs > 1:
             from .parallel import solve_sliced

@@ -35,10 +35,14 @@ DEFAULT_K = 3  # the paper's Table 2 uses k = 3
 
 # Engine backends.  "kernel" is the integer-ID fast path
 # (:mod:`repro.core.kernel`); "reference" is the object-graph engine
-# (:mod:`repro.core.worklist`) kept as the executable specification.
-# Both produce bit-identical solutions (fact order, assumptions and
-# taint bits included) — the difftest lattice pins that equivalence.
-ENGINES = ("kernel", "reference")
+# (:mod:`repro.core.worklist`) kept as the executable specification;
+# "summary" is the bottom-up procedure-summary solver
+# (:mod:`repro.summaries.solver`), the only engine that parallelizes
+# *within* one program.  All three produce identical solutions (fact
+# set, assumptions and taint bits included) — the difftest lattice
+# pins the equivalences (``kernel_eq_reference``,
+# ``summary_eq_kernel``).
+ENGINES = ("kernel", "reference", "summary")
 DEFAULT_ENGINE = "kernel"
 
 
@@ -81,6 +85,23 @@ def analyze_program(
     if icfg is None:
         with timer.phase(PHASE_ICFG):
             icfg = IcfgBuilder(analyzed, entry_proc).build()
+    if engine == "summary":
+        if not dedup:
+            raise ValueError(
+                "the summary engine requires the dedup worklist discipline; "
+                "use engine='reference' for the dedup=False A/B baseline"
+            )
+        from ..summaries.solver import solve_summary
+
+        return solve_summary(
+            analyzed,
+            icfg,
+            k=k,
+            max_facts=max_facts,
+            deadline_seconds=deadline_seconds,
+            on_budget=on_budget,
+            timer=timer,
+        )
     # The kernel implements only the dedup worklist discipline; the
     # dedup=False A/B baseline always runs on the reference engine.
     engine_cls = (

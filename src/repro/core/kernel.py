@@ -486,6 +486,7 @@ class KernelAnalysis:
         dedup: bool = True,
         timer: Optional[PhaseTimer] = None,
         seed_nodes: Optional[frozenset[int]] = None,
+        owned_nodes: Optional[frozenset[int]] = None,
     ) -> None:
         if not dedup:
             raise ValueError(
@@ -496,6 +497,13 @@ class KernelAnalysis:
         self.icfg = icfg
         self.k = k
         self.seed_nodes = seed_nodes
+        # Restricted mode (the summary engine's per-procedure kernels):
+        # transfer tables, successor edges and initialization cover only
+        # the owned nodes.  Facts may still be recorded at foreign nodes
+        # (callee entry seeds, mirrored callee exit facts) — they pop as
+        # no-ops, except at exit nodes where the owned call sites' return
+        # joins run.  ``None`` means the ordinary whole-program kernel.
+        self.owned_nodes = owned_nodes
         self.ctx = NameContext(analyzed.symbols, k)
         self.max_facts = max_facts
         self.deadline_seconds = deadline_seconds
@@ -579,27 +587,44 @@ class KernelAnalysis:
         self._assign_tables: dict[int, _AssignTable] = {}
         self._call_tables: dict[int, _CallTable] = {}
         self._exit_calls: dict[int, tuple[_CallTable, ...]] = {}
+        owned = owned_nodes
         for node in icfg.nodes:
+            if owned is not None and node.nid not in owned:
+                continue
             if node.is_pointer_assignment:
                 assert isinstance(node.stmt, PtrAssign)
                 self._assign_tables[node.nid] = _AssignTable(self, node.stmt)
         for node in icfg.nodes:
+            if owned is not None and node.nid not in owned:
+                continue
             if node.kind is NodeKind.CALL and node.callee in icfg.procs:
                 self._node_tag[node.nid] = 1
                 self._call_tables[node.nid] = _CallTable(self, node)
         for node in icfg.nodes:
             if node.kind is NodeKind.EXIT:
+                # Every exit node gets tag 2 and an (often empty) call
+                # list even in restricted mode: a mirrored callee exit
+                # fact must dispatch to the return joins of exactly the
+                # *owned* call sites, and the owned procedure's own exit
+                # joins into foreign callers nowhere — its exit table is
+                # harvested by the summary coordinator instead.
                 self._node_tag[node.nid] = 2
                 calls = []
                 for ret in node.succs:
                     call = ret.paired_call
                     assert call is not None
-                    calls.append(self._call_tables[call.nid])
+                    table = self._call_tables.get(call.nid)
+                    if table is not None:
+                        calls.append(table)
+                    else:
+                        assert owned is not None
                 self._exit_calls[node.nid] = tuple(calls)
         self._succs: list[tuple[tuple[int, Optional[_AssignTable]], ...]] = [
             ()
         ] * n_nodes
         for node in icfg.nodes:
+            if owned is not None and node.nid not in owned:
+                continue
             self._succs[node.nid] = tuple(
                 (succ.nid, self._assign_tables.get(succ.nid))
                 for succ in node.succs
@@ -831,15 +856,20 @@ class KernelAnalysis:
         return tuple(out)
 
     def _run_plan(self, succ: int, aa_id: int, plan: tuple, clean: int) -> None:
+        # Unconditional, mirroring ``AssignTransfer._emit``: gating the
+        # extension/closure pairs on the primary being *new* made the
+        # fact set arrival-order-dependent (the primary can first land
+        # via a return join or case-1 preservation, which carry no
+        # extensions).  Replaying the whole plan every time keeps the
+        # transfer's output a pure function of the popped fact.
         primary, extensions, closure = plan
-        if not self._make_true(succ, aa_id, primary, clean):
-            return
+        self._make_true(succ, aa_id, primary, clean)
         for pid in extensions:
             self._make_true(succ, aa_id, pid, clean)
         for pid, exts in closure:
-            if self._make_true(succ, aa_id, pid, clean):
-                for ext in exts:
-                    self._make_true(succ, aa_id, ext, clean)
+            self._make_true(succ, aa_id, pid, clean)
+            for ext in exts:
+                self._make_true(succ, aa_id, ext, clean)
 
     # -- driver --------------------------------------------------------------
 
@@ -848,6 +878,8 @@ class KernelAnalysis:
             self._initialize()
         with self.timer.phase(PHASE_PROPAGATE):
             self._drain()
+            if not self.budget.exceeded and self.seed_nodes is None:
+                self._retaint()
         if self.budget.exceeded:
             with self.timer.phase(PHASE_POST):
                 self.budget.demoted_facts = self._taint_all()
@@ -866,6 +898,27 @@ class KernelAnalysis:
         query-only store, nothing left to drain."""
         if self._fact_node:
             raise ValueError("load_packed requires a fresh kernel")
+        self.absorb_packed(packed)
+        self.store.clear_worklist()
+        return self.store
+
+    def absorb_packed(
+        self, packed: dict, keep_nids: Optional[frozenset[int]] = None
+    ) -> None:
+        """Replay a :meth:`KernelStore.packed_json` payload's fact rows
+        into this kernel through :meth:`_make_true_entry`.
+
+        This is :meth:`load_packed` without the freshness requirement or
+        the final worklist reset: the summary engine uses it both to
+        restore a per-procedure kernel between drains (facts replay in
+        stored order, so every per-node index — and therefore all future
+        behavior — matches the never-packed kernel exactly) and to merge
+        several per-procedure stores into one whole-program store
+        (``keep_nids`` filters each payload to the procedure's own nodes,
+        dropping its mirror copies of other procedures' facts).  Counter
+        side effects are the caller's problem: replay bumps
+        ``stats.facts``/pushes like a live run would, so a restore that
+        wants continuous-run counters must snapshot and reinstate them."""
         if packed.get("layout") != PACKED_LAYOUT:
             raise ValueError(f"unknown packed layout {packed.get('layout')!r}")
         byteorder = packed["byteorder"]
@@ -908,14 +961,59 @@ class KernelAnalysis:
         if not (len(fact_node) == len(fact_entry) == len(taint) == count):
             raise ValueError("packed fact columns disagree on length")
         make_true_entry = self._make_true_entry
-        for i in range(count):
-            make_true_entry(fact_node[i], entry_map[fact_entry[i]], taint[i])
-        self.store.clear_worklist()
-        return self.store
+        if keep_nids is None:
+            for i in range(count):
+                make_true_entry(fact_node[i], entry_map[fact_entry[i]], taint[i])
+        else:
+            for i in range(count):
+                nid = fact_node[i]
+                if nid in keep_nids:
+                    make_true_entry(nid, entry_map[fact_entry[i]], taint[i])
+
+    def replay_registrations(self) -> None:
+        """Rebuild the back-bind registry of a restored store exactly as
+        the live run built it.
+
+        A live run registers every call site's ``bind_empty`` records
+        during ``_initialize`` (in ICFG node order) and then one record
+        per call-node fact at that fact's *first pop*.  First pops occur
+        in fact-insertion order, and registry keys are per
+        ``(call node, entry pair)``, so replaying each call node's
+        ``_by_node`` bucket in insertion order reproduces every per-key
+        record sequence — which is all the join iteration order can
+        observe."""
+        for ct in self._call_tables.values():
+            if ct.binder is None:
+                continue
+            for entry_pid, rep in ct.bind_empty:
+                self._register(ct, entry_pid, -1, -1, rep)
+        for ct in self._call_tables.values():
+            if ct.binder is None:
+                continue
+            for eid in self._by_node[ct.call_nid]:
+                aa_id = self._entry_aa[eid]
+                pid = self._entry_pair[eid]
+                bound = ct.bind_pair_memo.get(pid)
+                if bound is None:
+                    bound = tuple(
+                        (
+                            self._pair_id(b.entry_pair),
+                            -1
+                            if b.represents is None
+                            else self._name_id(b.represents),
+                        )
+                        for b in ct.binder.bind_pair(self._pairs[pid])
+                    )
+                    ct.bind_pair_memo[pid] = bound
+                for entry_pid, rep in bound:
+                    self._register(ct, entry_pid, aa_id, pid, rep)
 
     def _initialize(self) -> None:
         seed_nodes = self.seed_nodes
+        owned = self.owned_nodes
         for node in self.icfg.nodes:
+            if owned is not None and node.nid not in owned:
+                continue
             if seed_nodes is not None and node.nid not in seed_nodes:
                 continue
             if node.is_pointer_assignment:
@@ -931,6 +1029,55 @@ class KernelAnalysis:
                     self._make_true(
                         ct.entry_nid, self._single_aa(entry_pid), entry_pid, 1
                     )
+
+    def _retaint(self) -> None:
+        """Second pass: recompute every CLEAN bit against the *frozen*
+        fact set.
+
+        The paper's approximation-3/4 probes read the store at pop
+        time, so a first-pass CLEAN means "no rebinding alias had been
+        derived yet when this fact popped" — a property of the worklist
+        schedule, not of the solution.  Once the fact set has converged
+        the probes are constants, every taint rule is monotone (CLEAN
+        only ever upgrades, and an upgrade re-queues the fact so each
+        rule re-fires), and re-deriving taint from the unconditional
+        CLEAN sources reaches a *unique* fixpoint: the facts certifiable
+        precise over the complete relation, independent of processing
+        order.  That is what lets the summary engine's very different
+        schedule — and the reference engine's — agree bit for bit."""
+        self._taint_all()
+        self._reseed_clean()
+        self._drain()
+
+    def _reseed_clean(self) -> None:
+        """Re-emit the unconditionally-CLEAN sources over an existing
+        fact set: assignment introductions (Figure 2) and the entry
+        seeds call binding produced.  Entry nodes receive facts *only*
+        from bind seeds — which are CLEAN by rule regardless of the
+        call fact's taint — so re-certifying everything recorded at a
+        called entry restores exactly the seed set."""
+        seed_nodes = self.seed_nodes
+        owned = self.owned_nodes
+        seen_entries: set[int] = set()
+        for node in self.icfg.nodes:
+            if owned is not None and node.nid not in owned:
+                continue
+            if seed_nodes is not None and node.nid not in seed_nodes:
+                continue
+            if node.is_pointer_assignment:
+                table = self._assign_tables[node.nid]
+                if table.intro_plan is not None:
+                    self._run_plan(node.nid, 0, table.intro_plan, 1)
+            elif node.kind is NodeKind.CALL and node.callee in self.icfg.procs:
+                ct = self._call_tables[node.nid]
+                if ct.binder is None:
+                    continue
+                entry_nid = ct.entry_nid
+                if entry_nid in seen_entries:
+                    continue
+                seen_entries.add(entry_nid)
+                for eid in self._by_node[entry_nid]:
+                    self._make_true_entry(entry_nid, eid, 1)
 
     def _register(
         self, ct: _CallTable, entry_pid: int, call_aa: int, call_pid: int, rep: int

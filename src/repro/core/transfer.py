@@ -279,11 +279,18 @@ class AssignTransfer:
         new_pair = AliasPair(a, b)
         if new_pair.is_trivial:
             return
-        changed = self.store.make_true(succ_id, assumption, new_pair, clean)
-        if not changed:
-            # The pair (at this taint level or better) was emitted here
-            # before, and its extension chains with it.
-            return
+        # The extension chain and cycle closure are emitted even when
+        # the primary pair is already present: the same pair can first
+        # arrive through a path that carries no extensions (a return
+        # join, case-1 preservation) or through an emission whose
+        # member order enumerates a different extension set — gating on
+        # "newly added" made the final fact set depend on arrival
+        # order (found when the summary engine's schedule diverged
+        # from the worklist's).  Unconditional emission makes the
+        # transfer's output a pure function of the popped fact, so the
+        # fixpoint is schedule-independent; the duplicates dedup in
+        # ``make_true``.
+        self.store.make_true(succ_id, assumption, new_pair, clean)
         for ext_pair in self.ctx.extension_pairs(a, b):
             self.store.make_true(succ_id, assumption, ext_pair, clean)
         self._emit_cycle_closure(succ_id, assumption, a, b, clean)
@@ -329,9 +336,9 @@ class AssignTransfer:
                 pair = AliasPair(first, second)
                 if pair.is_trivial:
                     continue
-                if self.store.make_true(succ_id, assumption, pair, clean):
-                    for ext_pair in self.ctx.extension_pairs(first, second):
-                        self.store.make_true(succ_id, assumption, ext_pair, clean)
+                self.store.make_true(succ_id, assumption, pair, clean)
+                for ext_pair in self.ctx.extension_pairs(first, second):
+                    self.store.make_true(succ_id, assumption, ext_pair, clean)
 
     def _lhs_aliases(
         self, node_id: int, lhs: ObjectName

@@ -182,10 +182,50 @@ class MayHoldAnalysis:
             self._initialize()
         with self.timer.phase(PHASE_PROPAGATE):
             self._drain()
+            if not self.budget.exceeded and self.seed_nodes is None:
+                self._retaint()
         if self.budget.exceeded:
             with self.timer.phase(PHASE_POST):
                 self.budget.demoted_facts = self.store.taint_all()
         return self.store
+
+    def _retaint(self) -> None:
+        """Second pass: recompute every CLEAN bit against the frozen
+        fact set (see :meth:`KernelAnalysis._retaint` — the two engines
+        mirror each other here as everywhere, including the reseed
+        order, so the pass is counter-identical too).  Approximations
+        3/4 probe the store at pop time, so first-pass taint encodes
+        the worklist schedule; with the facts converged the probes are
+        constants and re-deriving taint from the unconditional CLEAN
+        sources (assignment intros, bind seeds) reaches the unique
+        schedule-independent fixpoint."""
+        self.store.taint_all()
+        self._reseed_clean()
+        self._drain()
+
+    def _reseed_clean(self) -> None:
+        """Re-emit the unconditionally-CLEAN sources over an existing
+        fact set.  Entry nodes receive facts only from bind seeds
+        (CLEAN by rule, whatever the call fact's taint), so
+        re-certifying everything at a called entry restores exactly the
+        seed set."""
+        seen_entries: set[int] = set()
+        for node in self.icfg.nodes:
+            if self.seed_nodes is not None and node.nid not in self.seed_nodes:
+                continue
+            if node.is_pointer_assignment:
+                assert isinstance(node.stmt, PtrAssign)
+                self.transfer.intro(node.nid, node.stmt)
+            elif node.kind is NodeKind.CALL and node.callee in self.icfg.procs:
+                binder = self._binder(node)
+                if binder is None:
+                    continue
+                entry = self.icfg.entry_of(node.callee)
+                if entry.nid in seen_entries:
+                    continue
+                seen_entries.add(entry.nid)
+                for assumption, pair in self.store.at_node(entry.nid):
+                    self.store.make_true(entry.nid, assumption, pair, CLEAN)
 
     def _drain(self) -> None:
         deadline_at: Optional[float] = None

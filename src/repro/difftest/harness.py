@@ -54,6 +54,7 @@ CHECK_LR_IN_WEIHL = "lr_in_weihl"
 CHECK_PARTIAL_TAINT = "partial_taint"
 CHECK_LINT_SOUNDNESS = "lint_soundness"
 CHECK_KERNEL_EQ_REFERENCE = "kernel_eq_reference"
+CHECK_SUMMARY_EQ_KERNEL = "summary_eq_kernel"
 
 ALL_CHECKS = (
     CHECK_DYNAMIC_IN_LR,
@@ -63,6 +64,7 @@ ALL_CHECKS = (
     CHECK_PARTIAL_TAINT,
     CHECK_LINT_SOUNDNESS,
     CHECK_KERNEL_EQ_REFERENCE,
+    CHECK_SUMMARY_EQ_KERNEL,
 )
 
 
@@ -99,6 +101,11 @@ class DifftestConfig:
     #: insertion order, assumptions, taint bits and per-node
     #: ``pairs_at`` — the PR-6 equality edge of the lattice.
     run_kernel_check: bool = True
+    #: Re-solve with the bottom-up summary engine and require its
+    #: merged solution to match the kernel's exactly — fact set,
+    #: assumptions, taint bits and per-node ``pairs_at`` — the PR-7
+    #: equality edge of the lattice.
+    run_summary_check: bool = True
     #: Violations reported per check (the totals are always exact).
     max_violation_reports: int = 8
 
@@ -403,6 +410,84 @@ def _check_kernel_eq_reference(
     )
 
 
+def _check_summary_eq_kernel(
+    analyzed,
+    icfg,
+    solution: MayAliasSolution,
+    config: DifftestConfig,
+) -> CheckResult:
+    """The second engine-equality edge: the bottom-up summary engine's
+    merged solution must equal the kernel's (the default engine that
+    produced ``solution``) — same fact set, same taint bits, same
+    per-node pair sets.
+
+    Exactness rests on two pinned properties: unconditional
+    extension/closure emission makes the fact fixpoint
+    schedule-independent, and the final retaint pass makes the taint
+    fixpoint schedule-independent — so a per-procedure schedule with
+    mirrored summaries must land on the very same bits the global
+    worklist does.  Fact *insertion order* is deliberately not
+    compared: the merged store replays facts procedure-by-procedure."""
+    from ..summaries.solver import solve_summary
+
+    summary = solve_summary(
+        analyzed,
+        icfg,
+        k=config.k,
+        max_facts=config.max_facts,
+        on_budget="partial",
+    )
+    if not summary.complete:
+        return CheckResult(
+            CHECK_SUMMARY_EQ_KERNEL,
+            "skipped",
+            detail=f"summary re-solve hit its {summary.budget.reason} budget",
+        )
+    kernel_map = dict(solution.store.facts())
+    summary_map = dict(summary.store.facts())
+    problems: list[str] = []
+    count = 0
+    if len(kernel_map) != len(summary_map):
+        count += 1
+        problems.append(
+            f"fact counts differ: kernel {len(kernel_map)} "
+            f"vs summary {len(summary_map)}"
+        )
+    for fact in kernel_map.keys() - summary_map.keys():
+        count += 1
+        if len(problems) < config.max_violation_reports:
+            problems.append(f"kernel-only fact {fact}")
+    for fact in summary_map.keys() - kernel_map.keys():
+        count += 1
+        if len(problems) < config.max_violation_reports:
+            problems.append(f"summary-only fact {fact}")
+    for fact in kernel_map.keys() & summary_map.keys():
+        if kernel_map[fact] != summary_map[fact]:
+            count += 1
+            if len(problems) < config.max_violation_reports:
+                problems.append(
+                    f"taint differs on {fact}: kernel clean={kernel_map[fact]} "
+                    f"summary clean={summary_map[fact]}"
+                )
+    for node in icfg.nodes:
+        if solution.store.pairs_at(node.nid) != summary.store.pairs_at(node.nid):
+            count += 1
+            if len(problems) < config.max_violation_reports:
+                problems.append(f"pairs_at(n{node.nid}) differs")
+    if count:
+        return CheckResult(
+            CHECK_SUMMARY_EQ_KERNEL,
+            "violation",
+            violations=problems,
+            violation_count=count,
+        )
+    return CheckResult(
+        CHECK_SUMMARY_EQ_KERNEL,
+        "ok",
+        detail=f"{len(kernel_map)} facts identical across engines",
+    )
+
+
 def _check_lint_soundness(
     analyzed,
     builder,
@@ -528,6 +613,7 @@ def difftest_source(
             CHECK_LR_IN_WEIHL,
             CHECK_LINT_SOUNDNESS,
             CHECK_KERNEL_EQ_REFERENCE,
+            CHECK_SUMMARY_EQ_KERNEL,
         ):
             verdict.checks.append(
                 CheckResult(check_name, "skipped", detail="analysis budget exceeded")
@@ -643,6 +729,10 @@ def difftest_source(
             verdict.checks.append(
                 _check_kernel_eq_reference(analyzed, icfg, solution, config)
             )
+        if config.run_summary_check:
+            verdict.checks.append(
+                _check_summary_eq_kernel(analyzed, icfg, solution, config)
+            )
     else:
         # Partial solution: an all-TAINTED subset of the fixpoint makes
         # no containment claim in either direction.
@@ -656,6 +746,7 @@ def difftest_source(
             CHECK_LR_IN_WEIHL,
             CHECK_LINT_SOUNDNESS,
             CHECK_KERNEL_EQ_REFERENCE,
+            CHECK_SUMMARY_EQ_KERNEL,
         ):
             verdict.checks.append(CheckResult(check_name, "skipped", detail=detail))
         verdict.checks.append(_check_partial_taint(solution))

@@ -194,7 +194,7 @@ def validate_soundness(
     k: int = 3,
     fuel: int = 100_000,
     extern_values: Optional[list[int]] = None,
-    max_facts: Optional[int] = 1_000_000,
+    max_facts: Optional[int] = 2_000_000,
     scalar_global_values: Optional[dict[str, int]] = None,
 ) -> SoundnessReport:
     """End-to-end dynamic validation of the analysis on ``source``:

@@ -48,7 +48,7 @@ def make_provider(
     analyzed: AnalyzedProgram,
     icfg: ICFG,
     k: int = 3,
-    max_facts: Optional[int] = 1_000_000,
+    max_facts: Optional[int] = 2_000_000,
     cache=None,
 ):
     """Build an alias solution presenting the MayAliasSolution query
@@ -126,7 +126,7 @@ def run_lint(
     provider: str = "lr",
     compare_with: Optional[str] = None,
     k: int = 3,
-    max_facts: Optional[int] = 1_000_000,
+    max_facts: Optional[int] = 2_000_000,
     filename: str = "<input>",
     solution=None,
     cache=None,

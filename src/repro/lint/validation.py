@@ -130,7 +130,7 @@ def validate_lint(
     seed: int = 0,
     fuel: int = 60_000,
     k: int = 3,
-    max_facts: Optional[int] = 1_000_000,
+    max_facts: Optional[int] = 2_000_000,
     compare_with: Optional[str] = "weihl",
 ) -> LintValidation:
     """Full oracle-backed validation of one program: lint it with the

@@ -155,7 +155,7 @@ def dynamic_alias_oracle(
     draws: int = 16,
     seed: int = 0,
     fuel: int = 60_000,
-    max_facts: Optional[int] = 1_000_000,
+    max_facts: Optional[int] = 2_000_000,
 ) -> tuple[DynamicOracle, SoundnessReport]:
     """Convenience wrapper: parse, analyze, collect and check."""
     from ..core.analysis import analyze_program

@@ -23,9 +23,11 @@ through an interprocedural join are fully independent.
    cross-slice join needed (the engine's reverse matching makes the
    fact set order-robust), so the final store holds exactly the serial
    fact set — identical may-alias answers at every node.  Taint bits
-   are conservative: the closure never certifies CLEAN a fact serial
-   left TAINTED, though it may taint a handful serial's processing
-   order happened to certify before the tainting alias appeared.
+   are exact too: the engines finish every full-seed run with a
+   retaint pass that recomputes CLEAN against the frozen fact set
+   (:meth:`repro.core.kernel.KernelAnalysis._retaint`), so the
+   closure's taint is the same schedule-independent fixpoint a serial
+   solve reaches.
 
 On a machine with free cores the seeding phase runs concurrently and
 the closure mostly re-pops already-final facts; on a single core the
@@ -119,14 +121,37 @@ def solve_sliced(
 ) -> MayAliasSolution:
     """Solve one program with parallel seeding + sequential closure.
 
-    Guarantee: the returned solution's fact set — and therefore every
-    may-alias answer — equals the serial ``analyze_program`` result
-    exactly (docs/PARALLEL.md walks the argument).  Taint bits are
-    conservative, never more optimistic than serial; wall-times and
-    engine counters differ.  With ``jobs <= 1`` this *is* a serial
-    solve."""
+    Guarantee: the returned solution's fact set and taint bits — and
+    therefore every may-alias answer — equal the serial
+    ``analyze_program`` result exactly (docs/PARALLEL.md walks the
+    argument; the closure's final retaint pass recomputes CLEAN
+    against the converged fact set, so taint is schedule-independent
+    too).  Wall-times and engine counters differ.  With ``jobs <= 1``
+    this *is* a serial solve.  ``engine="summary"`` instead dispatches
+    to the natively-parallel bottom-up summary solver
+    (:func:`repro.summaries.solver.solve_summary`), which additionally
+    returns *byte-identical* solutions for every job count."""
     if timer is None:
         timer = PhaseTimer()
+    if engine == "summary":
+        # The summary engine parallelizes natively: per-procedure
+        # drains of the same condensation depth run concurrently, so
+        # slice seeding + closure would only duplicate work on top of
+        # it.  Same guarantee, stronger: byte-identical solutions
+        # (taint included) for every job count.
+        from ..summaries.solver import solve_summary
+
+        return solve_summary(
+            analyzed,
+            icfg,
+            k=k,
+            jobs=jobs,
+            max_facts=max_facts,
+            deadline_seconds=deadline_seconds,
+            on_budget=on_budget,
+            timer=timer,
+            source=source,
+        )
     if jobs <= 1:
         return analyze_program(
             analyzed,

@@ -1,0 +1,35 @@
+"""Bottom-up procedure summaries (ROADMAP item 2).
+
+The paper's assumption-indexed triples are already summary-shaped: a
+conditional may-hold fact at a procedure's exit node is a "holds-if"
+summary awaiting instantiation at each call site.  This package solves
+each procedure in its own restricted kernel over the shared ICFG,
+orders procedures bottom-up by call-graph SCC condensation, and closes
+the interprocedural joins by exchanging two small per-procedure
+surfaces — entry seeds produced for callees and the return-surviving
+exit table — instead of re-joining everything through one global
+worklist.  See docs/DESIGN.md §5c.
+"""
+
+from .callgraph import CallGraph, build_call_graph, tarjan_sccs
+from .envelope import (
+    SUMMARY_ENTRY_SCHEMA,
+    proc_environment_text,
+    proc_program_texts,
+    summary_entry_key,
+    summary_proc_key,
+)
+from .solver import SummaryAnalysis, solve_summary
+
+__all__ = [
+    "CallGraph",
+    "build_call_graph",
+    "tarjan_sccs",
+    "SummaryAnalysis",
+    "solve_summary",
+    "SUMMARY_ENTRY_SCHEMA",
+    "proc_environment_text",
+    "proc_program_texts",
+    "summary_proc_key",
+    "summary_entry_key",
+]

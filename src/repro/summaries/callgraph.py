@@ -1,0 +1,157 @@
+"""Call graph, SCC condensation and the bottom-up wave schedule.
+
+The summary engine wants procedures processed callees-first so that a
+caller's drain usually sees its callees' final exit tables, and wants
+procedures whose condensation depth ties to be schedulable in parallel
+(they cannot feed each other except through a shared callee that is
+already settled).  Tarjan's algorithm — iterative, since generated
+call chains can be deep — yields the SCCs in reverse topological order
+(callees before callers) which is exactly the bottom-up order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..icfg.graph import ICFG
+from ..icfg.ir import NodeKind
+
+
+def call_edges(icfg: ICFG) -> dict[str, tuple[str, ...]]:
+    """proc -> sorted tuple of distinct callees with bodies in the ICFG
+    (calls to externals have no entry/exit nodes and no summaries)."""
+    edges: dict[str, tuple[str, ...]] = {}
+    for proc, graph in icfg.procs.items():
+        callees = {
+            node.callee
+            for node in graph.nodes
+            if node.kind is NodeKind.CALL
+            and node.callee is not None
+            and node.callee in icfg.procs
+        }
+        edges[proc] = tuple(sorted(callees))
+    return edges
+
+
+def tarjan_sccs(
+    nodes: Sequence[str], edges: Mapping[str, Iterable[str]]
+) -> list[tuple[str, ...]]:
+    """Strongly connected components, iteratively, in *reverse
+    topological* order of the condensation: for every cross-component
+    edge ``u -> v``, v's component appears before u's.
+
+    Nodes are visited in the given order and successors in their given
+    order, so the output is deterministic.  Each component tuple keeps
+    its members in discovery order.
+    """
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[tuple[str, ...]] = []
+    counter = 0
+
+    for root in nodes:
+        if root in index:
+            continue
+        # Explicit DFS stack of (node, iterator over remaining succs).
+        work: list[tuple[str, list[str]]] = []
+        index[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        work.append((root, list(edges.get(root, ()))))
+        while work:
+            node, succs = work[-1]
+            advanced = False
+            while succs:
+                succ = succs.pop(0)
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, list(edges.get(succ, ()))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                component.reverse()
+                sccs.append(tuple(component))
+    return sccs
+
+
+@dataclass(frozen=True)
+class CallGraph:
+    """The condensation view the scheduler consumes.
+
+    ``sccs`` is in reverse topological (bottom-up, callees-first)
+    order; ``depth[proc]`` is that procedure's wave index — 0 for
+    components with no callees outside themselves, else one more than
+    the deepest callee component; ``waves[d]`` lists the procedures of
+    every depth-``d`` component (schedulable in parallel).
+    """
+
+    procs: tuple[str, ...]
+    edges: dict[str, tuple[str, ...]]
+    sccs: tuple[tuple[str, ...], ...]
+    scc_of: dict[str, int]
+    depth: dict[str, int]
+    waves: tuple[tuple[str, ...], ...]
+
+    def order_key(self, proc: str):
+        """Deterministic bottom-up processing key: wave, then component
+        (already topologically placed), then name."""
+        return (self.depth[proc], self.scc_of[proc], proc)
+
+
+def build_call_graph(icfg: ICFG) -> CallGraph:
+    procs = tuple(sorted(icfg.procs))
+    edges = call_edges(icfg)
+    sccs = tuple(tarjan_sccs(procs, edges))
+    scc_of = {
+        proc: position for position, scc in enumerate(sccs) for proc in scc
+    }
+    scc_depth: list[int] = []
+    for position, scc in enumerate(sccs):
+        depth = 0
+        for proc in scc:
+            for callee in edges[proc]:
+                target = scc_of[callee]
+                if target != position:
+                    depth = max(depth, scc_depth[target] + 1)
+        scc_depth.append(depth)
+    depth = {proc: scc_depth[scc_of[proc]] for proc in procs}
+    n_waves = max(scc_depth, default=-1) + 1
+    waves = tuple(
+        tuple(
+            proc
+            for position, scc in enumerate(sccs)
+            if scc_depth[position] == d
+            for proc in scc
+        )
+        for d in range(n_waves)
+    )
+    return CallGraph(
+        procs=procs,
+        edges=edges,
+        sccs=sccs,
+        scc_of=scc_of,
+        depth=depth,
+        waves=waves,
+    )

@@ -1,0 +1,146 @@
+"""Per-procedure cache keys and envelopes for the summary engine.
+
+The whole-program cache (``repro.cache.solve``) keys one envelope on
+the canonical text of the *entire* program, so editing any function
+invalidates everything.  The summary engine's unit of work is one
+drain of one procedure's restricted kernel, and that drain depends on
+exactly:
+
+* the shared declaration environment (structs, typedefs, globals, and
+  every function's signature — signatures bind call sites),
+* the procedure's own canonical body text,
+* the k-limit and engine code version,
+* the exact sequence of inputs injected so far (entry-seed pairs from
+  callers and mirrored callee exit facts, one canonical delta per
+  drain).
+
+Keying on the *sequence* (not just the accumulated set) means a hit
+always returns the byte-identical packed state the live run would have
+produced, so warm and cold solves stay indistinguishable.  Editing one
+function changes only that procedure's body hash — every other
+procedure's drains replay from cache as long as the edited function
+still feeds them the same deltas.
+
+Envelopes live in the same :class:`~repro.cache.store.SolutionCache`
+as whole-program entries under their own schema marker;
+``verify_cache`` skips them (they are not self-contained programs).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Optional
+
+from ..cache.keys import ENGINE_CODE_VERSION
+from ..frontend.ast_nodes import FuncDecl, FuncDef, Program
+from ..frontend.printer import print_program
+from ..frontend.semantics import AnalyzedProgram
+
+#: Schema marker for per-procedure summary entries (distinguishes them
+#: from ``repro-cache-entry/1`` whole-program envelopes in a shared
+#: cache directory).
+SUMMARY_ENTRY_SCHEMA = "repro-summary-entry/1"
+
+
+def _sha(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def proc_environment_text(analyzed: AnalyzedProgram) -> str:
+    """The declaration environment every procedure's solve reads: all
+    non-function top-levels plus each function's *signature* (printed
+    as a prototype).  Bodies are deliberately absent — they are keyed
+    per procedure."""
+    decls = []
+    for decl in analyzed.ast.decls:
+        if isinstance(decl, FuncDef):
+            decls.append(
+                FuncDecl(decl.return_type, decl.name, decl.params, decl.span)
+            )
+        else:
+            decls.append(decl)
+    return print_program(Program(decls=decls))
+
+
+def proc_program_texts(analyzed: AnalyzedProgram) -> dict[str, str]:
+    """proc name -> canonical text of just that function definition."""
+    return {
+        decl.name: print_program(Program(decls=[decl]))
+        for decl in analyzed.ast.decls
+        if isinstance(decl, FuncDef)
+    }
+
+
+def summary_proc_key(
+    env_text: str,
+    proc_text: str,
+    k: int,
+    code_version: str = ENGINE_CODE_VERSION,
+) -> str:
+    """The per-procedure half of the address: environment + body + k +
+    code version.  ``max_facts``/``deadline_seconds`` are excluded the
+    same way the whole-program key excludes deadlines — only complete
+    drains are stored, and a complete drain's result is budget-
+    independent."""
+    payload = json.dumps(
+        {
+            "type": "summary-proc",
+            "env": _sha(env_text),
+            "proc": _sha(proc_text),
+            "k": k,
+            "code": code_version,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return _sha(payload)
+
+
+def summary_entry_key(proc_key: str, inputs_digest: str) -> str:
+    """The full address of one drain: procedure identity x the running
+    digest of every input delta injected so far (see
+    :meth:`repro.summaries.solver.ProcSolver.advance_digest`)."""
+    return _sha(f"summary-entry:{proc_key}:{inputs_digest}")
+
+
+def make_summary_envelope(
+    key: str,
+    proc: str,
+    proc_key: str,
+    inputs_digest: str,
+    state: dict,
+    harvest: dict,
+) -> dict:
+    """The JSON envelope one per-procedure drain stores: the packed
+    post-drain kernel state (with its cumulative counters) and the
+    harvest surface the coordinator diffs."""
+    return {
+        "schema": SUMMARY_ENTRY_SCHEMA,
+        "key": key,
+        "proc": proc,
+        "inputs": {
+            "proc_key": proc_key,
+            "inputs_digest": inputs_digest,
+            "code_version": ENGINE_CODE_VERSION,
+        },
+        "state": state,
+        "harvest": harvest,
+    }
+
+
+def load_summary_envelope(envelope: dict) -> Optional[tuple[dict, dict]]:
+    """``(state, harvest)`` when the envelope is a well-formed summary
+    entry of the current code version, else None (treated as a miss)."""
+    try:
+        if envelope["schema"] != SUMMARY_ENTRY_SCHEMA:
+            return None
+        if envelope["inputs"]["code_version"] != ENGINE_CODE_VERSION:
+            return None
+        state = envelope["state"]
+        harvest = envelope["harvest"]
+        if not isinstance(state, dict) or not isinstance(harvest, dict):
+            return None
+        return state, harvest
+    except (KeyError, TypeError):
+        return None

@@ -1,11 +1,12 @@
-"""Corpus-wide kernel-vs-reference differential equivalence (PR 6).
+"""Corpus-wide engine differential equivalence (PR 6 + PR 7).
 
-Every fixture and generated program is solved by both engines and the
-results compared on the equivalence contract: identical fact sets
-(pair + assumption), identical taint bits, identical per-node
-``pairs_at`` answers.  Insertion order is not compared — the kernel's
-directed return join reorders fact creation (see the kernel module
-docstring).
+Every fixture and generated program is solved by the reference, kernel
+and bottom-up summary engines and the results compared on the
+equivalence contract: identical fact sets (pair + assumption),
+identical taint bits, identical per-node ``pairs_at`` answers.
+Insertion order is not compared — the kernel's directed return join
+reorders fact creation (see the kernel module docstring), and the
+summary engine's merged store replays facts procedure-by-procedure.
 """
 
 import pytest
@@ -20,6 +21,7 @@ from repro.programs import (
     ProgramSpec,
     generate_program,
 )
+from repro.summaries.solver import solve_summary
 
 # Fixtures cheap enough for the default profile; the heavyweights (the
 # reference engine needs ~45s on string_table alone) run under -m slow.
@@ -27,20 +29,33 @@ FAST_FIXTURES = ["figure1", "linked_list", "expr_tree", "matrix_swap"]
 SLOW_FIXTURES = ["string_table"]
 
 
+def _assert_store_equal(icfg, left, right, left_name, right_name):
+    left_map = dict(left.facts())
+    right_map = dict(right.facts())
+    assert set(left_map) == set(right_map), (
+        f"fact sets differ: {len(left_map)} {left_name} "
+        f"vs {len(right_map)} {right_name}"
+    )
+    taint_diffs = [f for f in left_map if left_map[f] != right_map[f]]
+    assert not taint_diffs, f"taint differs on {len(taint_diffs)} facts"
+    for node in icfg.nodes:
+        assert left.pairs_at(node.nid) == right.pairs_at(node.nid)
+
+
 def _assert_equivalent(source, k=3):
     analyzed = parse_and_analyze(source)
     icfg = build_icfg(analyzed)
     reference = MayHoldAnalysis(analyzed, icfg, k=k).run()
     kernel = KernelAnalysis(analyzed, icfg, k=k).run()
-    ref_map = dict(reference.facts())
-    ker_map = dict(kernel.facts())
-    assert set(ref_map) == set(ker_map), (
-        f"fact sets differ: {len(ref_map)} reference vs {len(ker_map)} kernel"
-    )
-    taint_diffs = [f for f in ref_map if ref_map[f] != ker_map[f]]
-    assert not taint_diffs, f"taint differs on {len(taint_diffs)} facts"
-    for node in icfg.nodes:
-        assert reference.pairs_at(node.nid) == kernel.pairs_at(node.nid)
+    _assert_store_equal(icfg, reference, kernel, "reference", "kernel")
+
+
+def _assert_summary_equivalent(source, k=3):
+    analyzed = parse_and_analyze(source)
+    icfg = build_icfg(analyzed)
+    kernel = KernelAnalysis(analyzed, icfg, k=k).run()
+    summary = solve_summary(analyzed, icfg, k=k)
+    _assert_store_equal(icfg, kernel, summary.store, "kernel", "summary")
 
 
 @pytest.mark.parametrize("name", FAST_FIXTURES)
@@ -88,3 +103,49 @@ def test_scale_fixture_engines_equivalent(target):
 def test_equivalence_holds_across_k(k):
     _assert_equivalent(ALL_FIXTURES["figure1"], k=k)
     _assert_equivalent(ALL_FIXTURES["matrix_swap"], k=k)
+
+
+# --- PR 7: the summary_eq_kernel edge on the same corpus ----------------
+
+
+@pytest.mark.parametrize("name", FAST_FIXTURES)
+def test_fixture_summary_equivalent(name):
+    _assert_summary_equivalent(ALL_FIXTURES[name])
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", SLOW_FIXTURES)
+def test_heavy_fixture_summary_equivalent(name):
+    _assert_summary_equivalent(ALL_FIXTURES[name])
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", sorted(STRESS_FIXTURES))
+def test_stress_fixture_summary_equivalent(name):
+    _assert_summary_equivalent(STRESS_FIXTURES[name], k=2)
+
+
+@pytest.mark.parametrize("seed", [2, 5])
+def test_generated_program_summary_equivalent(seed):
+    spec = ProgramSpec(f"eq-gen{seed}", seed=seed)
+    _assert_summary_equivalent(generate_program(spec))
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", [1, 3, 4])
+def test_generated_program_summary_equivalent_slow(seed):
+    spec = ProgramSpec(f"eq-gen{seed}", seed=seed)
+    _assert_summary_equivalent(generate_program(spec))
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("target", [240, 800])
+def test_scale_fixture_summary_equivalent(target):
+    spec = ProgramSpec.for_target_nodes("scaling", target)
+    _assert_summary_equivalent(generate_program(spec))
+
+
+@pytest.mark.parametrize("k", [1, 2])
+def test_summary_equivalence_holds_across_k(k):
+    _assert_summary_equivalent(ALL_FIXTURES["figure1"], k=k)
+    _assert_summary_equivalent(ALL_FIXTURES["matrix_swap"], k=k)

@@ -1,0 +1,241 @@
+"""Property tests for the bottom-up summary layer (PR 7).
+
+Three claims, each a piece of the summary engine's correctness
+argument:
+
+* **Instantiation = inlining.**  A callee summary instantiated at a
+  call site must yield the same may-alias answers as re-solving the
+  program with the callee's body textually inlined.  The synthetic
+  programs keep every variable global so the two versions share one
+  name space (no nonvisible tokens, no binding renames) and the claim
+  is *exact* pair-set equality at main's exit.
+* **SCC condensation is a valid bottom-up order.**  On arbitrary
+  generated call graphs — self-recursion and mutual recursion
+  included — ``tarjan_sccs`` must partition the nodes into the
+  mutual-reachability classes and list them in reverse topological
+  order (callees before callers), and ``build_call_graph``'s wave
+  depths must respect every cross-component edge.
+* **Summary = kernel on generated programs.**  The corpus sweep in
+  ``tests/integration/test_engine_equivalence.py`` pins named seeds;
+  here Hypothesis drives the generator's knobs.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.kernel import KernelAnalysis
+from repro.frontend.semantics import parse_and_analyze
+from repro.icfg.builder import build_icfg
+from repro.programs import ProgramSpec, generate_program
+from repro.summaries.callgraph import build_call_graph, tarjan_sccs
+from repro.summaries.solver import solve_summary
+
+_SETTINGS = dict(
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# --- instantiation = inlining -------------------------------------------
+
+# Well-typed statements over a fixed global environment:
+#   int *g1, *g2, *g3;  int **h1, **h2;  int x, y;
+_DECLS = "int *g1, *g2, *g3;\nint **h1, **h2;\nint x, y;\n"
+_STMT_POOL = [
+    "g1 = &x;",
+    "g2 = &y;",
+    "g3 = &x;",
+    "g1 = g2;",
+    "g2 = g3;",
+    "g3 = g1;",
+    "h1 = &g1;",
+    "h2 = &g2;",
+    "h1 = h2;",
+    "*h1 = &y;",
+    "*h2 = g1;",
+    "g1 = *h1;",
+]
+
+_stmt_lists = st.lists(st.sampled_from(_STMT_POOL), min_size=0, max_size=5)
+
+
+def _call_version(prefix, body, suffix):
+    return (
+        _DECLS
+        + "void helper(void) {\n"
+        + "".join(f"    {s}\n" for s in body)
+        + "}\n"
+        + "int main() {\n"
+        + "".join(f"    {s}\n" for s in prefix)
+        + "    helper();\n"
+        + "".join(f"    {s}\n" for s in suffix)
+        + "    return 0;\n}\n"
+    )
+
+
+def _inline_version(prefix, body, suffix):
+    return (
+        _DECLS
+        + "int main() {\n"
+        + "".join(f"    {s}\n" for s in prefix + body + suffix)
+        + "    return 0;\n}\n"
+    )
+
+
+def _exit_pairs(source, k):
+    analyzed = parse_and_analyze(source)
+    icfg = build_icfg(analyzed)
+    solution = solve_summary(analyzed, icfg, k=k)
+    return solution.store.pairs_at(icfg.exit_of("main").nid)
+
+
+class TestInstantiationEqualsInlining:
+    @given(prefix=_stmt_lists, body=_stmt_lists, suffix=_stmt_lists)
+    @settings(max_examples=25, **_SETTINGS)
+    def test_summary_call_equals_inlined_body(self, prefix, body, suffix):
+        called = _exit_pairs(_call_version(prefix, body, suffix), k=2)
+        inlined = _exit_pairs(_inline_version(prefix, body, suffix), k=2)
+        assert called == inlined
+
+    @given(body=_stmt_lists)
+    @settings(max_examples=10, **_SETTINGS)
+    def test_summary_call_equals_inlined_body_k1(self, body):
+        prefix = ["g1 = &x;", "h1 = &g2;"]
+        suffix = ["g3 = g1;"]
+        called = _exit_pairs(_call_version(prefix, body, suffix), k=1)
+        inlined = _exit_pairs(_inline_version(prefix, body, suffix), k=1)
+        assert called == inlined
+
+
+# --- SCC condensation ---------------------------------------------------
+
+_NODES = tuple(f"f{i}" for i in range(7))
+
+# Arbitrary digraphs over a fixed node universe.  Self-edges model
+# direct recursion; cycles through several nodes model mutual
+# recursion — both must land in the right component.
+_digraphs = st.builds(
+    lambda edge_set: sorted(edge_set),
+    st.sets(
+        st.tuples(st.sampled_from(_NODES), st.sampled_from(_NODES)),
+        max_size=18,
+    ),
+)
+
+
+def _reachable(nodes, succs):
+    """node -> set of nodes reachable via one or more edges."""
+    out = {}
+    for start in nodes:
+        seen = set()
+        stack = list(succs.get(start, ()))
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(succs.get(node, ()))
+        out[start] = seen
+    return out
+
+
+class TestSccCondensation:
+    @given(edges=_digraphs)
+    @settings(max_examples=80, **_SETTINGS)
+    def test_tarjan_partitions_into_mutual_reachability_classes(self, edges):
+        succs = {}
+        for src, dst in edges:
+            succs.setdefault(src, []).append(dst)
+        sccs = tarjan_sccs(_NODES, succs)
+        # A partition: every node in exactly one component.
+        flat = [node for scc in sccs for node in scc]
+        assert sorted(flat) == sorted(_NODES)
+        # Components are the mutual-reachability classes (a singleton
+        # is cyclic only if it has a self-edge).
+        reach = _reachable(_NODES, succs)
+        scc_of = {node: i for i, scc in enumerate(sccs) for node in scc}
+        for a in _NODES:
+            for b in _NODES:
+                together = a == b or (b in reach[a] and a in reach[b])
+                assert (scc_of[a] == scc_of[b]) == together
+
+    @given(edges=_digraphs)
+    @settings(max_examples=80, **_SETTINGS)
+    def test_tarjan_output_is_reverse_topological(self, edges):
+        succs = {}
+        for src, dst in edges:
+            succs.setdefault(src, []).append(dst)
+        sccs = tarjan_sccs(_NODES, succs)
+        scc_of = {node: i for i, scc in enumerate(sccs) for node in scc}
+        for src, dst in edges:
+            if scc_of[src] != scc_of[dst]:
+                # Callee components first: bottom-up order.
+                assert scc_of[dst] < scc_of[src]
+
+    @given(seed=st.integers(min_value=0, max_value=400))
+    @settings(max_examples=15, **_SETTINGS)
+    def test_call_graph_waves_respect_edges(self, seed):
+        spec = ProgramSpec(
+            name=f"scc-gen{seed}",
+            seed=seed,
+            n_functions=5,
+            n_globals=4,
+            stmts_per_function=6,
+            call_prob=0.5,
+            recursion=True,
+            max_pointer_depth=1,
+            pointer_density=0.6,
+        )
+        analyzed = parse_and_analyze(generate_program(spec))
+        icfg = build_icfg(analyzed)
+        graph = build_call_graph(icfg)
+        # Every procedure sits in exactly one wave at its depth.
+        assert sorted(p for wave in graph.waves for p in wave) == sorted(
+            graph.procs
+        )
+        for proc in graph.procs:
+            assert proc in graph.waves[graph.depth[proc]]
+        # Cross-component edges strictly increase depth caller-ward;
+        # intra-component edges (recursion) tie.
+        for proc, callees in graph.edges.items():
+            for callee in callees:
+                if graph.scc_of[proc] == graph.scc_of[callee]:
+                    assert graph.depth[proc] == graph.depth[callee]
+                else:
+                    assert graph.depth[proc] >= graph.depth[callee] + 1
+        # order_key is bottom-up: every callee sorts before its
+        # cross-component callers.
+        for proc, callees in graph.edges.items():
+            for callee in callees:
+                if graph.scc_of[proc] != graph.scc_of[callee]:
+                    assert graph.order_key(callee) < graph.order_key(proc)
+
+
+# --- summary = kernel on generated programs -----------------------------
+
+
+class TestSummaryMatchesKernel:
+    @given(
+        seed=st.integers(min_value=0, max_value=200),
+        k=st.sampled_from([1, 2]),
+    )
+    @settings(max_examples=8, **_SETTINGS)
+    def test_generated_program_summary_equals_kernel(self, seed, k):
+        spec = ProgramSpec(
+            name=f"sumprop-gen{seed}",
+            seed=seed,
+            n_functions=3,
+            n_globals=5,
+            stmts_per_function=6,
+            max_pointer_depth=1,
+            pointer_density=0.85,
+        )
+        analyzed = parse_and_analyze(generate_program(spec))
+        icfg = build_icfg(analyzed)
+        kernel = KernelAnalysis(analyzed, icfg, k=k).run()
+        summary = solve_summary(analyzed, icfg, k=k)
+        assert dict(kernel.facts()) == dict(summary.store.facts())
+        for node in icfg.nodes:
+            assert kernel.pairs_at(node.nid) == summary.store.pairs_at(
+                node.nid
+            )

@@ -156,6 +156,98 @@ class TestCachedSolving:
         }
 
 
+#: Wide multi-procedure program for the per-procedure invalidation
+#: test: several independent helpers over disjoint global pointers, so
+#: an edit to one cannot disturb another's summary.
+WIDE_SOURCE = """
+int *p0, *p1, *p2, *p3, *p4, *p5, *p6, *p7, *p8, *p9, *p10, *p11;
+int x0, x1, x2, x3, x4, x5, x6, x7, x8, x9, x10, x11;
+int s;
+
+void f0(void) { p0 = &x0; p0 = p0; }
+void f1(void) { p1 = &x1; p1 = p1; }
+void f2(void) { p2 = &x2; p2 = p2; }
+void f3(void) { p3 = &x3; p3 = p3; }
+void f4(void) { p4 = &x4; p4 = p4; }
+void f5(void) { p5 = &x5; p5 = p5; }
+void f6(void) { p6 = &x6; p6 = p6; }
+void f7(void) { p7 = &x7; p7 = p7; }
+void f8(void) { p8 = &x8; p8 = p8; }
+void f9(void) { p9 = &x9; p9 = p9; }
+void f10(void) { p10 = &x10; p10 = p10; }
+void f11(void) { p11 = &x11; p11 = p11; }
+
+int main() {
+    f0();
+    f1();
+    f2();
+    f3();
+    f4();
+    f5();
+    f6();
+    f7();
+    f8();
+    f9();
+    f10();
+    f11();
+    return 0;
+}
+"""
+
+#: Same program with one *alias-neutral* edit inside f3 (a scalar
+#: increment): f3's body hash changes, its may-hold summary does not,
+#: so no caller or sibling has any reason to re-drain.
+WIDE_SOURCE_EDITED = WIDE_SOURCE.replace(
+    "void f3(void) { p3 = &x3; p3 = p3; }",
+    "void f3(void) { p3 = &x3; p3 = p3; s = s + 1; }",
+)
+
+
+class TestPerProcedureInvalidation:
+    """PR 7: the summary engine's per-procedure envelopes make cache
+    invalidation *procedural* — editing one function re-drains that
+    function, not the program."""
+
+    def test_single_function_edit_misses_only_that_procedure(self, tmp_path):
+        from repro.summaries.envelope import SUMMARY_ENTRY_SCHEMA
+
+        cache = SolutionCache(tmp_path)
+        cold, status = _solve(WIDE_SOURCE, cache, engine="summary")
+        assert status == STATUS_MISS
+        assert cold.complete
+
+        before = {path.name for path in cache.iter_paths()}
+        snapshot = cache.counters.snapshot()
+        edited, status = _solve(WIDE_SOURCE_EDITED, cache, engine="summary")
+        assert status == STATUS_MISS  # the whole-program key must miss
+        assert edited.complete
+
+        # ISSUE acceptance: >= 90% of per-procedure lookups still hit.
+        delta = cache.counters.since(snapshot)
+        assert delta.hits > 0
+        assert delta.hits / (delta.hits + delta.misses) >= 0.9
+
+        # Every envelope written by the edited run belongs to f3 (or is
+        # the new whole-program entry) — no other procedure re-drained
+        # into the store.
+        fresh_procs = set()
+        for path in cache.iter_paths():
+            if path.name in before:
+                continue
+            envelope = json.loads(path.read_text())
+            if envelope.get("schema") == SUMMARY_ENTRY_SCHEMA:
+                fresh_procs.add(envelope["proc"])
+        assert fresh_procs == {"f3"}
+
+    def test_warm_replay_matches_a_cache_off_solve(self, tmp_path):
+        cache = SolutionCache(tmp_path)
+        _solve(WIDE_SOURCE, cache, engine="summary")
+        replayed, _ = _solve(WIDE_SOURCE_EDITED, cache, engine="summary")
+        fresh, status = _solve(WIDE_SOURCE_EDITED, cache=None, engine="summary")
+        assert status == STATUS_OFF
+        assert dict(replayed.store.facts()) == dict(fresh.store.facts())
+
+
 class TestCorruptionRecovery:
     def _prime(self, tmp_path):
         cache = SolutionCache(tmp_path)

@@ -39,7 +39,7 @@ def _solve_both(source, k=3, **kwargs):
 class TestEngineSelection:
     def test_kernel_is_the_default_engine(self):
         assert DEFAULT_ENGINE == "kernel"
-        assert set(ENGINES) == {"kernel", "reference"}
+        assert set(ENGINES) == {"kernel", "reference", "summary"}
 
     def test_unknown_engine_rejected(self):
         analyzed = parse_and_analyze(FIGURE1)

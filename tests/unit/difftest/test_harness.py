@@ -12,6 +12,7 @@ from repro.difftest.harness import (
     CHECK_LINT_SOUNDNESS,
     CHECK_LR_IN_WEIHL,
     CHECK_PARTIAL_TAINT,
+    CHECK_SUMMARY_EQ_KERNEL,
 )
 from repro.programs.fixtures import FIGURE1
 
@@ -30,6 +31,7 @@ class TestVerdict:
             CHECK_LR_IN_WEIHL: "ok",
             CHECK_LINT_SOUNDNESS: "ok",
             CHECK_KERNEL_EQ_REFERENCE: "ok",
+            CHECK_SUMMARY_EQ_KERNEL: "ok",
         }
 
     def test_stats_cover_every_stage(self):

@@ -19,7 +19,7 @@ from repro.difftest import (
     shrink_source,
     violation_predicate,
 )
-from repro.difftest.harness import CHECK_DYNAMIC_IN_LR
+from repro.difftest.harness import CHECK_DYNAMIC_IN_LR, CHECK_SUMMARY_EQ_KERNEL
 
 FAST = DifftestConfig(draws=4, run_baselines=False)
 
@@ -64,6 +64,35 @@ def test_mutation_caught_shrunk_and_persisted(broken_intro, tmp_path):
     # all) and must still reproduce under the mutation.
     replay = difftest_source(source, FAST)
     assert not replay.ok
+
+
+@pytest.fixture
+def broken_summary_join(monkeypatch):
+    """Sabotage the summary engine's instantiation join: injected
+    deltas silently drop the mirrored callee exit facts, so a caller's
+    return join never sees what its callees did.  Only the summary
+    engine routes through :class:`ProcSolver`, so the kernel solution
+    (and every oracle check against it) stays correct — the violation
+    must surface on the ``summary_eq_kernel`` edge and nowhere else."""
+    from repro.summaries.solver import ProcSolver
+
+    original = ProcSolver.inject
+
+    def drop_mirrors(self, delta):
+        slim = dict(delta)
+        slim["mirrors"] = {}
+        original(self, slim)
+
+    monkeypatch.setattr(ProcSolver, "inject", drop_mirrors)
+
+
+def test_summary_join_mutation_caught_by_summary_edge(broken_summary_join):
+    from repro.programs import ALL_FIXTURES
+
+    verdict = difftest_source(ALL_FIXTURES["figure1"], FAST, name="figure1")
+    assert not verdict.ok, "harness failed to catch a dropped summary join"
+    names = [c.name for c in verdict.violating_checks]
+    assert names == [CHECK_SUMMARY_EQ_KERNEL]
 
 
 def test_committed_corpus_entry_reproduces_under_mutation(broken_intro):

@@ -1,0 +1,103 @@
+"""Call-graph condensation: SCCs, waves and the bottom-up order on
+hand-built programs (the property suite in
+``tests/property/test_summaries.py`` covers arbitrary digraphs)."""
+
+from repro.frontend.semantics import parse_and_analyze
+from repro.icfg.builder import build_icfg
+from repro.summaries.callgraph import build_call_graph, call_edges, tarjan_sccs
+
+CHAIN = """
+int *g; int x;
+void leaf(void) { g = &x; }
+void mid(void) { leaf(); }
+int main() { mid(); return 0; }
+"""
+
+DIAMOND = """
+int *g; int x;
+void leaf(void) { g = &x; }
+void left(void) { leaf(); }
+void right(void) { leaf(); }
+int main() { left(); right(); return 0; }
+"""
+
+SELF_RECURSIVE = """
+int *g; int x;
+void rec(int n) { g = &x; if (n > 0) { rec(n - 1); } }
+int main() { rec(3); return 0; }
+"""
+
+MUTUAL = """
+int *g; int x;
+void even(int n);
+void odd(int n) { if (n > 0) { even(n - 1); } }
+void even(int n) { g = &x; if (n > 0) { odd(n - 1); } }
+int main() { even(4); return 0; }
+"""
+
+
+def _graph(source):
+    analyzed = parse_and_analyze(source)
+    return build_call_graph(build_icfg(analyzed))
+
+
+class TestCallEdges:
+    def test_chain_edges(self):
+        analyzed = parse_and_analyze(CHAIN)
+        edges = call_edges(build_icfg(analyzed))
+        assert edges == {"leaf": (), "mid": ("leaf",), "main": ("mid",)}
+
+    def test_external_callees_are_absent(self):
+        analyzed = parse_and_analyze(
+            "struct node { int val; struct node *next; };\n"
+            "int main() { struct node *p; p = malloc(8); return 0; }\n"
+        )
+        edges = call_edges(build_icfg(analyzed))
+        assert edges == {"main": ()}
+
+
+class TestTarjan:
+    def test_chain_is_callees_first(self):
+        graph = _graph(CHAIN)
+        assert graph.sccs == (("leaf",), ("mid",), ("main",))
+        assert graph.depth == {"leaf": 0, "mid": 1, "main": 2}
+        assert graph.waves == (("leaf",), ("mid",), ("main",))
+
+    def test_diamond_ties_in_one_wave(self):
+        graph = _graph(DIAMOND)
+        assert graph.depth["leaf"] == 0
+        assert graph.depth["left"] == graph.depth["right"] == 1
+        assert graph.depth["main"] == 2
+        assert set(graph.waves[1]) == {"left", "right"}
+
+    def test_self_recursion_is_a_singleton_cycle(self):
+        graph = _graph(SELF_RECURSIVE)
+        assert ("rec",) in graph.sccs
+        # rec calls itself: the component has the self-edge.
+        assert "rec" in graph.edges["rec"]
+        assert graph.depth["main"] == graph.depth["rec"] + 1
+
+    def test_mutual_recursion_shares_a_component(self):
+        graph = _graph(MUTUAL)
+        assert graph.scc_of["even"] == graph.scc_of["odd"]
+        assert graph.depth["even"] == graph.depth["odd"]
+        assert graph.depth["main"] == graph.depth["even"] + 1
+        component = graph.sccs[graph.scc_of["even"]]
+        assert set(component) == {"even", "odd"}
+
+    def test_order_key_is_bottom_up(self):
+        for source in (CHAIN, DIAMOND, SELF_RECURSIVE, MUTUAL):
+            graph = _graph(source)
+            ordered = sorted(graph.procs, key=graph.order_key)
+            assert ordered[-1] == "main"
+            for proc, callees in graph.edges.items():
+                for callee in callees:
+                    if graph.scc_of[proc] != graph.scc_of[callee]:
+                        assert ordered.index(callee) < ordered.index(proc)
+
+    def test_tarjan_on_raw_graph_with_cycle(self):
+        sccs = tarjan_sccs(
+            ["a", "b", "c", "d"],
+            {"a": ["b"], "b": ["c"], "c": ["b", "d"], "d": []},
+        )
+        assert sccs == [("d",), ("b", "c"), ("a",)]

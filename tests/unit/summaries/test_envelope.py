@@ -1,0 +1,102 @@
+"""Per-procedure cache keys: what invalidates one procedure's entries
+and — just as load-bearing — what must *not*."""
+
+from repro.cache.keys import ENGINE_CODE_VERSION
+from repro.frontend.semantics import parse_and_analyze
+from repro.summaries.envelope import (
+    SUMMARY_ENTRY_SCHEMA,
+    load_summary_envelope,
+    make_summary_envelope,
+    proc_environment_text,
+    proc_program_texts,
+    summary_entry_key,
+    summary_proc_key,
+)
+
+SOURCE = """
+int *g; int x;
+void helper(void) { g = &x; }
+int main() { helper(); return 0; }
+"""
+
+#: helper's body edited; main untouched.
+SOURCE_HELPER_EDITED = SOURCE.replace("{ g = &x; }", "{ g = &x; g = g; }")
+
+#: a global added: the shared environment changed for *everyone*.
+SOURCE_NEW_GLOBAL = SOURCE.replace("int *g; int x;", "int *g, *h; int x;")
+
+
+def _keys(source, k=3):
+    analyzed = parse_and_analyze(source)
+    env = proc_environment_text(analyzed)
+    texts = proc_program_texts(analyzed)
+    return {proc: summary_proc_key(env, text, k) for proc, text in texts.items()}
+
+
+class TestProcKeys:
+    def test_environment_text_has_signatures_not_bodies(self):
+        analyzed = parse_and_analyze(SOURCE)
+        env = proc_environment_text(analyzed)
+        assert "helper" in env and "main" in env
+        assert "&x" not in env  # no statement bodies
+
+    def test_editing_one_body_changes_only_that_key(self):
+        base = _keys(SOURCE)
+        edited = _keys(SOURCE_HELPER_EDITED)
+        assert base["helper"] != edited["helper"]
+        assert base["main"] == edited["main"]
+
+    def test_environment_change_invalidates_every_key(self):
+        base = _keys(SOURCE)
+        widened = _keys(SOURCE_NEW_GLOBAL)
+        assert base["helper"] != widened["helper"]
+        assert base["main"] != widened["main"]
+
+    def test_k_and_code_version_change_the_key(self):
+        analyzed = parse_and_analyze(SOURCE)
+        env = proc_environment_text(analyzed)
+        text = proc_program_texts(analyzed)["helper"]
+        assert summary_proc_key(env, text, 2) != summary_proc_key(env, text, 3)
+        assert summary_proc_key(env, text, 3) != summary_proc_key(
+            env, text, 3, code_version=ENGINE_CODE_VERSION + "-next"
+        )
+
+    def test_entry_key_tracks_the_inputs_digest(self):
+        assert summary_entry_key("proc", "d1") != summary_entry_key("proc", "d2")
+        assert summary_entry_key("p1", "d") != summary_entry_key("p2", "d")
+        assert summary_entry_key("p", "d") == summary_entry_key("p", "d")
+
+
+class TestEnvelopeRoundTrip:
+    def _envelope(self):
+        state = {"packed": {"count": 0}, "stats": {"worklist_pops": 1}}
+        harvest = {"seeds": {}, "exits": []}
+        return make_summary_envelope(
+            "key123", "helper", "prockey", "digest", state, harvest
+        )
+
+    def test_well_formed_envelope_loads(self):
+        envelope = self._envelope()
+        assert envelope["schema"] == SUMMARY_ENTRY_SCHEMA
+        loaded = load_summary_envelope(envelope)
+        assert loaded is not None
+        state, harvest = loaded
+        assert state["packed"]["count"] == 0
+        assert harvest == {"seeds": {}, "exits": []}
+
+    def test_wrong_schema_is_a_miss(self):
+        envelope = self._envelope()
+        envelope["schema"] = "repro-cache-entry/1"
+        assert load_summary_envelope(envelope) is None
+
+    def test_stale_code_version_is_a_miss(self):
+        envelope = self._envelope()
+        envelope["inputs"]["code_version"] = "lr-engine/0.0"
+        assert load_summary_envelope(envelope) is None
+
+    def test_malformed_envelope_is_a_miss(self):
+        assert load_summary_envelope({}) is None
+        assert load_summary_envelope({"schema": SUMMARY_ENTRY_SCHEMA}) is None
+        envelope = self._envelope()
+        envelope["state"] = "not a dict"
+        assert load_summary_envelope(envelope) is None
