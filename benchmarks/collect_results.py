@@ -33,6 +33,10 @@ Sections (each tolerates missing inputs and failures in the others):
   byte-identical cross-job determinism pin, and the per-procedure
   cache cold -> warm roundtrip (warm phase must replay >= 90% of
   envelope lookups from cache).
+* ``must`` — ``BENCH_PR8.json``: the must-alias under-approximation
+  on scale240/scale800 — must solve wall clock vs the kernel may
+  solve, whole-program [must, may] interval widths, and the lint
+  possible -> definite upgrade counts with and without ``--must``.
 """
 
 import argparse
@@ -45,7 +49,7 @@ import traceback
 
 MARKER = "## Appendix — measured tables (latest benchmark run)"
 BENCH_SCHEMA = "repro-bench/1"
-ALL_SECTIONS = ("tables", "pr1", "pr2", "pr3", "pr5", "pr6", "pr7")
+ALL_SECTIONS = ("tables", "pr1", "pr2", "pr3", "pr5", "pr6", "pr7", "must")
 
 
 def _ensure_src(root: pathlib.Path) -> None:
@@ -661,6 +665,83 @@ def section_pr7(root: pathlib.Path, out_dir: pathlib.Path, args) -> None:
         )
 
 
+def _must_row(root: pathlib.Path, target: int, k: int = 3) -> dict:
+    """One scaling program: may solve vs must solve wall clock, the
+    whole-program interval, and the lint upgrade counts."""
+    _ensure_src(root)
+    from repro.core.kernel import KernelAnalysis
+    from repro.frontend import parse_and_analyze
+    from repro.icfg import IcfgBuilder
+    from repro.lint import run_lint
+    from repro.must import solve_must
+    from repro.programs import ProgramSpec, generate_program
+
+    spec = ProgramSpec.for_target_nodes("scaling", target)
+    source = generate_program(spec)
+    analyzed = parse_and_analyze(source)
+    icfg = IcfgBuilder(analyzed).build()
+
+    t0 = time.perf_counter()
+    store = KernelAnalysis(analyzed, icfg, k=k).run()
+    kernel_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    must = solve_must(analyzed, icfg, k=k)
+    must_wall = time.perf_counter() - t0
+
+    may_total = sum(len(store.pairs_at(node.nid)) for node in icfg.nodes)
+    must_total = must.total_pairs()
+
+    plain = run_lint(source, k=k)
+    upgraded = run_lint(source, k=k, must=True)
+    return {
+        "program": f"scale{target}",
+        "k": k,
+        "icfg_nodes": len(icfg.nodes),
+        "kernel_wall_seconds": round(kernel_wall, 3),
+        "must_wall_seconds": round(must_wall, 3),
+        "must_over_kernel_ratio": (
+            round(must_wall / kernel_wall, 4) if kernel_wall else None
+        ),
+        "may_node_pairs": may_total,
+        "must_node_pairs": must_total,
+        "interval_width": may_total - must_total,
+        "must_classes": must.total_classes(),
+        "lint_findings": len(upgraded.findings),
+        "definite_without_must": plain.definite_count(),
+        "definite_with_must": upgraded.definite_count(),
+        "upgraded_findings": upgraded.definite_count() - plain.definite_count(),
+    }
+
+
+def section_must(root: pathlib.Path, out_dir: pathlib.Path, args) -> None:
+    rows = [_must_row(root, target) for target in (240, args.scale_target)]
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "pr": 8,
+        "description": (
+            "Must-alias under-approximation on the scaling fixtures: "
+            "the must solve's wall clock relative to the kernel may "
+            "solve (must_over_kernel_ratio), the whole-program "
+            "[must, may] interval (width = may - must node pairs), and "
+            "the lint confidence upgrades bought by the must side "
+            "(upgraded_findings = definite findings gained by --must)."
+        ),
+        "cpu_count": os.cpu_count(),
+        "rows": rows,
+    }
+    _write(root / "BENCH_PR8.json", payload)
+    for row in rows:
+        if row["interval_width"] < 0:
+            raise RuntimeError(
+                f"{row['program']}: must pairs exceed may pairs — "
+                "the under-approximation is unsound, investigate"
+            )
+        if row["upgraded_findings"] < 0:
+            raise RuntimeError(
+                f"{row['program']}: --must lost definite findings — investigate"
+            )
+
+
 def _write(path: pathlib.Path, payload: dict) -> None:
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {path}")
@@ -674,6 +755,7 @@ SECTION_RUNNERS = {
     "pr5": section_pr5,
     "pr6": section_pr6,
     "pr7": section_pr7,
+    "must": section_must,
 }
 
 

@@ -92,6 +92,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the Weihl [Wei80] baseline and report its count",
     )
     parser.add_argument(
+        "--must",
+        action="store_true",
+        help=(
+            "also run the must-alias under-approximation (repro.must) "
+            "and report the [must, may] precision interval; adds "
+            "'must' and 'interval' blocks to --stats-json"
+        ),
+    )
+    parser.add_argument(
         "--dot",
         action="store_true",
         help="print the ICFG in Graphviz DOT format and exit",
@@ -229,11 +238,22 @@ def build_lint_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--fail-on",
-        choices=("error", "warning", "note", "never"),
+        choices=("error", "warning", "note", "definite", "never"),
         default="error",
         help=(
             "minimum severity that makes the exit status non-zero "
-            "(default error; 'never' always exits 0)"
+            "(default error); 'definite' fails only on every-path "
+            "findings regardless of severity (implies --must); "
+            "'never' always exits 0"
+        ),
+    )
+    parser.add_argument(
+        "--must",
+        action="store_true",
+        help=(
+            "pair the may provider with the must-alias "
+            "under-approximation so detectors can upgrade findings "
+            "from 'possible' to 'definite' (every-path)"
         ),
     )
     parser.add_argument(
@@ -313,6 +333,7 @@ def lint_main(argv: list[str]) -> int:
         from .cache.store import SolutionCache
 
         cache = SolutionCache(args.cache_dir)
+    must = args.must or args.fail_on == "definite"
     try:
         report = run_lint(
             source,
@@ -322,6 +343,7 @@ def lint_main(argv: list[str]) -> int:
             max_facts=args.max_facts,
             filename=filename,
             cache=cache,
+            must=must,
         )
     except MiniCError as err:
         print(f"error: {err}", file=sys.stderr)
@@ -348,7 +370,10 @@ def lint_main(argv: list[str]) -> int:
                 return 2
             print(f"stats written to {args.stats_json}", file=sys.stderr)
 
-    if args.fail_on != "never":
+    if args.fail_on == "definite":
+        if report.definite_count():
+            return EXIT_LINT_FINDINGS
+    elif args.fail_on != "never":
         threshold = SEVERITIES.index(args.fail_on)
         worst = report.max_severity()
         if worst is not None and SEVERITIES.index(worst) <= threshold:
@@ -382,12 +407,14 @@ def _lint_sweep(args) -> int:
                 "format": args.format,
                 "show_witnesses": not args.no_witnesses,
                 "cache_dir": args.cache_dir,
+                "must": args.must or args.fail_on == "definite",
             }
         )
 
     outcomes = run_sharded(lint_file_unit, payloads, jobs=args.jobs)
     worst: Optional[str] = None
     failed_shards = 0
+    definite_total = 0
     files_stats = []
     cache_totals: dict[str, int] = {}
     for payload, outcome in zip(payloads, outcomes):
@@ -408,6 +435,7 @@ def _lint_sweep(args) -> int:
         files_stats.append({"file": result["path"], **result["stats"]})
         for key, value in (result.get("cache_counters") or {}).items():
             cache_totals[key] = cache_totals.get(key, 0) + value
+        definite_total += result.get("definite", 0)
         severity = result["max_severity"]
         if severity is not None and (
             worst is None or SEVERITIES.index(severity) < SEVERITIES.index(worst)
@@ -439,7 +467,10 @@ def _lint_sweep(args) -> int:
 
     if failed_shards:
         return 1
-    if args.fail_on != "never" and worst is not None:
+    if args.fail_on == "definite":
+        if definite_total:
+            return EXIT_LINT_FINDINGS
+    elif args.fail_on != "never" and worst is not None:
         if SEVERITIES.index(worst) <= SEVERITIES.index(args.fail_on):
             return EXIT_LINT_FINDINGS
     return 0
@@ -496,6 +527,14 @@ def build_difftest_parser() -> argparse.ArgumentParser:
         "generated programs",
     )
     parser.add_argument(
+        "--no-must-check",
+        action="store_true",
+        help=(
+            "skip the must-alias checks (must_subset_lr containment "
+            "and the per-path dynamic must oracle)"
+        ),
+    )
+    parser.add_argument(
         "--no-shrink",
         action="store_true",
         help="on violation, report without shrinking/persisting",
@@ -535,6 +574,7 @@ def difftest_main(argv: list[str]) -> int:
         draws=args.draws,
         max_facts=args.max_facts,
         deadline_seconds=args.deadline_seconds,
+        run_must_check=not args.no_must_check,
     )
 
     if args.replay:
@@ -764,6 +804,7 @@ def _analyze_sweep(args) -> int:
                 "max_facts": args.max_facts,
                 "deadline_seconds": args.deadline_seconds,
                 "cache_dir": args.cache_dir,
+                "must": args.must,
             }
         )
 
@@ -791,12 +832,19 @@ def _analyze_sweep(args) -> int:
         cache_note = (
             f"  [cache {result['cache']}]" if result["cache"] != "off" else ""
         )
+        interval = stats.get("interval")
+        must_note = (
+            f" must={interval['must_node_pairs']} width={interval['width']}"
+            if interval
+            else ""
+        )
         print(
             f"{result['path']}: nodes={solution['icfg_nodes']} "
             f"facts={solution['may_hold_facts']} "
             f"aliases={solution['program_alias_count']} "
             f"%YES={solution['percent_yes']:.1f} "
-            f"time={solution['analysis_seconds']:.3f}s{cache_note}"
+            f"time={solution['analysis_seconds']:.3f}s"
+            f"{must_note}{cache_note}"
         )
         if not result["complete"]:
             incomplete += 1
@@ -933,6 +981,19 @@ def main(argv: Optional[list[str]] = None) -> int:
         print(f"error: {err}", file=sys.stderr)
         return 1
 
+    if args.must:
+        from .must import IntervalSolution, solve_must_with_cache
+
+        must_cache = None
+        if args.cache_dir:
+            from .cache.store import SolutionCache
+
+            must_cache = SolutionCache(args.cache_dir)
+        must_solution, _must_status = solve_must_with_cache(
+            analyzed, icfg, k=args.k, cache=must_cache
+        )
+        solution = IntervalSolution(solution, must_solution)
+
     for diag in analyzed.diagnostics:
         print(diag, file=sys.stderr)
 
@@ -980,6 +1041,19 @@ def main(argv: Optional[list[str]] = None) -> int:
         f"{stats.engine.dedup_hits} dedup hits"
     )
 
+    if args.must:
+        must_total = solution.must.total_pairs()
+        may_total = sum(len(solution.may_alias(n)) for n in icfg.nodes)
+        print(
+            f"must pairs:       {must_total} "
+            f"(classes={solution.must.total_classes()}, "
+            f"time={solution.must.analysis_seconds:.3f}s)"
+        )
+        print(
+            f"interval width:   {may_total - must_total} "
+            f"(may {may_total} - must {must_total})"
+        )
+
     if args.weihl:
         weihl = weihl_aliases(analyzed, icfg, k=args.k, materialize=False)
         ratio = weihl.alias_count / max(1, stats.program_alias_count)
@@ -994,10 +1068,17 @@ def main(argv: Optional[list[str]] = None) -> int:
         print("\nper-node may-aliases:")
         for node in icfg.nodes:
             pairs = sorted(str(p) for p in solution.may_alias(node))
-            if pairs:
+            must_pairs = (
+                sorted(str(p) for p in solution.must_pairs(node))
+                if args.must
+                else []
+            )
+            if pairs or must_pairs:
                 print(f"  n{node.nid} [{node.label()}]:")
                 for pair in pairs:
                     print(f"    {pair}")
+                for pair in must_pairs:
+                    print(f"    must: {pair}")
     return 1 if not solution.complete else 0
 
 

@@ -20,6 +20,8 @@ from .corpus import (
 from .harness import (
     ALL_CHECKS,
     CHECK_LINT_SOUNDNESS,
+    CHECK_MUST_ORACLE,
+    CHECK_MUST_SUBSET_LR,
     CheckResult,
     DifftestConfig,
     ProgramVerdict,
@@ -34,6 +36,8 @@ from .shrink import shrink_source
 __all__ = [
     "ALL_CHECKS",
     "CHECK_LINT_SOUNDNESS",
+    "CHECK_MUST_ORACLE",
+    "CHECK_MUST_SUBSET_LR",
     "CheckResult",
     "DifftestConfig",
     "ProgramVerdict",

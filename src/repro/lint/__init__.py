@@ -9,12 +9,14 @@ flow-insensitive baselines — and the difference is measurable (see
 """
 
 from .findings import (
+    CONFIDENCES,
     RULE_CATALOG,
     RULE_CONFLICT,
     RULE_DANGLING,
     RULE_DEAD_STORE,
     RULE_NULL_DEREF,
     RULE_UNINIT,
+    SEVERITIES,
     Finding,
     LintReport,
     dedup_findings,
@@ -25,12 +27,14 @@ from .sarif import render_sarif, to_sarif, validate_sarif
 from .validation import LintValidation, validate_lint
 
 __all__ = [
+    "CONFIDENCES",
     "Finding",
     "LintInput",
     "LintReport",
     "LintValidation",
     "LINT_STATS_SCHEMA",
     "PROVIDERS",
+    "SEVERITIES",
     "RULE_CATALOG",
     "RULE_CONFLICT",
     "RULE_DANGLING",

@@ -53,6 +53,25 @@ def _is_temp(ctx, name: ObjectName) -> bool:
     return sym is not None and sym.name.startswith("$")
 
 
+def _must_query(solution, node, a: ObjectName, b: ObjectName) -> bool:
+    """True when the provider carries must-alias facts (an
+    :class:`~repro.must.interval.IntervalSolution`) and they pin
+    ``a == b`` at ``node``.  Plain may-providers answer False, so every
+    detector stays provider-agnostic."""
+    query = getattr(solution, "must_alias", None)
+    return bool(query(node, a, b)) if query is not None else False
+
+
+def _must_resolve(solution, node, name: ObjectName) -> Optional[ObjectName]:
+    """The unique storage ``name`` must denote at ``node``, when the
+    provider has a must side; None otherwise."""
+    resolve = getattr(solution, "must_resolve", None)
+    if resolve is None:
+        return None
+    resolved = resolve(node, name)
+    return resolved if isinstance(resolved, ObjectName) else None
+
+
 def _strong_write(w: ObjectName, n: ObjectName) -> bool:
     """Does writing ``w`` definitely overwrite all of ``n``?  Requires
     an unambiguous target: ``w`` equals ``n`` or is a field-path prefix
@@ -256,6 +275,7 @@ def find_uninit_uses(solution: MayAliasSolution) -> Iterator[Finding]:
                     node_id=node.nid,
                     span=node.span,
                     name=read,
+                    confidence="definite" if definite else "possible",
                 )
 
 
@@ -324,9 +344,25 @@ def find_null_derefs(solution: MayAliasSolution) -> Iterator[Finding]:
                         if not hit:
                             continue
                         must_out.discard(n)
+                        if (
+                            rhs_must
+                            and not stmt.weak
+                            and DEREF in stmt.lhs.selectors
+                            and _must_query(solution, node, stmt.lhs, n)
+                        ):
+                            # A definitely-null value written through a
+                            # must-alias of n: n is definitely null on
+                            # every path past this store (a null write
+                            # target traps, ending the path).
+                            must_out.add(n)
+                            witnesses[(node.nid, n)] = (
+                                f"{stmt.lhs} == {n} (must)"
+                            )
                         if rhs_may and n not in may_out:
                             may_out.add(n)
-                            witnesses[(node.nid, n)] = f"{stmt.lhs} ~ {n}"
+                            witnesses.setdefault(
+                                (node.nid, n), f"{stmt.lhs} ~ {n}"
+                            )
             elif node.kind is NodeKind.CALL:
                 for n in list(must_out):
                     sym = ctx.base_symbol(n)
@@ -370,6 +406,7 @@ def find_null_derefs(solution: MayAliasSolution) -> Iterator[Finding]:
                     span=node.span,
                     name=name,
                     witnesses=(witness,) if witness else (),
+                    confidence="definite" if definite else "possible",
                 )
 
 
@@ -426,6 +463,7 @@ def find_dangling_escapes(solution: MayAliasSolution) -> Iterator[Finding]:
                     continue
                 if not _escaping_holder(ctx, proc, holder):
                     continue
+                definite = _must_query(solution, graph.exit, dying, holder)
                 yield Finding(
                     rule=RULE_DANGLING,
                     severity="error",
@@ -438,6 +476,7 @@ def find_dangling_escapes(solution: MayAliasSolution) -> Iterator[Finding]:
                     span=graph.exit.span,
                     name=dying,
                     witnesses=(str(pair),),
+                    confidence="definite" if definite else "possible",
                 )
 
 
@@ -458,6 +497,15 @@ def find_dead_stores(solution: MayAliasSolution) -> Iterator[Finding]:
             continue
         if _is_temp(ctx, target):
             continue
+        # A store is *definitely* dead when its target is unambiguous:
+        # a plain (deref-free, untruncated) strong write, or a deref
+        # whose storage the must pass pins down.  Weak or unresolved
+        # writes may hit storage whose liveness the may-set over-kills.
+        weak = isinstance(node.stmt, PtrAssign) and node.stmt.weak
+        definite = not weak and (
+            (DEREF not in target.selectors and not target.truncated)
+            or _must_resolve(solution, node, target) is not None
+        )
         yield Finding(
             rule=RULE_DEAD_STORE,
             severity="note",
@@ -466,6 +514,7 @@ def find_dead_stores(solution: MayAliasSolution) -> Iterator[Finding]:
             node_id=node.nid,
             span=node.span,
             name=target,
+            confidence="definite" if definite else "possible",
         )
 
 
@@ -507,6 +556,9 @@ def find_statement_conflicts(
                 found.written, found.accessed
             ):
                 continue  # alias-free dependence; not alias news
+            definite = _must_query(
+                solution, node, found.written, found.accessed
+            )
             yield Finding(
                 rule=RULE_CONFLICT,
                 severity="note",
@@ -520,6 +572,7 @@ def find_statement_conflicts(
                 span=succ.span,
                 name=found.written,
                 witnesses=(str(found),),
+                confidence="definite" if definite else "possible",
             )
             emitted += 1
             if emitted >= max_findings:

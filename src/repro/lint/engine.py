@@ -101,6 +101,7 @@ def run_detectors(solution, provider_name: str = "lr") -> list[Finding]:
                     witnesses=finding.witnesses,
                     provider=provider_name,
                     also_weihl=finding.also_weihl,
+                    confidence=finding.confidence,
                 )
             )
     return dedup_findings(findings)
@@ -130,6 +131,7 @@ def run_lint(
     filename: str = "<input>",
     solution=None,
     cache=None,
+    must: bool = False,
 ) -> LintReport:
     """Lint one program.
 
@@ -141,6 +143,10 @@ def run_lint(
     A pre-built ``solution`` (anything with the MayAliasSolution query
     surface) short-circuits provider construction; ``cache`` routes
     the primary provider's solve through the result cache.
+    ``must=True`` additionally runs the must-alias under-approximation
+    and pairs it with the may provider in an
+    :class:`~repro.must.interval.IntervalSolution`, letting detectors
+    upgrade findings from "possible" to "definite".
     """
     if isinstance(source_or_input, LintInput):
         lint_input = source_or_input
@@ -153,6 +159,13 @@ def run_lint(
         solution = make_provider(
             provider, analyzed, icfg, k=k, max_facts=max_facts, cache=cache
         )
+    if must and getattr(solution, "must_alias", None) is None:
+        from ..must import IntervalSolution, solve_must_with_cache
+
+        must_solution, _status = solve_must_with_cache(
+            analyzed, icfg, k=k, cache=cache
+        )
+        solution = IntervalSolution(solution, must_solution)
     analysis_seconds = time.perf_counter() - t0
 
     t1 = time.perf_counter()
@@ -160,6 +173,7 @@ def run_lint(
     report = LintReport(
         findings=findings,
         provider=provider,
+        must_enabled=must or getattr(solution, "must_alias", None) is not None,
         analysis_seconds=analysis_seconds,
     )
     if compare_with is not None and compare_with != provider:
@@ -183,6 +197,7 @@ def run_lint(
                     witnesses=finding.witnesses,
                     provider=finding.provider,
                     also_weihl=finding.match_key() in other_keys,
+                    confidence=finding.confidence,
                 )
             )
         report.findings = tagged
@@ -210,28 +225,36 @@ def self_check(sources: Optional[Iterable[tuple[str, str]]] = None) -> list[str]
     validates — not specific findings.
     """
     from ..programs.fixtures import ALL_FIXTURES
-    from .findings import RULE_CATALOG, SEVERITIES
+    from .findings import CONFIDENCES, RULE_CATALOG, SEVERITIES
     from .sarif import to_sarif, validate_sarif
 
     problems: list[str] = []
     if sources is None:
         sources = sorted(ALL_FIXTURES.items())
+    rows = [(provider, False) for provider in PROVIDERS] + [("lr", True)]
     for name, source in sources:
-        for provider in PROVIDERS:
+        for provider, must in rows:
+            tag = f"{provider}+must" if must else provider
             try:
-                report = run_lint(source, provider=provider, filename=f"<{name}>")
+                report = run_lint(
+                    source, provider=provider, filename=f"<{name}>", must=must
+                )
             except Exception as exc:  # pragma: no cover - defensive
-                problems.append(f"{name}/{provider}: lint crashed: {exc!r}")
+                problems.append(f"{name}/{tag}: lint crashed: {exc!r}")
                 continue
             for finding in report.findings:
                 if finding.rule not in RULE_CATALOG:
-                    problems.append(f"{name}/{provider}: unknown rule {finding.rule}")
+                    problems.append(f"{name}/{tag}: unknown rule {finding.rule}")
                 if finding.severity not in SEVERITIES:
                     problems.append(
-                        f"{name}/{provider}: bad severity {finding.severity}"
+                        f"{name}/{tag}: bad severity {finding.severity}"
+                    )
+                if finding.confidence not in CONFIDENCES:
+                    problems.append(
+                        f"{name}/{tag}: bad confidence {finding.confidence}"
                     )
             doc = to_sarif(report, filename=f"<{name}>")
             problems.extend(
-                f"{name}/{provider}: sarif: {issue}" for issue in validate_sarif(doc)
+                f"{name}/{tag}: sarif: {issue}" for issue in validate_sarif(doc)
             )
     return problems

@@ -28,6 +28,13 @@ RULE_CONFLICT = "stmt-conflict"
 #: Severity levels, ordered.  These map 1:1 onto SARIF levels.
 SEVERITIES = ("error", "warning", "note")
 
+#: Confidence levels, ordered strongest-first.  "definite" means the
+#: defect occurs on *every* path reaching the flagged node whenever the
+#: involved names denote storage — typically because the witness pair
+#: is must-alias (see the [must, may] interval in docs/LINT.md).
+#: "possible" means the may-analysis cannot rule it out.
+CONFIDENCES = ("definite", "possible")
+
 
 @dataclass(frozen=True, slots=True)
 class RuleInfo:
@@ -100,6 +107,9 @@ class Finding:
     #: Flow-sensitivity provenance: True / False when a comparison
     #: provider was consulted, None when it was not.
     also_weihl: Optional[bool] = None
+    #: "definite" when the defect is shown to occur on every path
+    #: (must-alias witness or all-paths dataflow), else "possible".
+    confidence: str = "possible"
 
     @property
     def has_location(self) -> bool:
@@ -134,7 +144,11 @@ class Finding:
         return f"<{self.proc}>"
 
     def __str__(self) -> str:
-        parts = [f"{self.location()}: {self.severity}: [{self.rule}] {self.message}"]
+        marker = " (definite)" if self.confidence == "definite" else ""
+        parts = [
+            f"{self.location()}: {self.severity}{marker}: "
+            f"[{self.rule}] {self.message}"
+        ]
         if self.witnesses:
             parts.append(f"  witness: {'; '.join(self.witnesses)}")
         if self.also_weihl is not None:
@@ -148,7 +162,11 @@ def dedup_findings(findings: Iterable[Finding]) -> list[Finding]:
     keeping the first — and most severe — occurrence of each."""
     ranked = sorted(
         findings,
-        key=lambda f: (SEVERITIES.index(f.severity), f.node_id),
+        key=lambda f: (
+            SEVERITIES.index(f.severity),
+            CONFIDENCES.index(f.confidence),
+            f.node_id,
+        ),
     )
     seen: set[tuple] = set()
     out: list[Finding] = []
@@ -175,6 +193,8 @@ class LintReport:
     findings: list[Finding] = field(default_factory=list)
     provider: str = "lr"
     compared_with: Optional[str] = None
+    #: Was the provider wrapped in a must-alias IntervalSolution?
+    must_enabled: bool = False
     analysis_seconds: float = 0.0
     lint_seconds: float = 0.0
     #: Findings per rule from the comparison provider (for the
@@ -199,6 +219,17 @@ class LintReport:
             if level in present:
                 return level
         return None
+
+    def confidence_counts(self) -> dict[str, int]:
+        """Findings per confidence level (every level present)."""
+        counts = {level: 0 for level in CONFIDENCES}
+        for finding in self.findings:
+            counts[finding.confidence] = counts.get(finding.confidence, 0) + 1
+        return counts
+
+    def definite_count(self) -> int:
+        """Findings shown to occur on every path."""
+        return sum(1 for f in self.findings if f.confidence == "definite")
 
     def fp_delta(self) -> dict[str, int]:
         """Per-rule ``comparison - primary`` finding-count deltas (the

@@ -33,6 +33,12 @@ def render_text(report: LintReport, show_witnesses: bool = True) -> str:
     lines.append("")
     if total:
         lines.append(f"{total} finding{'s' if total != 1 else ''} ({summary})")
+        if report.must_enabled:
+            definite = report.definite_count()
+            lines.append(
+                f"{definite} definite (every-path) finding"
+                f"{'s' if definite != 1 else ''} via must-alias"
+            )
     else:
         lines.append("no findings")
     if report.compared_with:
@@ -56,6 +62,8 @@ def stats_dict(report: LintReport) -> dict:
             rule: count for rule, count in sorted(report.rule_counts().items())
         },
         "severities": _severity_counts(report),
+        "confidences": report.confidence_counts(),
+        "must_enabled": report.must_enabled,
         "analysis_seconds": report.analysis_seconds,
         "lint_seconds": report.lint_seconds,
     }

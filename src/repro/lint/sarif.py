@@ -72,6 +72,7 @@ def _result_object(
             "proc": finding.proc,
             "provider": finding.provider,
             "name": str(finding.name) if finding.name is not None else "",
+            "confidence": finding.confidence,
         },
     }
     if finding.also_weihl is not None:
@@ -111,6 +112,8 @@ def to_sarif(report: LintReport, filename: str = "<input>") -> dict:
                 "properties": {
                     "provider": report.provider,
                     "comparedWith": report.compared_with or "",
+                    "mustEnabled": report.must_enabled,
+                    "definiteFindings": report.definite_count(),
                     "analysisSeconds": report.analysis_seconds,
                     "lintSeconds": report.lint_seconds,
                 },

@@ -1,0 +1,45 @@
+"""Must-alias under-approximation engine (ROADMAP item 4, PR 8).
+
+The opposite-direction companion to the Landi–Ryder may-hold engines:
+a flow-sensitive union-find/congruence-closure pass whose facts hold on
+*every* path.  Together with any may provider it brackets the exact
+alias relation in a [must, may] interval (:class:`IntervalSolution`).
+"""
+
+from .engine import MustAliasAnalysis, solve_must
+from .envelope import (
+    MUST_CODE_VERSION,
+    MUST_ENTRY_SCHEMA,
+    must_entry_key,
+    solve_must_with_cache,
+)
+from .interval import IntervalSolution
+from .model import NameModel, address_taken_bases, overlapping_storage
+from .partition import MustPartition, UnionFind, intersect_all
+from .solution import MUST_STATS_SCHEMA, MustAliasSolution
+from .validation import (
+    MustValidationReport,
+    MustViolation,
+    validate_must_dynamic,
+)
+
+__all__ = [
+    "MUST_CODE_VERSION",
+    "MUST_ENTRY_SCHEMA",
+    "MUST_STATS_SCHEMA",
+    "IntervalSolution",
+    "MustAliasAnalysis",
+    "MustAliasSolution",
+    "MustPartition",
+    "MustValidationReport",
+    "MustViolation",
+    "NameModel",
+    "UnionFind",
+    "address_taken_bases",
+    "intersect_all",
+    "must_entry_key",
+    "overlapping_storage",
+    "solve_must",
+    "solve_must_with_cache",
+    "validate_must_dynamic",
+]

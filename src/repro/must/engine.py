@@ -1,0 +1,390 @@
+"""The flow-sensitive must-alias solver (ROADMAP item 4).
+
+Semantics: **conditional must-alias**.  Two names are must-aliased at a
+node when, on *every* execution path reaching the node on which both
+names denote storage, they denote the *same* storage.  This is the
+standard strong-update notion: it lets ``p = q`` merge the two cells
+even when ``q`` is null (if both ``*p`` and ``*q`` denote anything,
+they denote the same thing), and the dynamic validator in
+:mod:`repro.must.validation` checks exactly this formulation.
+
+Phase 1 of every transfer seeds equivalence facts from the atomic
+syntactic rules — identity, copy ``p = q``, address-of ``p = &x`` with
+a singleton (unambiguous) target; phase 2 is the watched worklist:
+facts propagate through the union-find partitions by congruence
+closure (two cells in one class alias on every extension), through
+calls by parameter binding, and through merge points by partition
+intersection, so a surviving fact holds on **all** paths.
+
+Design choices, with the soundness argument for each:
+
+* **Top-initialized fixpoint.**  Unvisited predecessors are ignored
+  (available-expressions style): a node's first state is computed from
+  the paths seen so far and only ever *shrinks* as more predecessors
+  arrive (intersection over more states is smaller, and every transfer
+  below is monotone).  States live on the finite partition lattice, so
+  the worklist terminates; nodes never reached keep no facts, which
+  for an under-approximation is trivially sound.
+* **Strong updates only through unique storage.**  ``*p = rhs`` merges
+  only when ``p``'s class carries an ``AddrOf`` anchor (so the written
+  cell is known exactly); otherwise every cell rooted at an
+  address-taken variable is killed — a pointer value can only name
+  address-taken or heap storage, and heap cells are never tracked.
+* **Opaque right-hand sides never merge.**  ``p = malloc(..)``,
+  ``p = NULL``, ``p = <extern>`` kill ``p``'s facts: two separate
+  allocations (or two nulls, under the conditional reading the paper's
+  clients need) must not be equated.
+* **Interprocedural binding, intersected over call sites.**  A
+  callee's entry partition is the intersection over its *computed*
+  call sites of: the caller's global-rooted facts, plus formals bound
+  by grouping actuals that ground to the same caller class (so
+  ``f(p, p)`` yields ``f1 == f2`` with no global anchor needed) and
+  anchoring to global storage where the class has one.  Bindings to
+  caller-*local* anchors are dropped — under recursion the callee's
+  view of a caller-local name re-roots to the innermost frame, which
+  is exactly the misattribution the PR-2 ``live_roots`` fix was about.
+* **Returns kill, never import.**  After a call, the caller keeps only
+  facts about storage the callee provably could not write: locals
+  whose address is never taken, plus all ``AddrOf`` anchors (addresses
+  are constants).  v1 deliberately does not propagate callee exit
+  facts (e.g. ``t = f()`` return-value equalities) back across the
+  ``EXIT -> RETURN`` edge: that flow is a *union* into the caller
+  state and breaks the monotone-shrink termination argument above.
+  The precision loss is measured, not assumed — see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..icfg.graph import ICFG, Node
+from ..icfg.ir import AddrOf, NameRef, NodeKind, Opaque, OtherStmt, PtrAssign
+from ..names.context import NameContext
+from ..names.object_names import DEREF, ObjectName
+from .model import NameModel, address_taken_bases, overlapping_storage
+from .partition import MustPartition, Token, intersect_all
+from .solution import MustAliasSolution
+
+#: Safety valve for the fixpoint loop.  The partition lattice argument
+#: bounds recomputations per node by its token count; this trips only
+#: on a monotonicity bug, never on a large program.
+_MAX_VISITS_PER_NODE = 4096
+
+
+class MustAliasAnalysis:
+    """One whole-program must-alias solve over an already-built ICFG."""
+
+    def __init__(self, analyzed, icfg: ICFG, k: int = 3) -> None:
+        self.analyzed = analyzed
+        self.icfg = icfg
+        self.k = k
+        self.ctx = NameContext(analyzed.symbols, k)
+        self.model = NameModel(self.ctx, address_taken_bases(icfg))
+        self._out: Dict[int, MustPartition] = {}
+        self._call_sites: Dict[str, List[Node]] = {}
+        self._cells_killed_by_calls: Optional[List[ObjectName]] = None
+        self.iterations = 0
+
+    # -- driver --------------------------------------------------------------
+
+    def run(self) -> MustAliasSolution:
+        started = time.perf_counter()
+        icfg = self.icfg
+        for proc in icfg.reachable_procs():
+            for call in icfg.call_sites(proc):
+                self._call_sites.setdefault(proc, []).append(call)
+        visits: Dict[int, int] = {}
+        work: deque[Node] = deque()
+        queued: set = set()
+
+        def push(node: Node) -> None:
+            if node.nid not in queued:
+                queued.add(node.nid)
+                work.append(node)
+
+        push(icfg.entry_of(icfg.entry_proc))
+        while work:
+            node = work.popleft()
+            queued.discard(node.nid)
+            in_state = self._in_state(node)
+            if in_state is None:
+                continue
+            out = self._transfer(node, in_state)
+            prev = self._out.get(node.nid)
+            if prev is not None and prev == out:
+                continue
+            visits[node.nid] = visits.get(node.nid, 0) + 1
+            assert visits[node.nid] <= _MAX_VISITS_PER_NODE, (
+                f"must fixpoint not shrinking at node {node.nid} "
+                f"({node.proc}): transfer monotonicity bug"
+            )
+            self.iterations += 1
+            self._out[node.nid] = out
+            for succ in self._intra_succs(node):
+                push(succ)
+            if node.kind is NodeKind.CALL and node.callee in icfg.procs:
+                push(icfg.entry_of(node.callee))
+        return MustAliasSolution(
+            icfg=icfg,
+            model=self.model,
+            k=self.k,
+            states=self._out,
+            seconds=time.perf_counter() - started,
+            iterations=self.iterations,
+        )
+
+    # -- flow graph (per-procedure view, CALL bridged to RETURN) -------------
+
+    def _intra_preds(self, node: Node) -> Iterable[Node]:
+        for pred in node.preds:
+            if pred.proc == node.proc and pred.kind is not NodeKind.EXIT:
+                yield pred
+        if node.kind is NodeKind.RETURN and node.paired_call is not None:
+            yield node.paired_call
+
+    def _intra_succs(self, node: Node) -> Iterable[Node]:
+        if node.kind is NodeKind.CALL:
+            if node.paired_return is not None:
+                yield node.paired_return
+            return
+        if node.kind is NodeKind.EXIT:
+            # The EXIT -> RETURN edges (same-proc under recursion) are
+            # deliberately not must-flow: see the module docstring.
+            return
+        for succ in node.succs:
+            if succ.proc == node.proc and succ.kind is not NodeKind.ENTRY:
+                yield succ
+
+    def _in_state(self, node: Node) -> Optional[MustPartition]:
+        if node.kind is NodeKind.ENTRY:
+            if node.proc == self.icfg.entry_proc:
+                return MustPartition()
+            binds = []
+            for call in self._call_sites.get(node.proc, []):
+                call_out = self._out.get(call.nid)
+                if call_out is not None:
+                    binds.append(self._bind_entry(call, call_out))
+            if not binds:
+                return None
+            return intersect_all(binds)
+        states = []
+        for pred in self._intra_preds(node):
+            pred_out = self._out.get(pred.nid)
+            if pred_out is None:
+                continue
+            if node.kind is NodeKind.RETURN and pred is node.paired_call:
+                pred_out = self._return_bridge(pred_out)
+            states.append(pred_out)
+        if not states:
+            return None
+        return intersect_all(states)
+
+    # -- transfer ------------------------------------------------------------
+
+    def _transfer(self, node: Node, state: MustPartition) -> MustPartition:
+        stmt = node.stmt
+        if isinstance(stmt, PtrAssign):
+            self._assign(state, stmt)
+        elif isinstance(stmt, OtherStmt):
+            for written in stmt.writes:
+                self._scalar_write(state, written)
+        # CallInfo is handled at the callee's ENTRY (binding) and the
+        # paired RETURN (kill bridge); predicates only read.
+        return state
+
+    def _rhs_value(self, state: MustPartition, rhs) -> Optional[Token]:
+        """The token standing for the assigned value, or None when the
+        value is opaque (allocator, NULL, scalar, unknown) — resolved
+        *before* any kill so ``p = *p`` reads the pre-state."""
+        if isinstance(rhs, AddrOf):
+            target = self.model.ground(state, rhs.name)
+            if target is None:
+                return None
+            return AddrOf(target)
+        if isinstance(rhs, NameRef):
+            ground = self.model.ground(state, rhs.name)
+            if ground is not None and self.model.is_cell(ground):
+                return ground
+            return None
+        return None
+
+    def _assign(self, state: MustPartition, stmt: PtrAssign) -> None:
+        value = self._rhs_value(state, stmt.rhs)
+        lhs = stmt.lhs
+        if not lhs.truncated and DEREF not in lhs.selectors:
+            if self.model.is_cell(lhs):
+                state.kill(lhs)
+                if not stmt.weak and value is not None:
+                    self._merge_value(state, lhs, value)
+            # A deref-free but untracked target (array-collapsed path)
+            # cannot overlap any tracked cell: nothing to kill.
+            return
+        target = self.model.ground(state, lhs)
+        if target is not None:
+            self._kill_storage(state, target)
+            if (
+                not stmt.weak
+                and value is not None
+                and self.model.is_cell(target)
+            ):
+                self._merge_value(state, target, value)
+        else:
+            self._kill_unknown_write(state)
+
+    def _merge_value(
+        self, state: MustPartition, cell: ObjectName, value: Token
+    ) -> None:
+        if value == cell:
+            return
+        state.merge(cell, value)
+
+    def _scalar_write(self, state: MustPartition, written: ObjectName) -> None:
+        if DEREF in written.selectors:
+            target = self.model.ground(state, written)
+            if target is None:
+                self._kill_unknown_write(state)
+            else:
+                self._kill_storage(state, target)
+        else:
+            self._kill_storage(state, written)
+
+    def _kill_storage(self, state: MustPartition, storage: ObjectName) -> None:
+        """The cell at ``storage`` (and any tracked cell inside or
+        containing it) was overwritten; address tokens survive —
+        ``&x`` is a constant however ``x``'s content changes."""
+        for token in state.tokens():
+            if isinstance(token, AddrOf):
+                continue
+            if overlapping_storage(token, storage):
+                state.kill(token)
+
+    def _kill_unknown_write(self, state: MustPartition) -> None:
+        """A write through an unresolved pointer: it may have hit any
+        address-taken storage (heap cells are never tracked, and a
+        pointer to never-address-taken storage cannot exist)."""
+        for token in state.tokens():
+            if isinstance(token, AddrOf):
+                continue
+            if token.base in self.model.address_taken:
+                state.kill(token)
+
+    # -- calls ---------------------------------------------------------------
+
+    def _survives_call(self, token: Token) -> bool:
+        if isinstance(token, AddrOf):
+            return True
+        sym = self.ctx.base_symbol(token)
+        if sym is None:
+            return False
+        if sym.is_global:
+            return False
+        return sym.uid not in self.model.address_taken
+
+    def _return_bridge(self, call_out: MustPartition) -> MustPartition:
+        """Caller facts surviving the callee: cells the callee provably
+        could not write."""
+        out = MustPartition()
+        for cls in call_out.classes():
+            kept = [t for t in cls if self._survives_call(t)]
+            for other in kept[1:]:
+                out.merge(kept[0], other)
+        return out
+
+    def _global_token(self, token: Token) -> bool:
+        name = token.name if isinstance(token, AddrOf) else token
+        return self.model.is_global_root(name)
+
+    def _bind_entry(self, call: Node, call_out: MustPartition) -> MustPartition:
+        """The callee-entry partition induced by one call site."""
+        out = MustPartition()
+        for cls in call_out.classes():
+            kept = [t for t in cls if self._global_token(t)]
+            for other in kept[1:]:
+                out.merge(kept[0], other)
+        info = self.analyzed.symbols.function(call.callee)
+        stmt = call.stmt
+        if info is None or stmt is None:
+            return out
+        groups: Dict[Tuple, List[ObjectName]] = {}
+        anchors: Dict[Tuple, Token] = {}
+        for param, arg in zip(info.params, stmt.args):
+            for formal, key, anchor in self._bind_param(call_out, param, arg):
+                groups.setdefault(key, []).append(formal)
+                if anchor is not None:
+                    anchors[key] = anchor
+        for key, formals in groups.items():
+            anchor = anchors.get(key)
+            if anchor is not None:
+                out.merge(formals[0], anchor)
+            for other in formals[1:]:
+                out.merge(formals[0], other)
+        return out
+
+    def _class_key_and_anchor(
+        self, call_out: MustPartition, cell: ObjectName
+    ) -> Tuple[Tuple, Optional[Token]]:
+        """A caller-side identity for the *value* held in ``cell``,
+        plus a token meaningful inside the callee (global storage) to
+        anchor the formal to, when the class has one."""
+        root = call_out.find(cell)
+        if root is None:
+            key: Tuple = ("cell", cell)
+            anchor = cell if self._global_token(cell) else None
+            return key, anchor
+        anchor = None
+        addr = call_out.addr_target(cell)
+        if addr is not None and self.model.is_global_root(addr):
+            anchor = AddrOf(addr)
+        else:
+            global_cells = sorted(
+                (
+                    t
+                    for t in call_out.members_of(cell)
+                    if not isinstance(t, AddrOf) and self._global_token(t)
+                ),
+                key=str,
+            )
+            if global_cells:
+                anchor = global_cells[0]
+        return ("class", root), anchor
+
+    def _bind_param(
+        self, call_out: MustPartition, param, arg
+    ) -> Iterable[Tuple[ObjectName, Tuple, Optional[Token]]]:
+        """Yield ``(formal_cell, value_key, anchor)`` triples for one
+        parameter.  Formals whose actuals carry the same value key are
+        merged with each other at entry; an anchor additionally ties
+        the group to caller state that stays nameable in the callee."""
+        if isinstance(arg, Opaque):
+            return
+        formal_cells = self.model.cell_paths(param.uid, param.type)
+        if isinstance(arg, AddrOf):
+            base = ObjectName(param.uid)
+            if base not in formal_cells:
+                return
+            target = self.model.ground(call_out, arg.name)
+            if target is None:
+                return
+            anchor = (
+                AddrOf(target) if self.model.is_global_root(target) else None
+            )
+            yield base, ("addr", target), anchor
+            return
+        if not isinstance(arg, NameRef):
+            return
+        base_len = len(ObjectName(param.uid).selectors)
+        for formal in formal_cells:
+            suffix = formal.selectors[base_len:]
+            actual_name = arg.name.extend(suffix)
+            ground = self.model.ground(call_out, actual_name)
+            if ground is None or not self.model.is_cell(ground):
+                continue
+            key, anchor = self._class_key_and_anchor(call_out, ground)
+            yield formal, key, anchor
+
+
+def solve_must(analyzed, icfg: ICFG, k: int = 3) -> MustAliasSolution:
+    """Solve the must-alias pass over an already-built ICFG."""
+    return MustAliasAnalysis(analyzed, icfg, k=k).run()

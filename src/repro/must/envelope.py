@@ -1,0 +1,123 @@
+"""Cache envelopes for must-alias solutions.
+
+Must results live in the same :class:`~repro.cache.store.SolutionCache`
+as the may envelopes but under their own code-version namespace
+(``MUST_CODE_VERSION``): the engines evolve independently, and a bump
+to one must never invalidate — or worse, satisfy — lookups of the
+other.  The payload is small (per-node token classes over a shared
+token table), so the generic JSON envelope is fine; no packed columns
+needed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..cache.keys import canonical_ir_hash, entry_key
+from ..cache.store import SolutionCache
+from ..icfg.graph import ICFG
+from ..icfg.ir import AddrOf
+from ..names.context import NameContext
+from ..names.object_names import ObjectName
+from .engine import solve_must
+from .model import NameModel, address_taken_bases
+from .partition import MustPartition
+from .solution import MustAliasSolution
+
+#: Bump when the must engine's observable results change.
+#: History: must-engine/1.0 — initial release (PR 8).
+MUST_CODE_VERSION = "must-engine/1.0"
+
+#: Envelope schema for must entries (distinct from the may/summary
+#: schemas so a cross-read drops as corrupt instead of rebuilding).
+MUST_ENTRY_SCHEMA = "repro-must-entry/1"
+
+
+def must_entry_key(analyzed, k: int) -> str:
+    return entry_key(
+        canonical_ir_hash(analyzed),
+        k,
+        {"engine": "must"},
+        code_version=MUST_CODE_VERSION,
+    )
+
+
+def _token_doc(token) -> list:
+    if isinstance(token, AddrOf):
+        return ["a", token.name.base, list(token.name.selectors)]
+    return ["c", token.base, list(token.selectors)]
+
+
+def _token_from_doc(doc: list):
+    kind, base, selectors = doc
+    name = ObjectName(base, tuple(selectors))
+    return AddrOf(name) if kind == "a" else name
+
+
+def solution_to_envelope(solution: MustAliasSolution) -> dict:
+    nodes = {}
+    for nid, state in solution.states.items():
+        classes = state.classes()
+        if classes:
+            nodes[str(nid)] = [
+                [_token_doc(t) for t in cls] for cls in classes
+            ]
+    return {
+        "schema": MUST_ENTRY_SCHEMA,
+        "code_version": MUST_CODE_VERSION,
+        "k": solution.k,
+        "must": {
+            "nodes": nodes,
+            "computed": sorted(solution.states),
+            "iterations": solution.iterations,
+            "seconds": solution.analysis_seconds,
+        },
+    }
+
+
+def envelope_to_solution(
+    envelope: dict, analyzed, icfg: ICFG, k: int
+) -> MustAliasSolution:
+    payload = envelope["must"]
+    states = {}
+    for nid in payload["computed"]:
+        states[int(nid)] = MustPartition()
+    for nid_text, classes in payload["nodes"].items():
+        state = states.setdefault(int(nid_text), MustPartition())
+        for cls in classes:
+            tokens = [_token_from_doc(doc) for doc in cls]
+            for other in tokens[1:]:
+                state.merge(tokens[0], other)
+    ctx = NameContext(analyzed.symbols, k)
+    model = NameModel(ctx, address_taken_bases(icfg))
+    return MustAliasSolution(
+        icfg=icfg,
+        model=model,
+        k=k,
+        states=states,
+        seconds=float(payload.get("seconds", 0.0)),
+        iterations=int(payload.get("iterations", 0)),
+    )
+
+
+def solve_must_with_cache(
+    analyzed,
+    icfg: ICFG,
+    k: int = 3,
+    cache: Optional[SolutionCache] = None,
+) -> Tuple[MustAliasSolution, str]:
+    """Solve (or reload) the must pass; returns ``(solution, status)``
+    with status one of ``"off"``, ``"hit"``, ``"miss"`` — mirroring
+    :func:`repro.cache.solve.solve_with_cache`."""
+    if cache is None:
+        return solve_must(analyzed, icfg, k=k), "off"
+    key = must_entry_key(analyzed, k)
+    envelope = cache.get(key, schema=MUST_ENTRY_SCHEMA, payload_key="must")
+    if envelope is not None:
+        try:
+            return envelope_to_solution(envelope, analyzed, icfg, k), "hit"
+        except Exception:
+            cache.counters.rebuild_failures += 1
+    solution = solve_must(analyzed, icfg, k=k)
+    cache.put(key, solution_to_envelope(solution))
+    return solution, "miss"

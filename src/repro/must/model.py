@@ -1,0 +1,153 @@
+"""Name-level semantics shared by the must-alias engine and solution.
+
+The must domain deliberately tracks far fewer names than the may-hold
+engine: only *unambiguous* storage — paths that denote exactly one
+runtime cell per activation.  Anything array-collapsed (an ``a[i]``
+path stands for every element), truncated by the k-limit (a truncated
+name represents a whole family), or rooted at an unknown symbol is
+untracked, which in an under-approximation simply means "no facts".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..frontend.symbols import Symbol
+from ..frontend.types import ArrayType, PointerType, StructType
+from ..icfg.graph import ICFG
+from ..icfg.ir import AddrOf, CallInfo, PtrAssign
+from ..names.context import NameContext, collapse_arrays
+from ..names.object_names import DEREF, ObjectName
+from .partition import MustPartition
+
+
+def address_taken_bases(icfg: ICFG) -> Set[str]:
+    """Base uids whose address is taken anywhere in the program.  Only
+    such storage (plus heap cells, which the must domain never tracks)
+    can be written through an unresolved pointer: every pointer value
+    originates from an ``&x`` operand, an allocator, or another
+    pointer."""
+    out: Set[str] = set()
+    for node in icfg.nodes:
+        operands = []
+        if isinstance(node.stmt, PtrAssign):
+            operands.append(node.stmt.rhs)
+        elif isinstance(node.stmt, CallInfo):
+            operands.extend(node.stmt.args)
+        for op in operands:
+            if isinstance(op, AddrOf):
+                out.add(op.name.base)
+    return out
+
+
+def overlapping_storage(a: ObjectName, b: ObjectName) -> bool:
+    """Do the deref-free paths ``a`` and ``b`` denote overlapping
+    storage?  Exactly when one is a selector-prefix of the other
+    (``s`` contains ``s.f``; distinct variables never overlap)."""
+    if a.base != b.base:
+        return False
+    sa, sb = a.selectors, b.selectors
+    n = min(len(sa), len(sb))
+    return sa[:n] == sb[:n]
+
+
+class NameModel:
+    """Classifies object names for the must domain and grounds
+    pointer-mediated names (``*p``, ``p->f``) to unique storage through
+    a partition's address facts."""
+
+    def __init__(self, ctx: NameContext, address_taken: Set[str]) -> None:
+        self.ctx = ctx
+        self.address_taken = address_taken
+        self._cell_cache: Dict[ObjectName, bool] = {}
+        self._storage_cache: Dict[ObjectName, bool] = {}
+
+    # -- classification ------------------------------------------------------
+
+    def _resolved_type(self, name: ObjectName):
+        """Walk the *raw* (uncollapsed) declared type along ``name``'s
+        field selectors; None when any step is array-typed, through an
+        incomplete struct, or otherwise untyped.  ``ctx.name_type``
+        collapses arrays at every step, so it cannot be used here: an
+        array-collapsed path stands for many cells and must never carry
+        a must fact."""
+        sym = self.ctx.base_symbol(name)
+        if sym is None or not isinstance(sym, Symbol):
+            return None
+        t = sym.type
+        if isinstance(t, ArrayType):
+            return None
+        for sel in name.selectors:
+            if not isinstance(t, StructType) or not t.complete:
+                return None
+            ft = t.field_type(sel)
+            if ft is None or isinstance(ft, ArrayType):
+                return None
+            t = ft
+        return t
+
+    def is_storage(self, name: ObjectName) -> bool:
+        """Deref-free path denoting exactly one cell per activation."""
+        cached = self._storage_cache.get(name)
+        if cached is None:
+            cached = (
+                not name.truncated
+                and DEREF not in name.selectors
+                and self._resolved_type(name) is not None
+            )
+            self._storage_cache[name] = cached
+        return cached
+
+    def is_cell(self, name: ObjectName) -> bool:
+        """Unambiguous storage that holds a pointer (a trackable must
+        token)."""
+        cached = self._cell_cache.get(name)
+        if cached is None:
+            if name.truncated or DEREF in name.selectors:
+                cached = False
+            else:
+                t = self._resolved_type(name)
+                cached = isinstance(t, PointerType)
+            self._cell_cache[name] = cached
+        return cached
+
+    def is_global_root(self, name: ObjectName) -> bool:
+        sym = self.ctx.base_symbol(name)
+        return sym is not None and sym.is_global
+
+    def cell_paths(self, uid: str, declared_type) -> List[ObjectName]:
+        """The trackable cells inside the variable ``uid`` itself: the
+        variable (if pointer-typed) plus its field-only pointer
+        paths."""
+        base = ObjectName(uid)
+        out = [base] if self.is_cell(base) else []
+        for sels, _t in self.ctx.extensions(collapse_arrays(declared_type), 0):
+            name = base.extend(sels)
+            if self.is_cell(name):
+                out.append(name)
+        return out
+
+    # -- grounding -----------------------------------------------------------
+
+    def ground(
+        self, state: MustPartition, name: ObjectName
+    ) -> Optional[ObjectName]:
+        """Rewrite ``name`` to the unique deref-free storage path it
+        denotes under ``state``'s facts, substituting each leading
+        deref through its cell's ``AddrOf`` anchor; None when any step
+        is unresolved or ambiguous.  Terminates because anchors are
+        deref-free: every substitution removes one dereference."""
+        while True:
+            sels = name.selectors
+            if name.truncated:
+                return None
+            if DEREF not in sels:
+                return name if self.is_storage(name) else None
+            i = sels.index(DEREF)
+            prefix = ObjectName(name.base, sels[:i])
+            if not self.is_cell(prefix):
+                return None
+            target = state.addr_target(prefix)
+            if target is None:
+                return None
+            name = target.extend(sels[i + 1 :])

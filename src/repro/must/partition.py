@@ -1,0 +1,264 @@
+"""Equivalence partitions for the must-alias engine.
+
+The must-alias abstract state at a program point is a *partition* of
+tokens into equivalence classes:
+
+* a **cell token** is a deref-free, unambiguous, pointer-typed
+  :class:`~repro.names.object_names.ObjectName`; two cells in one class
+  assert that the cells hold *equal pointer values* on **every** path
+  reaching the point (so their dereferences must-alias);
+* an **address token** wraps a deref-free storage path in
+  :class:`~repro.icfg.ir.AddrOf`; ``AddrOf(x)`` in a class asserts that
+  every cell member holds exactly ``&x`` (so ``*p`` *is* ``x``).
+
+Absence of a token means "no facts": singleton classes are therefore
+semantically empty, and :meth:`MustPartition.canonical` (the basis for
+equality and the solver's fixpoint test) ignores them.  The refinement
+order is subset-of-facts: fewer/smaller classes = fewer claims = a
+*safer* under-approximation.  Joins are :meth:`MustPartition.intersect`
+— a fact survives a merge point only if it holds on both sides.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple, Union
+
+from ..icfg.ir import AddrOf
+from ..names.object_names import ObjectName
+
+#: Either a cell (`ObjectName`) or an address constant (`AddrOf`).
+Token = Union[ObjectName, AddrOf]
+_Key = Hashable
+
+
+def token_sort_key(token: Token) -> tuple:
+    """Deterministic ordering across the two token kinds."""
+    if isinstance(token, AddrOf):
+        return (1, str(token.name))
+    return (0, str(token))
+
+
+class UnionFind:
+    """Array-based disjoint sets with union-by-rank and full path
+    compression.
+
+    ``parent`` is exposed for the white-box compression tests: after
+    ``find(x)`` every node on the walked chain points directly at the
+    root."""
+
+    __slots__ = ("parent", "rank")
+
+    def __init__(self) -> None:
+        self.parent: List[int] = []
+        self.rank: List[int] = []
+
+    def make(self) -> int:
+        """Allocate a fresh singleton set; returns its index."""
+        idx = len(self.parent)
+        self.parent.append(idx)
+        self.rank.append(0)
+        return idx
+
+    def find(self, x: int) -> int:
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> int:
+        """Merge the sets of ``a`` and ``b``; returns the new root."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self.rank[ra] < self.rank[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        if self.rank[ra] == self.rank[rb]:
+            self.rank[ra] += 1
+        return ra
+
+
+class MustPartition:
+    """A mutable equivalence partition over must-alias tokens.
+
+    Invariant (asserted in :meth:`merge`): a class never contains two
+    *distinct* address tokens — ``&x == &y`` for ``x != y`` is
+    unsatisfiable, so a transfer function that would produce it is
+    buggy, not imprecise."""
+
+    __slots__ = ("_uf", "_ids", "_dirty", "_by_root")
+
+    def __init__(self) -> None:
+        self._uf = UnionFind()
+        self._ids: Dict[Token, int] = {}
+        self._dirty = True
+        self._by_root: Dict[int, List[Token]] = {}
+
+    # -- membership ----------------------------------------------------------
+
+    def __contains__(self, token: Token) -> bool:
+        return token in self._ids
+
+    def tokens(self) -> List[Token]:
+        return list(self._ids)
+
+    def ensure(self, token: Token) -> int:
+        """Track ``token`` (as a singleton if new); returns its root."""
+        idx = self._ids.get(token)
+        if idx is None:
+            idx = self._uf.make()
+            self._ids[token] = idx
+            self._dirty = True
+        return self._uf.find(idx)
+
+    def find(self, token: Token) -> Optional[int]:
+        """``token``'s class root, or None when untracked."""
+        idx = self._ids.get(token)
+        return None if idx is None else self._uf.find(idx)
+
+    # -- mutation ------------------------------------------------------------
+
+    def merge(self, a: Token, b: Token) -> None:
+        """Assert ``a`` and ``b`` hold equal values (union their
+        classes, tracking either as needed)."""
+        ia, ib = self.ensure(a), self.ensure(b)
+        if ia == ib:
+            return
+        addr_a, addr_b = self._addr_in_root(ia), self._addr_in_root(ib)
+        assert addr_a is None or addr_b is None or addr_a == addr_b, (
+            f"unsound merge: &{addr_a} == &{addr_b} requested "
+            f"(while merging {a} with {b})"
+        )
+        self._uf.union(ia, ib)
+        self._dirty = True
+
+    def kill(self, token: Token) -> None:
+        """Forget every fact about ``token`` (remove it from its
+        class; the rest of the class is untouched)."""
+        if self._ids.pop(token, None) is not None:
+            self._dirty = True
+
+    # -- queries -------------------------------------------------------------
+
+    def equivalent(self, a: Token, b: Token) -> bool:
+        ra = self.find(a)
+        return ra is not None and ra == self.find(b)
+
+    def _members(self) -> Dict[int, List[Token]]:
+        if self._dirty:
+            by_root: Dict[int, List[Token]] = {}
+            for token, idx in self._ids.items():
+                by_root.setdefault(self._uf.find(idx), []).append(token)
+            self._by_root = by_root
+            self._dirty = False
+        return self._by_root
+
+    def _addr_in_root(self, root: int) -> Optional[ObjectName]:
+        for member in self._members().get(root, ()):
+            if isinstance(member, AddrOf):
+                return member.name
+        return None
+
+    def members_of(self, token: Token) -> List[Token]:
+        """Every token in ``token``'s class (empty when untracked)."""
+        root = self.find(token)
+        if root is None:
+            return []
+        return list(self._members().get(root, ()))
+
+    def addr_target(self, token: Token) -> Optional[ObjectName]:
+        """The storage every member of ``token``'s class must point at
+        — the class's ``AddrOf`` anchor, if it has one."""
+        root = self.find(token)
+        return None if root is None else self._addr_in_root(root)
+
+    def classes(self) -> List[List[Token]]:
+        """The informative classes (size >= 2), each sorted, the list
+        itself deterministically ordered."""
+        out = [
+            sorted(members, key=token_sort_key)
+            for members in self._members().values()
+            if len(members) >= 2
+        ]
+        out.sort(key=lambda cls: token_sort_key(cls[0]))
+        return out
+
+    def canonical(self) -> frozenset:
+        """The partition's informative content: singleton classes say
+        nothing, so two partitions are equal iff these sets match."""
+        return frozenset(
+            frozenset(members)
+            for members in self._members().values()
+            if len(members) >= 2
+        )
+
+    def fact_count(self) -> int:
+        """Number of tokens carrying a non-trivial fact."""
+        return sum(
+            len(members)
+            for members in self._members().values()
+            if len(members) >= 2
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MustPartition):
+            return NotImplemented
+        return self.canonical() == other.canonical()
+
+    __hash__ = None  # type: ignore[assignment]  # mutable; compare only
+
+    def __repr__(self) -> str:
+        classes = [
+            "{" + ", ".join(str(t) for t in cls) + "}" for cls in self.classes()
+        ]
+        return f"MustPartition({', '.join(classes)})"
+
+    # -- structural operations -----------------------------------------------
+
+    def copy(self) -> "MustPartition":
+        dup = MustPartition()
+        for token in self._ids:
+            dup._ids[token] = dup._uf.make()
+        # Rebuild unions class by class (fresh, fully-compressed forest).
+        for members in self._members().values():
+            first = members[0]
+            for other in members[1:]:
+                dup._uf.union(dup._ids[first], dup._ids[other])
+        dup._dirty = True
+        return dup
+
+    def intersect(self, other: "MustPartition") -> "MustPartition":
+        """The join: the coarsest partition refining both inputs on
+        their *common* tokens.  Two tokens stay equivalent only if each
+        input says so; a token tracked on one side only is dropped
+        (no-fact wins — this is what makes merge-point joins sound over
+        *all* incoming paths)."""
+        out = MustPartition()
+        groups: Dict[Tuple[int, int], List[Token]] = {}
+        for token, idx in self._ids.items():
+            other_root = other.find(token)
+            if other_root is None:
+                continue
+            key = (self._uf.find(idx), other_root)
+            groups.setdefault(key, []).append(token)
+        for members in groups.values():
+            if len(members) < 2:
+                continue
+            first = members[0]
+            for member in members[1:]:
+                out.merge(first, member)
+        return out
+
+
+def intersect_all(parts: List[MustPartition]) -> MustPartition:
+    """Fold :meth:`MustPartition.intersect` over ``parts`` (which must
+    be non-empty); a single input is copied, not shared."""
+    assert parts, "intersect_all needs at least one partition"
+    if len(parts) == 1:
+        return parts[0].copy()
+    acc = parts[0]
+    for nxt in parts[1:]:
+        acc = acc.intersect(nxt)
+    return acc

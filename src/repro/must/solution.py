@@ -1,0 +1,192 @@
+"""Query surface over a solved must-alias pass.
+
+Mirrors the :class:`~repro.core.solution.MayAliasSolution` conventions
+— ``must_pairs(node)`` answers "immediately after ``node``", pairs are
+canonical k-limited :class:`AliasPair` values — so the difftest
+harness, lint detectors and CLI can treat the two directions
+symmetrically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from ..icfg.graph import ICFG, Node
+from ..icfg.ir import AddrOf
+from ..names.alias_pairs import AliasPair, make_pair
+from ..names.object_names import DEREF, ObjectName, k_limit
+from .model import NameModel
+from .partition import MustPartition
+
+#: Stats document identifier (additive companion to ``repro-stats/1``).
+MUST_STATS_SCHEMA = "repro-must/1"
+
+#: ``("storage", path)`` — fully grounded to unique storage — or
+#: ``("class", cell, suffix)`` — an unresolved cell plus the selector
+#: tail hanging off it (congruence compares the tails).
+_Normal = Tuple[str, ObjectName, Tuple[str, ...]]
+
+
+class MustAliasSolution:
+    """Per-node must-alias facts with grounding/congruence queries."""
+
+    engine = "must"
+    #: The must pass has no fact budget: a solve always completes.
+    complete = True
+
+    def __init__(
+        self,
+        icfg: ICFG,
+        model: NameModel,
+        k: int,
+        states: Dict[int, MustPartition],
+        seconds: float = 0.0,
+        iterations: int = 0,
+    ) -> None:
+        self.icfg = icfg
+        self.model = model
+        self.ctx = model.ctx
+        self.k = k
+        self.states = states
+        self.analysis_seconds = seconds
+        self.iterations = iterations
+        self._pairs_cache: Dict[int, frozenset] = {}
+
+    # -- state access --------------------------------------------------------
+
+    def _nid(self, node: Union[Node, int]) -> int:
+        return node.nid if isinstance(node, Node) else node
+
+    def state_at(self, node: Union[Node, int]) -> Optional[MustPartition]:
+        """The partition holding immediately after ``node``; None when
+        the solver never reached it (no facts)."""
+        return self.states.get(self._nid(node))
+
+    # -- queries -------------------------------------------------------------
+
+    def _normalize(
+        self, state: MustPartition, name: ObjectName
+    ) -> Optional[_Normal]:
+        """Ground ``name`` as far as the partition's address facts
+        allow.  Stops at the first unresolvable deref, leaving a
+        ``("class", cell, suffix)`` form whose equality is decided by
+        class membership plus suffix congruence."""
+        while True:
+            sels = name.selectors
+            if name.truncated:
+                return None
+            if DEREF not in sels:
+                if self.model.is_storage(name):
+                    return ("storage", name, ())
+                return None
+            i = sels.index(DEREF)
+            prefix = ObjectName(name.base, sels[:i])
+            if not self.model.is_cell(prefix):
+                return None
+            target = state.addr_target(prefix)
+            if target is None:
+                return ("class", prefix, sels[i:])
+            name = target.extend(sels[i + 1 :])
+
+    def must_alias(
+        self, node: Union[Node, int], a: ObjectName, b: ObjectName
+    ) -> bool:
+        """Do ``a`` and ``b`` denote the same storage on every path
+        reaching past ``node`` on which both denote storage?"""
+        if a == b:
+            return not a.truncated
+        state = self.state_at(node)
+        if state is None:
+            return False
+        na = self._normalize(state, a)
+        nb = self._normalize(state, b)
+        if na is None or nb is None:
+            return False
+        kind_a, base_a, suffix_a = na
+        kind_b, base_b, suffix_b = nb
+        if kind_a != kind_b or suffix_a != suffix_b:
+            return False
+        if base_a == base_b:
+            return True
+        if kind_a == "class":
+            # Congruence: equal cells dereference to equal storage, and
+            # equal storage extends equally along any selector tail.
+            return state.equivalent(base_a, base_b)
+        return False
+
+    def must_resolve(
+        self, node: Union[Node, int], name: ObjectName
+    ) -> Optional[ObjectName]:
+        """The unique storage ``name`` denotes after ``node`` whenever
+        it denotes anything, or None when unknown/ambiguous."""
+        state = self.state_at(node)
+        if state is None:
+            return name if self.model.is_storage(name) else None
+        return self.model.ground(state, name)
+
+    def must_pairs(self, node: Union[Node, int]) -> frozenset:
+        """Canonical k-limited pairs of distinct names that must-alias
+        immediately after ``node`` (base pairs only: one location name
+        per class member; extensions follow by congruence)."""
+        nid = self._nid(node)
+        cached = self._pairs_cache.get(nid)
+        if cached is not None:
+            return cached
+        state = self.states.get(nid)
+        pairs: Set[AliasPair] = set()
+        if state is not None:
+            for cls in state.classes():
+                locations: List[ObjectName] = []
+                for token in cls:
+                    if isinstance(token, AddrOf):
+                        locations.append(token.name)
+                    else:
+                        deref = k_limit(token.deref(), self.k)
+                        if not deref.truncated:
+                            locations.append(deref)
+                for i, left in enumerate(locations):
+                    for right in locations[i + 1 :]:
+                        if left != right:
+                            pairs.add(make_pair(left, right, self.k))
+        result = frozenset(pairs)
+        self._pairs_cache[nid] = result
+        return result
+
+    def must_alias_names(
+        self, node: Union[Node, int], name: ObjectName
+    ) -> Set[ObjectName]:
+        """Names must-aliased to ``name`` after ``node`` (from the base
+        pairs)."""
+        return {
+            pair.other(name)
+            for pair in self.must_pairs(node)
+            if pair.involves(name)
+        }
+
+    # -- aggregates ----------------------------------------------------------
+
+    def node_pairs(self) -> Dict[int, frozenset]:
+        return {node.nid: self.must_pairs(node) for node in self.icfg.nodes}
+
+    def total_pairs(self) -> int:
+        return sum(len(self.must_pairs(node)) for node in self.icfg.nodes)
+
+    def total_classes(self) -> int:
+        return sum(
+            len(state.classes()) for state in self.states.values()
+        )
+
+    def stats_dict(self) -> dict:
+        """The ``repro-must/1`` stats document."""
+        computed = len(self.states)
+        return {
+            "schema": MUST_STATS_SCHEMA,
+            "engine": self.engine,
+            "k": self.k,
+            "nodes": len(self.icfg.nodes),
+            "computed_nodes": computed,
+            "iterations": self.iterations,
+            "must_node_pairs": self.total_pairs(),
+            "classes": self.total_classes(),
+            "seconds": self.analysis_seconds,
+        }

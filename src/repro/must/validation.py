@@ -1,0 +1,144 @@
+"""Dynamic validation of must-alias facts (the under-approximation
+analogue of the dynamic may-oracle).
+
+The may-side oracle *pools* observations across draws — a pair is
+checked against the union of everything ever witnessed.  Must facts
+need the opposite, per-observation discipline: a claimed must pair
+``(a, b)`` at node ``n`` asserts that on **every** recorded execution
+passing ``n`` on which both names denote storage, they denote the
+*same* cell.  So each observation is checked on the spot, against the
+live memory image, and a single divergent path is a hard soundness
+violation (no pooling can mask it).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..frontend.semantics import AnalyzedProgram
+from ..icfg.builder import IcfgBuilder
+from ..icfg.graph import ICFG
+from ..interp.interpreter import InterpError, OutOfFuel
+from ..interp.recorder import enumerate_names, make_observed_interpreter
+from ..oracle.dynamic import scriptable_scalar_globals
+from .solution import MustAliasSolution
+
+
+@dataclass(slots=True)
+class MustViolation:
+    """One must pair contradicted by one concrete observation."""
+
+    node_id: int
+    proc: str
+    first: str
+    second: str
+    draw: int
+
+    def __str__(self) -> str:
+        return (
+            f"node {self.node_id} ({self.proc}): claimed must pair "
+            f"({self.first}, {self.second}) denotes two distinct cells "
+            f"on draw {self.draw}"
+        )
+
+
+@dataclass(slots=True)
+class MustValidationReport:
+    """Outcome of a per-observation dynamic must sweep."""
+
+    draws: int = 0
+    observations: int = 0
+    checked_pairs: int = 0
+    runs_trapped: int = 0
+    runs_out_of_fuel: int = 0
+    violations: List[MustViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def stats_dict(self) -> dict:
+        return {
+            "draws": self.draws,
+            "observations": self.observations,
+            "checked_pairs": self.checked_pairs,
+            "runs_trapped": self.runs_trapped,
+            "runs_out_of_fuel": self.runs_out_of_fuel,
+            "violations": len(self.violations),
+        }
+
+
+def validate_must_dynamic(
+    analyzed: AnalyzedProgram,
+    builder: IcfgBuilder,
+    icfg: ICFG,
+    must_solution: MustAliasSolution,
+    draws: int = 8,
+    seed: int = 0,
+    fuel: int = 60_000,
+    max_derefs: int = 4,
+    max_violations: int = 64,
+) -> MustValidationReport:
+    """Check every claimed must pair against every recorded path,
+    using the same scripted-input draw scheme as the may oracle."""
+    report = MustValidationReport()
+    pairs_by_nid: Dict[int, List[Tuple]] = {}
+    for node in icfg.nodes:
+        pairs = must_solution.must_pairs(node)
+        if pairs:
+            pairs_by_nid[node.nid] = sorted(
+                ((p.first, p.second) for p in pairs), key=str
+            )
+    scalar_names = scriptable_scalar_globals(analyzed)
+    rng = random.Random(seed)
+    for draw in range(max(1, draws)):
+        report.draws += 1
+        extern_values = [rng.randrange(-4, 12) for _ in range(24)]
+        scalar_values = {name: rng.randrange(-3, 9) for name in scalar_names}
+
+        def observer(node, memory, draw=draw):
+            pairs = pairs_by_nid.get(node.nid)
+            report.observations += 1
+            if not pairs:
+                return
+            denoted = {
+                name: obj.oid
+                for name, obj in enumerate_names(memory, max_derefs)
+            }
+            for first, second in pairs:
+                oid_a = denoted.get(first)
+                oid_b = denoted.get(second)
+                if oid_a is None or oid_b is None:
+                    # Conditional must-alias: a pair only claims
+                    # equality when both names denote storage here.
+                    continue
+                report.checked_pairs += 1
+                if oid_a != oid_b and len(report.violations) < max_violations:
+                    report.violations.append(
+                        MustViolation(
+                            node_id=node.nid,
+                            proc=node.proc,
+                            first=str(first),
+                            second=str(second),
+                            draw=draw,
+                        )
+                    )
+
+        interp = make_observed_interpreter(
+            analyzed,
+            builder,
+            icfg,
+            observer=observer,
+            fuel=fuel,
+            extern_values=extern_values,
+            scalar_global_values=scalar_values,
+        )
+        try:
+            interp.run()
+        except OutOfFuel:
+            report.runs_out_of_fuel += 1
+        except InterpError:
+            report.runs_trapped += 1
+    return report

@@ -43,6 +43,13 @@ def analyze_file_unit(payload: dict) -> dict:
         on_budget="partial",
         cache=cache,
     )
+    if payload.get("must"):
+        from ..must import IntervalSolution, solve_must_with_cache
+
+        must_solution, _status = solve_must_with_cache(
+            analyzed, icfg, k=payload["k"], cache=cache
+        )
+        solution = IntervalSolution(solution, must_solution)
     stats = solution.stats_dict()
     return {
         "path": payload["path"],
@@ -70,6 +77,7 @@ def lint_file_unit(payload: dict) -> dict:
         max_facts=payload.get("max_facts"),
         filename=payload["path"],
         cache=cache,
+        must=payload.get("must", False),
     )
     if payload.get("format") == "sarif":
         rendered = render_sarif(report, filename=payload["path"])
@@ -82,6 +90,7 @@ def lint_file_unit(payload: dict) -> dict:
         "rendered": rendered,
         "max_severity": report.max_severity(),
         "findings": len(report.findings),
+        "definite": report.definite_count(),
         "cache_counters": cache.counters.as_dict() if cache else None,
         "stats": stats_dict(report),
     }

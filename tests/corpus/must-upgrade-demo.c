@@ -1,0 +1,17 @@
+// difftest-corpus: {"checks": ["must_subset_lr", "must_oracle", "lint_soundness"], "k": 3, "lines": 9, "origin": "must-engine demo: every-path null write through a must-aliased deref"}
+// Reproduce: PYTHONPATH=src python -m repro.cli difftest --replay tests/corpus/must-upgrade-demo.c
+// h must-points to p, so `*h = 0` writes NULL into p on every path and
+// the final `*p` deref is definitely null.  This is the end-to-end
+// possible->definite lint upgrade demo: `repro lint --must` reports
+// null-deref as error/definite here, plain `repro lint` only
+// warning/possible.  Replay pins the must engine's lattice edges
+// (must_subset_lr, must_oracle) on the same shape.
+int x;
+int *p;
+int **h;
+void main(void) {
+    h = &p;
+    p = &x;
+    *h = 0;
+    x = *p;
+}

@@ -1,0 +1,118 @@
+"""End-to-end CLI coverage for the must-alias engine: ``analyze
+--must`` interval summaries, the ``lint --must`` possible→definite
+upgrade all the way into SARIF, and the ``--fail-on definite`` exit
+policy."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import EXIT_LINT_FINDINGS, main
+from repro.lint import validate_sarif
+
+pytestmark = pytest.mark.lint
+
+DEMO = str(
+    pathlib.Path(__file__).resolve().parents[2]
+    / "tests"
+    / "corpus"
+    / "must-upgrade-demo.c"
+)
+
+CLEAN = "int main() { int *p, x; x = 3; p = &x; return *p; }"
+
+
+@pytest.fixture()
+def clean_file(tmp_path):
+    path = tmp_path / "clean.c"
+    path.write_text(CLEAN)
+    return str(path)
+
+
+class TestAnalyzeMust:
+    def test_summary_reports_interval(self, capsys):
+        assert main(["analyze", DEMO, "--must"]) == 0
+        out = capsys.readouterr().out
+        assert "must pairs:" in out
+        assert "interval width:" in out
+
+    def test_per_node_lists_must_pairs(self, capsys):
+        assert main(["analyze", DEMO, "--must", "--per-node"]) == 0
+        assert "must: " in capsys.readouterr().out
+
+    def test_without_flag_no_interval_lines(self, capsys):
+        assert main(["analyze", DEMO]) == 0
+        out = capsys.readouterr().out
+        assert "must pairs:" not in out
+
+
+class TestLintMust:
+    def test_upgrade_is_visible_in_text(self, capsys):
+        assert main(["lint", DEMO, "--must"]) == EXIT_LINT_FINDINGS
+        out = capsys.readouterr().out
+        assert "(definite)" in out
+        assert "definite (every-path) finding" in out
+
+    def test_without_must_null_deref_is_possible(self, capsys):
+        # Without the must side the null-deref stays a warning, below
+        # the default --fail-on error threshold: the upgrade is what
+        # flips the exit code in test_upgrade_is_visible_in_text.
+        assert main(["lint", DEMO]) == 0
+        out = capsys.readouterr().out
+        assert "definite (every-path)" not in out
+        assert "warning: [null-deref]" in out
+
+    def test_sarif_upgrade_end_to_end(self, capsys):
+        assert (
+            main(["lint", DEMO, "--must", "--format", "sarif", "--fail-on", "never"])
+            == 0
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert validate_sarif(doc) == []
+        run = doc["runs"][0]
+        assert run["properties"]["mustEnabled"] is True
+        assert run["properties"]["definiteFindings"] >= 1
+        null_deref = [
+            r for r in run["results"] if r["ruleId"] == "null-deref"
+        ]
+        assert null_deref
+        assert all(
+            r["properties"]["confidence"] == "definite" for r in null_deref
+        )
+
+    def test_sarif_without_must_is_possible(self, capsys):
+        assert (
+            main(["lint", DEMO, "--format", "sarif", "--fail-on", "never"]) == 0
+        )
+        doc = json.loads(capsys.readouterr().out)
+        run = doc["runs"][0]
+        assert run["properties"]["mustEnabled"] is False
+        for result in run["results"]:
+            if result["ruleId"] == "null-deref":
+                assert result["properties"]["confidence"] == "possible"
+
+
+class TestFailOnDefinite:
+    def test_definite_findings_fail(self):
+        # --fail-on definite implies --must.
+        assert main(["lint", DEMO, "--fail-on", "definite"]) == EXIT_LINT_FINDINGS
+
+    def test_clean_program_passes(self, clean_file):
+        assert main(["lint", clean_file, "--fail-on", "definite"]) == 0
+
+    def test_possible_only_report_passes(self, tmp_path):
+        # One branch assigns, the other doesn't: the deref is only
+        # possibly uninitialized, so no definite findings exist and
+        # --fail-on definite comes back clean while the default
+        # severity policy still fails.
+        path = tmp_path / "maybe.c"
+        path.write_text(
+            "int g; int main() { int *p; int x;"
+            " if (g) { p = &x; } x = *p; return x; }"
+        )
+        assert (
+            main(["lint", str(path), "--fail-on", "warning"])
+            == EXIT_LINT_FINDINGS
+        )
+        assert main(["lint", str(path), "--fail-on", "definite"]) == 0

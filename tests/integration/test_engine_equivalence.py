@@ -89,14 +89,30 @@ def test_generated_program_engines_equivalent_slow(seed):
 
 
 # scale800 is the BENCH_PR6 fixture (~480k facts; the reference engine
-# needs ~70s).  scale400 is deliberately absent: that generator shape
-# saturates the k=3 pair universe and does not converge in reasonable
-# time on either engine.
+# needs ~70s).  scale400 is deliberately absent from the equivalence
+# matrix: that generator shape saturates the k=3 pair universe (weak
+# updates never kill, so the truncated-name pair universe floods) and
+# does not converge in reasonable time on either engine.  The skip is
+# guarded by test_scale400_saturates_pair_universe below.
 @pytest.mark.slow
 @pytest.mark.parametrize("target", [240, 800])
 def test_scale_fixture_engines_equivalent(target):
     spec = ProgramSpec.for_target_nodes("scaling", target)
     _assert_equivalent(generate_program(spec))
+
+
+def test_scale400_saturates_pair_universe():
+    """Guard for the scale400 exclusion above: a budgeted k=3 solve
+    must trip the fact ceiling almost immediately.  If this test ever
+    fails because the solve *converges*, the pathology is gone —
+    promote 400 into test_scale_fixture_engines_equivalent."""
+    from repro.core.analysis import BudgetExceeded, analyze_program
+
+    spec = ProgramSpec.for_target_nodes("scaling", 400)
+    analyzed = parse_and_analyze(generate_program(spec))
+    with pytest.raises(BudgetExceeded) as excinfo:
+        analyze_program(analyzed, k=3, max_facts=150_000, on_budget="raise")
+    assert excinfo.value.reason == "max_facts"
 
 
 @pytest.mark.parametrize("k", [1, 2])

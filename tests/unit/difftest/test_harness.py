@@ -11,6 +11,8 @@ from repro.difftest.harness import (
     CHECK_KERNEL_EQ_REFERENCE,
     CHECK_LINT_SOUNDNESS,
     CHECK_LR_IN_WEIHL,
+    CHECK_MUST_ORACLE,
+    CHECK_MUST_SUBSET_LR,
     CHECK_PARTIAL_TAINT,
     CHECK_SUMMARY_EQ_KERNEL,
 )
@@ -32,6 +34,8 @@ class TestVerdict:
             CHECK_LINT_SOUNDNESS: "ok",
             CHECK_KERNEL_EQ_REFERENCE: "ok",
             CHECK_SUMMARY_EQ_KERNEL: "ok",
+            CHECK_MUST_SUBSET_LR: "ok",
+            CHECK_MUST_ORACLE: "ok",
         }
 
     def test_stats_cover_every_stage(self):
@@ -80,6 +84,8 @@ class TestBudgetPartial:
         assert statuses[CHECK_EXACT_IN_LR] == "skipped"
         assert statuses[CHECK_LR_IN_WEIHL] == "skipped"
         assert statuses[CHECK_LINT_SOUNDNESS] == "skipped"
+        assert statuses[CHECK_MUST_SUBSET_LR] == "skipped"
+        assert statuses[CHECK_MUST_ORACLE] == "skipped"
         assert statuses[CHECK_PARTIAL_TAINT] == "ok"
         assert not verdict.stats["lr"]["complete"]
 

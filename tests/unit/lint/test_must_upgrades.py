@@ -1,0 +1,75 @@
+"""Must-alias lint upgrades: with a must side on the provider,
+findings flip from "possible" (some path) to "definite" (every path),
+null-deref escalates to an error, and the confidence model is threaded
+through report math, rendering and SARIF."""
+
+import pytest
+
+from repro.lint import CONFIDENCES, render_text, run_lint, to_sarif, validate_sarif
+from repro.lint.findings import RULE_CONFLICT, RULE_DEAD_STORE, RULE_NULL_DEREF
+
+pytestmark = pytest.mark.lint
+
+# h must-points to p, so the store through *h writes NULL into p on
+# every path: with the must engine the final *p deref is definitely
+# null, without it the detector can only say "possible".
+UPGRADE = (
+    "int x; int *p; int **h;"
+    " void main(void) { h = &p; p = &x; *h = 0; x = *p; }"
+)
+
+
+class TestUpgrade:
+    def test_without_must_null_deref_stays_possible(self):
+        report = run_lint(UPGRADE)
+        assert not report.must_enabled
+        (finding,) = report.by_rule(RULE_NULL_DEREF)
+        assert finding.confidence == "possible"
+        assert finding.severity == "warning"
+
+    def test_with_must_null_deref_is_definite_error(self):
+        report = run_lint(UPGRADE, must=True)
+        assert report.must_enabled
+        (finding,) = report.by_rule(RULE_NULL_DEREF)
+        assert finding.confidence == "definite"
+        assert finding.severity == "error"
+
+    def test_with_must_conflicts_and_dead_store_upgrade(self):
+        report = run_lint(UPGRADE, must=True)
+        for finding in report.by_rule(RULE_CONFLICT):
+            assert finding.confidence == "definite"
+        (dead,) = report.by_rule(RULE_DEAD_STORE)
+        assert dead.confidence == "definite"
+        assert report.definite_count() == len(report.findings)
+
+    def test_confidence_counts_partition_the_report(self):
+        report = run_lint(UPGRADE, must=True)
+        counts = report.confidence_counts()
+        assert set(counts) <= set(CONFIDENCES)
+        assert sum(counts.values()) == len(report.findings)
+
+
+class TestThreading:
+    def test_every_finding_has_a_valid_confidence(self):
+        report = run_lint(UPGRADE, must=True, compare_with="weihl")
+        assert report.findings
+        for finding in report.findings:
+            assert finding.confidence in CONFIDENCES
+
+    def test_render_text_reports_definite_total(self):
+        text = render_text(run_lint(UPGRADE, must=True))
+        assert "definite (every-path) finding" in text
+
+    def test_sarif_carries_confidence_and_run_flags(self):
+        report = run_lint(UPGRADE, must=True)
+        doc = to_sarif(report)
+        assert validate_sarif(doc) == []
+        run = doc["runs"][0]
+        assert run["properties"]["mustEnabled"] is True
+        assert run["properties"]["definiteFindings"] == report.definite_count()
+        for result in run["results"]:
+            assert result["properties"]["confidence"] in CONFIDENCES
+
+    def test_sarif_without_must_records_disabled(self):
+        doc = to_sarif(run_lint(UPGRADE))
+        assert doc["runs"][0]["properties"]["mustEnabled"] is False

@@ -1,0 +1,203 @@
+"""Behavioral tests for the must-alias engine on targeted programs:
+atomic seeding rules, intersection at joins, kills, strong updates
+through must-grounded derefs, interprocedural binding, the interval
+wrapper, the cache envelope roundtrip, and the dynamic oracle."""
+
+import pytest
+
+from repro.cache.store import SolutionCache
+from repro.core.kernel import KernelAnalysis
+from repro.core.solution import MayAliasSolution
+from repro.frontend import parse_and_analyze
+from repro.icfg import IcfgBuilder
+from repro.must import (
+    IntervalSolution,
+    solve_must,
+    solve_must_with_cache,
+    validate_must_dynamic,
+)
+from repro.names.context import NameContext
+from repro.names.object_names import DEREF, ObjectName
+from repro.programs.fixtures import ALL_FIXTURES
+
+
+def nm(base, *sels):
+    return ObjectName(base, tuple(sels))
+
+
+def solved(source, k=3):
+    analyzed = parse_and_analyze(source)
+    builder = IcfgBuilder(analyzed)
+    icfg = builder.build()
+    return analyzed, builder, icfg, solve_must(analyzed, icfg, k=k)
+
+
+DEMO = (
+    "int x; int *p; int **h;"
+    " int main() { h = &p; p = &x; *h = 0; return 0; }"
+)
+
+
+class TestAtomicRules:
+    def test_address_of_seeds_deref_fact(self):
+        _, _, icfg, sol = solved("int x; int *p; int main() { p = &x; return 0; }")
+        exit_node = icfg.exit_of("main")
+        assert sol.must_alias(exit_node, nm("p", DEREF), nm("x"))
+        assert sol.must_resolve(exit_node, nm("p", DEREF)) == nm("x")
+
+    def test_copy_propagates_class(self):
+        _, _, icfg, sol = solved(
+            "int x; int *p; int *q;"
+            " int main() { p = &x; q = p; return 0; }"
+        )
+        exit_node = icfg.exit_of("main")
+        assert sol.must_alias(exit_node, nm("q", DEREF), nm("p", DEREF))
+        assert sol.must_alias(exit_node, nm("q", DEREF), nm("x"))
+
+    def test_identical_names_trivially_must_alias(self):
+        _, _, icfg, sol = solved("int main() { return 0; }")
+        assert sol.must_alias(icfg.exit_of("main"), nm("z"), nm("z"))
+
+    def test_null_assignments_never_equate(self):
+        _, _, icfg, sol = solved(
+            "int *p; int *q; int main() { p = NULL; q = NULL; return 0; }"
+        )
+        exit_node = icfg.exit_of("main")
+        assert not sol.must_alias(exit_node, nm("p", DEREF), nm("q", DEREF))
+        assert sol.must_resolve(exit_node, nm("p", DEREF)) is None
+
+    def test_opaque_rhs_kills_previous_fact(self):
+        _, _, icfg, sol = solved(
+            "int x; int *p; int main() { p = &x; p = NULL; return 0; }"
+        )
+        assert not sol.must_alias(icfg.exit_of("main"), nm("p", DEREF), nm("x"))
+
+
+class TestJoins:
+    def test_agreeing_branches_survive_the_join(self):
+        _, _, icfg, sol = solved(
+            "int g; int x; int *p;"
+            " int main() { if (g) { p = &x; } else { p = &x; } return 0; }"
+        )
+        assert sol.must_alias(icfg.exit_of("main"), nm("p", DEREF), nm("x"))
+
+    def test_disagreeing_branches_are_dropped(self):
+        _, _, icfg, sol = solved(
+            "int g; int x; int y; int *p;"
+            " int main() { if (g) { p = &x; } else { p = &y; } return 0; }"
+        )
+        exit_node = icfg.exit_of("main")
+        assert not sol.must_alias(exit_node, nm("p", DEREF), nm("x"))
+        assert not sol.must_alias(exit_node, nm("p", DEREF), nm("y"))
+        assert sol.must_resolve(exit_node, nm("p", DEREF)) is None
+
+    def test_one_sided_conditional_drops_the_fact(self):
+        _, _, icfg, sol = solved(
+            "int g; int x; int *p;"
+            " int main() { p = NULL; if (g) { p = &x; } return 0; }"
+        )
+        assert not sol.must_alias(icfg.exit_of("main"), nm("p", DEREF), nm("x"))
+
+
+class TestStrongUpdates:
+    def test_store_through_grounded_deref_kills_target(self):
+        _, _, icfg, sol = solved(DEMO)
+        exit_node = icfg.exit_of("main")
+        # *h still must-aliases p (h itself was not written) ...
+        assert sol.must_alias(exit_node, nm("h", DEREF), nm("p"))
+        # ... but the opaque store through *h killed p's own fact.
+        assert not sol.must_alias(exit_node, nm("p", DEREF), nm("x"))
+
+
+class TestInterprocedural:
+    def test_call_binds_formal_to_actual_target(self):
+        _, _, icfg, sol = solved(
+            "int g; void f(int *a) { } "
+            "int main() { int *p; p = &g; f(p); return 0; }"
+        )
+        f_exit = icfg.exit_of("f")
+        assert sol.must_alias(f_exit, nm("f::a", DEREF), nm("g"))
+
+    def test_exit_to_return_flow_is_dropped(self):
+        # v1 deliberately re-seeds RETURN from the call-site state:
+        # facts established inside the callee do not flow back.
+        _, _, icfg, sol = solved(
+            "int g; int *p; void f(void) { p = &g; } "
+            "int main() { f(); return 0; }"
+        )
+        assert not sol.must_alias(icfg.exit_of("main"), nm("p", DEREF), nm("g"))
+
+
+class TestIntervalSolution:
+    def _pair(self, source, k=2):
+        analyzed, _, icfg, must = solved(source, k=k)
+        may = MayAliasSolution(
+            icfg,
+            KernelAnalysis(analyzed, icfg, k=k).run(),
+            NameContext(analyzed.symbols, k),
+            k,
+        )
+        return icfg, IntervalSolution(may, must)
+
+    def test_interval_orders_must_below_may(self):
+        icfg, interval = self._pair(DEMO)
+        for node in icfg.nodes:
+            must_n, may_n = interval.interval_counts(node)
+            assert must_n <= may_n
+            for pair in interval.must_pairs(node):
+                lo, hi = interval.interval(node, pair.first, pair.second)
+                assert (lo, hi) == (True, True)
+
+    def test_stats_carry_both_sides(self):
+        _, interval = self._pair(DEMO)
+        stats = interval.stats_dict()
+        assert stats["must"]["engine"] == "must"
+        width = stats["interval"]
+        assert width["width"] == (
+            width["may_node_pairs"] - width["must_node_pairs"]
+        )
+        assert width["width"] >= 0
+
+    def test_fixture_must_subset_of_may(self):
+        icfg, interval = self._pair(ALL_FIXTURES["figure1"], k=2)
+        for node in icfg.nodes:
+            for pair in interval.must_pairs(node):
+                assert interval.alias_query(node, pair.first, pair.second), (
+                    node,
+                    pair,
+                )
+
+
+class TestEnvelopeCache:
+    def test_roundtrip_miss_then_hit(self, tmp_path):
+        analyzed = parse_and_analyze(DEMO)
+        icfg = IcfgBuilder(analyzed).build()
+        cache = SolutionCache(tmp_path)
+        first, status1 = solve_must_with_cache(analyzed, icfg, k=3, cache=cache)
+        second, status2 = solve_must_with_cache(analyzed, icfg, k=3, cache=cache)
+        assert (status1, status2) == ("miss", "hit")
+        assert first.node_pairs() == second.node_pairs()
+        for node in icfg.nodes:
+            assert first.must_pairs(node) == second.must_pairs(node)
+
+    def test_no_cache_reports_off(self):
+        analyzed = parse_and_analyze(DEMO)
+        icfg = IcfgBuilder(analyzed).build()
+        _, status = solve_must_with_cache(analyzed, icfg, k=3, cache=None)
+        assert status == "off"
+
+
+class TestDynamicOracle:
+    @pytest.mark.parametrize("name", ["figure1", "matrix_swap"])
+    def test_fixture_claims_hold_on_recorded_paths(self, name):
+        analyzed, builder, icfg, sol = solved(ALL_FIXTURES[name], k=2)
+        report = validate_must_dynamic(
+            analyzed, builder, icfg, sol, draws=3, fuel=60_000
+        )
+        assert report.ok, [str(v) for v in report.violations[:5]]
+        assert report.draws == 3
+
+    def test_demo_claims_hold(self):
+        analyzed, builder, icfg, sol = solved(DEMO)
+        report = validate_must_dynamic(analyzed, builder, icfg, sol, draws=2)
+        assert report.ok, [str(v) for v in report.violations[:5]]

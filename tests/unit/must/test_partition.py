@@ -1,0 +1,163 @@
+"""White-box tests for the must-alias union-find and partitions:
+path compression, union-by-rank, the one-address-per-class invariant,
+kill/copy independence, and the intersection join."""
+
+import pytest
+
+from repro.icfg.ir import AddrOf
+from repro.must import MustPartition, UnionFind, intersect_all
+from repro.names.object_names import ObjectName
+
+
+def name(base, *sels):
+    return ObjectName(base, tuple(sels))
+
+
+P, Q, R, S = (name(b) for b in "pqrs")
+AX = AddrOf(name("x"))
+AY = AddrOf(name("y"))
+
+
+class TestUnionFind:
+    def test_make_and_find(self):
+        uf = UnionFind()
+        ids = [uf.make() for _ in range(3)]
+        assert ids == [0, 1, 2]
+        assert [uf.find(i) for i in ids] == ids
+
+    def test_union_merges_and_is_idempotent(self):
+        uf = UnionFind()
+        a, b, c = uf.make(), uf.make(), uf.make()
+        root = uf.union(a, b)
+        assert uf.find(a) == uf.find(b) == root
+        assert uf.union(a, b) == root  # already joined
+        assert uf.find(c) != root
+
+    def test_union_by_rank(self):
+        uf = UnionFind()
+        a, b, c, d = (uf.make() for _ in range(4))
+        uf.union(a, b)  # rank-1 tree rooted at a
+        uf.union(c, d)  # rank-1 tree rooted at c
+        root = uf.union(a, c)  # equal ranks: winner's rank bumps to 2
+        assert uf.rank[root] == 2
+        e = uf.make()
+        assert uf.union(root, e) == root  # lower rank attaches below
+
+    def test_find_fully_compresses_walked_chain(self):
+        uf = UnionFind()
+        for _ in range(5):
+            uf.make()
+        # Hand-build the chain 4 -> 3 -> 2 -> 1 -> 0.
+        uf.parent = [0, 0, 1, 2, 3]
+        assert uf.find(4) == 0
+        # Every node on the walked chain now points straight at the root.
+        assert uf.parent == [0, 0, 0, 0, 0]
+
+
+class TestMustPartition:
+    def test_empty_and_singletons_carry_no_facts(self):
+        part = MustPartition()
+        part.ensure(P)
+        part.ensure(AX)
+        assert part.canonical() == frozenset()
+        assert part.fact_count() == 0
+        assert part.classes() == []
+        assert part == MustPartition()
+
+    def test_merge_equivalence_and_members(self):
+        part = MustPartition()
+        part.merge(P, Q)
+        part.merge(Q, AX)
+        assert part.equivalent(P, Q)
+        assert part.equivalent(P, AX)
+        assert not part.equivalent(P, R)
+        assert set(part.members_of(P)) == {P, Q, AX}
+        assert part.addr_target(P) == name("x")
+        assert part.addr_target(R) is None
+        assert part.fact_count() == 3
+
+    def test_merge_rejects_two_distinct_addresses(self):
+        part = MustPartition()
+        part.merge(P, AX)
+        part.merge(Q, AY)
+        with pytest.raises(AssertionError):
+            part.merge(P, Q)  # would claim &x == &y
+
+    def test_kill_removes_only_the_token(self):
+        part = MustPartition()
+        part.merge(P, Q)
+        part.merge(Q, R)
+        part.kill(Q)
+        assert Q not in part
+        assert part.equivalent(P, R)
+        assert set(part.members_of(P)) == {P, R}
+
+    def test_kill_to_singleton_means_no_facts(self):
+        part = MustPartition()
+        part.merge(P, Q)
+        part.kill(Q)
+        assert part.canonical() == frozenset()
+
+    def test_copy_is_independent(self):
+        part = MustPartition()
+        part.merge(P, Q)
+        dup = part.copy()
+        assert dup == part
+        dup.merge(P, R)
+        assert not part.equivalent(P, R)
+        part.kill(P)
+        assert dup.equivalent(P, Q)
+
+    def test_intersect_keeps_only_common_facts(self):
+        left = MustPartition()
+        left.merge(P, Q)
+        left.merge(Q, R)  # {p, q, r}
+        right = MustPartition()
+        right.merge(P, Q)  # {p, q}; r untracked
+        joined = left.intersect(right)
+        assert joined.equivalent(P, Q)
+        assert not joined.equivalent(P, R)
+        assert R not in joined
+
+    def test_intersect_splits_on_either_sides_partition(self):
+        left = MustPartition()
+        left.merge(P, Q)
+        left.merge(R, S)
+        right = MustPartition()
+        right.merge(P, Q)
+        right.merge(Q, R)
+        right.ensure(S)
+        joined = left.intersect(right)
+        assert joined.equivalent(P, Q)
+        assert not joined.equivalent(Q, R)  # left keeps them apart
+        assert not joined.equivalent(R, S)  # right keeps them apart
+
+    def test_intersect_preserves_address_anchor(self):
+        left = MustPartition()
+        left.merge(P, AX)
+        right = MustPartition()
+        right.merge(P, AX)
+        right.merge(P, Q)
+        joined = left.intersect(right)
+        assert joined.addr_target(P) == name("x")
+        assert not joined.equivalent(P, Q)
+
+    def test_intersect_all_single_input_is_a_copy(self):
+        part = MustPartition()
+        part.merge(P, Q)
+        out = intersect_all([part])
+        assert out == part
+        out.merge(P, R)
+        assert not part.equivalent(P, R)
+
+    def test_intersect_all_folds(self):
+        parts = []
+        for extra in (R, S):
+            part = MustPartition()
+            part.merge(P, Q)
+            part.merge(Q, extra)
+            parts.append(part)
+        joined = intersect_all(parts)
+        assert joined.equivalent(P, Q)
+        assert not joined.equivalent(P, R)
+        assert not joined.equivalent(P, S)
