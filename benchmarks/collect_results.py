@@ -37,6 +37,12 @@ Sections (each tolerates missing inputs and failures in the others):
   on scale240/scale800 — must solve wall clock vs the kernel may
   solve, whole-program [must, may] interval widths, and the lint
   possible -> definite upgrade counts with and without ``--must``.
+* ``corpus`` — ``BENCH_PR9.json``: the real-code corpus under
+  ``corpus/`` swept cold then warm against one cache — per-file wall
+  times, LR vs Weihl untruncated alias counts and the precision ratio,
+  coverage-ledger percentages and lowering-event counts ("no silent
+  havoc"), synthesized stubs, and the warm-pass cache hit rate over
+  cacheable (complete) files.
 """
 
 import argparse
@@ -49,7 +55,17 @@ import traceback
 
 MARKER = "## Appendix — measured tables (latest benchmark run)"
 BENCH_SCHEMA = "repro-bench/1"
-ALL_SECTIONS = ("tables", "pr1", "pr2", "pr3", "pr5", "pr6", "pr7", "must")
+ALL_SECTIONS = (
+    "tables",
+    "pr1",
+    "pr2",
+    "pr3",
+    "pr5",
+    "pr6",
+    "pr7",
+    "must",
+    "corpus",
+)
 
 
 def _ensure_src(root: pathlib.Path) -> None:
@@ -742,6 +758,92 @@ def section_must(root: pathlib.Path, out_dir: pathlib.Path, args) -> None:
             )
 
 
+def _corpus_rows(report: dict) -> list:
+    rows = []
+    for entry in report["files"]:
+        if entry["status"] != "ok":
+            rows.append(
+                {
+                    "file": entry["path"],
+                    "status": entry["status"],
+                    "error": entry.get("error"),
+                    "seconds": entry.get("seconds"),
+                }
+            )
+            continue
+        precision = entry["precision"]
+        ledger = entry["ledger"]
+        rows.append(
+            {
+                "file": entry["path"],
+                "status": "ok",
+                "seconds": entry["seconds"],
+                "complete": entry["solution"]["complete"],
+                "icfg_nodes": entry["solution"]["icfg_nodes"],
+                "lr_untruncated": precision["lr_untruncated"],
+                "weihl_untruncated": precision["weihl_untruncated"],
+                "ratio_weihl_over_lr": precision["ratio_weihl_over_lr"],
+                "coverage_percent": ledger["coverage_percent"],
+                "lowering_events": ledger["event_counts"],
+                "stubs": (entry.get("stubs") or {}).get("stubbed", []),
+                "lint_findings": entry["lint"]["findings"],
+                "cache": entry["cache"],
+            }
+        )
+    return rows
+
+
+def section_corpus(root: pathlib.Path, out_dir: pathlib.Path, args) -> None:
+    _ensure_src(root)
+    import shutil
+    import tempfile
+
+    from repro.corpus import run_corpus
+
+    corpus_root = root / "corpus"
+    cache_dir = tempfile.mkdtemp(prefix="repro-corpus-cache-")
+    try:
+        cold = run_corpus(
+            [corpus_root], k=args.corpus_k, jobs=args.jobs, cache_dir=cache_dir
+        )
+        warm = run_corpus(
+            [corpus_root], k=args.corpus_k, jobs=args.jobs, cache_dir=cache_dir
+        )
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "pr": 9,
+        "description": (
+            "Real-code corpus precision sweep (the Table 1 analogue on "
+            "vendored C files): per-file LR vs Weihl untruncated alias "
+            "counts, lenient-lowering coverage percentages with every "
+            "lowering event counted, synthesized stubs, wall times, and "
+            "the cold -> warm cache behaviour.  Partial (budget-bound) "
+            "solutions are reported with complete=false and are never "
+            "cached."
+        ),
+        "cpu_count": os.cpu_count(),
+        "k": args.corpus_k,
+        "jobs": args.jobs,
+        "cold": {"files": _corpus_rows(cold), "aggregate": cold["aggregate"]},
+        "warm": {"files": _corpus_rows(warm), "aggregate": warm["aggregate"]},
+    }
+    _write(root / "BENCH_PR9.json", payload)
+
+    agg = warm["aggregate"]
+    hard = agg["parse_errors"] + agg["semantic_errors"] + agg["shard_failures"]
+    if hard:
+        raise RuntimeError(f"corpus run had {hard} hard failures — investigate")
+    cacheable = agg["files_ok"] - agg["files_partial"]
+    hits = agg["cache"]["hits"]
+    if cacheable and hits < 0.9 * cacheable:
+        raise RuntimeError(
+            f"warm corpus pass hit cache only {hits}/{cacheable} times"
+        )
+
+
 def _write(path: pathlib.Path, payload: dict) -> None:
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {path}")
@@ -756,6 +858,7 @@ SECTION_RUNNERS = {
     "pr6": section_pr6,
     "pr7": section_pr7,
     "must": section_must,
+    "corpus": section_corpus,
 }
 
 
@@ -789,6 +892,12 @@ def parse_args(argv=None) -> argparse.Namespace:
         type=int,
         default=800,
         help="scaling-fixture node target for pr3/pr5 (default 800)",
+    )
+    parser.add_argument(
+        "--corpus-k",
+        type=int,
+        default=1,
+        help="k-limit for the corpus section (default 1, Table 1 style)",
     )
     return parser.parse_args(argv)
 

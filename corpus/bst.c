@@ -1,0 +1,75 @@
+/* Binary search tree: recursive insert and lookup through a
+ * pointer-to-pointer edge, typedef'd node, iterative minimum. */
+
+extern void *malloc(unsigned long size);
+extern void free(void *ptr);
+
+typedef struct tree_node {
+    int key;
+    struct tree_node *left;
+    struct tree_node *right;
+} tree_node_t;
+
+static tree_node_t *node_new(int key) {
+    tree_node_t *n = (tree_node_t *)malloc(sizeof(tree_node_t));
+    if (n != NULL) {
+        n->key = key;
+        n->left = NULL;
+        n->right = NULL;
+    }
+    return n;
+}
+
+void bst_insert(tree_node_t **root, int key) {
+    tree_node_t **edge = root;
+    while (*edge != NULL) {
+        if (key < (*edge)->key) {
+            edge = &(*edge)->left;
+        } else if (key > (*edge)->key) {
+            edge = &(*edge)->right;
+        } else {
+            return;
+        }
+    }
+    *edge = node_new(key);
+}
+
+tree_node_t *bst_find(tree_node_t *root, int key) {
+    if (root == NULL || root->key == key) {
+        return root;
+    }
+    if (key < root->key) {
+        return bst_find(root->left, key);
+    }
+    return bst_find(root->right, key);
+}
+
+tree_node_t *bst_min(tree_node_t *root) {
+    while (root != NULL && root->left != NULL) {
+        root = root->left;
+    }
+    return root;
+}
+
+static void bst_free(tree_node_t *root) {
+    if (root == NULL) {
+        return;
+    }
+    bst_free(root->left);
+    bst_free(root->right);
+    free(root);
+}
+
+int main(void) {
+    tree_node_t *root = NULL;
+    tree_node_t *lo;
+    int keys[5] = {7, 3, 9, 1, 5};
+    int i;
+    for (i = 0; i < 5; i++) {
+        bst_insert(&root, keys[i]);
+    }
+    lo = bst_min(root);
+    i = (bst_find(root, 5) != NULL) + (lo != NULL ? lo->key : 0);
+    bst_free(root);
+    return i;
+}

@@ -1,0 +1,34 @@
+/* The paper's Figure 1 program (Landi & Ryder, PLDI 1992), extended
+ * with a pointer-returning helper so every lint detector has something
+ * to look at:
+ *
+ *   repro lint examples/figure1.c --compare-weihl
+ *   repro lint examples/figure1.c --format sarif
+ *
+ * Expected diagnostics include the dangling stack address escaping
+ * from esc() and the stores to g1/l1 whose values are never read.
+ */
+int *g1, g2;
+
+void p(void) {
+    g1 = &g2;
+}
+
+int *esc(void) {
+    int slot;
+    int *r;
+    r = &slot;
+    return r;
+}
+
+int main() {
+    int **l1, *l2, *bad;
+    l2 = &g2;
+    g1 = &g2;
+    l1 = &g1;
+    p();
+    l2 = &g2;
+    p();
+    bad = esc();
+    return *l2 + (bad == NULL);
+}

@@ -1,0 +1,75 @@
+/* String intern table with chained buckets.  The hash function and
+ * the duplicator are *declared but not defined* — exactly the
+ * unresolved-external shape the corpus auto-stubber closes: both take
+ * and return pointers, so without stubs the TU would be rejected. */
+
+extern void *malloc(unsigned long size);
+extern void free(void *ptr);
+extern int strcmp(char *a, char *b);
+
+/* Unresolved externals: prototypes only, bodies live in another TU. */
+extern unsigned long str_hash(char *s);
+extern char *str_dup(char *s);
+
+struct entry {
+    char *text;
+    struct entry *chain;
+};
+
+struct table {
+    struct entry *buckets[16];
+    int count;
+};
+
+void tab_init(struct table *t) {
+    int i;
+    for (i = 0; i < 16; i++) {
+        t->buckets[i] = NULL;
+    }
+    t->count = 0;
+}
+
+char *tab_intern(struct table *t, char *text) {
+    unsigned long h = str_hash(text) % 16;
+    struct entry *e;
+    for (e = t->buckets[h]; e != NULL; e = e->chain) {
+        if (strcmp(e->text, text) == 0) {
+            return e->text;
+        }
+    }
+    e = (struct entry *)malloc(sizeof(struct entry));
+    if (e == NULL) {
+        return NULL;
+    }
+    e->text = str_dup(text);
+    e->chain = t->buckets[h];
+    t->buckets[h] = e;
+    t->count++;
+    return e->text;
+}
+
+void tab_free(struct table *t) {
+    int i;
+    for (i = 0; i < 16; i++) {
+        struct entry *e = t->buckets[i];
+        while (e != NULL) {
+            struct entry *next = e->chain;
+            free(e->text);
+            free(e);
+            e = next;
+        }
+        t->buckets[i] = NULL;
+    }
+    t->count = 0;
+}
+
+int main(void) {
+    struct table t;
+    char *a;
+    char *b;
+    tab_init(&t);
+    a = tab_intern(&t, "alpha");
+    b = tab_intern(&t, "alpha");
+    tab_free(&t);
+    return a == b;
+}

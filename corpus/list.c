@@ -1,0 +1,74 @@
+/* Singly linked list — the classic public-domain idiom: malloc casts,
+ * a free() teardown loop, and an in-place reverse.  Self-contained:
+ * external prototypes are declared inline (the corpus is preprocessed
+ * C, so headers would have been expanded anyway). */
+
+extern void *malloc(unsigned long size);
+extern void free(void *ptr);
+
+struct node {
+    int value;
+    struct node *next;
+};
+
+struct node *list_push(struct node *head, int value) {
+    struct node *n = (struct node *)malloc(sizeof(struct node));
+    if (n == NULL) {
+        return head;
+    }
+    n->value = value;
+    n->next = head;
+    return n;
+}
+
+struct node *list_reverse(struct node *head) {
+    struct node *prev = NULL;
+    while (head != NULL) {
+        struct node *next = head->next;
+        head->next = prev;
+        prev = head;
+        head = next;
+    }
+    return prev;
+}
+
+struct node *list_find(struct node *head, int value) {
+    struct node *it;
+    for (it = head; it != NULL; it = it->next) {
+        if (it->value == value) {
+            return it;
+        }
+    }
+    return NULL;
+}
+
+int list_length(struct node *head) {
+    int n = 0;
+    while (head != NULL) {
+        n++;
+        head = head->next;
+    }
+    return n;
+}
+
+void list_free(struct node *head) {
+    while (head != NULL) {
+        struct node *next = head->next;
+        free(head);
+        head = next;
+    }
+}
+
+int main(void) {
+    struct node *head = NULL;
+    struct node *hit;
+    int i;
+    for (i = 0; i < 8; i++) {
+        head = list_push(head, i * i);
+    }
+    head = list_reverse(head);
+    hit = list_find(head, 16);
+    i = list_length(head) + (hit != NULL);
+    list_free(head);
+    return i;
+}

@@ -1,0 +1,78 @@
+/* Free-list memory pool with a union block header — the classic
+ * allocator idiom (K&R malloc): a union overlays the free-list link
+ * with the user payload, exercising the lenient union lowering and
+ * cast erasure. */
+
+extern void *malloc(unsigned long size);
+extern void free(void *ptr);
+
+union block {
+    union block *next_free;
+    int payload;
+};
+
+struct pool {
+    union block *blocks;
+    union block *free_list;
+    int capacity;
+};
+
+int pool_init(struct pool *p, int capacity) {
+    int i;
+    p->blocks = (union block *)malloc(capacity * sizeof(union block));
+    p->capacity = capacity;
+    p->free_list = NULL;
+    if (p->blocks == NULL) {
+        return 0;
+    }
+    for (i = 0; i < capacity; i++) {
+        p->blocks[i].next_free = p->free_list;
+        p->free_list = &p->blocks[i];
+    }
+    return 1;
+}
+
+union block *pool_alloc(struct pool *p) {
+    union block *b = p->free_list;
+    if (b == NULL) {
+        return NULL;
+    }
+    p->free_list = b->next_free;
+    b->payload = 0;
+    return b;
+}
+
+void pool_release(struct pool *p, union block *b) {
+    if (b == NULL) {
+        return;
+    }
+    b->next_free = p->free_list;
+    p->free_list = b;
+}
+
+void pool_destroy(struct pool *p) {
+    free(p->blocks);
+    p->blocks = NULL;
+    p->free_list = NULL;
+    p->capacity = 0;
+}
+
+int main(void) {
+    struct pool p;
+    union block *a;
+    union block *b;
+    int live;
+    if (!pool_init(&p, 16)) {
+        return 1;
+    }
+    a = pool_alloc(&p);
+    b = pool_alloc(&p);
+    if (a != NULL) {
+        a->payload = 41;
+    }
+    pool_release(&p, a);
+    a = pool_alloc(&p);
+    live = (a != NULL) + (b != NULL);
+    pool_destroy(&p);
+    return live;
+}

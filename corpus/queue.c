@@ -1,0 +1,77 @@
+/* Fixed-capacity ring buffer holding pointers, with a switch-driven
+ * command loop — exercises arrays of pointers, modular index
+ * arithmetic, switch lowering and enum constants. */
+
+extern void *malloc(unsigned long size);
+extern void free(void *ptr);
+extern int rand(void);
+
+enum op { OP_PUSH, OP_POP, OP_PEEK };
+
+struct queue {
+    int *slots[8];
+    int head;
+    int count;
+};
+
+void q_init(struct queue *q) {
+    int i;
+    q->head = 0;
+    q->count = 0;
+    for (i = 0; i < 8; i++) {
+        q->slots[i] = NULL;
+    }
+}
+
+int q_push(struct queue *q, int *item) {
+    int tail;
+    if (q->count == 8) {
+        return 0;
+    }
+    tail = (q->head + q->count) % 8;
+    q->slots[tail] = item;
+    q->count++;
+    return 1;
+}
+
+int *q_pop(struct queue *q) {
+    int *item;
+    if (q->count == 0) {
+        return NULL;
+    }
+    item = q->slots[q->head];
+    q->slots[q->head] = NULL;
+    q->head = (q->head + 1) % 8;
+    q->count--;
+    return item;
+}
+
+int *q_peek(struct queue *q) {
+    if (q->count == 0) {
+        return NULL;
+    }
+    return q->slots[q->head];
+}
+
+int main(void) {
+    struct queue q;
+    int cells[4];
+    int *out = NULL;
+    int i;
+    q_init(&q);
+    for (i = 0; i < 12; i++) {
+        switch (rand() % 3) {
+        case OP_PUSH:
+            q_push(&q, &cells[i % 4]);
+            break;
+        case OP_POP:
+            out = q_pop(&q);
+            break;
+        case OP_PEEK:
+        default:
+            out = q_peek(&q);
+            break;
+        }
+    }
+    return out != NULL;
+}

@@ -1,0 +1,79 @@
+/* Growable string buffer in the style of the single-file utility
+ * libraries: realloc-based growth, strlen/strcmp externs, char
+ * pointer arithmetic. */
+
+extern void *malloc(unsigned long size);
+extern void *realloc(void *ptr, unsigned long size);
+extern void free(void *ptr);
+extern int strlen(char *s);
+
+struct strbuf {
+    char *data;
+    int len;
+    int cap;
+};
+
+int sb_init(struct strbuf *sb, int cap) {
+    sb->data = (char *)malloc(cap);
+    sb->len = 0;
+    sb->cap = (sb->data != NULL) ? cap : 0;
+    return sb->data != NULL;
+}
+
+static int sb_grow(struct strbuf *sb, int need) {
+    char *bigger;
+    int cap = sb->cap;
+    while (cap < need) {
+        cap = cap * 2 + 8;
+    }
+    bigger = (char *)realloc(sb->data, cap);
+    if (bigger == NULL) {
+        return 0;
+    }
+    sb->data = bigger;
+    sb->cap = cap;
+    return 1;
+}
+
+int sb_putc(struct strbuf *sb, char c) {
+    if (sb->len + 2 > sb->cap && !sb_grow(sb, sb->len + 2)) {
+        return 0;
+    }
+    sb->data[sb->len] = c;
+    sb->len++;
+    sb->data[sb->len] = '\0';
+    return 1;
+}
+
+int sb_puts(struct strbuf *sb, char *s) {
+    int n = strlen(s);
+    int i;
+    for (i = 0; i < n; i++) {
+        if (!sb_putc(sb, s[i])) {
+            return 0;
+        }
+    }
+    return 1;
+}
+
+char *sb_detach(struct strbuf *sb) {
+    char *out = sb->data;
+    sb->data = NULL;
+    sb->len = 0;
+    sb->cap = 0;
+    return out;
+}
+
+int main(void) {
+    struct strbuf sb;
+    char *owned;
+    if (!sb_init(&sb, 4)) {
+        return 1;
+    }
+    sb_puts(&sb, "hello");
+    sb_putc(&sb, ' ');
+    sb_puts(&sb, "corpus");
+    owned = sb_detach(&sb);
+    free(owned);
+    return 0;
+}

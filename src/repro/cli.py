@@ -1,6 +1,6 @@
 """Command-line interface: ``repro analyze [options] file.c ...``,
-``repro lint [options] file.c ...``, ``repro difftest [options]`` and
-``repro cache {stats,verify,clear}``.
+``repro lint [options] file.c ...``, ``repro difftest [options]``,
+``repro corpus run <dir>`` and ``repro cache {stats,verify,clear}``.
 
 ``analyze`` (the leading subcommand word is optional, so the
 historical ``repro-aliases file.c`` spelling keeps working) analyzes a
@@ -22,6 +22,11 @@ programs by default, or ``--replay file.c ...`` for corpus entries.
 A soundness violation prints a readable diff report, shrinks the
 program, persists it under the corpus directory, and exits with
 status 3 (distinct from the usual error statuses).
+
+``corpus run`` sweeps *real* C translation units (lenient lowering,
+coverage ledger, auto-stubbed externals — :mod:`repro.corpus`) and
+prints a per-file LR-vs-Weihl precision report; ``--out DIR`` writes
+per-file SARIF plus the full ``repro-corpus/1`` report.json.
 
 ``analyze``, ``lint`` and ``difftest`` all accept ``--jobs N`` (shard
 the work across a process pool via :mod:`repro.parallel`; results
@@ -414,6 +419,7 @@ def _lint_sweep(args) -> int:
     outcomes = run_sharded(lint_file_unit, payloads, jobs=args.jobs)
     worst: Optional[str] = None
     failed_shards = 0
+    parse_errors = 0
     definite_total = 0
     files_stats = []
     cache_totals: dict[str, int] = {}
@@ -430,6 +436,16 @@ def _lint_sweep(args) -> int:
             )
             continue
         result = outcome.value
+        if "parse_error" in result:
+            parse_errors += 1
+            print(
+                f"error: {result['path']}: {result['parse_error']}",
+                file=sys.stderr,
+            )
+            files_stats.append(
+                {"file": result["path"], "parse_error": result["parse_error"]}
+            )
+            continue
         print(f"== {result['path']} ==")
         print(result["rendered"])
         files_stats.append({"file": result["path"], **result["stats"]})
@@ -449,6 +465,7 @@ def _lint_sweep(args) -> int:
                 "files": files_stats,
                 "jobs": args.jobs,
                 "failed_shards": failed_shards,
+                "parse_errors": parse_errors,
                 "cache": cache_totals or None,
             },
             indent=2,
@@ -465,7 +482,7 @@ def _lint_sweep(args) -> int:
                 return 2
             print(f"stats written to {args.stats_json}", file=sys.stderr)
 
-    if failed_shards:
+    if failed_shards or parse_errors:
         return 1
     if args.fail_on == "definite":
         if definite_total:
@@ -709,6 +726,169 @@ def difftest_main(argv: list[str]) -> int:
     return EXIT_SOUNDNESS_VIOLATION if not suite.ok else 0
 
 
+def build_corpus_parser() -> argparse.ArgumentParser:
+    """Argparse definition for ``repro corpus``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-aliases corpus",
+        description=(
+            "Analyze a corpus of real C translation units: lenient "
+            "lowering with a per-file coverage ledger, conservative "
+            "auto-stubs for unresolved externals, the LR engine vs the "
+            "Weihl baseline per file, lint findings as SARIF, and a "
+            "repro-corpus/1 precision report (the real-code Table 1)"
+        ),
+    )
+    parser.add_argument(
+        "action",
+        choices=("run",),
+        help="run: analyze every .c file under the given paths",
+    )
+    parser.add_argument(
+        "path",
+        nargs="+",
+        help="corpus directories (searched recursively for *.c) or C files",
+    )
+    parser.add_argument(
+        "-k",
+        type=int,
+        default=1,
+        help=(
+            "k-limit for object names (default 1 — the paper's Table 1 "
+            "uses 1-limiting; real TUs get expensive fast above it)"
+        ),
+    )
+    parser.add_argument(
+        "--max-facts",
+        type=int,
+        default=200_000,
+        help=(
+            "per-file fact budget; an exceeded budget reports the "
+            "partial solution with complete=false (default 200000)"
+        ),
+    )
+    parser.add_argument(
+        "--deadline-seconds",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="per-file wall-clock budget (same semantics as --max-facts)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="hard per-shard timeout; a killed shard degrades to a "
+        "shard_timeout entry instead of hanging the sweep",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="DIR",
+        help=(
+            "write per-file SARIF documents and the full report.json "
+            "into this directory"
+        ),
+    )
+    parser.add_argument(
+        "--stats-json",
+        metavar="FILE",
+        help="write the repro-corpus/1 report as JSON ('-' for stdout)",
+    )
+    add_parallel_arguments(parser)
+    return parser
+
+
+def corpus_main(argv: list[str]) -> int:
+    """``repro corpus run``: sweep real C files into a precision report."""
+    from pathlib import Path
+
+    from .corpus import run_corpus
+
+    args = build_corpus_parser().parse_args(argv)
+    for path in args.path:
+        if not Path(path).exists():
+            print(f"error: {path}: no such file or directory", file=sys.stderr)
+            return 2
+    report = run_corpus(
+        args.path,
+        k=args.k,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        max_facts=args.max_facts,
+        deadline_seconds=args.deadline_seconds,
+        timeout=args.timeout,
+    )
+
+    outdir = None
+    if args.out:
+        outdir = Path(args.out)
+        outdir.mkdir(parents=True, exist_ok=True)
+    for entry in report["files"]:
+        sarif = entry.pop("sarif", None)
+        if sarif is None or outdir is None:
+            continue
+        name = entry["path"].replace("\\", "/").strip("/").replace("/", "__")
+        sarif_path = outdir / (name + ".sarif")
+        try:
+            sarif_path.write_text(sarif + "\n")
+        except OSError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
+        entry["sarif_file"] = str(sarif_path)
+
+    for entry in report["files"]:
+        status = entry["status"]
+        if status != "ok":
+            print(f"{entry['path']}: {status}: {entry.get('error')}")
+            continue
+        precision = entry["precision"]
+        note = "" if entry["solution"]["complete"] else "  [partial]"
+        print(
+            f"{entry['path']}: ok lr={precision['lr_untruncated']} "
+            f"weihl={precision['weihl_untruncated']} "
+            f"ratio={precision['ratio_weihl_over_lr']:.2f}x "
+            f"coverage={entry['ledger']['coverage_percent']:.1f}% "
+            f"stubs={len((entry.get('stubs') or {}).get('stubbed', ()))} "
+            f"time={entry['seconds']:.2f}s{note}"
+        )
+
+    agg = report["aggregate"]
+    print(
+        f"corpus: {agg['files_ok']}/{agg['files_total']} files ok "
+        f"({agg['parse_errors']} parse errors, "
+        f"{agg['semantic_errors']} semantic errors, "
+        f"{agg['shard_failures']} shard failures, "
+        f"{agg['files_partial']} partial), "
+        f"LR {agg['lr_untruncated_total']} vs Weihl "
+        f"{agg['weihl_untruncated_total']} aliases "
+        f"({agg['ratio_weihl_over_lr']:.2f}x), "
+        f"mean coverage {agg['mean_coverage_percent']}%, "
+        f"{agg['wall_seconds']:.1f}s"
+    )
+
+    document = json.dumps(report, indent=2, sort_keys=True)
+    if outdir is not None:
+        try:
+            (outdir / "report.json").write_text(document + "\n")
+        except OSError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
+        print(f"report written to {outdir / 'report.json'}", file=sys.stderr)
+    if args.stats_json:
+        if args.stats_json == "-":
+            print(document)
+        else:
+            try:
+                with open(args.stats_json, "w") as handle:
+                    handle.write(document + "\n")
+            except OSError as err:
+                print(f"error: {err}", file=sys.stderr)
+                return 2
+            print(f"stats written to {args.stats_json}", file=sys.stderr)
+
+    return 0 if agg["files_ok"] == agg["files_total"] else 1
+
+
 def build_cache_parser() -> argparse.ArgumentParser:
     """Argparse definition for ``repro cache``."""
     parser = argparse.ArgumentParser(
@@ -813,6 +993,7 @@ def _analyze_sweep(args) -> int:
     reports = []
     cache_totals: dict[str, int] = {}
     failed = 0
+    parse_errors = 0
     incomplete = 0
     for payload, outcome in zip(payloads, outcomes):
         if not outcome.ok:
@@ -825,6 +1006,16 @@ def _analyze_sweep(args) -> int:
             files_stats.append({"file": payload["path"], "shard": outcome.as_dict()})
             continue
         result = outcome.value
+        if "parse_error" in result:
+            parse_errors += 1
+            print(
+                f"error: {result['path']}: {result['parse_error']}",
+                file=sys.stderr,
+            )
+            files_stats.append(
+                {"file": result["path"], "parse_error": result["parse_error"]}
+            )
+            continue
         for diag in result["diagnostics"]:
             print(diag, file=sys.stderr)
         stats = result["stats"]
@@ -868,6 +1059,7 @@ def _analyze_sweep(args) -> int:
                 "engine": EngineReport.aggregate(reports).as_dict(),
                 "cache": cache_totals or None,
                 "failed_shards": failed,
+                "parse_errors": parse_errors,
             },
             indent=2,
             sort_keys=True,
@@ -883,7 +1075,7 @@ def _analyze_sweep(args) -> int:
                 return 2
             print(f"stats written to {args.stats_json}", file=sys.stderr)
 
-    return 1 if (failed or incomplete) else 0
+    return 1 if (failed or parse_errors or incomplete) else 0
 
 
 def main(argv: Optional[list[str]] = None) -> int:
@@ -896,6 +1088,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         return lint_main(argv[1:])
     if argv and argv[0] == "cache":
         return cache_main(argv[1:])
+    if argv and argv[0] == "corpus":
+        return corpus_main(argv[1:])
     if argv and argv[0] == "analyze":
         argv = argv[1:]
     args = build_parser().parse_args(argv)

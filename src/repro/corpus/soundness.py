@@ -1,0 +1,162 @@
+"""Soundness pins for the corpus construction.
+
+Two difftest-style checks:
+
+* :func:`stub_superset_check` — on a fixture where the whole program
+  is available, drop some function bodies down to prototypes, let the
+  auto-stubber close the program again, and require the stubbed
+  solution to be a *superset* of the whole-program facts over every
+  surviving procedure (restricted to names the per-TU analysis can
+  still see: globals and surviving-proc locals).  Containment uses the
+  same truncation-tolerant pair coverage as the Weihl difftest edge.
+
+* :func:`lowered_dynamic_check` — a leniently lowered program must
+  stay sound against the dynamic alias oracle: every alias observed by
+  executing the *lowered* program is in the LR solution.  Programs the
+  interpreter cannot drive report ``interpretable=False`` instead of
+  failing ("where interpretable").
+
+The stub model's boundary is parameters: a stub does not mutate
+globals it was never passed (a real external from another TU cannot
+name this TU's statics; ``extern`` globals remain a documented
+limitation, see docs/CORPUS.md).  Fixtures therefore use
+param-reachable victims.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..frontend import ast_nodes as ast
+
+
+def _owner(base: str) -> Optional[str]:
+    """The procedure owning a name's base uid, ``None`` for globals
+    (``g`` global, ``main::p`` local, ``f$ret`` return slot)."""
+    if "::" in base:
+        return base.split("::", 1)[0]
+    if "$" in base:
+        return base.split("$", 1)[0]
+    return None
+
+
+def _pool_proc_pairs(solution, icfg, proc: str) -> set:
+    """Union of visible may-alias pairs over every node of ``proc``."""
+    pool = set()
+    graph = icfg.procs.get(proc)
+    if graph is None:
+        return pool
+    for node in graph.nodes:
+        for pair in solution.may_alias(node):
+            if not pair.has_nonvisible:
+                pool.add(pair)
+    return pool
+
+
+def stub_superset_check(
+    source: str,
+    victims: Iterable[str],
+    k: int = 3,
+    max_facts: Optional[int] = 2_000_000,
+    filename: str = "<fixture>",
+) -> dict:
+    """Whole-program facts must survive stubbing the victim bodies."""
+    from ..core.analysis import analyze_program
+    from ..difftest.harness import weihl_pair_covered
+    from ..frontend.parser import parse
+    from ..frontend.semantics import analyze, parse_and_analyze
+    from ..icfg.builder import build_icfg
+    from .stubs import synthesize_stubs
+
+    victims = set(victims)
+
+    whole_analyzed = parse_and_analyze(source, filename)
+    whole_icfg = build_icfg(whole_analyzed)
+    whole_solution = analyze_program(
+        whole_analyzed, whole_icfg, k=k, max_facts=max_facts
+    )
+
+    program = parse(source, filename)
+    decls: list = []
+    for decl in program.decls:
+        if isinstance(decl, ast.FuncDef) and decl.name in victims:
+            decls.append(
+                ast.FuncDecl(decl.return_type, decl.name, decl.params, span=decl.span)
+            )
+        else:
+            decls.append(decl)
+    stub_program = ast.Program(decls)
+    synthesis = synthesize_stubs(stub_program)
+    stub_analyzed = analyze(stub_program)
+    stub_icfg = build_icfg(stub_analyzed)
+    stub_solution = analyze_program(
+        stub_analyzed, stub_icfg, k=k, max_facts=max_facts
+    )
+
+    surviving = {
+        f.name for f in stub_program.functions if f.name not in synthesis.stubbed
+    }
+
+    def visible(pair) -> bool:
+        for name in (pair.first, pair.second):
+            owner = _owner(name.base)
+            if owner is not None and owner not in surviving:
+                return False
+        return True
+
+    checked = 0
+    missing: list[str] = []
+    for proc in sorted(surviving):
+        whole_pool = _pool_proc_pairs(whole_solution, whole_icfg, proc)
+        stub_pool = _pool_proc_pairs(stub_solution, stub_icfg, proc)
+        for pair in whole_pool:
+            if not visible(pair):
+                continue
+            checked += 1
+            if not weihl_pair_covered(pair, stub_pool):
+                missing.append(f"{proc}: {pair!r}")
+    return {
+        "ok": not missing,
+        "victims": sorted(victims),
+        "stubbed": synthesis.stubbed,
+        "surviving": sorted(surviving),
+        "checked_pairs": checked,
+        "missing": missing,
+    }
+
+
+def lowered_dynamic_check(
+    c_source: str,
+    filename: str = "<corpus>",
+    k: int = 3,
+    draws: int = 8,
+    max_facts: Optional[int] = 2_000_000,
+) -> dict:
+    """The lowered program's LR solution must contain every alias the
+    dynamic oracle observes while executing the lowered program."""
+    from ..core.analysis import analyze_program
+    from ..frontend.pycparser_bridge import parse_c_lenient
+    from ..frontend.semantics import analyze
+    from ..icfg.builder import IcfgBuilder
+    from ..oracle.dynamic import check_dynamic_oracle, collect_dynamic_oracle
+    from .stubs import synthesize_stubs
+
+    unit = parse_c_lenient(c_source, filename)
+    synthesize_stubs(unit.program)
+    analyzed = analyze(unit.program)
+    builder = IcfgBuilder(analyzed)
+    icfg = builder.build()
+    solution = analyze_program(analyzed, icfg, k=k, max_facts=max_facts)
+    oracle = collect_dynamic_oracle(
+        analyzed, builder, icfg, draws=draws, max_derefs=k + 1
+    )
+    report = check_dynamic_oracle(oracle, solution)
+    observed = sum(len(pairs) for pairs in oracle.pairs_by_node.values())
+    return {
+        "ok": report.ok,
+        "interpretable": observed > 0,
+        "observed_pairs": observed,
+        "draws": oracle.draws,
+        "violations": [str(v) for v in report.violations],
+        "ledger": unit.ledger.as_dict(),
+    }

@@ -1,0 +1,262 @@
+"""Conservative stub synthesis for unresolved externals.
+
+A translation unit calls functions it does not define.  To close it
+into an analyzable program, every called-but-undefined function with a
+declared prototype gets a synthesized *stub body* whose may-alias
+behaviour over-approximates anything the real callee could do to the
+caller-visible heap reachable from its arguments — the
+:class:`repro.clients.modref.ProcEffects` shape (what the callee may
+MOD, what it may REF) driven purely by the prototype's types:
+
+* every persistent pointer sink reachable from a parameter (``*pp``,
+  ``p->next``) may be rewritten to any type-compatible pointer source
+  reachable from any parameter, or to a fresh cell;
+* a pointer-returning stub may return any type-compatible source, or a
+  fresh cell (the "returns are ambiguous" rule).
+
+Stubs are ordinary MiniC :class:`~repro.frontend.ast_nodes.FuncDef`
+nodes built from :func:`repro.frontend.havoc.shuffle`, so they solve,
+cache and print like hand-written code.  What a stub can *not* see —
+globals it was never passed, escaped cells from other TUs — is outside
+the per-TU analysis boundary and documented in docs/CORPUS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..frontend import ast_nodes as ast
+from ..frontend.diagnostics import Span
+from ..frontend.havoc import compatible, fresh_cell, reachable_pointers, shuffle
+from ..frontend.printer import print_expr
+from ..frontend.semantics import ALLOCATOR_NAMES, PURE_EXTERNALS
+from ..frontend.types import PointerType, StructType
+
+# Shuffle arms per stub body; prototypes are small, this guards
+# pathological many-pointer-parameter signatures.
+STUB_SHUFFLE_CAP = 96
+
+
+@dataclass(slots=True)
+class StubEffects:
+    """ProcEffects-shaped summary of one synthesized stub."""
+
+    name: str
+    mod: list[str] = field(default_factory=list)
+    ref: list[str] = field(default_factory=list)
+    returns: list[str] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "mod": self.mod,
+            "ref": self.ref,
+            "returns": self.returns,
+        }
+
+
+@dataclass(slots=True)
+class StubSynthesis:
+    """What :func:`synthesize_stubs` did to the program."""
+
+    stubbed: list[str] = field(default_factory=list)
+    skipped_undeclared: list[str] = field(default_factory=list)
+    well_known: list[str] = field(default_factory=list)
+    effects: dict[str, StubEffects] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "stubbed": self.stubbed,
+            "skipped_undeclared": self.skipped_undeclared,
+            "well_known": self.well_known,
+            "effects": {n: e.as_dict() for n, e in self.effects.items()},
+        }
+
+
+# ---------------------------------------------------------------------------
+# AST walking
+# ---------------------------------------------------------------------------
+
+
+def _iter_exprs(program: ast.Program):
+    """Every expression in the program, depth-first."""
+
+    def from_expr(expr):
+        if expr is None:
+            return
+        yield expr
+        if isinstance(expr, (ast.Unary, ast.Postfix)):
+            yield from from_expr(expr.operand)
+        elif isinstance(expr, ast.Binary):
+            yield from from_expr(expr.left)
+            yield from from_expr(expr.right)
+        elif isinstance(expr, ast.Assign):
+            yield from from_expr(expr.target)
+            yield from from_expr(expr.value)
+        elif isinstance(expr, ast.Conditional):
+            yield from from_expr(expr.cond)
+            yield from from_expr(expr.then)
+            yield from from_expr(expr.otherwise)
+        elif isinstance(expr, ast.Call):
+            for arg in expr.args:
+                yield from from_expr(arg)
+        elif isinstance(expr, ast.Index):
+            yield from from_expr(expr.base)
+            yield from from_expr(expr.index)
+        elif isinstance(expr, ast.Member):
+            yield from from_expr(expr.base)
+        elif isinstance(expr, ast.Comma):
+            yield from from_expr(expr.left)
+            yield from from_expr(expr.right)
+        elif isinstance(expr, ast.SizeOf):
+            yield from from_expr(expr.operand)
+
+    def from_stmt(stmt):
+        if stmt is None:
+            return
+        if isinstance(stmt, ast.Block):
+            for item in stmt.items:
+                if isinstance(item, ast.VarDecl):
+                    yield from from_expr(item.init)
+                else:
+                    yield from from_stmt(item)
+        elif isinstance(stmt, ast.ExprStmt):
+            yield from from_expr(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            yield from from_expr(stmt.cond)
+            yield from from_stmt(stmt.then)
+            yield from from_stmt(stmt.otherwise)
+        elif isinstance(stmt, ast.While):
+            yield from from_expr(stmt.cond)
+            yield from from_stmt(stmt.body)
+        elif isinstance(stmt, ast.DoWhile):
+            yield from from_stmt(stmt.body)
+            yield from from_expr(stmt.cond)
+        elif isinstance(stmt, ast.For):
+            yield from from_expr(stmt.init)
+            yield from from_expr(stmt.cond)
+            yield from from_expr(stmt.step)
+            yield from from_stmt(stmt.body)
+        elif isinstance(stmt, ast.Return):
+            yield from from_expr(stmt.value)
+        elif isinstance(stmt, ast.Label):
+            yield from from_stmt(stmt.stmt)
+        elif isinstance(stmt, ast.Switch):
+            yield from from_expr(stmt.cond)
+            for case in stmt.cases:
+                yield from from_expr(case.value)
+                for s in case.body:
+                    yield from from_stmt(s)
+
+    for decl in program.decls:
+        if isinstance(decl, ast.FuncDef):
+            yield from from_stmt(decl.body)
+        elif isinstance(decl, ast.VarDecl):
+            yield from from_expr(decl.init)
+
+
+def called_names(program: ast.Program) -> set[str]:
+    """Every direct-call callee name in the program."""
+    return {
+        expr.callee for expr in _iter_exprs(program) if isinstance(expr, ast.Call)
+    }
+
+
+# ---------------------------------------------------------------------------
+# Stub construction
+# ---------------------------------------------------------------------------
+
+
+def _named_params(proto: ast.FuncDecl) -> list[ast.Param]:
+    params = []
+    for i, p in enumerate(proto.params):
+        name = p.name or f"__p{i}"
+        params.append(ast.Param(p.param_type, name, p.span))
+    return params
+
+
+def synthesize_stub(proto: ast.FuncDecl) -> tuple[ast.FuncDef, StubEffects]:
+    """Build the conservative stub body for one prototype."""
+    span = proto.span
+    params = _named_params(proto)
+    variables = [(p.name, p.param_type) for p in params]
+    result = shuffle(
+        variables,
+        include_direct=False,
+        fresh=True,
+        span=span,
+        cap=STUB_SHUFFLE_CAP,
+    )
+    items: list = list(result.statements)
+    effects = StubEffects(
+        proto.name, mod=list(result.sinks), ref=list(result.sources)
+    )
+
+    ret = proto.return_type.decayed()
+    if isinstance(ret, PointerType):
+        for name, declared in variables:
+            _sinks, sources = reachable_pointers(name, declared, span=span)
+            for expr, source_t in sources:
+                if compatible(ret, source_t):
+                    items.append(
+                        ast.If(
+                            ast.Call("rand", [], span=span),
+                            ast.Return(expr, span=span),
+                            None,
+                            span=span,
+                        )
+                    )
+                    effects.returns.append(print_expr(expr))
+        items.append(ast.Return(fresh_cell(span), span=span))
+        effects.returns.append("<fresh>")
+    elif isinstance(ret, StructType):
+        items.insert(0, ast.VarDecl(ret, "__stub_result", None, span))
+        items.append(ast.Return(ast.Ident("__stub_result", span=span), span=span))
+    elif ret.is_void():
+        pass
+    else:
+        items.append(ast.Return(ast.Call("rand", [], span=span), span=span))
+
+    body = ast.Block(items, span=span)
+    return ast.FuncDef(proto.return_type, proto.name, params, body, span=span), effects
+
+
+def synthesize_stubs(program: ast.Program) -> StubSynthesis:
+    """Append stub definitions for every called-but-undefined function
+    that has a prototype; mutates ``program`` in place.
+
+    Called names with *no* prototype are reported in
+    ``skipped_undeclared`` — the semantic analyzer will reject them if
+    their arguments carry pointers, and the lenient lowering has
+    already havocked such call sites.
+    """
+    defined = {f.name for f in program.functions}
+    synthesis = StubSynthesis()
+    # Real files re-declare well-known externals (free, strlen, malloc,
+    # ...) that the analyzer models precisely when *undeclared*.  A
+    # surviving prototype would turn them into declared-but-undefined
+    # pointer functions and get the TU rejected, so drop those
+    # prototypes and let the built-in model apply.
+    well_known = (PURE_EXTERNALS | ALLOCATOR_NAMES) - defined
+    kept: list[ast.TopLevel] = []
+    for d in program.decls:
+        if isinstance(d, ast.FuncDecl) and d.name in well_known:
+            synthesis.well_known.append(d.name)
+            continue
+        kept.append(d)
+    program.decls[:] = kept
+    protos = {
+        d.name: d for d in program.decls if isinstance(d, ast.FuncDecl)
+    }
+    for name in sorted(called_names(program)):
+        if name in defined or name in ALLOCATOR_NAMES or name in PURE_EXTERNALS:
+            continue
+        proto = protos.get(name)
+        if proto is None:
+            synthesis.skipped_undeclared.append(name)
+            continue
+        stub, effects = synthesize_stub(proto)
+        program.decls.append(stub)
+        synthesis.stubbed.append(name)
+        synthesis.effects[name] = effects
+    return synthesis

@@ -1,0 +1,185 @@
+"""Conservative nondeterministic pointer shuffles.
+
+Both the lenient pycparser lowering (``strict=False``) and the corpus
+auto-stubber (:mod:`repro.corpus.stubs`) need the same building block:
+given a set of variables whose declared types are known, emit MiniC
+statements that over-approximate *any* pointer manipulation those
+variables could have undergone.
+
+The trick is that the analysis' allocator RHS is **kill-only** (a
+``malloc`` result is a fresh cell that aliases nothing), so a plain
+``p = malloc(1);`` havoc would be *unsound* — it would silently drop
+the aliases the unknown code may have created.  The sound encoding is a
+fan of ``rand()``-guarded assignments: for every pointer-typed sink
+lvalue and every type-compatible pointer source reachable from the
+variable set, emit ``if (rand()) sink = source;``.  The may-hold
+analysis unions over the guard's branches, so the sink may alias
+everything any source aliases *and* keeps its old aliases — exactly the
+over-approximation we want.  A final guarded ``sink = malloc(1);`` arm
+records the "fresh ambiguous cell" outcome (it adds no may-facts, by
+the kill-only rule, but keeps the initialization shape visible to the
+lint detectors).
+
+``rand`` is in :data:`repro.frontend.semantics.PURE_EXTERNALS` and
+``malloc`` in ``ALLOCATOR_NAMES``, so shuffles type-check and lower
+through the ICFG builder with no new frontend support.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import ast_nodes as ast
+from .diagnostics import DUMMY_SPAN, Span
+from .printer import print_expr
+from .types import PointerType, StructType, Type
+
+# Statements emitted per shuffle site before truncation kicks in.  Real
+# havoc sites mention a handful of names; the cap only guards degenerate
+# prototypes with dozens of pointer parameters.
+DEFAULT_CAP = 48
+
+# How deep to chase pointer/field chains when enumerating what is
+# reachable from a variable (``p`` -> ``*p`` -> ``p->next->next`` ...).
+DEFAULT_DEPTH = 2
+
+
+@dataclass(slots=True)
+class ShuffleResult:
+    """The emitted statements plus how much the cap discarded."""
+
+    statements: list[ast.Stmt]
+    sinks: list[str]
+    sources: list[str]
+    truncated: int = 0
+
+
+def _guarded(stmt: ast.Stmt, span: Span) -> ast.If:
+    return ast.If(ast.Call("rand", [], span=span), stmt, None, span=span)
+
+
+def _assign(target: ast.Expr, value: ast.Expr, span: Span) -> ast.Stmt:
+    return ast.ExprStmt(ast.Assign("=", target, value, span=span), span=span)
+
+
+def fresh_cell(span: Span = DUMMY_SPAN) -> ast.Expr:
+    """An allocator call: the analysis' fresh, unaliased heap cell."""
+    return ast.Call("malloc", [ast.IntLit(1, span=span)], span=span)
+
+
+def compatible(a: Type, b: Type) -> bool:
+    """May a value of pointer type ``b`` flow into a sink of pointer
+    type ``a``?  Structurally equal pointers always; ``void*`` bridges
+    everything (the cast-heavy idioms lenient lowering erases)."""
+    if a is b or a == b:
+        return True
+    if isinstance(a, PointerType) and isinstance(b, PointerType):
+        return a.pointee.is_void() or b.pointee.is_void()
+    return False
+
+
+def reachable_pointers(
+    name: str,
+    declared: Type,
+    *,
+    depth: int = DEFAULT_DEPTH,
+    span: Span = DUMMY_SPAN,
+) -> tuple[list[tuple[ast.Expr, Type]], list[tuple[ast.Expr, Type]]]:
+    """``(sinks, sources)`` of pointer type reachable from ``name``.
+
+    Sources are pointer-typed rvalues (``p``, ``*pp``, ``p->next``,
+    ``s.head``); sinks are the subset that are persistent lvalues —
+    locations whose update outlives the current frame (``*pp``,
+    ``p->next``, ``s.head``) plus the variable itself, which callers may
+    exclude (a stub reassigning its own parameter is invisible to the
+    caller).
+    """
+    sinks: list[tuple[ast.Expr, Type]] = []
+    sources: list[tuple[ast.Expr, Type]] = []
+
+    def expand(expr: ast.Expr, t: Type, budget: int, direct: bool) -> None:
+        t = t.decayed()
+        if isinstance(t, PointerType):
+            sources.append((expr, t))
+            if not direct:
+                sinks.append((expr, t))
+            if budget <= 0:
+                return
+            pointee = t.pointee
+            if isinstance(pointee, PointerType):
+                expand(ast.Unary("*", expr, span=span), pointee, budget - 1, False)
+            elif isinstance(pointee, StructType):
+                for fname, ftype in pointee.fields:
+                    if ftype.decayed().has_pointers():
+                        expand(
+                            ast.Member(expr, fname, arrow=True, span=span),
+                            ftype,
+                            budget - 1,
+                            False,
+                        )
+        elif isinstance(t, StructType):
+            if budget <= 0:
+                return
+            for fname, ftype in t.fields:
+                if ftype.decayed().has_pointers():
+                    expand(
+                        ast.Member(expr, fname, arrow=False, span=span),
+                        ftype,
+                        budget - 1,
+                        False,
+                    )
+
+    expand(ast.Ident(name, span=span), declared, depth, True)
+    return sinks, sources
+
+
+def shuffle(
+    variables: list[tuple[str, Type]],
+    *,
+    include_direct: bool = True,
+    fresh: bool = True,
+    span: Span = DUMMY_SPAN,
+    cap: int = DEFAULT_CAP,
+    depth: int = DEFAULT_DEPTH,
+) -> ShuffleResult:
+    """Emit the guarded-assignment fan over ``variables``.
+
+    ``include_direct`` additionally treats each variable itself as a
+    sink (wanted for statement havoc, pointless for stub parameters).
+    ``fresh`` appends the guarded allocator arm per sink.
+    """
+    sinks: list[tuple[ast.Expr, Type]] = []
+    sources: list[tuple[ast.Expr, Type]] = []
+    for name, declared in variables:
+        v_sinks, v_sources = reachable_pointers(name, declared, depth=depth, span=span)
+        if include_direct and isinstance(declared.decayed(), PointerType):
+            sinks.append((ast.Ident(name, span=span), declared.decayed()))
+        sinks.extend(v_sinks)
+        sources.extend(v_sources)
+
+    statements: list[ast.Stmt] = []
+    truncated = 0
+    for sink_expr, sink_t in sinks:
+        sink_key = print_expr(sink_expr)
+        for src_expr, src_t in sources:
+            if print_expr(src_expr) == sink_key:
+                continue
+            if not compatible(sink_t, src_t):
+                continue
+            if len(statements) >= cap:
+                truncated += 1
+                continue
+            statements.append(_guarded(_assign(sink_expr, src_expr, span), span))
+        if fresh:
+            if len(statements) >= cap:
+                truncated += 1
+            else:
+                statements.append(
+                    _guarded(_assign(sink_expr, fresh_cell(span), span), span)
+                )
+    return ShuffleResult(
+        statements=statements,
+        sinks=[print_expr(e) for e, _ in sinks],
+        sources=[print_expr(e) for e, _ in sources],
+        truncated=truncated,
+    )

@@ -118,6 +118,10 @@ def _expr(expr: ast.Expr) -> tuple[str, int]:
     if isinstance(expr, ast.SizeOf):
         if expr.type_name is not None:
             return f"sizeof({declare(expr.type_name, '')})", 11
+        if expr.operand is None:
+            # The pycparser bridge erases sizeof operands it cannot
+            # model; any constant re-parses to the same scalar shape.
+            return "sizeof 1", 11
         return f"sizeof {print_expr(expr.operand, 11)}", 11
     raise TypeError(f"cannot print {type(expr).__name__}")
 

@@ -28,12 +28,20 @@ def _open_cache(cache_dir):
 
 def analyze_file_unit(payload: dict) -> dict:
     """Analyze one MiniC source: the per-file unit of
-    ``repro analyze file1.c file2.c ... --jobs N``."""
+    ``repro analyze file1.c file2.c ... --jobs N``.
+
+    A file that fails to parse or type-check comes back as an explicit
+    ``{"parse_error": ...}`` result instead of an exception, so one bad
+    file in a sweep never aborts the others."""
     from ..cache.solve import solve_with_cache
+    from ..frontend.diagnostics import MiniCError
 
     cache = _open_cache(payload.get("cache_dir"))
-    analyzed = parse_and_analyze(payload["source"], payload["path"])
-    icfg = build_icfg(analyzed)
+    try:
+        analyzed = parse_and_analyze(payload["source"], payload["path"])
+        icfg = build_icfg(analyzed)
+    except MiniCError as err:
+        return {"path": payload["path"], "parse_error": str(err)}
     solution, cache_status = solve_with_cache(
         analyzed,
         icfg,
@@ -65,20 +73,26 @@ def lint_file_unit(payload: dict) -> dict:
     """Lint one MiniC source: the per-file unit of
     ``repro lint file1.c file2.c ... --jobs N``.  The report is
     rendered *in the worker* (text or SARIF) so the parent only
-    concatenates strings in unit order."""
+    concatenates strings in unit order.  Unparseable files come back
+    as explicit ``{"parse_error": ...}`` results (see
+    :func:`analyze_file_unit`)."""
+    from ..frontend.diagnostics import MiniCError
     from ..lint import render_sarif, render_text, run_lint, stats_dict
 
     cache = _open_cache(payload.get("cache_dir"))
-    report = run_lint(
-        payload["source"],
-        provider=payload.get("provider", "lr"),
-        compare_with=payload.get("compare_with"),
-        k=payload["k"],
-        max_facts=payload.get("max_facts"),
-        filename=payload["path"],
-        cache=cache,
-        must=payload.get("must", False),
-    )
+    try:
+        report = run_lint(
+            payload["source"],
+            provider=payload.get("provider", "lr"),
+            compare_with=payload.get("compare_with"),
+            k=payload["k"],
+            max_facts=payload.get("max_facts"),
+            filename=payload["path"],
+            cache=cache,
+            must=payload.get("must", False),
+        )
+    except MiniCError as err:
+        return {"path": payload["path"], "parse_error": str(err)}
     if payload.get("format") == "sarif":
         rendered = render_sarif(report, filename=payload["path"])
     else:

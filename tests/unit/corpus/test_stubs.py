@@ -1,0 +1,125 @@
+"""Unit tests for conservative stub synthesis."""
+
+import pytest
+
+pycparser = pytest.importorskip("pycparser")
+
+from repro.frontend import analyze
+from repro.frontend import ast_nodes as ast
+from repro.frontend.pycparser_bridge import parse_c_lenient
+from repro.corpus.stubs import called_names, synthesize_stubs
+from repro.icfg import build_icfg
+
+
+def lower(source):
+    return parse_c_lenient(source).program
+
+
+class TestCalledNames:
+    def test_collects_calls_everywhere(self):
+        program = lower(
+            """
+            extern int helper(int x);
+            int twice(int x) { return helper(helper(x)); }
+            int main() { for (int i = 0; i < twice(2); i++) { } return 0; }
+            """
+        )
+        names = called_names(program)
+        assert {"helper", "twice"} <= names
+
+
+class TestSynthesis:
+    def test_declared_undefined_pointer_function_gets_stub(self):
+        program = lower(
+            """
+            struct node { int v; struct node *next; };
+            extern struct node *dup_node(struct node *n);
+            int main() {
+                struct node local;
+                struct node *copy;
+                copy = dup_node(&local);
+                return copy != 0;
+            }
+            """
+        )
+        synthesis = synthesize_stubs(program)
+        assert synthesis.stubbed == ["dup_node"]
+        stub = program.function("dup_node")
+        assert isinstance(stub, ast.FuncDef)
+        # The closed program analyzes and lowers end to end.
+        analyzed = analyze(program)
+        build_icfg(analyzed).validate()
+
+    def test_stub_effects_have_proceffects_shape(self):
+        program = lower(
+            """
+            struct node { int v; struct node *next; };
+            extern struct node *dup_node(struct node *n);
+            int main() { struct node l; return dup_node(&l) != 0; }
+            """
+        )
+        synthesis = synthesize_stubs(program)
+        effects = synthesis.effects["dup_node"].as_dict()
+        assert set(effects) == {"name", "mod", "ref", "returns"}
+        assert any("next" in m for m in effects["mod"])
+        assert "<fresh>" in effects["returns"]
+        # The prototype's own parameter can be returned.
+        assert any(r != "<fresh>" for r in effects["returns"])
+
+    def test_well_known_prototypes_dropped(self):
+        program = lower(
+            """
+            extern void *malloc(unsigned long n);
+            extern void free(void *p);
+            extern int strlen(char *s);
+            int main() {
+                char *s;
+                s = malloc(4);
+                free(s);
+                return 0;
+            }
+            """
+        )
+        synthesis = synthesize_stubs(program)
+        assert set(synthesis.well_known) == {"malloc", "free", "strlen"}
+        assert not any(
+            isinstance(d, ast.FuncDecl) and d.name in {"malloc", "free"}
+            for d in program.decls
+        )
+        analyzed = analyze(program)
+        build_icfg(analyzed).validate()
+
+    def test_undeclared_callee_reported_not_stubbed(self):
+        program = lower(
+            """
+            int main() { return mystery(1); }
+            """
+        )
+        synthesis = synthesize_stubs(program)
+        assert synthesis.skipped_undeclared == ["mystery"]
+        assert synthesis.stubbed == []
+
+    def test_defined_functions_not_stubbed(self):
+        program = lower(
+            """
+            int helper(int x) { return x; }
+            int main() { return helper(1); }
+            """
+        )
+        synthesis = synthesize_stubs(program)
+        assert synthesis.stubbed == []
+
+    def test_scalar_stub_returns_rand(self):
+        program = lower(
+            """
+            extern int checksum(char *data, int n);
+            int main() { char buf[4]; return checksum(buf, 4); }
+            """
+        )
+        synthesize_stubs(program)
+        stub = program.function("checksum")
+        returns = [
+            s for s in stub.body.items if isinstance(s, ast.Return)
+        ]
+        assert returns and isinstance(returns[-1].value, ast.Call)
+        assert returns[-1].value.callee == "rand"

@@ -1,0 +1,115 @@
+"""Unit tests for the guarded pointer-shuffle builder.
+
+The shuffle is the soundness-critical piece of lenient lowering and
+stub synthesis: every emitted assignment must be ``rand()``-guarded
+(an unguarded one would *kill* existing aliases, turning an
+over-approximation into an under-approximation).
+"""
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.havoc import (
+    compatible,
+    fresh_cell,
+    reachable_pointers,
+    shuffle,
+)
+from repro.frontend.types import INT, VOID, PointerType, StructType
+
+
+def node_struct():
+    s = StructType("node")
+    s.fields = [("value", INT), ("next", PointerType(s))]
+    return s
+
+
+class TestCompatible:
+    def test_equal_pointers(self):
+        assert compatible(PointerType(INT), PointerType(INT))
+
+    def test_void_bridges(self):
+        assert compatible(PointerType(VOID), PointerType(INT))
+        assert compatible(PointerType(INT), PointerType(VOID))
+
+    def test_distinct_pointees_incompatible(self):
+        assert not compatible(PointerType(INT), PointerType(node_struct()))
+
+    def test_scalar_never_compatible_with_pointer(self):
+        assert not compatible(INT, PointerType(INT))
+
+
+class TestReachable:
+    def test_direct_pointer_is_source_not_sink(self):
+        sinks, sources = reachable_pointers("p", PointerType(INT))
+        assert [str(t) for _, t in sources] == ["int*"]
+        assert sinks == []
+
+    def test_pointer_to_pointer_yields_deref_sink(self):
+        sinks, sources = reachable_pointers("pp", PointerType(PointerType(INT)))
+        sink_texts = {ast_text(e) for e, _ in sinks}
+        assert "(*pp)" in sink_texts or "*pp" in sink_texts
+        assert len(sources) == 2  # pp and *pp
+
+    def test_struct_pointer_fields_reachable(self):
+        sinks, sources = reachable_pointers("n", PointerType(node_struct()))
+        sink_texts = {ast_text(e) for e, _ in sinks}
+        assert any("next" in t for t in sink_texts)
+        # Depth 2: n, n->next, n->next->next as sources.
+        assert len(sources) == 3
+
+
+def ast_text(expr):
+    from repro.frontend.printer import print_expr
+
+    return print_expr(expr)
+
+
+class TestShuffle:
+    def test_every_statement_is_guarded(self):
+        result = shuffle([("n", PointerType(node_struct()))])
+        assert result.statements, "expected a non-empty fan"
+        for stmt in result.statements:
+            assert isinstance(stmt, ast.If)
+            assert isinstance(stmt.cond, ast.Call)
+            assert stmt.cond.callee == "rand"
+            assert stmt.otherwise is None
+
+    def test_include_direct_adds_variable_sink(self):
+        with_direct = shuffle([("p", PointerType(INT)), ("q", PointerType(INT))])
+        without = shuffle(
+            [("p", PointerType(INT)), ("q", PointerType(INT))],
+            include_direct=False,
+        )
+        assert "p" in with_direct.sinks and "q" in with_direct.sinks
+        assert without.sinks == []
+        assert without.statements == []
+
+    def test_incompatible_sources_not_assigned(self):
+        result = shuffle(
+            [("p", PointerType(PointerType(INT))), ("n", PointerType(node_struct()))]
+        )
+        for stmt in result.statements:
+            assign = stmt.then.expr if isinstance(stmt.then, ast.ExprStmt) else None
+            assert assign is not None
+            # No int** <- node* or similar cross-type flows.
+            assert ast_text(assign.target) != ast_text(assign.value)
+
+    def test_cap_truncates_and_reports(self):
+        variables = [(f"p{i}", PointerType(INT)) for i in range(12)]
+        result = shuffle(variables, cap=5)
+        assert len(result.statements) == 5
+        assert result.truncated > 0
+
+    def test_fresh_arm_uses_allocator(self):
+        result = shuffle([("p", PointerType(INT)), ("q", PointerType(INT))])
+        allocs = [
+            stmt
+            for stmt in result.statements
+            if isinstance(stmt.then, ast.ExprStmt)
+            and isinstance(stmt.then.expr.value, ast.Call)
+            and stmt.then.expr.value.callee == "malloc"
+        ]
+        assert allocs, "expected a guarded fresh-cell arm per sink"
+
+    def test_fresh_cell_is_malloc_call(self):
+        cell = fresh_cell()
+        assert isinstance(cell, ast.Call) and cell.callee == "malloc"

@@ -1,0 +1,243 @@
+"""Lenient-mode pycparser lowering: coverage ledger, havoc shuffles,
+comment/directive preprocessing, and the strict-mode conversion paths
+(switch, typedef chains, prototypes) plus span threading on rejection.
+"""
+
+import pytest
+
+pycparser = pytest.importorskip("pycparser")
+
+from repro.frontend import UnsupportedFeatureError, analyze
+from repro.frontend.parser import parse
+from repro.frontend.printer import print_program
+from repro.frontend.pycparser_bridge import (
+    parse_c,
+    parse_c_lenient,
+    strip_comments,
+)
+from repro.icfg import build_icfg
+
+
+def lenient(source):
+    unit = parse_c_lenient(source)
+    analyzed = analyze(unit.program)
+    build_icfg(analyzed).validate()
+    return unit
+
+
+class TestPreprocessing:
+    def test_strict_mode_strips_comments(self):
+        program = parse_c(
+            "/* leading */ int main() { return 0; /* trailing */ } // eol"
+        )
+        assert program.functions[0].name == "main"
+
+    def test_strip_comments_preserves_line_count(self):
+        source = "int a;\n/* two\nlines */\nint b; // tail\n"
+        stripped = strip_comments(source)
+        assert stripped.count("\n") == source.count("\n")
+        assert "two" not in stripped and "tail" not in stripped
+
+    def test_strip_comments_respects_string_literals(self):
+        source = 'char *s = "/* not a comment */"; // real\n'
+        stripped = strip_comments(source)
+        assert '"/* not a comment */"' in stripped
+        assert "real" not in stripped
+
+    def test_directives_blanked_and_ledgered(self):
+        unit = lenient(
+            "#define LIMIT 4\n"
+            "int main() { return 0; }\n"
+        )
+        kinds = unit.ledger.counts()
+        assert kinds.get("directive-dropped") == 1
+        event = unit.ledger.events[0]
+        assert event.detail == "define" and event.line == 1
+
+    def test_directive_continuation_blanked(self):
+        unit = lenient(
+            "#define BIG \\\n    1\n"
+            "int main() { return 0; }\n"
+        )
+        assert unit.ledger.counts().get("directive-dropped") == 1
+
+
+class TestLenientLowering:
+    def test_cast_erased(self):
+        unit = lenient(
+            """
+            extern void *malloc(unsigned long n);
+            int main() { int *p; p = (int *)malloc(4); return 0; }
+            """
+        )
+        assert unit.ledger.counts().get("cast-erased") == 1
+        assert unit.ledger.functions["main"] == "lowered"
+
+    def test_union_lowered_to_field_split_struct(self):
+        unit = lenient(
+            """
+            union u { int *p; int v; };
+            union u g;
+            int main() { g.p = 0; return 0; }
+            """
+        )
+        assert any(
+            s.name.startswith("__union_") for s in unit.program.structs
+        )
+        assert unit.ledger.counts().get("union-field-split", 0) >= 1
+
+    def test_statement_havoc_mentions_pointers(self):
+        unit = lenient(
+            """
+            struct node { struct node *next; };
+            int touch(struct node *a) {
+                int (*fp)(int);
+                fp = 0;
+                return fp(1) + (a != 0);
+            }
+            int main() { return 0; }
+            """
+        )
+        assert unit.ledger.counts().get("stmt-havoc") == 1
+        assert unit.ledger.functions["touch"] == "havocked"
+        assert unit.ledger.coverage_percent < 100.0
+        printed = print_program(unit.program)
+        assert "rand" in printed  # havoc arms are guarded
+
+    def test_clean_file_has_clean_ledger(self):
+        unit = lenient("int g; int main() { g = 1; return g; }")
+        assert unit.ledger.clean
+        assert unit.ledger.coverage_percent == 100.0
+
+    def test_function_address_erased(self):
+        unit = lenient(
+            """
+            int inc(int x) { return x + 1; }
+            int main() { int fp; fp = inc; return 0; }
+            """
+        )
+        assert unit.ledger.counts().get("function-address-erased") == 1
+
+    def test_for_decl_hoisted(self):
+        unit = lenient(
+            "int main() { int s = 0; for (int i = 0; i < 3; i++) { s += i; } return s; }"
+        )
+        assert unit.ledger.counts().get("for-decl-hoisted") == 1
+
+    def test_array_initializer_expanded(self):
+        unit = lenient("int main() { int a[3] = {1, 2, 3}; return a[0]; }")
+        assert unit.ledger.counts().get("initializer-expanded") == 1
+
+    def test_enum_lowered_to_int_constants(self):
+        unit = lenient(
+            "enum color { RED, GREEN, BLUE };\n"
+            "int main() { return GREEN; }\n"
+        )
+        assert unit.ledger.counts().get("enum-lowered") == 1
+
+    def test_varargs_prototype_and_call_truncated(self):
+        unit = lenient(
+            """
+            extern int seq(int first, ...);
+            int main() { return seq(1, 2, 3); }
+            """
+        )
+        counts = unit.ledger.counts()
+        assert counts.get("varargs-dropped") == 1
+        assert counts.get("varargs-call-truncated") == 1
+
+    def test_printed_program_reparses_natively(self):
+        unit = parse_c_lenient(
+            """
+            typedef struct node { struct node *next; } node_t;
+            extern void *malloc(unsigned long n);
+            node_t *cons(node_t *tail) {
+                node_t *n = (node_t *)malloc(sizeof(node_t));
+                if (n != 0) { n->next = tail; }
+                return n;
+            }
+            int main() { node_t *l = cons(cons(0)); return l != 0; }
+            """
+        )
+        printed = print_program(unit.program)
+        reparsed = parse(printed)
+        analyzed = analyze(reparsed)
+        build_icfg(analyzed).validate()
+
+
+class TestStrictPaths:
+    """Satellite coverage for conversion paths the corpus leans on."""
+
+    def test_switch_with_multiple_statements_per_case(self):
+        program = parse_c(
+            """
+            int main() {
+                int x, y;
+                x = 1; y = 0;
+                switch (x) {
+                case 0:
+                    y = 1;
+                    y = y + 1;
+                    break;
+                case 1:
+                case 2:
+                    y = 2;
+                    break;
+                default:
+                    y = 3;
+                }
+                return y;
+            }
+            """
+        )
+        analyzed = analyze(program)
+        build_icfg(analyzed).validate()
+
+    def test_typedef_resolution_chain(self):
+        program = parse_c(
+            """
+            typedef int *intp;
+            typedef intp handle;
+            handle g;
+            int v;
+            int main() { g = &v; return *g; }
+            """
+        )
+        analyzed = analyze(program)
+        assert str(analyzed.symbols.globals["g"].type) == "int*"
+
+    def test_prototype_only_declaration_then_definition(self):
+        program = parse_c(
+            """
+            int *pick(int *a, int *b);
+            int v, w;
+            int main() { int *r; r = pick(&v, &w); return *r; }
+            int *pick(int *a, int *b) { if (v) { return a; } return b; }
+            """
+        )
+        analyzed = analyze(program)
+        assert analyzed.symbols.function("pick").return_slot is not None
+        build_icfg(analyzed).validate()
+
+    def test_unsupported_construct_carries_real_span(self):
+        source = (
+            "int g;\n"
+            "union u { int a; float b; };\n"
+            "int main() { return 0; }\n"
+        )
+        with pytest.raises(UnsupportedFeatureError) as excinfo:
+            parse_c(source)
+        assert excinfo.value.span.start.line == 2
+
+    def test_cast_rejection_carries_real_span(self):
+        source = (
+            "extern void *malloc(unsigned long n);\n"
+            "int main() {\n"
+            "    int *p;\n"
+            "    p = (int *)malloc(4);\n"
+            "    return 0;\n"
+            "}\n"
+        )
+        with pytest.raises(UnsupportedFeatureError) as excinfo:
+            parse_c(source)
+        assert excinfo.value.span.start.line == 4
