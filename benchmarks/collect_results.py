@@ -43,6 +43,15 @@ Sections (each tolerates missing inputs and failures in the others):
   coverage-ledger percentages and lowering-event counts ("no silent
   havoc"), synthesized stubs, and the warm-pass cache hit rate over
   cacheable (complete) files.
+* ``serve`` — ``BENCH_PR10.json``: the incremental daemon under the
+  seeded loadgen (``repro.serve.loadgen``) — cold first-solve wall
+  times, warm mixed edit/query/lint latencies (p50/p99) and
+  requests/sec, the failure ledger (must be all-zero), and the
+  invalidation-scoping ratio (post-edit solves whose cache misses
+  stayed inside the edited procedures; acceptance >= 90%).  All on
+  whatever ``cpu_count`` reports — on a single core the daemon's
+  one solver lane serializes solves, so throughput is honest, not
+  aspirational.
 """
 
 import argparse
@@ -65,6 +74,7 @@ ALL_SECTIONS = (
     "pr7",
     "must",
     "corpus",
+    "serve",
 )
 
 
@@ -844,6 +854,75 @@ def section_corpus(root: pathlib.Path, out_dir: pathlib.Path, args) -> None:
         )
 
 
+def section_serve(root: pathlib.Path, out_dir: pathlib.Path, args) -> None:
+    _ensure_src(root)
+    import shutil
+    import tempfile
+
+    from repro.serve.loadgen import LoadClient, boot_daemon, run_load
+
+    cache_dir = tempfile.mkdtemp(prefix="repro-serve-bench-")
+    process = None
+    try:
+        process, host, port = boot_daemon(
+            jobs=args.jobs, k=3, cache_dir=cache_dir
+        )
+        client = LoadClient(host, port)
+        try:
+            report = run_load(
+                client,
+                seed=args.serve_seed,
+                requests=args.serve_requests,
+                programs=args.serve_programs,
+            )
+        finally:
+            client.close()
+    finally:
+        if process is not None:
+            process.terminate()
+            try:
+                process.wait(timeout=30)
+            except Exception:
+                process.kill()
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "pr": 10,
+        "description": (
+            "Incremental serve daemon under the seeded loadgen: cold "
+            "first solves, warm mixed edit/query/lint latencies and "
+            "req/s against one resident session, the failure ledger, "
+            "and the invalidation-scoping ratio (every edit touches "
+            "one procedure body, so a healthy daemon re-solves only "
+            "that procedure and replays the rest from the "
+            "per-procedure cache).  cpu_count is what the numbers were "
+            "measured on — the daemon runs one solver lane, so req/s "
+            "is bounded by single-solve wall clock, by design."
+        ),
+        "cpu_count": os.cpu_count(),
+        "jobs": args.jobs,
+        "loadgen": report,
+    }
+    _write(root / "BENCH_PR10.json", payload)
+
+    failures = sum(report["failures"].values())
+    if failures:
+        raise RuntimeError(
+            f"serve loadgen recorded {failures} failures "
+            f"({report['failures']}) — investigate"
+        )
+    scoped = report["edit_scoped_ratio"]
+    edits = (report["server_metrics"].get("session") or {}).get(
+        "post_edit_solves", 0
+    )
+    if edits and (scoped is None or scoped < 0.9):
+        raise RuntimeError(
+            f"edit-scoped ratio {scoped} below the 90% bar over "
+            f"{edits} post-edit solves — invalidation is leaking"
+        )
+
+
 def _write(path: pathlib.Path, payload: dict) -> None:
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {path}")
@@ -859,6 +938,7 @@ SECTION_RUNNERS = {
     "pr7": section_pr7,
     "must": section_must,
     "corpus": section_corpus,
+    "serve": section_serve,
 }
 
 
@@ -898,6 +978,24 @@ def parse_args(argv=None) -> argparse.Namespace:
         type=int,
         default=1,
         help="k-limit for the corpus section (default 1, Table 1 style)",
+    )
+    parser.add_argument(
+        "--serve-requests",
+        type=int,
+        default=200,
+        help="warm mixed requests for the serve section (default 200)",
+    )
+    parser.add_argument(
+        "--serve-programs",
+        type=int,
+        default=3,
+        help="resident programs for the serve section (default 3)",
+    )
+    parser.add_argument(
+        "--serve-seed",
+        type=int,
+        default=1992,
+        help="loadgen workload seed for the serve section (default 1992)",
     )
     return parser.parse_args(argv)
 

@@ -1,6 +1,7 @@
 """Command-line interface: ``repro analyze [options] file.c ...``,
 ``repro lint [options] file.c ...``, ``repro difftest [options]``,
-``repro corpus run <dir>`` and ``repro cache {stats,verify,clear}``.
+``repro corpus run <dir>``, ``repro cache {stats,verify,clear}`` and
+``repro serve [--port N | --stdio]``.
 
 ``analyze`` (the leading subcommand word is optional, so the
 historical ``repro-aliases file.c`` spelling keeps working) analyzes a
@@ -40,6 +41,14 @@ document.  ``repro cache`` administers a cache directory: ``stats``
 prints the ``repro-cache/1`` document, ``verify`` re-solves a sample
 of entries and diffs them against the stored solutions (exit 1 on any
 drift), and ``clear`` deletes the entries.
+
+``serve`` runs the incremental analysis daemon (:mod:`repro.serve`):
+programs stay resident, full-text deltas invalidate only the
+procedures they touch (per-procedure summary cache), and queries are
+answered from memory over HTTP batch and/or LSP-style JSON-RPC
+surfaces.  ``--stats-json`` flushes the final ``repro-serve-stats/1``
+document on shutdown — including a SIGTERM shutdown, through the same
+emission path every other subcommand uses.  See ``docs/SERVE.md``.
 """
 
 from __future__ import annotations
@@ -193,6 +202,32 @@ EXIT_SOUNDNESS_VIOLATION = 3
 #: ``--fail-on`` severity exist (the lint analogue of a compiler
 #: reporting errors; distinct from crash statuses).
 EXIT_LINT_FINDINGS = 4
+
+
+def emit_stats_json(payload, destination: str, label: str = "stats") -> int:
+    """Write a stats document to ``destination`` (``-`` = stdout).
+
+    The one shared emission path for every ``--stats-json``-shaped
+    flag — including the serve daemon's shutdown flush, so a SIGTERM
+    still lands the document on disk.  ``payload`` may be a dict or a
+    pre-serialized string.  Returns 0 on success, 2 on an I/O error
+    (already reported on stderr).
+    """
+    if isinstance(payload, str):
+        document = payload
+    else:
+        document = json.dumps(payload, indent=2, sort_keys=True)
+    if destination == "-":
+        print(document)
+        return 0
+    try:
+        with open(destination, "w") as handle:
+            handle.write(document + "\n")
+    except OSError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    print(f"{label} written to {destination}", file=sys.stderr)
+    return 0
 
 
 def build_lint_parser() -> argparse.ArgumentParser:
@@ -363,17 +398,9 @@ def lint_main(argv: list[str]) -> int:
         print(render_text(report, show_witnesses=not args.no_witnesses))
 
     if args.stats_json:
-        document = json.dumps(stats_dict(report), indent=2, sort_keys=True)
-        if args.stats_json == "-":
-            print(document)
-        else:
-            try:
-                with open(args.stats_json, "w") as handle:
-                    handle.write(document + "\n")
-            except OSError as err:
-                print(f"error: {err}", file=sys.stderr)
-                return 2
-            print(f"stats written to {args.stats_json}", file=sys.stderr)
+        code = emit_stats_json(stats_dict(report), args.stats_json)
+        if code:
+            return code
 
     if args.fail_on == "definite":
         if report.definite_count():
@@ -459,7 +486,7 @@ def _lint_sweep(args) -> int:
             worst = severity
 
     if args.stats_json:
-        document = json.dumps(
+        code = emit_stats_json(
             {
                 "schema": "repro-lint-multi/1",
                 "files": files_stats,
@@ -468,19 +495,10 @@ def _lint_sweep(args) -> int:
                 "parse_errors": parse_errors,
                 "cache": cache_totals or None,
             },
-            indent=2,
-            sort_keys=True,
+            args.stats_json,
         )
-        if args.stats_json == "-":
-            print(document)
-        else:
-            try:
-                with open(args.stats_json, "w") as handle:
-                    handle.write(document + "\n")
-            except OSError as err:
-                print(f"error: {err}", file=sys.stderr)
-                return 2
-            print(f"stats written to {args.stats_json}", file=sys.stderr)
+        if code:
+            return code
 
     if failed_shards or parse_errors:
         return 1
@@ -704,17 +722,9 @@ def difftest_main(argv: list[str]) -> int:
                 )
 
     if args.stats_json:
-        document = json.dumps(stats, indent=2, sort_keys=True)
-        if args.stats_json == "-":
-            print(document)
-        else:
-            try:
-                with open(args.stats_json, "w") as handle:
-                    handle.write(document + "\n")
-            except OSError as err:
-                print(f"error: {err}", file=sys.stderr)
-                return 2
-            print(f"stats written to {args.stats_json}", file=sys.stderr)
+        code = emit_stats_json(stats, args.stats_json)
+        if code:
+            return code
 
     summary = suite.stats_dict()
     print(
@@ -875,16 +885,9 @@ def corpus_main(argv: list[str]) -> int:
             return 2
         print(f"report written to {outdir / 'report.json'}", file=sys.stderr)
     if args.stats_json:
-        if args.stats_json == "-":
-            print(document)
-        else:
-            try:
-                with open(args.stats_json, "w") as handle:
-                    handle.write(document + "\n")
-            except OSError as err:
-                print(f"error: {err}", file=sys.stderr)
-                return 2
-            print(f"stats written to {args.stats_json}", file=sys.stderr)
+        code = emit_stats_json(document, args.stats_json)
+        if code:
+            return code
 
     return 0 if agg["files_ok"] == agg["files_total"] else 1
 
@@ -1051,7 +1054,7 @@ def _analyze_sweep(args) -> int:
             cache_totals[key] = cache_totals.get(key, 0) + value
 
     if args.stats_json:
-        document = json.dumps(
+        code = emit_stats_json(
             {
                 "schema": "repro-stats-multi/1",
                 "jobs": args.jobs,
@@ -1061,21 +1064,105 @@ def _analyze_sweep(args) -> int:
                 "failed_shards": failed,
                 "parse_errors": parse_errors,
             },
-            indent=2,
-            sort_keys=True,
+            args.stats_json,
         )
-        if args.stats_json == "-":
-            print(document)
-        else:
-            try:
-                with open(args.stats_json, "w") as handle:
-                    handle.write(document + "\n")
-            except OSError as err:
-                print(f"error: {err}", file=sys.stderr)
-                return 2
-            print(f"stats written to {args.stats_json}", file=sys.stderr)
+        if code:
+            return code
 
     return 1 if (failed or parse_errors or incomplete) else 0
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    """Argparse definition for ``repro serve``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-aliases serve",
+        description=(
+            "Long-lived incremental alias-analysis daemon: programs "
+            "stay resident, edits invalidate only the procedures they "
+            "touch (summary-engine per-procedure cache), and queries "
+            "are answered from memory.  Surfaces: HTTP batch "
+            "(--port; /v1/analyze, /v1/query, /v1/lint, /healthz, "
+            "/metrics) and LSP-style JSON-RPC on stdio (--stdio).  "
+            "See docs/SERVE.md."
+        ),
+    )
+    parser.add_argument(
+        "-k", "--k", type=int, default=3, dest="k",
+        help="k-limit for object names (default 3)",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="HTTP bind address (default 127.0.0.1)"
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "serve HTTP on this port (0 = ephemeral; the bound address "
+            "is announced on stderr)"
+        ),
+    )
+    parser.add_argument(
+        "--stdio",
+        action="store_true",
+        help="speak LSP-style JSON-RPC on stdin/stdout",
+    )
+    parser.add_argument(
+        "--max-facts",
+        type=int,
+        default=2_000_000,
+        help="per-solve fact budget (default 2000000)",
+    )
+    parser.add_argument(
+        "--deadline-seconds",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-solve wall-clock budget",
+    )
+    parser.add_argument(
+        "--stats-json",
+        metavar="FILE",
+        help=(
+            "flush the final repro-serve-stats/1 document here on "
+            "shutdown — including SIGTERM ('-' for stdout)"
+        ),
+    )
+    add_parallel_arguments(parser)
+    return parser
+
+
+def serve_main(argv: list[str]) -> int:
+    """``repro serve``: run the incremental daemon until signalled."""
+    args = build_serve_parser().parse_args(argv)
+    if args.port is None and not args.stdio:
+        print("error: serve needs --port and/or --stdio", file=sys.stderr)
+        return 2
+
+    from .serve.daemon import run_serve
+
+    flush_status = 0
+
+    def flush_stats(stats: dict) -> None:
+        # The shared emission path (satellite of the serve PR): a
+        # SIGTERM'd daemon reports exactly like a clean exit.
+        nonlocal flush_status
+        if args.stats_json:
+            flush_status = emit_stats_json(stats, args.stats_json)
+
+    status = run_serve(
+        k=args.k,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        max_facts=args.max_facts,
+        deadline_seconds=args.deadline_seconds,
+        host=args.host,
+        port=args.port,
+        stdio=args.stdio,
+        on_stats=flush_stats,
+    )
+    return status or flush_status
 
 
 def main(argv: Optional[list[str]] = None) -> int:
@@ -1090,6 +1177,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         return cache_main(argv[1:])
     if argv and argv[0] == "corpus":
         return corpus_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     if argv and argv[0] == "analyze":
         argv = argv[1:]
     args = build_parser().parse_args(argv)
@@ -1210,17 +1299,9 @@ def main(argv: Optional[list[str]] = None) -> int:
         print(f"solution written to {args.json}", file=sys.stderr)
 
     if args.stats_json:
-        document = json.dumps(solution.stats_dict(), indent=2, sort_keys=True)
-        if args.stats_json == "-":
-            print(document)
-        else:
-            try:
-                with open(args.stats_json, "w") as handle:
-                    handle.write(document + "\n")
-            except OSError as err:
-                print(f"error: {err}", file=sys.stderr)
-                return 2
-            print(f"stats written to {args.stats_json}", file=sys.stderr)
+        code = emit_stats_json(solution.stats_dict(), args.stats_json)
+        if code:
+            return code
 
     stats = solution.stats()
     print(f"ICFG nodes:       {stats.icfg_nodes}")

@@ -1,0 +1,138 @@
+"""Daemon wiring: one :class:`ServeSession`, one solver lane, and
+whichever wire surfaces the invocation asked for.
+
+``repro serve --port N`` serves HTTP; ``repro serve --stdio`` speaks
+LSP-style JSON-RPC on stdin/stdout; both may run at once (an editor
+session with a metrics scraper on the side).  The bound address is
+announced on stderr as ``repro serve: listening on http://HOST:PORT``
+— with ``--port 0`` that line is how the loadgen and tests discover
+the ephemeral port.
+
+Shutdown paths all converge on one flush: SIGTERM, SIGINT, or the RPC
+peer's ``exit`` notification stop the loop, the HTTP listener closes,
+and the final ``repro-serve-stats/1`` document is handed to
+``on_stats`` (the CLI wires that to the shared ``--stats-json``
+emitter, so a terminated daemon still reports what it did).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Optional
+
+from .http import HttpServeServer
+from .protocol import JsonRpcServer
+from .session import ServeSession
+
+
+async def _stdio_streams() -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    """Async stream pair over this process's stdin/stdout."""
+    loop = asyncio.get_running_loop()
+    reader = asyncio.StreamReader()
+    protocol = asyncio.StreamReaderProtocol(reader)
+    await loop.connect_read_pipe(lambda: protocol, sys.stdin)
+    transport, writer_protocol = await loop.connect_write_pipe(
+        lambda: asyncio.streams.FlowControlMixin(), sys.stdout
+    )
+    writer = asyncio.StreamWriter(transport, writer_protocol, reader, loop)
+    return reader, writer
+
+
+async def serve_async(
+    session: ServeSession,
+    host: str = "127.0.0.1",
+    port: Optional[int] = None,
+    stdio: bool = False,
+    on_listening: Optional[Callable[[str, int], None]] = None,
+    stop_event: Optional[asyncio.Event] = None,
+) -> None:
+    """Run the requested surfaces until a stop signal arrives."""
+    stop = stop_event if stop_event is not None else asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):
+            pass
+
+    # One shared solver lane across surfaces: ``--jobs`` parallelism
+    # lives *inside* a solve (summary-engine shards), not across
+    # requests, so answers stay deterministic under load.
+    executor = ThreadPoolExecutor(
+        max_workers=1, thread_name_prefix="repro-serve-solver"
+    )
+    http_server: Optional[HttpServeServer] = None
+    rpc_task: Optional[asyncio.Task] = None
+    try:
+        if port is not None:
+            http_server = HttpServeServer(
+                session, host=host, port=port, executor=executor
+            )
+            bound_host, bound_port = await http_server.start()
+            print(
+                f"repro serve: listening on http://{bound_host}:{bound_port}",
+                file=sys.stderr,
+                flush=True,
+            )
+            if on_listening is not None:
+                on_listening(bound_host, bound_port)
+        if stdio:
+            reader, writer = await _stdio_streams()
+            rpc = JsonRpcServer(session, reader, writer, executor=executor)
+            rpc_task = asyncio.ensure_future(rpc.run())
+            rpc_task.add_done_callback(lambda _task: stop.set())
+        if port is None and not stdio:
+            raise ValueError("serve needs --port and/or --stdio")
+        await stop.wait()
+    finally:
+        if rpc_task is not None and not rpc_task.done():
+            rpc_task.cancel()
+            try:
+                await rpc_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        if http_server is not None:
+            await http_server.stop()
+        else:
+            executor.shutdown(wait=True, cancel_futures=True)
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.remove_signal_handler(signum)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass
+
+
+def run_serve(
+    k: int = 3,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    max_facts: int = 2_000_000,
+    deadline_seconds: Optional[float] = None,
+    host: str = "127.0.0.1",
+    port: Optional[int] = None,
+    stdio: bool = False,
+    on_stats: Optional[Callable[[dict], None]] = None,
+) -> int:
+    """Blocking entry point used by ``repro serve``.
+
+    Returns 0 on a clean shutdown; the final stats document is always
+    flushed through ``on_stats`` first, whatever ended the loop.
+    """
+    session = ServeSession(
+        k=k,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        max_facts=max_facts,
+        deadline_seconds=deadline_seconds,
+    )
+    try:
+        asyncio.run(serve_async(session, host=host, port=port, stdio=stdio))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if on_stats is not None:
+            on_stats(session.stats_dict())
+    return 0

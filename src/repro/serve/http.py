@@ -1,0 +1,294 @@
+"""The HTTP batch surface: a minimal HTTP/1.1 server on asyncio
+streams (stdlib only — the container bakes in no web framework).
+
+Endpoints (all JSON in, JSON out):
+
+* ``GET /healthz`` — liveness: ``{"status": "ok", ...}``.
+* ``GET /metrics`` — the ``repro-serve-stats/1`` document.
+* ``POST /v1/analyze`` — ``{"files": [{"path", "text"}, ...]}``:
+  upsert each file and solve it (incrementally — unchanged procedures
+  replay from the per-procedure cache); per-file ``repro-stats/1``
+  documents plus the serve invalidation detail come back.
+* ``POST /v1/query`` — ``{"queries": [{"path", "line", "a"?, "b"?},
+  ...]}``: batch point queries answered against the *current* text
+  (every query forces the document up to date first).
+
+Protocol errors (bad JSON, unknown routes, malformed queries) are 4xx
+with an ``{"error": ...}`` body; an unexpected exception is a 500 and
+is counted in the metrics — the CI load gate asserts that counter is
+zero.  Solving and linting run on the daemon's single solver lane
+(``executor``) so the event loop keeps accepting requests (queue depth
+is an honest gauge) while at most one solve runs at a time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional
+
+from ..frontend.diagnostics import MiniCError
+from .metrics import CLASS_ANALYZE, CLASS_LINT, CLASS_OTHER, CLASS_QUERY
+from .session import QueryError, ServeSession
+
+#: Largest accepted request body (a whole translation unit plus slack).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+MAX_HEADER_BYTES = 64 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class HttpServeServer:
+    """One listening socket bound to one :class:`ServeSession`."""
+
+    def __init__(
+        self,
+        session: ServeSession,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        executor: Optional[ThreadPoolExecutor] = None,
+    ) -> None:
+        self.session = session
+        self.metrics = session.metrics
+        self.host = host
+        self.port = port
+        # One lane: solves are serialized, the loop stays responsive.
+        self.executor = executor or ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-solver"
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start serving; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.executor.shutdown(wait=True, cancel_futures=True)
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, target, headers, body = request
+                keep_alive = headers.get("connection", "").lower() != "close"
+                status, payload = await self._dispatch(method, target, body)
+                await self._write_response(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[tuple[str, str, dict, bytes]]:
+        """One parsed request, or None at a clean end-of-stream."""
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as err:
+            if not err.partial:
+                return None
+            raise
+        except asyncio.LimitOverrunError:
+            raise ConnectionError("oversized request head") from None
+        if len(head) > MAX_HEADER_BYTES:
+            raise ConnectionError("oversized request head")
+        lines = head.decode("latin-1").split("\r\n")
+        try:
+            method, target, _version = lines[0].split(" ", 2)
+        except ValueError:
+            raise ConnectionError(f"malformed request line {lines[0]!r}") from None
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            key, _, value = line.partition(":")
+            headers[key.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            raise ConnectionError("oversized request body")
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), target, headers, body
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        keep_alive: bool,
+    ) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        reason = _REASONS.get(status, "OK")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    # -- routing -------------------------------------------------------------
+
+    async def _dispatch(
+        self, method: str, target: str, body: bytes
+    ) -> tuple[int, dict]:
+        target = target.split("?", 1)[0]
+        endpoint = f"{method} {target}"
+        request_class = {
+            "POST /v1/analyze": CLASS_ANALYZE,
+            "POST /v1/query": CLASS_QUERY,
+            "POST /v1/lint": CLASS_LINT,
+        }.get(endpoint, CLASS_OTHER)
+        started = self.metrics.request_started(endpoint)
+        try:
+            status, payload = await self._route(method, target, body)
+        except (QueryError, MiniCError) as err:
+            status, payload = 400, {"error": str(err)}
+        except Exception as err:  # noqa: BLE001 - the 5xx accounting path
+            status, payload = 500, {
+                "error": f"{type(err).__name__}: {err}"
+            }
+        self.metrics.request_finished(started, request_class, status)
+        return status, payload
+
+    async def _route(
+        self, method: str, target: str, body: bytes
+    ) -> tuple[int, dict]:
+        if target == "/healthz":
+            if method != "GET":
+                return 405, {"error": "healthz is GET-only"}
+            return 200, {
+                "schema": "repro-serve-health/1",
+                "status": "ok",
+                "resident_programs": len(self.session.documents),
+            }
+        if target == "/metrics":
+            if method != "GET":
+                return 405, {"error": "metrics is GET-only"}
+            return 200, self.session.stats_dict()
+        if target == "/v1/analyze":
+            if method != "POST":
+                return 405, {"error": "analyze is POST-only"}
+            return await self._analyze(self._parse_body(body))
+        if target == "/v1/query":
+            if method != "POST":
+                return 405, {"error": "query is POST-only"}
+            return await self._query(self._parse_body(body))
+        if target == "/v1/lint":
+            if method != "POST":
+                return 405, {"error": "lint is POST-only"}
+            return await self._lint(self._parse_body(body))
+        return 404, {"error": f"no route for {method} {target}"}
+
+    @staticmethod
+    def _parse_body(body: bytes) -> dict:
+        try:
+            document = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as err:
+            raise QueryError(f"request body is not JSON: {err}") from None
+        if not isinstance(document, dict):
+            raise QueryError("request body must be a JSON object")
+        return document
+
+    async def _run(self, fn, *args):
+        return await asyncio.get_running_loop().run_in_executor(
+            self.executor, fn, *args
+        )
+
+    # -- handlers ------------------------------------------------------------
+
+    async def _analyze(self, request: dict) -> tuple[int, dict]:
+        files = request.get("files")
+        if not isinstance(files, list) or not files:
+            raise QueryError("analyze needs a non-empty 'files' list")
+        results = []
+        for entry in files:
+            if not isinstance(entry, dict) or "path" not in entry:
+                raise QueryError("each file needs at least a 'path'")
+            path = str(entry["path"])
+            if "text" in entry:
+                self.session.upsert(path, str(entry["text"]))
+            try:
+                result = await self._run(self.session.analyze_result, path)
+            except MiniCError as err:
+                result = {"path": path, "status": "parse_error", "error": str(err)}
+            except QueryError as err:
+                result = {"path": path, "status": "unknown", "error": str(err)}
+            results.append(result)
+        return 200, {"schema": "repro-serve-analyze/1", "files": results}
+
+    async def _query(self, request: dict) -> tuple[int, dict]:
+        queries = request.get("queries")
+        if not isinstance(queries, list) or not queries:
+            raise QueryError("query needs a non-empty 'queries' list")
+        answers = []
+        for entry in queries:
+            if not isinstance(entry, dict) or "path" not in entry or "line" not in entry:
+                raise QueryError("each query needs 'path' and 'line'")
+            answers.append(
+                await self._run(
+                    self.session.query,
+                    str(entry["path"]),
+                    int(entry["line"]),
+                    entry.get("a"),
+                    entry.get("b"),
+                )
+            )
+        return 200, {"schema": "repro-serve-query/1", "answers": answers}
+
+    async def _lint(self, request: dict) -> tuple[int, dict]:
+        path = request.get("path")
+        if not isinstance(path, str):
+            raise QueryError("lint needs a 'path'")
+        if "text" in request:
+            self.session.upsert(path, str(request["text"]))
+        report = await self._run(self.session.lint, path)
+        findings = [
+            {
+                "rule": f.rule,
+                "severity": f.severity,
+                "confidence": f.confidence,
+                "message": f.message,
+                "proc": f.proc,
+                "line": f.span.start.line,
+                "column": f.span.start.column,
+            }
+            for f in report.findings
+        ]
+        return 200, {
+            "schema": "repro-serve-lint/1",
+            "path": path,
+            "findings": findings,
+        }

@@ -1,0 +1,422 @@
+"""Deterministic seeded load generator for the serve daemon.
+
+The workload is editor-shaped: a handful of generated MiniC programs
+are opened cold (full first solve), then a seeded mix of full-text
+edits, point ``may_alias`` queries and lint requests is replayed
+against the HTTP surface.  Edits touch only the body of a dedicated
+``zz_probe`` function appended to every program — the probe exists
+from the first analyze (so the environment text, which embeds every
+signature, never changes) and each edit appends one more ``zz = N;``
+statement, so exactly one procedure's body hash moves per edit.  That
+makes the daemon's invalidation scoping *measurable*: a healthy serve
+re-solves only ``zz_probe`` and replays everything else from the
+per-procedure cache.
+
+The op sequence is fully determined by ``--seed``; only the timings
+vary run to run.  The report (``repro-serve-loadgen/1``) carries
+client-observed latencies (cold and warm, p50/p99), request/sec, a
+failure ledger the CI gate asserts is all-zero, and the daemon's own
+final ``/metrics`` document — including ``edit_scoped_ratio``, the
+fraction of post-edit solves whose cache misses stayed inside the
+edited procedures (CI requires ≥ 0.9).
+
+Run it against a daemon you booted yourself (``--url``), or let it
+boot one: ``python -m repro.serve.loadgen --requests 200 --jobs 2``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import random
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Optional
+
+from ..programs.generator import ProgramSpec, generate_program
+from .metrics import percentile
+
+LOADGEN_SCHEMA = "repro-serve-loadgen/1"
+
+#: The edit target appended to every generated program.  Its body is
+#: regenerated per edit; its signature never changes.
+PROBE_NAME = "zz_probe"
+
+#: Relative op weights for the warm phase.
+OP_WEIGHTS = (("query", 6), ("edit", 3), ("lint", 1))
+
+#: Per-index seed offsets for the generated corpus.  The generator is
+#: seed-chaotic: some draws produce k-limit blow-ups that take minutes
+#: to solve.  Those are real behaviour — measured where they belong,
+#: in the difftest sweep and the budget benchmarks — but useless as
+#: load-test units, which need stable, fast cold solves so the numbers
+#: measure the *daemon*, not one unlucky program.  These offsets are
+#: pinned to draws that solve completely at k=3 in single-digit
+#: seconds on one core for the default ``--seed 1992``; past the list
+#: the schedule continues sequentially (deterministic, tameness
+#: unverified) and the daemon's solve deadline is the backstop.
+TAME_OFFSETS = (0, 1, 4, 6, 7, 8, 9)
+
+
+def corpus_seed(seed: int, index: int) -> int:
+    """The generator seed for corpus program ``index``."""
+    if index < len(TAME_OFFSETS):
+        return seed * 1000 + TAME_OFFSETS[index]
+    return seed * 1000 + TAME_OFFSETS[-1] + (index - len(TAME_OFFSETS)) + 1
+
+
+def probe_text(edits: int) -> str:
+    """The probe function after ``edits`` edits."""
+    body = "".join(f"    zz = {n};\n" for n in range(edits + 1))
+    return f"void {PROBE_NAME}(void) {{\n    int zz;\n{body}}}\n"
+
+
+def make_corpus(
+    seed: int, programs: int, n_functions: int = 6
+) -> list[dict]:
+    """Generated programs, each carrying its probe and query pool."""
+    corpus = []
+    for index in range(programs):
+        spec = ProgramSpec(
+            name=f"load{index}",
+            seed=corpus_seed(seed, index),
+            n_functions=n_functions,
+        )
+        base = generate_program(spec) + "\n"
+        text = base + probe_text(0)
+        names = sorted(set(re.findall(r"\bg\d+\b", base))) or ["zz"]
+        corpus.append(
+            {
+                "path": f"load{index}.c",
+                "base": base,
+                "edits": 0,
+                "text": text,
+                "lines": text.count("\n"),
+                "names": names,
+            }
+        )
+    return corpus
+
+
+class LoadClient:
+    """Thin keep-alive JSON client over :mod:`http.client`."""
+
+    def __init__(self, host: str, port: int, timeout: float = 120.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+        self.protocol_errors = 0
+        self.responses_4xx = 0
+        self.responses_5xx = 0
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def request(
+        self, method: str, target: str, payload: Optional[dict] = None
+    ) -> tuple[int, dict, float]:
+        """(status, body, wall_seconds); protocol failures count and
+        return status 0 with an empty body."""
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        started = time.perf_counter()
+        try:
+            conn = self._connection()
+            conn.request(
+                method,
+                target,
+                body=body,
+                headers={"Content-Type": "application/json"} if body else {},
+            )
+            response = conn.getresponse()
+            raw = response.read()
+            status = response.status
+        except (OSError, http.client.HTTPException):
+            self.protocol_errors += 1
+            self._conn = None
+            return 0, {}, time.perf_counter() - started
+        wall = time.perf_counter() - started
+        if status >= 500:
+            self.responses_5xx += 1
+        elif status >= 400:
+            self.responses_4xx += 1
+        try:
+            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            self.protocol_errors += 1
+            decoded = {}
+        if not isinstance(decoded, dict):
+            decoded = {}
+        return status, decoded, wall
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+
+def boot_daemon(
+    jobs: int,
+    k: int,
+    cache_dir: Optional[str],
+    deadline_seconds: Optional[float] = 60.0,
+) -> tuple[subprocess.Popen, str, int]:
+    """Start ``repro serve --port 0`` and parse the announced port.
+
+    The per-solve deadline is the backstop against pathological
+    programs: a blow-up degrades to a budget-partial solution instead
+    of wedging the load run."""
+    command = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "serve",
+        "--port",
+        "0",
+        "--jobs",
+        str(jobs),
+        "--k",
+        str(k),
+    ]
+    if deadline_seconds is not None:
+        command += ["--deadline-seconds", str(deadline_seconds)]
+    if cache_dir:
+        command += ["--cache-dir", cache_dir]
+    # Make sure the child finds the same repro package we're running
+    # from, whatever the caller's working directory is.
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2])
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    process = subprocess.Popen(
+        command,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    assert process.stderr is not None
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        line = process.stderr.readline()
+        if not line:
+            break
+        match = re.search(r"listening on http://([\d.]+):(\d+)", line)
+        if match:
+            return process, match.group(1), int(match.group(2))
+    process.kill()
+    raise RuntimeError("daemon never announced a listening address")
+
+
+def run_load(
+    client: LoadClient,
+    seed: int,
+    requests: int,
+    programs: int,
+    n_functions: int = 6,
+) -> dict:
+    """Replay the seeded workload; returns the loadgen report."""
+    rng = random.Random(seed)
+    corpus = make_corpus(seed, programs, n_functions)
+    ops = [name for name, weight in OP_WEIGHTS for _ in range(weight)]
+
+    # Cold phase: first analyze of every program (cache-empty solves).
+    cold: list[float] = []
+    analyze_errors = 0
+    incomplete_solves = 0
+
+    def check_analyze(status: int, body: dict) -> None:
+        nonlocal analyze_errors, incomplete_solves
+        files = body.get("files") or [{}]
+        if status != 200 or files[0].get("status") != "ok":
+            analyze_errors += 1
+            return
+        budget = (files[0].get("stats") or {}).get("budget") or {}
+        if budget.get("exceeded"):
+            # A budget-partial solve: legal daemon behaviour, but the
+            # pinned corpus must never trigger it — count it so the CI
+            # gate notices a tameness regression.
+            incomplete_solves += 1
+
+    for program in corpus:
+        status, body, wall = client.request(
+            "POST",
+            "/v1/analyze",
+            {"files": [{"path": program["path"], "text": program["text"]}]},
+        )
+        cold.append(wall)
+        check_analyze(status, body)
+
+    # Warm phase: the seeded edit/query/lint mix.
+    warm: dict[str, list[float]] = {"query": [], "edit": [], "lint": []}
+    query_answers = 0
+    warm_started = time.perf_counter()
+    for _ in range(requests):
+        op = rng.choice(ops)
+        program = rng.choice(corpus)
+        if op == "edit":
+            program["edits"] += 1
+            program["text"] = program["base"] + probe_text(program["edits"])
+            program["lines"] = program["text"].count("\n")
+            status, body, wall = client.request(
+                "POST",
+                "/v1/analyze",
+                {"files": [{"path": program["path"], "text": program["text"]}]},
+            )
+            check_analyze(status, body)
+        elif op == "lint":
+            status, _body, wall = client.request(
+                "POST", "/v1/lint", {"path": program["path"]}
+            )
+        else:
+            names = program["names"]
+            a = rng.choice(names)
+            b = rng.choice(names)
+            line = rng.randint(1, program["lines"])
+            status, body, wall = client.request(
+                "POST",
+                "/v1/query",
+                {
+                    "queries": [
+                        {"path": program["path"], "line": line, "a": a, "b": b}
+                    ]
+                },
+            )
+            answers = body.get("answers") or []
+            if status == 200 and answers:
+                query_answers += 1
+        warm[op].append(wall)
+    warm_wall = time.perf_counter() - warm_started
+
+    status, metrics, _wall = client.request("GET", "/metrics")
+    if status != 200:
+        metrics = {}
+
+    def summary(samples: list[float]) -> dict:
+        return {
+            "count": len(samples),
+            "mean_ms": round(1000.0 * sum(samples) / len(samples), 3)
+            if samples
+            else None,
+            "p50_ms": _ms(percentile(samples, 0.5)),
+            "p99_ms": _ms(percentile(samples, 0.99)),
+            "max_ms": _ms(max(samples) if samples else None),
+        }
+
+    session = metrics.get("session") or {}
+    return {
+        "schema": LOADGEN_SCHEMA,
+        "seed": seed,
+        "programs": programs,
+        "requests": requests,
+        "cold": summary(cold),
+        "warm": {
+            "wall_seconds": round(warm_wall, 3),
+            "requests_per_second": round(requests / warm_wall, 3)
+            if warm_wall > 0
+            else None,
+            "query": summary(warm["query"]),
+            "edit": summary(warm["edit"]),
+            "lint": summary(warm["lint"]),
+        },
+        "queries_answered": query_answers,
+        "failures": {
+            "protocol_errors": client.protocol_errors,
+            "responses_4xx": client.responses_4xx,
+            "responses_5xx": client.responses_5xx,
+            "analyze_errors": analyze_errors,
+            "incomplete_solves": incomplete_solves,
+        },
+        "edit_scoped_ratio": session.get("edit_scoped_ratio"),
+        "server_metrics": metrics,
+    }
+
+
+def _ms(value: Optional[float]) -> Optional[float]:
+    return round(1000.0 * value, 3) if value is not None else None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.loadgen",
+        description="Seeded mixed edit/query load against repro serve.",
+    )
+    parser.add_argument("--url", help="http://HOST:PORT of a running daemon "
+                        "(default: boot one with --port 0)")
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument("--programs", type=int, default=3)
+    parser.add_argument("--functions", type=int, default=6,
+                        help="functions per generated program")
+    parser.add_argument("--seed", type=int, default=1992)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="daemon --jobs when self-booting")
+    parser.add_argument("--k", type=int, default=3)
+    parser.add_argument("--cache-dir", help="daemon cache dir when self-booting")
+    parser.add_argument(
+        "--deadline-seconds",
+        type=float,
+        default=60.0,
+        help="daemon per-solve deadline when self-booting (default 60)",
+    )
+    parser.add_argument("--json", help="write the report here ('-' = stdout only)")
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    process = None
+    if args.url:
+        match = re.match(r"https?://([^:/]+):(\d+)", args.url)
+        if not match:
+            print(f"error: bad --url {args.url!r}", file=sys.stderr)
+            return 2
+        host, port = match.group(1), int(match.group(2))
+    else:
+        process, host, port = boot_daemon(
+            args.jobs, args.k, args.cache_dir, args.deadline_seconds
+        )
+    client = LoadClient(host, port)
+    try:
+        report = run_load(
+            client, args.seed, args.requests, args.programs, args.functions
+        )
+    finally:
+        client.close()
+        if process is not None:
+            process.terminate()
+            try:
+                process.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                process.kill()
+    document = json.dumps(report, indent=2, sort_keys=True)
+    if args.json and args.json != "-":
+        with open(args.json, "w") as handle:
+            handle.write(document + "\n")
+        print(f"loadgen report written to {args.json}", file=sys.stderr)
+    else:
+        print(document)
+    failures = report["failures"]
+    failed = sum(failures.values())
+    warm_query = report["warm"]["query"]
+    print(
+        f"loadgen: {report['requests']} warm requests over "
+        f"{report['programs']} programs, "
+        f"{report['warm']['requests_per_second']} req/s, "
+        f"query p50={warm_query['p50_ms']}ms p99={warm_query['p99_ms']}ms, "
+        f"failures={failed}, scoped={report['edit_scoped_ratio']}",
+        file=sys.stderr,
+    )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,313 @@
+"""The LSP-style JSON-RPC surface: Content-Length framed messages
+over a byte stream (stdio in production, in-memory pipes in tests).
+
+Supported methods — a deliberately small, editor-shaped subset:
+
+* ``initialize`` / ``initialized`` / ``shutdown`` / ``exit`` — the
+  usual lifecycle.  ``exit`` ends :meth:`JsonRpcServer.run`.
+* ``textDocument/didOpen`` / ``didChange`` (full-text sync only) /
+  ``didClose`` — push deltas into the session.  After open/change the
+  server re-lints the *current* text and publishes a
+  ``textDocument/publishDiagnostics`` notification built from
+  :mod:`repro.lint` findings (severity error→1, warning→2, note→3).
+* ``repro/mayAlias`` — ``{"uri", "line", "a"?, "b"?}``: a point alias
+  query against the current text; same semantics as ``POST /v1/query``.
+* ``repro/stats`` — the ``repro-serve-stats/1`` document.
+
+Unknown requests get ``-32601``; malformed params get ``-32602``; a
+parse failure of the MiniC text surfaces as a single whole-file
+``error`` diagnostic rather than an RPC error, the way editors expect.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Optional
+
+from ..frontend.diagnostics import MiniCError
+from .metrics import CLASS_LINT, CLASS_OTHER, CLASS_QUERY
+from .session import QueryError, ServeSession
+
+PARSE_ERROR = -32700
+INVALID_REQUEST = -32600
+METHOD_NOT_FOUND = -32601
+INVALID_PARAMS = -32602
+INTERNAL_ERROR = -32603
+
+#: LSP DiagnosticSeverity values for repro.lint severities.
+SEVERITY_MAP = {"error": 1, "warning": 2, "note": 3}
+
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+def read_frame_sync(stream) -> Optional[dict]:
+    """Blocking Content-Length frame reader for plain binary files
+    (the loadgen / test client side)."""
+    length = None
+    while True:
+        line = stream.readline()
+        if not line:
+            return None
+        line = line.strip()
+        if not line:
+            break
+        key, _, value = line.partition(b":")
+        if key.strip().lower() == b"content-length":
+            length = int(value.strip())
+    if length is None:
+        raise ValueError("frame without Content-Length")
+    body = stream.read(length)
+    if len(body) != length:
+        return None
+    return json.loads(body.decode("utf-8"))
+
+
+def write_frame_sync(stream, message: dict) -> None:
+    """Blocking frame writer, counterpart of :func:`read_frame_sync`."""
+    body = json.dumps(message, sort_keys=True).encode("utf-8")
+    stream.write(b"Content-Length: %d\r\n\r\n" % len(body))
+    stream.write(body)
+    stream.flush()
+
+
+class JsonRpcServer:
+    """One JSON-RPC peer speaking to one :class:`ServeSession`."""
+
+    def __init__(
+        self,
+        session: ServeSession,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        executor: Optional[ThreadPoolExecutor] = None,
+    ) -> None:
+        self.session = session
+        self.metrics = session.metrics
+        self.reader = reader
+        self.writer = writer
+        self.executor = executor or ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-solver"
+        )
+        self._owns_executor = executor is None
+        self._write_lock = asyncio.Lock()
+        self._shutdown_seen = False
+        self.exited = False
+
+    # -- framing -------------------------------------------------------------
+
+    async def _read_frame(self) -> Optional[dict]:
+        length = None
+        while True:
+            line = await self.reader.readline()
+            if not line:
+                return None
+            stripped = line.strip()
+            if not stripped:
+                break
+            key, _, value = stripped.partition(b":")
+            if key.strip().lower() == b"content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    raise ConnectionError("bad Content-Length") from None
+        if length is None or length > MAX_FRAME_BYTES:
+            raise ConnectionError("missing or oversized Content-Length")
+        body = await self.reader.readexactly(length)
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            await self._send(
+                {
+                    "jsonrpc": "2.0",
+                    "id": None,
+                    "error": {"code": PARSE_ERROR, "message": "frame is not JSON"},
+                }
+            )
+            return {}
+
+    async def _send(self, message: dict) -> None:
+        body = json.dumps(message, sort_keys=True).encode("utf-8")
+        async with self._write_lock:
+            self.writer.write(b"Content-Length: %d\r\n\r\n" % len(body))
+            self.writer.write(body)
+            await self.writer.drain()
+
+    async def _respond(self, request_id: Any, result: Any) -> None:
+        await self._send({"jsonrpc": "2.0", "id": request_id, "result": result})
+
+    async def _fail(self, request_id: Any, code: int, message: str) -> None:
+        await self._send(
+            {
+                "jsonrpc": "2.0",
+                "id": request_id,
+                "error": {"code": code, "message": message},
+            }
+        )
+
+    async def _notify(self, method: str, params: dict) -> None:
+        await self._send({"jsonrpc": "2.0", "method": method, "params": params})
+
+    # -- main loop -----------------------------------------------------------
+
+    async def run(self) -> None:
+        """Serve frames until ``exit`` or end-of-stream."""
+        try:
+            while not self.exited:
+                try:
+                    message = await self._read_frame()
+                except (
+                    ConnectionError,
+                    asyncio.IncompleteReadError,
+                ):
+                    break
+                if message is None:
+                    break
+                if not message:
+                    continue
+                await self._handle(message)
+        finally:
+            if self._owns_executor:
+                self.executor.shutdown(wait=True, cancel_futures=True)
+
+    async def _handle(self, message: dict) -> None:
+        method = message.get("method")
+        request_id = message.get("id")
+        params = message.get("params") or {}
+        is_request = request_id is not None
+        if not isinstance(method, str):
+            if is_request:
+                await self._fail(request_id, INVALID_REQUEST, "missing method")
+            return
+        request_class = {
+            "repro/mayAlias": CLASS_QUERY,
+            "textDocument/didOpen": CLASS_LINT,
+            "textDocument/didChange": CLASS_LINT,
+        }.get(method, CLASS_OTHER)
+        started = self.metrics.request_started(f"rpc {method}")
+        status = 200
+        try:
+            await self._handle_method(method, request_id, params, is_request)
+        except QueryError as err:
+            status = 400
+            if is_request:
+                await self._fail(request_id, INVALID_PARAMS, str(err))
+        except Exception as err:  # noqa: BLE001 - the 5xx accounting path
+            status = 500
+            if is_request:
+                await self._fail(
+                    request_id, INTERNAL_ERROR, f"{type(err).__name__}: {err}"
+                )
+        self.metrics.request_finished(started, request_class, status)
+
+    async def _handle_method(
+        self, method: str, request_id: Any, params: dict, is_request: bool
+    ) -> None:
+        if method == "initialize":
+            await self._respond(
+                request_id,
+                {
+                    "capabilities": {
+                        "textDocumentSync": {"openClose": True, "change": 1},
+                        "reproProvider": True,
+                    },
+                    "serverInfo": {"name": "repro serve"},
+                },
+            )
+        elif method == "initialized":
+            pass
+        elif method == "shutdown":
+            self._shutdown_seen = True
+            await self._respond(request_id, None)
+        elif method == "exit":
+            self.exited = True
+        elif method == "textDocument/didOpen":
+            doc = params.get("textDocument") or {}
+            uri, text = doc.get("uri"), doc.get("text")
+            if not isinstance(uri, str) or not isinstance(text, str):
+                raise QueryError("didOpen needs textDocument.uri and .text")
+            self.session.upsert(uri, text)
+            await self._publish_diagnostics(uri)
+        elif method == "textDocument/didChange":
+            doc = params.get("textDocument") or {}
+            uri = doc.get("uri")
+            changes = params.get("contentChanges") or []
+            if not isinstance(uri, str) or not changes:
+                raise QueryError("didChange needs textDocument.uri and contentChanges")
+            last = changes[-1]
+            if not isinstance(last, dict) or "text" not in last or "range" in last:
+                raise QueryError("only full-text sync is supported")
+            self.session.upsert(uri, str(last["text"]))
+            await self._publish_diagnostics(uri)
+        elif method == "textDocument/didClose":
+            doc = params.get("textDocument") or {}
+            uri = doc.get("uri")
+            if isinstance(uri, str):
+                self.session.close(uri)
+        elif method == "repro/mayAlias":
+            uri, line = params.get("uri"), params.get("line")
+            if not isinstance(uri, str) or not isinstance(line, int):
+                raise QueryError("mayAlias needs 'uri' and integer 'line'")
+            answer = await self._run(
+                self.session.query, uri, line, params.get("a"), params.get("b")
+            )
+            await self._respond(request_id, answer)
+        elif method == "repro/stats":
+            await self._respond(request_id, self.session.stats_dict())
+        elif is_request:
+            await self._fail(
+                request_id, METHOD_NOT_FOUND, f"unknown method {method!r}"
+            )
+
+    async def _run(self, fn, *args):
+        return await asyncio.get_running_loop().run_in_executor(
+            self.executor, fn, *args
+        )
+
+    # -- diagnostics ---------------------------------------------------------
+
+    async def _publish_diagnostics(self, uri: str) -> None:
+        try:
+            report = await self._run(self.session.lint, uri)
+        except MiniCError as err:
+            diagnostics = [
+                {
+                    "range": {
+                        "start": {"line": 0, "character": 0},
+                        "end": {"line": 0, "character": 0},
+                    },
+                    "severity": 1,
+                    "source": "repro",
+                    "code": "parse-error",
+                    "message": str(err),
+                }
+            ]
+        else:
+            diagnostics = [lsp_diagnostic(f) for f in report.findings]
+        await self._notify(
+            "textDocument/publishDiagnostics",
+            {
+                "uri": uri,
+                "version": self.session.documents[uri].version,
+                "diagnostics": diagnostics,
+            },
+        )
+
+
+def lsp_diagnostic(finding) -> dict:
+    """One :class:`repro.lint.findings.Finding` as an LSP diagnostic
+    (LSP positions are 0-based; spans are 1-based)."""
+    start_line = max(0, finding.span.start.line - 1)
+    start_col = max(0, finding.span.start.column - 1)
+    end_line = max(start_line, finding.span.end.line - 1)
+    end_col = max(0, finding.span.end.column - 1)
+    return {
+        "range": {
+            "start": {"line": start_line, "character": start_col},
+            "end": {"line": end_line, "character": end_col},
+        },
+        "severity": SEVERITY_MAP.get(finding.severity, 3),
+        "source": "repro",
+        "code": finding.rule,
+        "message": finding.message,
+    }

@@ -496,6 +496,12 @@ class SummaryAnalysis:
         self.drains = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        # Which procedures ever hit/missed the per-procedure cache this
+        # run — the serve layer's invalidation-scoping metric reads
+        # these (a post-edit solve is "scoped" when every miss belongs
+        # to an edited procedure).
+        self.cache_hit_procs: set[str] = set()
+        self.cache_miss_procs: set[str] = set()
         self.solvers: dict[str, ProcSolver] = {}
         self._proc_keys: dict[str, str] = {}
         self._callers_of: dict[str, tuple[str, ...]] = {}
@@ -583,6 +589,8 @@ class SummaryAnalysis:
     def _setup(self) -> None:
         self.rounds = 0
         self.drains = 0
+        self.cache_hit_procs = set()
+        self.cache_miss_procs = set()
         self.solvers = {
             proc: ProcSolver(
                 proc, self.analyzed, self.icfg, self.k, self.max_facts
@@ -751,13 +759,16 @@ class SummaryAnalysis:
                     # a miss; the entry will be overwritten below.
                     self.cache.counters.corrupt_dropped += 1
                     to_solve.append(proc)
+                    self.cache_miss_procs.add(proc)
                     continue
                 harvests[proc] = harvest
                 self.drains += 1
                 self.cache_hits += 1
+                self.cache_hit_procs.add(proc)
                 continue
             to_solve.append(proc)
             self.cache_misses += 1
+            self.cache_miss_procs.add(proc)
 
         if to_solve:
             use_workers = parallel_ok and self._effective_jobs(

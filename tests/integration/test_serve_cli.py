@@ -1,0 +1,120 @@
+"""``repro serve`` as a real subprocess: boot, announce, serve,
+SIGTERM, flush.
+
+The SIGTERM path is the satellite fix this PR carries in the CLI: a
+terminated daemon must still write its ``--stats-json`` document
+through the shared emission path, exactly like a clean exit would.
+The tiny loadgen run at the end is the same code path CI's serve job
+exercises at 200+ requests.
+"""
+
+import http.client
+import json
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+PROGRAM = "int g;\nint *p;\n\nvoid main(void) {\n    p = &g;\n}\n"
+
+
+def boot(tmp_path, *extra):
+    """Start a daemon on an ephemeral port; returns (process, port)."""
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0", *extra],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        text=True,
+        env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+        cwd=str(tmp_path),
+    )
+    assert process.stderr is not None
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        line = process.stderr.readline()
+        match = re.search(r"listening on http://127\.0\.0\.1:(\d+)", line or "")
+        if match:
+            return process, int(match.group(1))
+        if process.poll() is not None:
+            break
+    process.kill()
+    pytest.fail("daemon never announced its port")
+
+
+def request(port, method, target, payload=None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    try:
+        body = json.dumps(payload).encode() if payload is not None else None
+        conn.request(method, target, body=body)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read().decode())
+    finally:
+        conn.close()
+
+
+class TestServeSubprocess:
+    def test_sigterm_flushes_stats_json(self, tmp_path):
+        stats_path = tmp_path / "serve-stats.json"
+        process, port = boot(
+            tmp_path, "--stats-json", str(stats_path),
+            "--cache-dir", str(tmp_path / "cache"),
+        )
+        try:
+            status, _ = request(
+                port, "POST", "/v1/analyze",
+                {"files": [{"path": "a.c", "text": PROGRAM}]},
+            )
+            assert status == 200
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=60) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+        document = json.loads(stats_path.read_text())
+        assert document["schema"] == "repro-serve-stats/1"
+        assert document["requests"]["total"] >= 1
+        assert document["session"]["solves_total"] == 1
+        assert document["requests"]["responses_5xx"] == 0
+
+    def test_serve_requires_a_surface(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "serve"],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+            timeout=60,
+        )
+        assert result.returncode == 2
+        assert "--port" in result.stderr
+
+    def test_loadgen_smoke(self, tmp_path):
+        """The CI serve gate in miniature: a seeded mixed workload,
+        zero failures, scoped re-solves."""
+        report_path = tmp_path / "loadgen.json"
+        result = subprocess.run(
+            [
+                sys.executable, "-m", "repro.serve.loadgen",
+                "--requests", "12", "--programs", "1", "--functions", "4",
+                "--seed", "7", "--json", str(report_path),
+                "--cache-dir", str(tmp_path / "cache"),
+            ],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+            timeout=560,
+        )
+        assert result.returncode == 0, result.stderr
+        report = json.loads(report_path.read_text())
+        assert report["schema"] == "repro-serve-loadgen/1"
+        assert sum(report["failures"].values()) == 0
+        assert report["requests"] == 12
+        assert report["cold"]["count"] == 1
+        # Every edit touched only zz_probe: perfectly scoped.
+        if report["server_metrics"]["session"]["post_edit_solves"]:
+            assert report["edit_scoped_ratio"] == 1.0

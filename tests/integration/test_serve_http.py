@@ -1,0 +1,209 @@
+"""The HTTP surface end-to-end, in-process: a real asyncio server on
+an ephemeral port, a real socket client, no subprocesses.
+
+Pins the wire contract docs/SERVE.md documents: routes, status codes,
+JSON shapes, the metrics document — and that protocol-level abuse
+(bad JSON, unknown routes, wrong methods) yields 4xx, never 5xx.
+"""
+
+import asyncio
+import http.client
+import json
+
+import pytest
+
+from repro.serve import ServeSession
+from repro.serve.http import HttpServeServer
+
+PROGRAM = """
+int g;
+int h;
+int *p;
+
+void main(void) {
+    p = &g;
+}
+"""
+
+PROGRAM_EDIT = PROGRAM.replace("p = &g;", "p = &h;")
+
+
+def request(port, method, target, payload=None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    try:
+        body = json.dumps(payload).encode() if payload is not None else None
+        conn.request(method, target, body=body)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read().decode())
+    finally:
+        conn.close()
+
+
+@pytest.fixture()
+def server(tmp_path):
+    """A started server + its port, torn down cleanly per test."""
+    session = ServeSession(k=3, cache_dir=str(tmp_path / "cache"))
+    loop = asyncio.new_event_loop()
+    server = HttpServeServer(session, port=0)
+    _host, port = loop.run_until_complete(server.start())
+
+    import threading
+
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    try:
+        yield server, port
+    finally:
+        asyncio.run_coroutine_threadsafe(server.stop(), loop).result(timeout=30)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=30)
+        loop.close()
+
+
+class TestRoutes:
+    def test_healthz(self, server):
+        _server, port = server
+        status, body = request(port, "GET", "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["resident_programs"] == 0
+
+    def test_analyze_then_query(self, server):
+        _server, port = server
+        status, body = request(
+            port,
+            "POST",
+            "/v1/analyze",
+            {"files": [{"path": "a.c", "text": PROGRAM}]},
+        )
+        assert status == 200
+        (entry,) = body["files"]
+        assert entry["status"] == "ok"
+        assert entry["stats"]["schema"] == "repro-stats/1"
+        assert entry["serve"]["procs_total"] == 1
+
+        status, body = request(
+            port,
+            "POST",
+            "/v1/query",
+            {"queries": [{"path": "a.c", "line": 7, "a": "*p", "b": "g"}]},
+        )
+        assert status == 200
+        (answer,) = body["answers"]
+        assert answer["may_alias"] is True
+
+    def test_edit_changes_answer(self, server):
+        _server, port = server
+        request(
+            port, "POST", "/v1/analyze",
+            {"files": [{"path": "a.c", "text": PROGRAM}]},
+        )
+        request(
+            port, "POST", "/v1/analyze",
+            {"files": [{"path": "a.c", "text": PROGRAM_EDIT}]},
+        )
+        status, body = request(
+            port,
+            "POST",
+            "/v1/query",
+            {"queries": [{"path": "a.c", "line": 7, "a": "*p", "b": "g"}]},
+        )
+        assert status == 200
+        assert body["answers"][0]["may_alias"] is False
+        assert body["answers"][0]["version"] == 1
+
+    def test_lint(self, server):
+        _server, port = server
+        status, body = request(
+            port, "POST", "/v1/lint", {"path": "a.c", "text": PROGRAM}
+        )
+        assert status == 200
+        assert body["path"] == "a.c"
+        assert isinstance(body["findings"], list)
+
+    def test_metrics_document(self, server):
+        _server, port = server
+        request(
+            port, "POST", "/v1/analyze",
+            {"files": [{"path": "a.c", "text": PROGRAM}]},
+        )
+        status, body = request(port, "GET", "/metrics")
+        assert status == 200
+        assert body["schema"] == "repro-serve-stats/1"
+        assert body["resident_programs"] == 1
+        assert body["session"]["solves_total"] == 1
+        assert body["requests"]["responses_5xx"] == 0
+        assert body["latency"]["analyze"]["count"] == 1
+
+
+class TestProtocolAbuse:
+    """Every malformed input is a 4xx — and never poisons the server."""
+
+    def test_unknown_route_404(self, server):
+        _server, port = server
+        status, body = request(port, "GET", "/nope")
+        assert status == 404
+        assert "error" in body
+
+    def test_wrong_method_405(self, server):
+        _server, port = server
+        assert request(port, "POST", "/healthz", {})[0] == 405
+        assert request(port, "GET", "/v1/analyze")[0] == 405
+
+    def test_bad_json_400(self, server):
+        _server, port = server
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+        try:
+            conn.request("POST", "/v1/analyze", body=b"this is not json")
+            response = conn.getresponse()
+            assert response.status == 400
+            response.read()
+        finally:
+            conn.close()
+
+    def test_empty_files_400(self, server):
+        _server, port = server
+        assert request(port, "POST", "/v1/analyze", {"files": []})[0] == 400
+
+    def test_query_unknown_document_400(self, server):
+        _server, port = server
+        status, _ = request(
+            port, "POST", "/v1/query",
+            {"queries": [{"path": "missing.c", "line": 1}]},
+        )
+        assert status == 400
+
+    def test_bad_expression_400(self, server):
+        _server, port = server
+        request(
+            port, "POST", "/v1/analyze",
+            {"files": [{"path": "a.c", "text": PROGRAM}]},
+        )
+        status, _ = request(
+            port, "POST", "/v1/query",
+            {"queries": [{"path": "a.c", "line": 7, "a": "p[0]", "b": "g"}]},
+        )
+        assert status == 400
+
+    def test_parse_error_is_not_5xx(self, server):
+        _server, port = server
+        status, body = request(
+            port, "POST", "/v1/analyze",
+            {"files": [{"path": "bad.c", "text": "void main(void) { ??? }"}]},
+        )
+        assert status == 200
+        assert body["files"][0]["status"] == "parse_error"
+
+    def test_no_5xx_after_abuse(self, server):
+        _server, port = server
+        request(port, "GET", "/nope")
+        request(port, "POST", "/v1/analyze", {"files": []})
+        _status, body = request(port, "GET", "/metrics")
+        assert body["requests"]["responses_5xx"] == 0
+        assert body["requests"]["responses_4xx"] >= 2
+        # The server still works after the abuse.
+        status, _ = request(
+            port, "POST", "/v1/analyze",
+            {"files": [{"path": "a.c", "text": PROGRAM}]},
+        )
+        assert status == 200

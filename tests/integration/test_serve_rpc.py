@@ -1,0 +1,300 @@
+"""The JSON-RPC surface over in-memory streams: an editor session
+without the editor.
+
+Drives :class:`JsonRpcServer` through a connected StreamReader/Writer
+pair (no stdio, no subprocess) and pins the LSP-flavored contract:
+lifecycle methods, full-text document sync with published lint
+diagnostics after every open/change, the ``repro/mayAlias`` custom
+request, and the error codes for unknown methods and bad params.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve import ServeSession
+from repro.serve.protocol import JsonRpcServer
+
+PROGRAM = """
+int g;
+int h;
+int *p;
+
+void main(void) {
+    p = &g;
+}
+"""
+
+PROGRAM_EDIT = PROGRAM.replace("p = &g;", "p = &h;")
+
+
+class RpcHarness:
+    """A client driving one in-process JsonRpcServer."""
+
+    def __init__(self, session):
+        self.session = session
+        self.next_id = 0
+
+    async def __aenter__(self):
+        # Two unidirectional pipes via a loopback socket pair.
+        import socket
+
+        client_sock, server_sock = socket.socketpair()
+        self.client_reader, self.client_writer = await asyncio.open_connection(
+            sock=client_sock
+        )
+        server_reader, server_writer = await asyncio.open_connection(
+            sock=server_sock
+        )
+        self.server = JsonRpcServer(self.session, server_reader, server_writer)
+        self.task = asyncio.ensure_future(self.server.run())
+        return self
+
+    async def __aexit__(self, *exc):
+        if not self.task.done():
+            await self.notify("exit")
+            await asyncio.wait_for(self.task, timeout=30)
+        self.client_writer.close()
+
+    async def send(self, message):
+        body = json.dumps(message).encode()
+        self.client_writer.write(
+            b"Content-Length: %d\r\n\r\n" % len(body) + body
+        )
+        await self.client_writer.drain()
+
+    async def receive(self):
+        length = None
+        while True:
+            line = await asyncio.wait_for(
+                self.client_reader.readline(), timeout=60
+            )
+            stripped = line.strip()
+            if not stripped:
+                break
+            key, _, value = stripped.partition(b":")
+            if key.strip().lower() == b"content-length":
+                length = int(value)
+        body = await asyncio.wait_for(
+            self.client_reader.readexactly(length), timeout=60
+        )
+        return json.loads(body.decode())
+
+    async def request(self, method, params=None):
+        self.next_id += 1
+        await self.send(
+            {
+                "jsonrpc": "2.0",
+                "id": self.next_id,
+                "method": method,
+                "params": params or {},
+            }
+        )
+
+    async def notify(self, method, params=None):
+        await self.send(
+            {"jsonrpc": "2.0", "method": method, "params": params or {}}
+        )
+
+    async def expect_response(self, request_id):
+        """Read frames until the response to ``request_id``; returns
+        (response, notifications seen on the way)."""
+        notifications = []
+        while True:
+            message = await self.receive()
+            if message.get("id") == request_id:
+                return message, notifications
+            notifications.append(message)
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=300))
+
+
+@pytest.fixture()
+def session(tmp_path):
+    return ServeSession(k=3, cache_dir=str(tmp_path / "cache"))
+
+
+class TestLifecycle:
+    def test_initialize_shutdown_exit(self, session):
+        async def scenario():
+            async with RpcHarness(session) as rpc:
+                await rpc.request("initialize")
+                response, _ = await rpc.expect_response(1)
+                capabilities = response["result"]["capabilities"]
+                assert capabilities["textDocumentSync"]["openClose"] is True
+                await rpc.request("shutdown")
+                response, _ = await rpc.expect_response(2)
+                assert response["result"] is None
+                await rpc.notify("exit")
+                await asyncio.wait_for(rpc.task, timeout=30)
+                assert rpc.server.exited
+
+        run(scenario())
+
+    def test_unknown_method_32601(self, session):
+        async def scenario():
+            async with RpcHarness(session) as rpc:
+                await rpc.request("workspace/definitelyNotAThing")
+                response, _ = await rpc.expect_response(1)
+                assert response["error"]["code"] == -32601
+
+        run(scenario())
+
+    def test_unknown_notification_ignored(self, session):
+        async def scenario():
+            async with RpcHarness(session) as rpc:
+                await rpc.notify("$/cancelRequest", {"id": 99})
+                await rpc.request("initialize")
+                response, _ = await rpc.expect_response(1)
+                assert "result" in response
+
+        run(scenario())
+
+
+class TestDocumentSync:
+    def test_did_open_publishes_diagnostics(self, session):
+        async def scenario():
+            async with RpcHarness(session) as rpc:
+                await rpc.notify(
+                    "textDocument/didOpen",
+                    {"textDocument": {"uri": "a.c", "text": PROGRAM}},
+                )
+                note = await rpc.receive()
+                assert note["method"] == "textDocument/publishDiagnostics"
+                assert note["params"]["uri"] == "a.c"
+                assert note["params"]["version"] == 0
+                for diagnostic in note["params"]["diagnostics"]:
+                    assert diagnostic["severity"] in (1, 2, 3)
+                    assert diagnostic["source"] == "repro"
+
+        run(scenario())
+
+    def test_did_change_republishes(self, session):
+        async def scenario():
+            async with RpcHarness(session) as rpc:
+                await rpc.notify(
+                    "textDocument/didOpen",
+                    {"textDocument": {"uri": "a.c", "text": PROGRAM}},
+                )
+                await rpc.receive()
+                await rpc.notify(
+                    "textDocument/didChange",
+                    {
+                        "textDocument": {"uri": "a.c"},
+                        "contentChanges": [{"text": PROGRAM_EDIT}],
+                    },
+                )
+                note = await rpc.receive()
+                assert note["params"]["version"] == 1
+
+        run(scenario())
+
+    def test_parse_error_becomes_diagnostic(self, session):
+        async def scenario():
+            async with RpcHarness(session) as rpc:
+                await rpc.notify(
+                    "textDocument/didOpen",
+                    {
+                        "textDocument": {
+                            "uri": "bad.c",
+                            "text": "void main(void) { ??? }",
+                        }
+                    },
+                )
+                note = await rpc.receive()
+                (diagnostic,) = note["params"]["diagnostics"]
+                assert diagnostic["severity"] == 1
+                assert diagnostic["code"] == "parse-error"
+
+        run(scenario())
+
+    def test_incremental_sync_rejected(self, session):
+        async def scenario():
+            async with RpcHarness(session) as rpc:
+                await rpc.notify(
+                    "textDocument/didOpen",
+                    {"textDocument": {"uri": "a.c", "text": PROGRAM}},
+                )
+                await rpc.receive()
+                # Range-based (incremental) change: refused, not
+                # silently corrupting the resident text.
+                await rpc.notify(
+                    "textDocument/didChange",
+                    {
+                        "textDocument": {"uri": "a.c"},
+                        "contentChanges": [
+                            {
+                                "range": {
+                                    "start": {"line": 0, "character": 0},
+                                    "end": {"line": 0, "character": 0},
+                                },
+                                "text": "int q;",
+                            }
+                        ],
+                    },
+                )
+                # Still answers from the unchanged text.
+                await rpc.request(
+                    "repro/mayAlias",
+                    {"uri": "a.c", "line": 7, "a": "*p", "b": "g"},
+                )
+                response, _ = await rpc.expect_response(1)
+                assert response["result"]["may_alias"] is True
+                assert response["result"]["version"] == 0
+
+        run(scenario())
+
+
+class TestMayAlias:
+    def test_query_and_edit(self, session):
+        async def scenario():
+            async with RpcHarness(session) as rpc:
+                await rpc.notify(
+                    "textDocument/didOpen",
+                    {"textDocument": {"uri": "a.c", "text": PROGRAM}},
+                )
+                await rpc.receive()
+                await rpc.request(
+                    "repro/mayAlias",
+                    {"uri": "a.c", "line": 7, "a": "*p", "b": "g"},
+                )
+                response, _ = await rpc.expect_response(1)
+                assert response["result"]["may_alias"] is True
+
+                await rpc.notify(
+                    "textDocument/didChange",
+                    {
+                        "textDocument": {"uri": "a.c"},
+                        "contentChanges": [{"text": PROGRAM_EDIT}],
+                    },
+                )
+                await rpc.receive()
+                await rpc.request(
+                    "repro/mayAlias",
+                    {"uri": "a.c", "line": 7, "a": "*p", "b": "g"},
+                )
+                response, _ = await rpc.expect_response(2)
+                assert response["result"]["may_alias"] is False
+
+        run(scenario())
+
+    def test_bad_params_32602(self, session):
+        async def scenario():
+            async with RpcHarness(session) as rpc:
+                await rpc.request("repro/mayAlias", {"uri": 42})
+                response, _ = await rpc.expect_response(1)
+                assert response["error"]["code"] == -32602
+
+        run(scenario())
+
+    def test_stats(self, session):
+        async def scenario():
+            async with RpcHarness(session) as rpc:
+                await rpc.request("repro/stats")
+                response, _ = await rpc.expect_response(1)
+                assert response["result"]["schema"] == "repro-serve-stats/1"
+
+        run(scenario())

@@ -1,0 +1,169 @@
+"""Staleness safety: a query after a delta is never answered from the
+pre-edit solution.
+
+The dangerous window is a delta landing *while a solve is in flight*:
+the solver snapshotted version N, version N+1 arrived before the
+solution was installed.  ``ServeSession._midsolve_hook`` lands deltas
+inside that window deterministically; the tests then pin that the
+answer matches a fresh batch solve of the same final text — same
+query answers, same program aliases, same fact set.
+"""
+
+import json
+
+import pytest
+
+from repro.frontend.diagnostics import MiniCError
+from repro.io import solution_to_dict
+from repro.serve import ServeSession
+
+PROGRAM_V1 = """
+int g;
+int h;
+int *p;
+
+void main(void) {
+    p = &g;
+}
+"""
+
+#: The edit flips the points-to target: ``*p`` aliases ``h``, not ``g``.
+PROGRAM_V2 = PROGRAM_V1.replace("p = &g;", "p = &h;")
+
+#: The line of the assignment in both versions.
+ASSIGN_LINE = 7
+
+
+def fact_set(solution):
+    """The solution's facts as a canonical, order-independent set."""
+    document = solution_to_dict(solution)
+    return sorted(
+        json.dumps(fact, sort_keys=True) for fact in document["facts"]
+    )
+
+
+def fresh_solve(text, tmp_path, name):
+    """A cold batch solve of ``text`` in an unrelated session."""
+    fresh = ServeSession(k=3, cache_dir=str(tmp_path / name))
+    fresh.upsert("fresh.c", text)
+    return fresh.ensure_solved("fresh.c").solution
+
+
+@pytest.fixture()
+def session(tmp_path):
+    return ServeSession(k=3, cache_dir=str(tmp_path / "cache"))
+
+
+class TestSequentialStaleness:
+    def test_query_reflects_latest_delta(self, session):
+        session.upsert("a.c", PROGRAM_V1)
+        assert session.query("a.c", ASSIGN_LINE, "*p", "g")["may_alias"] is True
+        session.upsert("a.c", PROGRAM_V2)
+        answer = session.query("a.c", ASSIGN_LINE, "*p", "g")
+        assert answer["may_alias"] is False
+        assert answer["version"] == 1
+        assert session.query("a.c", ASSIGN_LINE, "*p", "h")["may_alias"] is True
+
+    def test_edit_then_revert_round_trips(self, session):
+        session.upsert("a.c", PROGRAM_V1)
+        before = session.query("a.c", ASSIGN_LINE, "*p", "g")["may_alias"]
+        session.upsert("a.c", PROGRAM_V2)
+        session.query("a.c", ASSIGN_LINE, "*p", "g")
+        session.upsert("a.c", PROGRAM_V1)
+        after = session.query("a.c", ASSIGN_LINE, "*p", "g")["may_alias"]
+        assert before is True and after is True
+
+
+class TestMidSolveDelta:
+    def test_delta_during_solve_forces_resolve(self, session, tmp_path):
+        """The canonical race: v2 lands while v1 is being solved."""
+        session.upsert("a.c", PROGRAM_V1)
+        landed = []
+
+        def land_v2_once(path, version):
+            if not landed:
+                landed.append(version)
+                session.upsert(path, PROGRAM_V2)
+
+        session._midsolve_hook = land_v2_once
+        answer = session.query("a.c", ASSIGN_LINE, "*p", "g")
+        # The answer must be v2's, even though v1's solve ran first.
+        assert answer["may_alias"] is False
+        assert answer["version"] == 1
+        assert session.metrics.stale_retries_total >= 1
+        assert landed == [0]
+
+        doc = session.documents["a.c"]
+        fresh = fresh_solve(PROGRAM_V2, tmp_path, "fresh-v2")
+        assert fact_set(doc.solution) == fact_set(fresh)
+
+    def test_delta_storm_settles_on_final_text(self, session, tmp_path):
+        """Several deltas landing mid-solve: only the last text wins."""
+        session.upsert("a.c", PROGRAM_V1)
+        queue = [PROGRAM_V2, PROGRAM_V1, PROGRAM_V2]
+
+        def land_next(path, version):
+            if queue:
+                session.upsert(path, queue.pop(0))
+
+        session._midsolve_hook = land_next
+        answer = session.query("a.c", ASSIGN_LINE, "*p", "h")
+        assert answer["may_alias"] is True
+        assert answer["version"] == 3
+        assert not queue
+        doc = session.documents["a.c"]
+        fresh = fresh_solve(PROGRAM_V2, tmp_path, "fresh-storm")
+        assert fact_set(doc.solution) == fact_set(fresh)
+
+    def test_broken_snapshot_superseded_midsolve(self, session):
+        """A parse error in a snapshot that was already replaced must
+        not surface — the replacement is what gets solved."""
+        session.upsert("a.c", "void main(void) { broken }")
+
+        def fix_it(path, version):
+            if version == 0:
+                session.upsert(path, PROGRAM_V2)
+
+        session._midsolve_hook = fix_it
+        answer = session.query("a.c", ASSIGN_LINE, "*p", "h")
+        assert answer["may_alias"] is True
+        assert session.documents["a.c"].parse_error is None
+
+    def test_broken_final_text_still_raises(self, session):
+        session.upsert("a.c", "void main(void) { broken }")
+        with pytest.raises(MiniCError):
+            session.query("a.c", 1)
+
+
+class TestBatchEquivalence:
+    def test_incremental_equals_fresh_batch(self, session, tmp_path):
+        """After a chain of edits, the resident solution is identical
+        to a cold solve of the final text: same fact set, same program
+        aliases, same query answers."""
+        session.upsert("a.c", PROGRAM_V1)
+        session.ensure_solved("a.c")
+        session.upsert("a.c", PROGRAM_V2)
+        session.ensure_solved("a.c")
+        session.upsert("a.c", PROGRAM_V1)
+        doc = session.ensure_solved("a.c")
+
+        fresh = fresh_solve(PROGRAM_V1, tmp_path, "fresh-final")
+        assert fact_set(doc.solution) == fact_set(fresh)
+        assert sorted(map(str, doc.solution.program_aliases())) == sorted(
+            map(str, fresh.program_aliases())
+        )
+
+    def test_cache_replay_solution_is_identical(self, tmp_path):
+        """Two sessions sharing one cache directory: the second's
+        fully-replayed solve equals the first's cold solve bit for
+        bit at the fact level."""
+        cache_dir = str(tmp_path / "shared")
+        first = ServeSession(k=3, cache_dir=cache_dir)
+        first.upsert("a.c", PROGRAM_V1)
+        cold = first.ensure_solved("a.c").solution
+
+        second = ServeSession(k=3, cache_dir=cache_dir)
+        second.upsert("a.c", PROGRAM_V1)
+        warm_doc = second.ensure_solved("a.c")
+        assert fact_set(warm_doc.solution) == fact_set(cold)
+        assert second.cache.counters.hits >= 1

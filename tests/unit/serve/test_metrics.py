@@ -1,0 +1,116 @@
+"""Serve metrics: percentiles, latency reservoirs, the stats document.
+
+The contract (docs/SERVE.md): counters only ever move forward, the
+latency reservoirs are bounded, percentiles are nearest-rank, and the
+``repro-serve-stats/1`` document always carries the gauges the CI load
+gate reads (5xx count, queue depth, ``edit_scoped_ratio``).
+"""
+
+from repro.serve.metrics import (
+    CLASS_ANALYZE,
+    CLASS_QUERY,
+    SERVE_STATS_SCHEMA,
+    ServeMetrics,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_empty_is_none(self):
+        assert percentile([], 0.5) is None
+
+    def test_single_sample_is_every_percentile(self):
+        assert percentile([7.0], 0.0) == 7.0
+        assert percentile([7.0], 0.5) == 7.0
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_median_of_odd_run(self):
+        assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_extremes(self):
+        samples = [float(n) for n in range(100)]
+        assert percentile(samples, 0.0) == 0.0
+        assert percentile(samples, 1.0) == 99.0
+
+    def test_p99_of_hundred(self):
+        samples = [float(n) for n in range(100)]
+        assert percentile(samples, 0.99) == 98.0
+
+    def test_unsorted_input(self):
+        assert percentile([9.0, 1.0, 5.0, 3.0, 7.0], 0.5) == 5.0
+
+
+class TestRequestAccounting:
+    def test_queue_depth_tracks_in_flight(self):
+        metrics = ServeMetrics()
+        s1 = metrics.request_started("POST /v1/query")
+        s2 = metrics.request_started("POST /v1/query")
+        assert metrics.queue_depth == 2
+        assert metrics.queue_depth_peak == 2
+        metrics.request_finished(s1, CLASS_QUERY, 200)
+        assert metrics.queue_depth == 1
+        metrics.request_finished(s2, CLASS_QUERY, 200)
+        assert metrics.queue_depth == 0
+        assert metrics.queue_depth_peak == 2
+        assert metrics.requests_total == 2
+
+    def test_status_classes(self):
+        metrics = ServeMetrics()
+        for status in (200, 204, 400, 404, 500, 503):
+            started = metrics.request_started("GET /x")
+            metrics.request_finished(started, CLASS_QUERY, status)
+        assert metrics.responses_4xx == 2
+        assert metrics.responses_5xx == 2
+
+    def test_by_endpoint_counts(self):
+        metrics = ServeMetrics()
+        for _ in range(3):
+            metrics.request_finished(metrics.request_started("GET /healthz"))
+        metrics.request_finished(metrics.request_started("GET /metrics"))
+        assert metrics.by_endpoint == {"GET /healthz": 3, "GET /metrics": 1}
+
+    def test_reservoir_is_bounded(self):
+        metrics = ServeMetrics(reservoir=8)
+        for _ in range(100):
+            metrics.request_finished(
+                metrics.request_started("POST /v1/analyze"), CLASS_ANALYZE, 200
+            )
+        assert metrics.latency_dict()[CLASS_ANALYZE]["count"] == 8
+
+    def test_unknown_class_lands_in_other(self):
+        metrics = ServeMetrics()
+        metrics.request_finished(metrics.request_started("GET /x"), "bogus", 200)
+        assert metrics.latency_dict()["other"]["count"] == 1
+
+
+class TestStatsDocument:
+    def test_schema_and_shape(self):
+        metrics = ServeMetrics()
+        document = metrics.stats_dict(resident_programs=2, cache={"hits": 5})
+        assert document["schema"] == SERVE_STATS_SCHEMA
+        assert document["resident_programs"] == 2
+        assert document["cache"] == {"hits": 5}
+        assert document["requests"]["responses_5xx"] == 0
+        assert document["session"]["edit_scoped_ratio"] is None
+        for cls in ("analyze", "query", "lint", "other"):
+            assert document["latency"][cls]["count"] == 0
+            assert document["latency"][cls]["p99_ms"] is None
+
+    def test_scoped_ratio(self):
+        metrics = ServeMetrics()
+        metrics.post_edit_solves = 10
+        metrics.scoped_post_edit_solves = 9
+        document = metrics.stats_dict(resident_programs=0)
+        assert document["session"]["edit_scoped_ratio"] == 0.9
+
+    def test_latency_percentiles_populated(self):
+        metrics = ServeMetrics()
+        for _ in range(5):
+            metrics.request_finished(
+                metrics.request_started("POST /v1/query"), CLASS_QUERY, 200
+            )
+        latency = metrics.stats_dict(resident_programs=0)["latency"]["query"]
+        assert latency["count"] == 5
+        assert latency["p50_ms"] is not None
+        assert latency["p99_ms"] >= latency["p50_ms"]
+        assert latency["max_ms"] >= latency["p99_ms"]
